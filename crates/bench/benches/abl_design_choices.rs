@@ -1,0 +1,97 @@
+//! Ablation benches for HDPAT's design choices beyond the paper's Fig 15:
+//!
+//! * rotation on/off (§IV-E),
+//! * number of concentric caching layers `C` (§IV-C says 0..3 on a 7×7),
+//! * selective-push threshold (§IV-F),
+//! * PW-queue revisit on/off (§IV-F).
+//!
+//! Run with `cargo bench --bench abl_design_choices`.
+
+use hdpat::experiments::{run, RunConfig};
+use hdpat::policy::{HdpatConfig, PolicyKind};
+use wsg_bench::report::{emit, ratio, Table};
+use wsg_sim::stats::geo_mean;
+use wsg_workloads::BenchmarkId;
+
+/// Representative subset spanning the suite's pattern classes.
+const BENCHES: [BenchmarkId; 6] = [
+    BenchmarkId::Spmv,
+    BenchmarkId::Pr,
+    BenchmarkId::Mm,
+    BenchmarkId::Fir,
+    BenchmarkId::Bt,
+    BenchmarkId::Relu,
+];
+
+fn gmean_speedup(cfg: HdpatConfig, scale: wsg_workloads::Scale) -> f64 {
+    let speeds: Vec<f64> = BENCHES
+        .iter()
+        .map(|&b| {
+            let base = run(&RunConfig::new(b, scale, PolicyKind::Naive));
+            run(&RunConfig::new(b, scale, PolicyKind::Hdpat(cfg))).speedup_vs(&base)
+        })
+        .collect();
+    geo_mean(&speeds).expect("positive speedups")
+}
+
+fn main() {
+    let scale = wsg_bench::scale_from_env();
+    let base_cfg = HdpatConfig::paper_default();
+
+    let mut t = Table::new(vec!["variant", "gmean-speedup"]);
+
+    // Rotation.
+    for (name, rotation) in [("rotation on (default)", true), ("rotation off", false)] {
+        let s = gmean_speedup(
+            HdpatConfig {
+                rotation,
+                ..base_cfg
+            },
+            scale,
+        );
+        t.row(vec![name.to_string(), ratio(s)]);
+    }
+
+    // Caching layers C.
+    for c in 1..=3u32 {
+        let s = gmean_speedup(
+            HdpatConfig {
+                caching_layers: c,
+                ..base_cfg
+            },
+            scale,
+        );
+        t.row(vec![format!("C = {c} caching layers"), ratio(s)]);
+    }
+
+    // Selective-push threshold.
+    for thr in [1u32, 2, 4, 8] {
+        let s = gmean_speedup(
+            HdpatConfig {
+                push_threshold: thr,
+                ..base_cfg
+            },
+            scale,
+        );
+        t.row(vec![format!("push threshold = {thr}"), ratio(s)]);
+    }
+
+    // PW-queue revisit.
+    for (name, revisit) in [("revisit on (default)", true), ("revisit off", false)] {
+        let s = gmean_speedup(
+            HdpatConfig {
+                queue_revisit: revisit,
+                ..base_cfg
+            },
+            scale,
+        );
+        t.row(vec![name.to_string(), ratio(s)]);
+    }
+
+    emit(
+        "Design-choice ablation",
+        "Geometric-mean HDPAT speedup over the baseline across a representative \
+         benchmark subset (SPMV, PR, MM, FIR, BT, RELU) for each design knob.",
+        &t,
+    );
+}

@@ -1,0 +1,78 @@
+//! Extension study: streak-based page migration (the paper's named
+//! future-work direction) composed with the baseline and with HDPAT.
+//!
+//! Run with `cargo bench --bench abl_migration`.
+
+use hdpat::experiments::{hardware_divisor, scale_hardware, RunConfig};
+use hdpat::policy::PolicyKind;
+use hdpat::{MigrationConfig, Simulation};
+use wsg_bench::report::{emit, ratio, Table};
+use wsg_sim::stats::geo_mean;
+use wsg_workloads::BenchmarkId;
+
+const BENCHES: [BenchmarkId; 6] = [
+    BenchmarkId::Spmv,
+    BenchmarkId::Pr,
+    BenchmarkId::Mm,
+    BenchmarkId::Fir,
+    BenchmarkId::Relu,
+    BenchmarkId::Km,
+];
+
+fn run_maybe_migrating(cfg: &RunConfig, migration: Option<MigrationConfig>) -> hdpat::Metrics {
+    let mut system = cfg.system.clone();
+    scale_hardware(&mut system, 1); // already scaled by RunConfig::new
+    let sim = Simulation::new(system, cfg.policy, cfg.benchmark, cfg.scale, cfg.seed);
+    match migration {
+        Some(m) => sim.with_migration(m).run(),
+        None => sim.run(),
+    }
+}
+
+fn main() {
+    let scale = wsg_bench::scale_from_env();
+    let _ = hardware_divisor(scale);
+    let mig = MigrationConfig::default_streak();
+
+    let mut t = Table::new(vec![
+        "bench",
+        "baseline+migration",
+        "HDPAT",
+        "HDPAT+migration",
+        "pages-migrated",
+    ]);
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for b in BENCHES {
+        let base_cfg = RunConfig::new(b, scale, PolicyKind::Naive);
+        let base = run_maybe_migrating(&base_cfg, None);
+        let base_mig = run_maybe_migrating(&base_cfg, Some(mig));
+        let hd_cfg = RunConfig::new(b, scale, PolicyKind::hdpat());
+        let hd = run_maybe_migrating(&hd_cfg, None);
+        let hd_mig = run_maybe_migrating(&hd_cfg, Some(mig));
+        let s = [
+            base_mig.speedup_vs(&base),
+            hd.speedup_vs(&base),
+            hd_mig.speedup_vs(&base),
+        ];
+        for (c, v) in cols.iter_mut().zip(s) {
+            c.push(v);
+        }
+        t.row(vec![
+            b.to_string(),
+            ratio(s[0]),
+            ratio(s[1]),
+            ratio(s[2]),
+            hd_mig.pages_migrated.to_string(),
+        ]);
+    }
+    let mut gm = vec!["GMEAN".to_string()];
+    gm.extend(cols.iter().map(|c| ratio(geo_mean(c).unwrap_or(0.0))));
+    gm.push(String::new());
+    t.row(gm);
+    emit(
+        "Extension: page migration",
+        "Streak-based page migration (threshold 16) composed with the baseline \
+         and with HDPAT, normalized to the plain baseline.",
+        &t,
+    );
+}

@@ -1,0 +1,10 @@
+//! Bench target regenerating Fig 2 of the HDPAT paper.
+//!
+//! Run with `cargo bench --bench fig02_headroom`; set `WSG_SCALE=unit` for a quick
+//! smoke run.
+
+fn main() {
+    let scale = wsg_bench::scale_from_env();
+    let table = wsg_bench::figures::fig02_headroom(scale);
+    wsg_bench::report::emit("Fig 2", "Performance headroom of idealized IOMMUs over the baseline MMU configuration.", &table);
+}

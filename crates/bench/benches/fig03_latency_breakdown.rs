@@ -1,0 +1,10 @@
+//! Bench target regenerating Fig 3 of the HDPAT paper.
+//!
+//! Run with `cargo bench --bench fig03_latency_breakdown`; set `WSG_SCALE=unit` for a quick
+//! smoke run.
+
+fn main() {
+    let scale = wsg_bench::scale_from_env();
+    let table = wsg_bench::figures::fig03_latency_breakdown(scale);
+    wsg_bench::report::emit("Fig 3", "Averaged latency breakdown per IOMMU translation request for SPMV.", &table);
+}

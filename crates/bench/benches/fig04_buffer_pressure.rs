@@ -1,0 +1,10 @@
+//! Bench target regenerating Fig 4 of the HDPAT paper.
+//!
+//! Run with `cargo bench --bench fig04_buffer_pressure`; set `WSG_SCALE=unit` for a quick
+//! smoke run.
+
+fn main() {
+    let scale = wsg_bench::scale_from_env();
+    let table = wsg_bench::figures::fig04_buffer_pressure(scale);
+    wsg_bench::report::emit("Fig 4", "IOMMU buffer pressure over time: MCM-GPU (4 GPMs) vs wafer-scale GPU (48 GPMs), SPMV.", &table);
+}

@@ -1,0 +1,10 @@
+//! Bench target regenerating Fig 5 of the HDPAT paper.
+//!
+//! Run with `cargo bench --bench fig05_position_imbalance`; set `WSG_SCALE=unit` for a quick
+//! smoke run.
+
+fn main() {
+    let scale = wsg_bench::scale_from_env();
+    let table = wsg_bench::figures::fig05_position_imbalance(scale);
+    wsg_bench::report::emit("Fig 5", "GPM execution time by geometric position (concentric ring) for SPMV and MM.", &table);
+}

@@ -1,0 +1,10 @@
+//! Bench target regenerating Fig 6 of the HDPAT paper.
+//!
+//! Run with `cargo bench --bench fig06_translation_counts`; set `WSG_SCALE=unit` for a quick
+//! smoke run.
+
+fn main() {
+    let scale = wsg_bench::scale_from_env();
+    let table = wsg_bench::figures::fig06_translation_counts(scale);
+    wsg_bench::report::emit("Fig 6", "Distribution of per-VPN translation counts observed at the IOMMU.", &table);
+}

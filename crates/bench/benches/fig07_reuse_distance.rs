@@ -1,0 +1,10 @@
+//! Bench target regenerating Fig 7 of the HDPAT paper.
+//!
+//! Run with `cargo bench --bench fig07_reuse_distance`; set `WSG_SCALE=unit` for a quick
+//! smoke run.
+
+fn main() {
+    let scale = wsg_bench::scale_from_env();
+    let table = wsg_bench::figures::fig07_reuse_distance(scale);
+    wsg_bench::report::emit("Fig 7", "Reuse distances between repeated translation requests (selected benchmarks).", &table);
+}

@@ -1,0 +1,10 @@
+//! Bench target regenerating Fig 8 of the HDPAT paper.
+//!
+//! Run with `cargo bench --bench fig08_spatial_locality`; set `WSG_SCALE=unit` for a quick
+//! smoke run.
+
+fn main() {
+    let scale = wsg_bench::scale_from_env();
+    let table = wsg_bench::figures::fig08_spatial_locality(scale);
+    wsg_bench::report::emit("Fig 8", "VPN distance between consecutive IOMMU translation requests (spatial locality).", &table);
+}

@@ -1,0 +1,9 @@
+//! Bench target regenerating Fig 13 of the HDPAT paper.
+//!
+//! Run with `cargo bench --bench fig13_size_invariance`; set `WSG_SCALE=unit` for a quick
+//! smoke run.
+
+fn main() {
+    let table = wsg_bench::figures::fig13_size_invariance();
+    wsg_bench::report::emit("Fig 13", "IOMMU-served request rate over normalized time for FIR at two problem sizes.", &table);
+}

@@ -1,0 +1,10 @@
+//! Bench target regenerating Fig 14 of the HDPAT paper.
+//!
+//! Run with `cargo bench --bench fig14_overall`; set `WSG_SCALE=unit` for a quick
+//! smoke run.
+
+fn main() {
+    let scale = wsg_bench::scale_from_env();
+    let table = wsg_bench::figures::fig14_overall(scale);
+    wsg_bench::report::emit("Fig 14", "Overall speedup of Trans-FW, Valkyrie, Barre and HDPAT over the baseline.", &table);
+}

@@ -1,0 +1,10 @@
+//! Bench target regenerating Fig 15 of the HDPAT paper.
+//!
+//! Run with `cargo bench --bench fig15_ablation`; set `WSG_SCALE=unit` for a quick
+//! smoke run.
+
+fn main() {
+    let scale = wsg_bench::scale_from_env();
+    let table = wsg_bench::figures::fig15_ablation(scale);
+    wsg_bench::report::emit("Fig 15", "Ablation over HDPAT's techniques (route/concentric/distributed/cluster+rotation/redirection/prefetch).", &table);
+}

@@ -1,0 +1,10 @@
+//! Bench target regenerating Fig 16 of the HDPAT paper.
+//!
+//! Run with `cargo bench --bench fig16_breakdown`; set `WSG_SCALE=unit` for a quick
+//! smoke run.
+
+fn main() {
+    let scale = wsg_bench::scale_from_env();
+    let table = wsg_bench::figures::fig16_breakdown(scale);
+    wsg_bench::report::emit("Fig 16", "Breakdown of how address translations are handled in HDPAT.", &table);
+}

@@ -1,0 +1,10 @@
+//! Bench target regenerating Fig 17 of the HDPAT paper.
+//!
+//! Run with `cargo bench --bench fig17_response_time`; set `WSG_SCALE=unit` for a quick
+//! smoke run.
+
+fn main() {
+    let scale = wsg_bench::scale_from_env();
+    let table = wsg_bench::figures::fig17_response_time(scale);
+    wsg_bench::report::emit("Fig 17", "Remote-translation round-trip time with HDPAT, normalized to baseline, plus extra NoC traffic.", &table);
+}

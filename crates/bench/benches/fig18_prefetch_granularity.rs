@@ -1,0 +1,10 @@
+//! Bench target regenerating Fig 18 of the HDPAT paper.
+//!
+//! Run with `cargo bench --bench fig18_prefetch_granularity`; set `WSG_SCALE=unit` for a quick
+//! smoke run.
+
+fn main() {
+    let scale = wsg_bench::scale_from_env();
+    let table = wsg_bench::figures::fig18_prefetch_granularity(scale);
+    wsg_bench::report::emit("Fig 18", "Performance impact of proactive-delivery granularity (1/4/8 PTEs).", &table);
+}

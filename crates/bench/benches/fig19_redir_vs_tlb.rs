@@ -1,0 +1,10 @@
+//! Bench target regenerating Fig 19 of the HDPAT paper.
+//!
+//! Run with `cargo bench --bench fig19_redir_vs_tlb`; set `WSG_SCALE=unit` for a quick
+//! smoke run.
+
+fn main() {
+    let scale = wsg_bench::scale_from_env();
+    let table = wsg_bench::figures::fig19_redir_vs_tlb(scale);
+    wsg_bench::report::emit("Fig 19", "Redirection table vs a same-area conventional TLB at the IOMMU.", &table);
+}

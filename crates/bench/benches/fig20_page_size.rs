@@ -1,0 +1,10 @@
+//! Bench target regenerating Fig 20 of the HDPAT paper.
+//!
+//! Run with `cargo bench --bench fig20_page_size`; set `WSG_SCALE=unit` for a quick
+//! smoke run.
+
+fn main() {
+    let scale = wsg_bench::scale_from_env();
+    let table = wsg_bench::figures::fig20_page_size(scale);
+    wsg_bench::report::emit("Fig 20", "System page-size sweep, normalized to the 4KB baseline.", &table);
+}

@@ -1,0 +1,10 @@
+//! Bench target regenerating Fig 21 of the HDPAT paper.
+//!
+//! Run with `cargo bench --bench fig21_gpu_presets`; set `WSG_SCALE=unit` for a quick
+//! smoke run.
+
+fn main() {
+    let scale = wsg_bench::scale_from_env();
+    let table = wsg_bench::figures::fig21_gpu_presets(scale);
+    wsg_bench::report::emit("Fig 21", "Geometric-mean HDPAT speedup across commercial GPU configurations.", &table);
+}

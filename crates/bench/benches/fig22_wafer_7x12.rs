@@ -1,0 +1,10 @@
+//! Bench target regenerating Fig 22 of the HDPAT paper.
+//!
+//! Run with `cargo bench --bench fig22_wafer_7x12`; set `WSG_SCALE=unit` for a quick
+//! smoke run.
+
+fn main() {
+    let scale = wsg_bench::scale_from_env();
+    let table = wsg_bench::figures::fig22_wafer_7x12(scale);
+    wsg_bench::report::emit("Fig 22", "HDPAT speedup on the larger 7x12 wafer.", &table);
+}

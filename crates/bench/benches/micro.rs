@@ -1,0 +1,143 @@
+//! Criterion microbenchmarks for the core data structures: cuckoo filter,
+//! TLB, redirection table, mesh routing/reservation, event queue, and
+//! workload generation. These quantify the simulator's own hot paths.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wsg_gpu::AddressSpace;
+use wsg_noc::{Coord, LinkParams, Mesh};
+use wsg_sim::EventQueue;
+use wsg_workloads::{BenchmarkId, Scale};
+use wsg_xlat::{CuckooFilter, PageSize, Pfn, RedirectionTable, Tlb, TlbConfig, Vpn};
+
+fn bench_cuckoo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cuckoo_filter");
+    g.bench_function("insert", |b| {
+        let mut f = CuckooFilter::with_capacity(1 << 16);
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(1) % 40_000;
+            black_box(f.insert(k));
+        });
+    });
+    g.bench_function("contains_hit", |b| {
+        let mut f = CuckooFilter::with_capacity(1 << 16);
+        for k in 0..40_000u64 {
+            f.insert(k);
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 40_000;
+            black_box(f.contains(k));
+        });
+    });
+    g.bench_function("contains_miss", |b| {
+        let mut f = CuckooFilter::with_capacity(1 << 16);
+        for k in 0..40_000u64 {
+            f.insert(k);
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            black_box(f.contains(1_000_000 + k));
+        });
+    });
+    g.finish();
+}
+
+fn bench_tlb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tlb");
+    g.bench_function("lookup_hit", |b| {
+        let mut t = Tlb::new(TlbConfig::paper_l2());
+        for v in 0..2048u64 {
+            t.fill(Vpn(v), Pfn(v), false);
+        }
+        let mut v = 0u64;
+        b.iter(|| {
+            v = (v + 1) % 2048;
+            black_box(t.lookup(Vpn(v)));
+        });
+    });
+    g.bench_function("fill_evict", |b| {
+        let mut t = Tlb::new(TlbConfig::paper_l2());
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 1;
+            black_box(t.fill(Vpn(v), Pfn(v), false));
+        });
+    });
+    g.finish();
+}
+
+fn bench_redirection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("redirection_table");
+    g.bench_function("insert_evict", |b| {
+        let mut rt = RedirectionTable::new(1024);
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 1;
+            rt.insert(Vpn(v), (v % 48) as u32);
+        });
+    });
+    g.bench_function("lookup", |b| {
+        let mut rt = RedirectionTable::new(1024);
+        for v in 0..1024u64 {
+            rt.insert(Vpn(v), 0);
+        }
+        let mut v = 0u64;
+        b.iter(|| {
+            v = (v + 1) % 2048;
+            black_box(rt.lookup(Vpn(v)));
+        });
+    });
+    g.finish();
+}
+
+fn bench_mesh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mesh");
+    g.bench_function("send_cross_wafer", |b| {
+        let mut mesh = Mesh::new(7, 7, LinkParams::paper_baseline());
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            black_box(mesh.send(Coord::new(0, 0), Coord::new(6, 6), 64, t));
+        });
+    });
+    g.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop", |b| {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            q.push(t + 100, t);
+            black_box(q.pop());
+        });
+    });
+}
+
+fn bench_workload_gen(c: &mut Criterion) {
+    c.bench_function("generate_spmv_unit", |b| {
+        b.iter(|| {
+            let mut space = AddressSpace::new(PageSize::Size4K, 48);
+            black_box(wsg_workloads::generate(
+                BenchmarkId::Spmv,
+                Scale::Unit,
+                &mut space,
+                42,
+            ))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cuckoo,
+    bench_tlb,
+    bench_redirection,
+    bench_mesh,
+    bench_event_queue,
+    bench_workload_gen
+);
+criterion_main!(benches);

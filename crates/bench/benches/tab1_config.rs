@@ -1,0 +1,9 @@
+//! Bench target regenerating Table I of the HDPAT paper.
+//!
+//! Run with `cargo bench --bench tab1_config`; set `WSG_SCALE=unit` for a quick
+//! smoke run.
+
+fn main() {
+    let table = wsg_bench::figures::tab1_config();
+    wsg_bench::report::emit("Table I", "Configuration of the simulated wafer-scale GPU.", &table);
+}

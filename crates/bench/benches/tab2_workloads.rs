@@ -1,0 +1,9 @@
+//! Bench target regenerating Table II of the HDPAT paper.
+//!
+//! Run with `cargo bench --bench tab2_workloads`; set `WSG_SCALE=unit` for a quick
+//! smoke run.
+
+fn main() {
+    let table = wsg_bench::figures::tab2_workloads();
+    wsg_bench::report::emit("Table II", "Benchmarks, workgroup counts, and memory footprints.", &table);
+}

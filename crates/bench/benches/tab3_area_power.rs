@@ -1,0 +1,9 @@
+//! Bench target regenerating Sec V-F of the HDPAT paper.
+//!
+//! Run with `cargo bench --bench tab3_area_power`; set `WSG_SCALE=unit` for a quick
+//! smoke run.
+
+fn main() {
+    let table = wsg_bench::figures::tab3_area_power();
+    wsg_bench::report::emit("Sec V-F", "Area and power overhead of the HDPAT hardware additions.", &table);
+}

@@ -1,0 +1,251 @@
+//! `hdpat-sim` — command-line driver for the wafer-scale GPU simulator.
+//!
+//! ```text
+//! hdpat-sim list                          # benchmarks and policies
+//! hdpat-sim run SPMV hdpat                # one simulation, full metrics
+//! hdpat-sim run PR naive --scale unit --seed 7
+//! hdpat-sim compare KM                    # every policy on one benchmark
+//! hdpat-sim figure fig14                  # regenerate one paper figure
+//! hdpat-sim figure all                    # regenerate everything
+//! hdpat-sim trace SPMV                    # workload-trace statistics
+//! ```
+
+use hdpat::experiments::{run, RunConfig};
+use hdpat::policy::{HdpatConfig, PolicyKind};
+use wsg_bench::figures;
+use wsg_bench::report::{emit, Table};
+use wsg_workloads::{BenchmarkId, Scale};
+
+fn policies() -> Vec<(&'static str, PolicyKind)> {
+    vec![
+        ("naive", PolicyKind::Naive),
+        ("route", PolicyKind::RouteCache { caching_layers: 2 }),
+        ("concentric", PolicyKind::Concentric { caching_layers: 2 }),
+        ("distributed", PolicyKind::Distributed),
+        ("transfw", PolicyKind::TransFw),
+        ("valkyrie", PolicyKind::Valkyrie),
+        ("barre", PolicyKind::Barre),
+        ("cluster", PolicyKind::Hdpat(HdpatConfig::peer_caching_only())),
+        ("redir", PolicyKind::Hdpat(HdpatConfig::with_redirection_only())),
+        ("prefetch", PolicyKind::Hdpat(HdpatConfig::with_prefetch_only())),
+        ("hdpat-tlb", PolicyKind::Hdpat(HdpatConfig::with_iommu_tlb())),
+        ("hdpat", PolicyKind::hdpat()),
+    ]
+}
+
+fn parse_benchmark(s: &str) -> Option<BenchmarkId> {
+    BenchmarkId::all()
+        .into_iter()
+        .find(|b| b.info().abbr.eq_ignore_ascii_case(s))
+}
+
+fn parse_policy(s: &str) -> Option<PolicyKind> {
+    policies()
+        .into_iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(s))
+        .map(|(_, p)| p)
+}
+
+fn parse_scale(s: &str) -> Option<Scale> {
+    match s.to_ascii_lowercase().as_str() {
+        "unit" => Some(Scale::Unit),
+        "bench" => Some(Scale::Bench),
+        "full" => Some(Scale::Full),
+        _ => None,
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  hdpat-sim list\n  hdpat-sim run <BENCH> <POLICY> [--scale unit|bench|full] [--seed N]\n  hdpat-sim compare <BENCH> [--scale ...]\n  hdpat-sim figure <figNN|tabN|all> [--scale ...]\n  hdpat-sim trace <BENCH> [--scale ...] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let scale = flag(&args, "--scale")
+        .map(|s| parse_scale(&s).unwrap_or_else(|| usage()))
+        .unwrap_or(Scale::Bench);
+    let seed: u64 = flag(&args, "--seed")
+        .map(|s| s.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(42);
+
+    match cmd.as_str() {
+        "list" => cmd_list(),
+        "run" => {
+            let b = args.get(1).and_then(|s| parse_benchmark(s)).unwrap_or_else(|| usage());
+            let p = args.get(2).and_then(|s| parse_policy(s)).unwrap_or_else(|| usage());
+            cmd_run(b, p, scale, seed);
+        }
+        "compare" => {
+            let b = args.get(1).and_then(|s| parse_benchmark(s)).unwrap_or_else(|| usage());
+            cmd_compare(b, scale, seed);
+        }
+        "figure" => {
+            let name = args.get(1).cloned().unwrap_or_else(|| usage());
+            cmd_figure(&name, scale);
+        }
+        "trace" => {
+            let b = args.get(1).and_then(|s| parse_benchmark(s)).unwrap_or_else(|| usage());
+            cmd_trace(b, scale, seed);
+        }
+        _ => usage(),
+    }
+}
+
+fn cmd_list() {
+    let mut t = Table::new(vec!["benchmark", "suite", "pattern"]);
+    for b in BenchmarkId::all() {
+        let i = b.info();
+        t.row(vec![i.abbr.to_string(), i.suite.to_string(), i.pattern.to_string()]);
+    }
+    emit("Benchmarks", "Table II workloads.", &t);
+    let mut t = Table::new(vec!["policy", "description"]);
+    for (n, p) in policies() {
+        t.row(vec![n.to_string(), p.name().to_string()]);
+    }
+    emit("Policies", "Translation policies (paper name in the right column).", &t);
+}
+
+fn cmd_run(b: BenchmarkId, p: PolicyKind, scale: Scale, seed: u64) {
+    let m = run(&RunConfig::new(b, scale, p).with_seed(seed));
+    println!("{b} under {p} (seed {seed}):");
+    println!("  execution time      : {} cycles", m.total_cycles);
+    println!("  memory ops          : {}", m.ops_completed);
+    println!(
+        "  translations        : {} local, {} remote (+{} coalesced)",
+        m.local_translations, m.remote_requests, m.remote_coalesced
+    );
+    println!("  IOMMU walks         : {}", m.iommu_walks);
+    println!("  IOMMU latency       : {}", m.iommu_latency);
+    println!("  resolution          : {}", m.resolution);
+    println!("  mean remote RTT     : {:.0} cycles", m.remote_rtt.mean());
+    println!("  peak IOMMU backlog  : {}", m.iommu_buffer.peak());
+    println!("  prefetch accuracy   : {:.1}%", m.prefetch_accuracy() * 100.0);
+    println!("  NoC traffic         : {} bytes, {} packets", m.noc_bytes, m.noc_packets);
+    println!("  GPM imbalance       : {:.2} (max/mean finish)", m.gpm_imbalance());
+}
+
+fn cmd_compare(b: BenchmarkId, scale: Scale, seed: u64) {
+    let base = run(&RunConfig::new(b, scale, PolicyKind::Naive).with_seed(seed));
+    let mut t = Table::new(vec!["policy", "cycles", "speedup", "iommu-walks", "offload"]);
+    for (n, p) in policies() {
+        let m = if matches!(p, PolicyKind::Naive) {
+            base.clone()
+        } else {
+            run(&RunConfig::new(b, scale, p).with_seed(seed))
+        };
+        t.row(vec![
+            n.to_string(),
+            m.total_cycles.to_string(),
+            format!("{:.2}", m.speedup_vs(&base)),
+            m.iommu_walks.to_string(),
+            format!("{:.1}%", m.offload_fraction() * 100.0),
+        ]);
+    }
+    emit(
+        &format!("compare {b}"),
+        "All policies on one benchmark, same workload and seed.",
+        &t,
+    );
+}
+
+/// Prints static statistics of a generated workload trace: footprint,
+/// operation mix, locality, and remote fraction under block placement with
+/// round-robin dispatch.
+fn cmd_trace(b: BenchmarkId, scale: Scale, seed: u64) {
+    use wsg_gpu::AddressSpace;
+    let gpms = 48u32;
+    let mut space = AddressSpace::new(wsg_xlat::PageSize::Size4K, gpms);
+    let wgs = wsg_workloads::generate(b, scale, &mut space, seed);
+    let ps = space.page_size();
+
+    let mut ops = 0u64;
+    let mut reads = 0u64;
+    let mut remote = 0u64;
+    let mut pages = std::collections::HashSet::new();
+    let mut near = 0u64;
+    let mut pairs = 0u64;
+    for (i, wg) in wgs.iter().enumerate() {
+        let gpm = (i as u32) % gpms;
+        let mut last: Option<u64> = None;
+        for op in &wg.ops {
+            ops += 1;
+            if op.is_read {
+                reads += 1;
+            }
+            let vpn = ps.vpn_of(op.vaddr);
+            pages.insert(vpn.0);
+            if space.home_gpm(vpn) != Some(gpm) {
+                remote += 1;
+            }
+            if let Some(prev) = last {
+                pairs += 1;
+                if prev.abs_diff(vpn.0) <= 4 {
+                    near += 1;
+                }
+            }
+            last = Some(vpn.0);
+        }
+    }
+    let info = b.info();
+    println!("{b} — {} ({})", info.name, info.suite);
+    println!("  pattern          : {}", info.pattern);
+    println!("  workgroups       : {}", wgs.len());
+    println!("  memory ops       : {ops} ({:.0}% reads)", reads as f64 / ops as f64 * 100.0);
+    println!("  distinct pages   : {}", pages.len());
+    println!(
+        "  remote ops       : {:.1}% (block placement, round-robin dispatch)",
+        remote as f64 / ops as f64 * 100.0
+    );
+    println!(
+        "  spatial locality : {:.1}% of consecutive ops within 4 pages",
+        near as f64 / pairs.max(1) as f64 * 100.0
+    );
+}
+
+type FigureFn = Box<dyn Fn() -> Table>;
+
+fn cmd_figure(name: &str, scale: Scale) {
+    let all: Vec<(&str, FigureFn)> = vec![
+        ("fig02", Box::new(move || figures::fig02_headroom(scale))),
+        ("fig03", Box::new(move || figures::fig03_latency_breakdown(scale))),
+        ("fig04", Box::new(move || figures::fig04_buffer_pressure(scale))),
+        ("fig05", Box::new(move || figures::fig05_position_imbalance(scale))),
+        ("fig06", Box::new(move || figures::fig06_translation_counts(scale))),
+        ("fig07", Box::new(move || figures::fig07_reuse_distance(scale))),
+        ("fig08", Box::new(move || figures::fig08_spatial_locality(scale))),
+        ("fig13", Box::new(figures::fig13_size_invariance)),
+        ("fig14", Box::new(move || figures::fig14_overall(scale))),
+        ("fig15", Box::new(move || figures::fig15_ablation(scale))),
+        ("fig16", Box::new(move || figures::fig16_breakdown(scale))),
+        ("fig17", Box::new(move || figures::fig17_response_time(scale))),
+        ("fig18", Box::new(move || figures::fig18_prefetch_granularity(scale))),
+        ("fig19", Box::new(move || figures::fig19_redir_vs_tlb(scale))),
+        ("fig20", Box::new(move || figures::fig20_page_size(scale))),
+        ("fig21", Box::new(move || figures::fig21_gpu_presets(scale))),
+        ("fig22", Box::new(move || figures::fig22_wafer_7x12(scale))),
+        ("tab1", Box::new(figures::tab1_config)),
+        ("tab2", Box::new(figures::tab2_workloads)),
+        ("tab3", Box::new(figures::tab3_area_power)),
+    ];
+    let mut matched = false;
+    for (n, f) in &all {
+        if name == "all" || name.eq_ignore_ascii_case(n) {
+            matched = true;
+            emit(n, "", &f());
+        }
+    }
+    if !matched {
+        eprintln!("unknown figure `{name}`; try fig02..fig22, tab1..tab3, or `all`");
+        std::process::exit(2);
+    }
+}

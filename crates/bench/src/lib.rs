@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Benchmark harness regenerating every table and figure of the HDPAT
+//! paper.
+//!
+//! Each `benches/figXX_*.rs` target is a thin wrapper around a function in
+//! [`figures`]; the functions return plain row data so integration tests can
+//! assert on the *shape* of each result (who wins, by roughly what factor)
+//! while the bench binaries print the same rows the paper plots.
+//!
+//! Scale control: the `WSG_SCALE` environment variable selects `unit`
+//! (seconds, smoke-test quality) or `bench` (the default; minutes,
+//! reproduction quality) for all figure benches.
+
+pub mod figures;
+pub mod report;
+
+use wsg_workloads::Scale;
+
+/// The scale figure benches run at: `WSG_SCALE=unit|bench|full`
+/// (default `bench`).
+pub fn scale_from_env() -> Scale {
+    match std::env::var("WSG_SCALE").as_deref() {
+        Ok("unit") => Scale::Unit,
+        Ok("full") => Scale::Full,
+        _ => Scale::Bench,
+    }
+}

@@ -1,0 +1,207 @@
+//! One-call experiment runner used by the examples, tests, and the figure
+//! benches.
+
+use wsg_gpu::SystemConfig;
+use wsg_workloads::{BenchmarkId, Scale};
+
+/// Divides the capacity of every translation/cache structure by the same
+/// factor the workload scale divides memory footprints by, so the
+/// working-set-to-capacity ratios of the paper's full-size configuration are
+/// preserved at reduced scale. Timing parameters (latencies, walker counts,
+/// bandwidths) are untouched — only sizes shrink.
+pub fn scale_hardware(system: &mut SystemConfig, divisor: usize) {
+    if divisor <= 1 {
+        return;
+    }
+    let d = divisor;
+    let shrink_sets = |sets: usize, floor: usize| (sets / d).max(floor).next_power_of_two();
+    let g = &mut system.gpm;
+    g.l1_tlb.ways = (g.l1_tlb.ways / d.min(4)).max(8); // small already; shrink gently
+    g.l2_tlb.sets = shrink_sets(g.l2_tlb.sets, 1);
+    g.l2_tlb.ways = g.l2_tlb.ways.min(8);
+    g.gmmu_cache.sets = shrink_sets(g.gmmu_cache.sets, 4);
+    g.gmmu_cache.ways = g.gmmu_cache.ways.min(8);
+    g.cuckoo_capacity = (g.cuckoo_capacity / d).max(256);
+    g.l1_cache.sets = shrink_sets(g.l1_cache.sets, 4);
+    g.l2_cache.sets = shrink_sets(g.l2_cache.sets, 16);
+    system.iommu.redirection_entries = (system.iommu.redirection_entries / d).max(16);
+    system.iommu.pw_queue = (system.iommu.pw_queue / d).max(8);
+}
+
+/// The hardware-capacity divisor matching each workload scale's footprint
+/// reduction (Table II is divided by ~64 at `Bench`, ~512 at `Unit`).
+pub fn hardware_divisor(scale: Scale) -> usize {
+    match scale {
+        Scale::Full => 1,
+        Scale::Bench => 64,
+        Scale::Unit => 256,
+    }
+}
+
+use crate::metrics::Metrics;
+use crate::policy::PolicyKind;
+use crate::sim::Simulation;
+
+/// A fully specified simulation run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Hardware configuration (wafer, GPM, IOMMU, page size, mesh).
+    pub system: SystemConfig,
+    /// Translation policy under test.
+    pub policy: PolicyKind,
+    /// Workload.
+    pub benchmark: BenchmarkId,
+    /// Workload scale.
+    pub scale: Scale,
+    /// Workload generator seed (the default 42 is used throughout the
+    /// reproduction for determinism).
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// A run on the paper-baseline system (7×7 wafer, MI100 GPMs, 4 KB
+    /// pages), with structure capacities scaled to match the workload scale
+    /// (see [`scale_hardware`]).
+    pub fn new(benchmark: BenchmarkId, scale: Scale, policy: PolicyKind) -> Self {
+        let mut system = SystemConfig::paper_baseline();
+        scale_hardware(&mut system, hardware_divisor(scale));
+        Self {
+            system,
+            policy,
+            benchmark,
+            scale,
+            seed: 42,
+        }
+    }
+
+    /// A run that keeps the paper's full-size structure capacities
+    /// regardless of workload scale (for sensitivity checks).
+    pub fn new_unscaled(benchmark: BenchmarkId, scale: Scale, policy: PolicyKind) -> Self {
+        Self {
+            system: SystemConfig::paper_baseline(),
+            policy,
+            benchmark,
+            scale,
+            seed: 42,
+        }
+    }
+
+    /// Replaces the system configuration and re-applies capacity scaling
+    /// for this run's workload scale.
+    pub fn with_system(mut self, mut system: SystemConfig) -> Self {
+        scale_hardware(&mut system, hardware_divisor(self.scale));
+        self.system = system;
+        self
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Runs one simulation to completion.
+///
+/// # Example
+///
+/// ```
+/// use hdpat::experiments::{run, RunConfig};
+/// use hdpat::policy::PolicyKind;
+/// use wsg_workloads::{BenchmarkId, Scale};
+///
+/// let m = run(&RunConfig::new(BenchmarkId::Relu, Scale::Unit, PolicyKind::Naive));
+/// assert!(m.total_cycles > 0);
+/// assert!(m.ops_completed > 0);
+/// ```
+pub fn run(cfg: &RunConfig) -> Metrics {
+    Simulation::new(
+        cfg.system.clone(),
+        cfg.policy,
+        cfg.benchmark,
+        cfg.scale,
+        cfg.seed,
+    )
+    .run()
+}
+
+/// Runs `policy` and the naive baseline on the same workload and returns
+/// `(baseline, policy_metrics, speedup)`.
+pub fn run_with_baseline(cfg: &RunConfig) -> (Metrics, Metrics, f64) {
+    let base_cfg = RunConfig {
+        policy: PolicyKind::Naive,
+        ..cfg.clone()
+    };
+    let base = run(&base_cfg);
+    let m = run(cfg);
+    let speedup = m.speedup_vs(&base);
+    (base, m, speedup)
+}
+
+/// Runs every Table II benchmark under `policy` at `scale` and returns
+/// per-benchmark metrics in catalog order.
+pub fn run_all(policy: PolicyKind, scale: Scale, system: &SystemConfig) -> Vec<(BenchmarkId, Metrics)> {
+    BenchmarkId::all()
+        .into_iter()
+        .map(|b| {
+            let cfg = RunConfig::new(b, scale, policy).with_system(system.clone());
+            (b, run(&cfg))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_run_completes_all_ops() {
+        let m = run(&RunConfig::new(BenchmarkId::Relu, Scale::Unit, PolicyKind::Naive));
+        assert!(m.ops_completed > 1000, "ops: {}", m.ops_completed);
+        assert!(m.total_cycles > 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let cfg = RunConfig::new(BenchmarkId::Spmv, Scale::Unit, PolicyKind::hdpat());
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.ops_completed, b.ops_completed);
+        assert_eq!(a.iommu_walks, b.iommu_walks);
+    }
+
+    #[test]
+    fn hdpat_reduces_iommu_walks_on_spmv() {
+        let (base, hd, speedup) = run_with_baseline(&RunConfig::new(
+            BenchmarkId::Spmv,
+            Scale::Unit,
+            PolicyKind::hdpat(),
+        ));
+        assert!(
+            hd.iommu_walks < base.iommu_walks,
+            "HDPAT walks {} vs baseline {}",
+            hd.iommu_walks,
+            base.iommu_walks
+        );
+        assert!(speedup > 0.8, "speedup {speedup}");
+    }
+
+    #[test]
+    fn baseline_resolves_everything_at_iommu() {
+        let m = run(&RunConfig::new(BenchmarkId::Spmv, Scale::Unit, PolicyKind::Naive));
+        assert_eq!(m.resolution.value("peer-cache"), 0);
+        assert_eq!(m.resolution.value("redirection"), 0);
+        assert!(m.resolution.value("iommu") > 0);
+    }
+
+    #[test]
+    fn hdpat_offloads_translations() {
+        let m = run(&RunConfig::new(BenchmarkId::Pr, Scale::Unit, PolicyKind::hdpat()));
+        assert!(
+            m.offload_fraction() > 0.05,
+            "offload fraction {}",
+            m.offload_fraction()
+        );
+    }
+}

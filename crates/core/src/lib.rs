@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! HDPAT: Hierarchical Distributed Page Address Translation for wafer-scale
+//! GPUs — the core library of this reproduction.
+//!
+//! Wafer-scale GPUs connect dozens of GPU Processing Modules (GPMs) over an
+//! interposer mesh with a single CPU-hosted IOMMU at the centre. At that
+//! scale the centralized IOMMU becomes the dominant bottleneck for
+//! virtual-to-physical address translation (observation O1 of the paper).
+//! HDPAT distributes the translation workload over the wafer with three
+//! complementary mechanisms:
+//!
+//! 1. **Concentric caching with clustering and rotation** ([`layers`],
+//!    §IV-C/D/E) — GPMs of the inner rings serve as translation caches;
+//!    each PTE has exactly one designated holder per ring, found with two
+//!    modulo operations, and alternating rings rotate their enumeration so
+//!    every requester has a nearby holder.
+//! 2. **Translation redirection** ([`policy`], §IV-F) — a 1024-entry LRU
+//!    table at the IOMMU redirects requests for recently walked PTEs to the
+//!    GPM now holding them, skipping redundant walks; a finishing walker
+//!    also completes identical requests still in the PW-queue.
+//! 3. **Proactive page-entry delivery** (§IV-G) — each walk of VPN N also
+//!    fetches N+1…N+3 and pushes them to the concentric holders.
+//!
+//! The crate contains the full-system discrete-event simulator
+//! ([`sim::Simulation`]), every baseline of the evaluation
+//! ([`policy::PolicyKind`]), the metrics that back each figure
+//! ([`metrics::Metrics`]), a one-call experiment runner ([`experiments`]),
+//! and the area/power model of §V-F ([`area`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hdpat::experiments::{run, RunConfig};
+//! use hdpat::policy::PolicyKind;
+//! use wsg_workloads::{BenchmarkId, Scale};
+//!
+//! let baseline = run(&RunConfig::new(BenchmarkId::Spmv, Scale::Unit, PolicyKind::Naive));
+//! let hdpat = run(&RunConfig::new(BenchmarkId::Spmv, Scale::Unit, PolicyKind::hdpat()));
+//! let speedup = hdpat.speedup_vs(&baseline);
+//! assert!(speedup > 0.5, "sane result: {speedup}");
+//! ```
+
+pub mod area;
+pub mod experiments;
+pub mod layers;
+pub mod metrics;
+pub mod migration;
+pub mod policy;
+pub mod sim;
+
+pub use experiments::{run, RunConfig};
+pub use metrics::{Metrics, Resolution};
+pub use migration::MigrationConfig;
+pub use policy::{HdpatConfig, PolicyKind};
+pub use sim::Simulation;

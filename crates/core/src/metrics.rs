@@ -1,0 +1,280 @@
+//! Simulation metrics backing every figure of the evaluation.
+
+use wsg_sim::stats::{Breakdown, Histogram, LogHistogram, ReuseTracker, Summary, TimeSeries};
+use wsg_sim::Cycle;
+
+/// How a non-local translation request was ultimately resolved — the four
+/// categories of Fig 16.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resolution {
+    /// Served from a peer GPM's cache (concentric/route/distributed hit on a
+    /// demand-installed entry).
+    PeerCache,
+    /// Redirected by the IOMMU's redirection table to a holder GPM.
+    Redirection,
+    /// Served from an entry installed by proactive delivery (a prefetched
+    /// PTE, wherever it was found).
+    Proactive,
+    /// Resolved by an IOMMU page-table walk (or coalesced onto one).
+    Iommu,
+}
+
+impl Resolution {
+    /// Stable label used in breakdowns and CSV output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Resolution::PeerCache => "peer-cache",
+            Resolution::Redirection => "redirection",
+            Resolution::Proactive => "proactive",
+            Resolution::Iommu => "iommu",
+        }
+    }
+}
+
+/// Everything measured during one simulation run.
+///
+/// Each field maps to one or more paper figures; see the field docs. The
+/// struct is plain data — the simulator fills it and the bench harness
+/// formats it.
+#[derive(Debug, Clone)]
+pub struct Metrics {
+    /// Total execution time: the cycle at which the last CU drained.
+    pub total_cycles: Cycle,
+    /// Per-GPM finish time (Fig 5's geometric imbalance).
+    pub gpm_finish: Vec<Cycle>,
+    /// Memory operations completed.
+    pub ops_completed: u64,
+
+    /// Translations resolved entirely inside the requesting GPM
+    /// (L1/L2/last-level TLB hits and local walks).
+    pub local_translations: u64,
+    /// Local page-table walks performed by GMMUs.
+    pub local_walks: u64,
+    /// Cuckoo-filter false positives (wasted local walks before remote
+    /// forwarding, §II-B's doubled-latency case).
+    pub cuckoo_false_positives: u64,
+    /// Non-local translation requests issued (after GPM-side coalescing).
+    pub remote_requests: u64,
+    /// Remote requests coalesced into an in-flight identical request at the
+    /// requesting GPM (L2 TLB MSHR merge).
+    pub remote_coalesced: u64,
+
+    /// Resolution-source counts for remote translations (Fig 16).
+    pub resolution: Breakdown,
+    /// Per-request IOMMU latency components (Fig 3): `pre-queue`,
+    /// `ptw-queue`, `walk`.
+    pub iommu_latency: Breakdown,
+    /// IOMMU input-buffer occupancy sampled over time (Fig 4).
+    pub iommu_buffer: TimeSeries,
+    /// IOMMU-served translations over time (Fig 13).
+    pub iommu_served: TimeSeries,
+    /// Per-VPN translation request stream at the IOMMU: occurrence counts
+    /// (Fig 6) and reuse distances (Fig 7).
+    pub iommu_reuse: ReuseTracker,
+    /// VPN distance between consecutive IOMMU translation requests (Fig 8).
+    pub vpn_delta: Histogram,
+    /// Remote-translation round-trip time, request issue to PFN arrival
+    /// (Fig 17).
+    pub remote_rtt: Summary,
+    /// Round-trip time split by resolution source (diagnostics for Fig 17).
+    pub rtt_peer: Summary,
+    /// RTT of redirection-resolved requests.
+    pub rtt_redirection: Summary,
+    /// RTT of proactively-served requests.
+    pub rtt_proactive: Summary,
+    /// RTT of IOMMU-walk-resolved requests.
+    pub rtt_iommu: Summary,
+    /// Remote-path retries due to a full L2-TLB MSHR at the requester.
+    pub remote_retries: u64,
+    /// IOMMU walks performed (including prefetch walks).
+    pub iommu_walks: u64,
+    /// Requests completed by PW-queue revisit coalescing.
+    pub iommu_coalesced: u64,
+    /// Redirection-table hits that failed at the holder (entry evicted).
+    pub redirect_misses: u64,
+    /// Requests stalled because the IOMMU TLB's MSHRs were full (Fig 19
+    /// variant only).
+    pub iommu_tlb_stalls: u64,
+
+    /// PTEs pushed to auxiliary GPMs (demand + prefetch).
+    pub ptes_pushed: u64,
+    /// Prefetched PTEs delivered (`degree − 1` per prefetching walk).
+    pub prefetches_issued: u64,
+    /// Prefetched entries that served a later request (accuracy numerator;
+    /// the paper reports 65.55 % average accuracy).
+    pub prefetches_used: u64,
+
+    /// Total payload bytes injected into the mesh.
+    pub noc_bytes: u64,
+    /// Total bytes × hops moved across mesh links.
+    pub noc_hop_bytes: u64,
+    /// Mesh packets injected.
+    pub noc_packets: u64,
+    /// Pages migrated by the optional migration extension.
+    pub pages_migrated: u64,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics with the standard breakdown categories.
+    pub fn new(gpm_count: usize, time_window: Cycle) -> Self {
+        Self {
+            total_cycles: 0,
+            gpm_finish: vec![0; gpm_count],
+            ops_completed: 0,
+            local_translations: 0,
+            local_walks: 0,
+            cuckoo_false_positives: 0,
+            remote_requests: 0,
+            remote_coalesced: 0,
+            resolution: Breakdown::new(&["peer-cache", "redirection", "proactive", "iommu"]),
+            iommu_latency: Breakdown::new(&["pre-queue", "ptw-queue", "walk"]),
+            iommu_buffer: TimeSeries::new(time_window),
+            iommu_served: TimeSeries::new(time_window),
+            iommu_reuse: ReuseTracker::new(),
+            vpn_delta: Histogram::new(1, 64),
+            remote_rtt: Summary::new(),
+            rtt_peer: Summary::new(),
+            rtt_redirection: Summary::new(),
+            rtt_proactive: Summary::new(),
+            rtt_iommu: Summary::new(),
+            remote_retries: 0,
+            iommu_walks: 0,
+            iommu_coalesced: 0,
+            redirect_misses: 0,
+            iommu_tlb_stalls: 0,
+            ptes_pushed: 0,
+            prefetches_issued: 0,
+            prefetches_used: 0,
+            noc_bytes: 0,
+            noc_hop_bytes: 0,
+            noc_packets: 0,
+            pages_migrated: 0,
+        }
+    }
+
+    /// Records a resolved remote translation.
+    pub fn record_resolution(&mut self, r: Resolution) {
+        self.resolution.add(r.label(), 1);
+    }
+
+    /// Fraction of remote translations *not* served by an IOMMU walk — the
+    /// paper's "offloads 42.1 % of translations" headline.
+    pub fn offload_fraction(&self) -> f64 {
+        let total = self.resolution.total();
+        if total == 0 {
+            return 0.0;
+        }
+        1.0 - self.resolution.share("iommu")
+    }
+
+    /// Prefetch accuracy: used / issued (0 when prefetching is off).
+    pub fn prefetch_accuracy(&self) -> f64 {
+        if self.prefetches_issued == 0 {
+            0.0
+        } else {
+            self.prefetches_used as f64 / self.prefetches_issued as f64
+        }
+    }
+
+    /// Speedup of this run relative to `baseline` (> 1 means faster).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this run recorded zero cycles.
+    pub fn speedup_vs(&self, baseline: &Metrics) -> f64 {
+        assert!(self.total_cycles > 0, "run did not execute");
+        baseline.total_cycles as f64 / self.total_cycles as f64
+    }
+
+    /// Imbalance across GPM finish times: `max / mean` (Fig 5's disparity).
+    pub fn gpm_imbalance(&self) -> f64 {
+        let n = self.gpm_finish.len();
+        if n == 0 {
+            return 1.0;
+        }
+        let max = *self.gpm_finish.iter().max().unwrap() as f64;
+        let mean = self.gpm_finish.iter().sum::<Cycle>() as f64 / n as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// Per-VPN IOMMU translation count histogram (Fig 6).
+    pub fn translation_count_histogram(&self) -> LogHistogram {
+        self.iommu_reuse.count_histogram()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_metrics_are_zeroed() {
+        let m = Metrics::new(48, 10_000);
+        assert_eq!(m.total_cycles, 0);
+        assert_eq!(m.gpm_finish.len(), 48);
+        assert_eq!(m.offload_fraction(), 0.0);
+        assert_eq!(m.prefetch_accuracy(), 0.0);
+    }
+
+    #[test]
+    fn offload_fraction_excludes_iommu() {
+        let mut m = Metrics::new(1, 100);
+        m.record_resolution(Resolution::PeerCache);
+        m.record_resolution(Resolution::Redirection);
+        m.record_resolution(Resolution::Proactive);
+        m.record_resolution(Resolution::Iommu);
+        assert!((m.offload_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_is_ratio_of_cycles() {
+        let mut base = Metrics::new(1, 100);
+        base.total_cycles = 1000;
+        let mut fast = Metrics::new(1, 100);
+        fast.total_cycles = 500;
+        assert_eq!(fast.speedup_vs(&base), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "did not execute")]
+    fn speedup_of_empty_run_panics() {
+        let base = Metrics::new(1, 100);
+        let empty = Metrics::new(1, 100);
+        empty.speedup_vs(&base);
+    }
+
+    #[test]
+    fn imbalance_of_uniform_finish_is_one() {
+        let mut m = Metrics::new(4, 100);
+        m.gpm_finish = vec![100, 100, 100, 100];
+        assert!((m.gpm_imbalance() - 1.0).abs() < 1e-12);
+        m.gpm_finish = vec![100, 100, 100, 200];
+        assert!(m.gpm_imbalance() > 1.3);
+    }
+
+    #[test]
+    fn prefetch_accuracy_ratio() {
+        let mut m = Metrics::new(1, 100);
+        m.prefetches_issued = 100;
+        m.prefetches_used = 65;
+        assert!((m.prefetch_accuracy() - 0.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resolution_labels_match_breakdown() {
+        let mut m = Metrics::new(1, 100);
+        for r in [
+            Resolution::PeerCache,
+            Resolution::Redirection,
+            Resolution::Proactive,
+            Resolution::Iommu,
+        ] {
+            m.record_resolution(r);
+            assert_eq!(m.resolution.value(r.label()), 1);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Page migration — the paper's named future-work extension.
+//!
+//! The paper excludes GPU-to-GPU page migration from its scope ("due to the
+//! absence of mature page migration mechanisms tailored for wafer-scale GPU
+//! systems") and names "intelligent page migration" as a pathway opened by
+//! HDPAT. This module provides a simple, well-defined instance of that
+//! pathway so it can be studied alongside HDPAT:
+//!
+//! **Streak-based migration**: when one remote GPM performs
+//! `streak_threshold` consecutive data accesses to a page (uninterrupted by
+//! any other GPM), the page migrates to it. A migration costs a bulk data
+//! transfer of the page across the mesh plus a wafer-wide TLB shootdown
+//! broadcast — the very cost the paper cites for excluding migration, now
+//! explicitly charged.
+//!
+//! Migration is orthogonal to the translation policy: it composes with the
+//! baseline and with HDPAT (after a migration, the page's translations
+//! become local to its consumer, shrinking remote translation traffic at
+//! the cost of the shootdown).
+
+use wsg_sim::Cycle;
+
+/// Configuration of the streak-based page-migration extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationConfig {
+    /// Consecutive remote accesses by a single GPM that trigger migration.
+    pub streak_threshold: u32,
+    /// Extra fixed latency charged at the destination for installing the
+    /// page (page-table update, validation) on top of the mesh transfer.
+    pub install_latency: Cycle,
+}
+
+impl MigrationConfig {
+    /// A conservative default: migrate after 16 consecutive sole-consumer
+    /// accesses, 200-cycle install.
+    pub fn default_streak() -> Self {
+        Self {
+            streak_threshold: 16,
+            install_latency: 200,
+        }
+    }
+}
+
+impl Default for MigrationConfig {
+    fn default() -> Self {
+        Self::default_streak()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_values() {
+        let c = MigrationConfig::default();
+        assert_eq!(c.streak_threshold, 16);
+        assert_eq!(c.install_latency, 200);
+        assert_eq!(c, MigrationConfig::default_streak());
+    }
+}

@@ -1,0 +1,223 @@
+//! Translation policies: HDPAT and every baseline of the evaluation.
+
+use std::fmt;
+
+/// Tunable parameters of the HDPAT mechanism family (§IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HdpatConfig {
+    /// Number of concentric caching layers `C` (default 2 on a 7×7 wafer:
+    /// one step inside the border, §IV-C).
+    pub caching_layers: u32,
+    /// Whether the per-layer 180° rotation is applied (§IV-E).
+    pub rotation: bool,
+    /// Whether the IOMMU redirection table is enabled (§IV-F).
+    pub redirection: bool,
+    /// Proactive-delivery degree: a walk of VPN N also fetches
+    /// N+1 … N+(degree−1). 1 disables prefetching; the paper's default is 4
+    /// and Fig 18 sweeps {1, 4, 8}.
+    pub prefetch_degree: u32,
+    /// PTE walk count required before the IOMMU pushes a copy to the
+    /// auxiliary layers (selective push, §IV-F).
+    pub push_threshold: u32,
+    /// Whether a finishing walker completes identical pending PW-queue
+    /// requests (queue revisit, §IV-F).
+    pub queue_revisit: bool,
+    /// Fig 19 ablation: replace the redirection table with a conventional
+    /// TLB of equal area (512 entries + MSHRs) at the IOMMU.
+    pub iommu_tlb_instead: bool,
+}
+
+impl HdpatConfig {
+    /// The paper's full HDPAT configuration.
+    pub fn paper_default() -> Self {
+        Self {
+            caching_layers: 2,
+            rotation: true,
+            redirection: true,
+            prefetch_degree: 4,
+            push_threshold: 2,
+            queue_revisit: true,
+            iommu_tlb_instead: false,
+        }
+    }
+
+    /// Clustering + rotation peer caching only (the "cluster & rotation" bar
+    /// of Fig 15).
+    pub fn peer_caching_only() -> Self {
+        Self {
+            redirection: false,
+            prefetch_degree: 1,
+            queue_revisit: false,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Peer caching + redirection table, no prefetch (Fig 15's "+redirection").
+    pub fn with_redirection_only() -> Self {
+        Self {
+            prefetch_degree: 1,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Peer caching + prefetch, no redirection (Fig 15's "+prefetching").
+    pub fn with_prefetch_only() -> Self {
+        Self {
+            redirection: false,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Fig 19 variant: full HDPAT but with an IOMMU TLB instead of the
+    /// redirection table.
+    pub fn with_iommu_tlb() -> Self {
+        Self {
+            iommu_tlb_instead: true,
+            ..Self::paper_default()
+        }
+    }
+}
+
+impl Default for HdpatConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// The translation policy governing how non-local translations are resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// All non-local translations go straight to the central IOMMU (the
+    /// paper's baseline).
+    Naive,
+    /// Lookup + opportunistic caching at every GPM on the XY route to the
+    /// IOMMU (§IV-B).
+    RouteCache {
+        /// Number of concentric layers whose GPMs participate.
+        caching_layers: u32,
+    },
+    /// One lookup per concentric layer at the nearest layer GPM, any layer
+    /// GPM may cache any PTE (§IV-C, duplicated copies).
+    Concentric {
+        /// Number of caching layers `C`.
+        caching_layers: u32,
+    },
+    /// Two symmetric GPM groups; probe the nearest in-group peer, then the
+    /// IOMMU (the straightforward distributed baseline of §V-A).
+    Distributed,
+    /// Trans-FW-style remote forwarding: the walk is short-circuited to the
+    /// GPM owning the page, whose GMMU serves it.
+    TransFw,
+    /// Valkyrie-style inter-TLB locality: probe the nearest neighbour GPM's
+    /// L2 TLB before the IOMMU.
+    Valkyrie,
+    /// Barre-style PW-queue coalescing at the IOMMU (no distribution).
+    Barre,
+    /// The HDPAT mechanism family (clustered/rotated concentric caching,
+    /// redirection, proactive delivery) with its ablation flags.
+    Hdpat(HdpatConfig),
+}
+
+impl PolicyKind {
+    /// The full HDPAT configuration of the headline results.
+    pub fn hdpat() -> Self {
+        PolicyKind::Hdpat(HdpatConfig::paper_default())
+    }
+
+    /// Short display name matching the paper's figure legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::Naive => "baseline",
+            PolicyKind::RouteCache { .. } => "route-cache",
+            PolicyKind::Concentric { .. } => "concentric",
+            PolicyKind::Distributed => "distributed",
+            PolicyKind::TransFw => "Trans-FW",
+            PolicyKind::Valkyrie => "Valkyrie",
+            PolicyKind::Barre => "Barre",
+            PolicyKind::Hdpat(cfg) => {
+                if cfg.iommu_tlb_instead {
+                    "HDPAT(IOMMU-TLB)"
+                } else if cfg.redirection && cfg.prefetch_degree > 1 {
+                    "HDPAT"
+                } else if cfg.redirection {
+                    "HDPAT(+redir)"
+                } else if cfg.prefetch_degree > 1 {
+                    "HDPAT(+prefetch)"
+                } else {
+                    "cluster+rotation"
+                }
+            }
+        }
+    }
+
+    /// Whether this policy sends any request to peer GPM caches.
+    pub fn uses_peer_caching(&self) -> bool {
+        !matches!(
+            self,
+            PolicyKind::Naive | PolicyKind::Barre | PolicyKind::TransFw
+        )
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section4() {
+        let cfg = HdpatConfig::paper_default();
+        assert_eq!(cfg.caching_layers, 2);
+        assert!(cfg.rotation);
+        assert!(cfg.redirection);
+        assert_eq!(cfg.prefetch_degree, 4);
+        assert!(cfg.queue_revisit);
+        assert!(!cfg.iommu_tlb_instead);
+    }
+
+    #[test]
+    fn ablation_configs_differ_in_one_axis() {
+        let full = HdpatConfig::paper_default();
+        let pc = HdpatConfig::peer_caching_only();
+        assert!(!pc.redirection && pc.prefetch_degree == 1);
+        assert_eq!(pc.caching_layers, full.caching_layers);
+        let redir = HdpatConfig::with_redirection_only();
+        assert!(redir.redirection && redir.prefetch_degree == 1);
+        let pf = HdpatConfig::with_prefetch_only();
+        assert!(!pf.redirection && pf.prefetch_degree == 4);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            PolicyKind::Naive.name(),
+            PolicyKind::RouteCache { caching_layers: 2 }.name(),
+            PolicyKind::Concentric { caching_layers: 2 }.name(),
+            PolicyKind::Distributed.name(),
+            PolicyKind::TransFw.name(),
+            PolicyKind::Valkyrie.name(),
+            PolicyKind::Barre.name(),
+            PolicyKind::hdpat().name(),
+            PolicyKind::Hdpat(HdpatConfig::peer_caching_only()).name(),
+            PolicyKind::Hdpat(HdpatConfig::with_iommu_tlb()).name(),
+        ];
+        let mut sorted = names.to_vec();
+        sorted.sort();
+        let before = sorted.len();
+        sorted.dedup();
+        assert_eq!(sorted.len(), before);
+    }
+
+    #[test]
+    fn peer_caching_flag() {
+        assert!(!PolicyKind::Naive.uses_peer_caching());
+        assert!(!PolicyKind::Barre.uses_peer_caching());
+        assert!(PolicyKind::hdpat().uses_peer_caching());
+        assert!(PolicyKind::Distributed.uses_peer_caching());
+    }
+}

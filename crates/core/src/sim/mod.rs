@@ -1,0 +1,529 @@
+//! The full-system discrete-event simulator.
+//!
+//! One [`Simulation`] owns the wafer: per-GPM translation and memory
+//! hierarchies, the central IOMMU, the mesh, the in-flight request table and
+//! a single event queue. Handlers are grouped by concern:
+//!
+//! * `translate` — the GPM-side translation path (TLBs, cuckoo filter,
+//!   GMMU walks) and the policy-specific remote path (probe chains, parallel
+//!   layer probes).
+//! * `iommu` — arrival, redirection, PW-queue, walks, revisit coalescing,
+//!   proactive delivery and selective push.
+//! * `data` — the post-translation data access (caches, HBM, remote
+//!   cacheline fetches).
+
+mod data;
+mod iommu;
+mod translate;
+
+use std::collections::{HashMap, VecDeque};
+
+use wsg_gpu::{AddressSpace, CuPipeline, MemoryOp, SystemConfig, WorkgroupTrace};
+use wsg_mem::{Hbm, Mshr, SetAssocCache};
+use wsg_noc::{Coord, Mesh};
+use wsg_sim::{Cycle, EventQueue};
+use wsg_workloads::{BenchmarkId, Scale};
+use wsg_xlat::{CuckooFilter, PageTable, Pfn, RedirectionTable, Tlb, TlbConfig, Vpn, WalkerPool};
+
+use crate::layers::{self, ConcentricMap};
+use crate::metrics::{Metrics, Resolution};
+use crate::migration::MigrationConfig;
+use crate::policy::{HdpatConfig, PolicyKind};
+
+/// Cuckoo-filter query latency in cycles.
+pub(crate) const CUCKOO_LATENCY: Cycle = 2;
+/// Retry backoff when an MSHR or walker queue is full.
+pub(crate) const RETRY_BACKOFF: Cycle = 32;
+/// Router ejection + port scheduling overhead charged per serial probe
+/// attempt (the repeated-translation-attempt penalty of §IV-B).
+pub(crate) const PROBE_OVERHEAD: Cycle = 30;
+/// Aggregation window of the IOMMU time series.
+pub(crate) const TIME_WINDOW: Cycle = 10_000;
+
+/// Index into the in-flight request table.
+pub(crate) type ReqId = u32;
+
+/// One compute unit: issue pipeline plus its private L1 TLB and L1 cache.
+#[derive(Debug)]
+pub(crate) struct CuSlot {
+    pub pipeline: CuPipeline,
+    pub l1_tlb: Tlb,
+    pub l1_cache: SetAssocCache,
+}
+
+/// Per-GPM simulator state.
+#[derive(Debug)]
+pub(crate) struct GpmState {
+    pub cus: Vec<CuSlot>,
+    pub l2_tlb: Tlb,
+    pub cuckoo: CuckooFilter,
+    /// Last-level TLB / GMMU cache; holds local translations *and* the
+    /// auxiliary (pushed) remote PTEs without priority difference (§V-A).
+    pub gmmu_cache: Tlb,
+    pub walkers: WalkerPool<ReqId>,
+    pub page_table: PageTable,
+    pub l2_cache: SetAssocCache,
+    pub hbm: Hbm,
+    /// L2-TLB MSHR for outgoing remote translations: VPN → waiters
+    /// coalesced behind the primary request.
+    pub remote_mshr: HashMap<Vpn, Vec<ReqId>>,
+    /// Requests stalled because every MSHR entry is occupied; drained in
+    /// FIFO order as entries free up.
+    pub mshr_stalled: VecDeque<ReqId>,
+}
+
+/// The central IOMMU state.
+#[derive(Debug)]
+pub(crate) struct IommuState {
+    pub walkers: WalkerPool<ReqId>,
+    /// The input ("pre-queue") buffer requests wait in while the PW-queue is
+    /// full (Fig 3's pre-queue component, Fig 4's buffer).
+    pub pre_queue: VecDeque<ReqId>,
+    pub redirection: RedirectionTable,
+    /// The Fig 19 alternative: a conventional TLB (with MSHRs) in place of
+    /// the redirection table.
+    pub tlb: Option<Tlb>,
+    pub tlb_mshr: Option<Mshr<ReqId>>,
+    /// Requests blocked outside the IOMMU TLB because its MSHRs are full
+    /// (Fig 19's concurrency pathology); drained one per walk completion.
+    pub tlb_stalled: VecDeque<ReqId>,
+    pub page_table: PageTable,
+    /// Trans-FW's in-flight walk table: requests arriving for a VPN whose
+    /// walk is already queued or running piggyback on it instead of
+    /// enqueueing their own (remote forwarding of in-flight results).
+    pub inflight: HashMap<Vpn, Vec<ReqId>>,
+}
+
+/// One in-flight memory operation with its translation bookkeeping.
+#[derive(Debug, Clone)]
+pub(crate) struct Request {
+    pub gpm: u32,
+    pub cu: u32,
+    pub op: MemoryOp,
+    pub vpn: Vpn,
+    pub remote_started: Option<Cycle>,
+    pub iommu_arrived: Option<Cycle>,
+    pub pw_entered: Option<Cycle>,
+    pub walk_started: Option<Cycle>,
+    /// Remaining serial probe chain (route / concentric / distributed /
+    /// Valkyrie / Trans-FW policies).
+    pub chain: Vec<u32>,
+    /// GPMs probed so far (filled with the PTE on response — the
+    /// opportunistic caching of the route/concentric baselines).
+    pub probed: Vec<u32>,
+    /// Set when a redirection attempt failed, so the IOMMU does not redirect
+    /// the same request twice.
+    pub redirect_failed: bool,
+    /// Set once a translation response has been accepted (duplicate probe
+    /// replies are ignored).
+    pub resolved: bool,
+}
+
+/// Simulator events.
+#[derive(Debug, Clone)]
+pub(crate) enum Event {
+    /// A CU tries to issue its next memory operation.
+    CuIssue { gpm: u32, cu: u32 },
+    /// A GMMU page-table walk finished at `gpm`.
+    GmmuWalkDone { gpm: u32, req: ReqId },
+    /// Retry a GMMU walk submission that found the queue full.
+    GmmuRetry { gpm: u32, req: ReqId },
+    /// A serial probe arrives at `chain[idx]` of the request's chain.
+    ChainProbe { req: ReqId, idx: usize },
+    /// An HDPAT concurrent layer probe arrives at `target`.
+    ParallelProbe {
+        req: ReqId,
+        target: u32,
+        innermost: bool,
+    },
+    /// A translation request arrives at the IOMMU.
+    IommuArrive { req: ReqId },
+    /// An IOMMU page-table walk finished.
+    IommuWalkDone { req: ReqId },
+    /// A redirected request arrives at its holder GPM.
+    RedirectArrive { req: ReqId, holder: u32 },
+    /// A pushed PTE arrives at an auxiliary GPM.
+    PushArrive {
+        gpm: u32,
+        vpn: Vpn,
+        pfn: Pfn,
+        prefetched: bool,
+    },
+    /// The final translation response arrives at the requesting GPM.
+    XlatResponse {
+        req: ReqId,
+        pfn: Pfn,
+        source: Resolution,
+    },
+    /// A remote data request arrived at the page's home GPM.
+    DataAtHome { req: ReqId, home: u32 },
+    /// The home GPM's L2/HBM produced the line; send it back.
+    DataReturn { req: ReqId, home: u32 },
+    /// The post-translation data access completed.
+    DataDone { req: ReqId },
+}
+
+/// The full-system simulator. Construct with [`Simulation::new`] (generated
+/// workload) or [`Simulation::with_traces`] (caller-provided traces), then
+/// call [`Simulation::run`].
+#[derive(Debug)]
+pub struct Simulation {
+    pub(crate) cfg: SystemConfig,
+    pub(crate) policy: PolicyKind,
+    pub(crate) space: AddressSpace,
+    pub(crate) queue: EventQueue<Event>,
+    pub(crate) mesh: Mesh,
+    pub(crate) gpms: Vec<GpmState>,
+    pub(crate) iommu: IommuState,
+    pub(crate) reqs: Vec<Request>,
+    pub(crate) metrics: Metrics,
+    pub(crate) concentric: Option<ConcentricMap>,
+    /// Per-GPM serial probe chains, precomputed per policy.
+    pub(crate) chains: Vec<Vec<u32>>,
+    pub(crate) last_iommu_vpn: Option<Vpn>,
+    /// Optional page-migration extension (see [`crate::migration`]).
+    pub(crate) migration: Option<MigrationConfig>,
+    /// Dynamic home overrides for migrated pages (checked before the static
+    /// block placement).
+    pub(crate) home_override: HashMap<Vpn, u32>,
+    /// Per-page (last remote consumer, consecutive-access streak).
+    pub(crate) access_streak: HashMap<Vpn, (u32, u32)>,
+}
+
+impl Simulation {
+    /// Builds a simulation of `benchmark` at `scale` under `policy`.
+    pub fn new(
+        system: SystemConfig,
+        policy: PolicyKind,
+        benchmark: BenchmarkId,
+        scale: Scale,
+        seed: u64,
+    ) -> Self {
+        let mut space = AddressSpace::new(system.page_size, system.gpm_count() as u32);
+        let traces = wsg_workloads::generate(benchmark, scale, &mut space, seed);
+        Self::with_traces(system, policy, space, traces)
+    }
+
+    /// Builds a simulation from caller-provided traces (for custom
+    /// workloads). Workgroup `i` of `n` runs on GPM `i·G/n`; within a GPM,
+    /// workgroups are round-robined over its CUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty or the address space's GPM count does not
+    /// match the system layout.
+    pub fn with_traces(
+        system: SystemConfig,
+        policy: PolicyKind,
+        space: AddressSpace,
+        traces: Vec<WorkgroupTrace>,
+    ) -> Self {
+        assert!(!traces.is_empty(), "no workgroups to simulate");
+        assert_eq!(
+            space.gpm_count() as usize,
+            system.gpm_count(),
+            "address space and wafer disagree on GPM count"
+        );
+        let g = system.gpm_count();
+
+        let concentric = match policy {
+            PolicyKind::Hdpat(h) => Some(ConcentricMap::new(
+                &system.layout,
+                h.caching_layers.min(system.layout.max_layer()),
+                h.rotation,
+            )),
+            _ => None,
+        };
+        let chains: Vec<Vec<u32>> = (0..g as u32)
+            .map(|id| match policy {
+                PolicyKind::RouteCache { .. } => layers::route_chain(&system.layout, id),
+                PolicyKind::Concentric { caching_layers } => {
+                    layers::concentric_chain(&system.layout, caching_layers, id)
+                }
+                PolicyKind::Distributed => layers::nearest_group_peer(&system.layout, id)
+                    .into_iter()
+                    .collect(),
+                PolicyKind::Valkyrie => layers::nearest_neighbor(&system.layout, id)
+                    .into_iter()
+                    .collect(),
+                _ => Vec::new(),
+            })
+            .collect();
+
+        // Build per-GPM state and page tables from the address space.
+        let mut gpms: Vec<GpmState> = (0..g as u32)
+            .map(|_id| {
+                let gc = system.gpm;
+                GpmState {
+                    cus: (0..gc.cus)
+                        .map(|_| CuSlot {
+                            pipeline: CuPipeline::new(gc.max_outstanding_per_cu),
+                            l1_tlb: Tlb::new(gc.l1_tlb),
+                            l1_cache: SetAssocCache::new(gc.l1_cache),
+                        })
+                        .collect(),
+                    l2_tlb: Tlb::new(gc.l2_tlb),
+                    cuckoo: CuckooFilter::with_capacity(gc.cuckoo_capacity),
+                    gmmu_cache: Tlb::new(gc.gmmu_cache),
+                    walkers: WalkerPool::new(gc.gmmu_walkers, gc.gmmu_queue),
+                    page_table: PageTable::new(),
+                    l2_cache: SetAssocCache::new(gc.l2_cache),
+                    hbm: Hbm::new(gc.hbm),
+                    remote_mshr: HashMap::new(),
+                    mshr_stalled: VecDeque::new(),
+                }
+            })
+            .collect();
+
+        let mut global_pt = PageTable::new();
+        for (vpn, home) in space.iter_pages() {
+            let pfn = Pfn(vpn.0); // identity frame mapping
+            global_pt.map(vpn, pfn, home);
+            gpms[home as usize].page_table.map(vpn, pfn, home);
+            gpms[home as usize].cuckoo.insert(vpn.0);
+        }
+
+        let iommu_cfg = system.iommu;
+        let use_tlb = matches!(policy, PolicyKind::Hdpat(h) if h.iommu_tlb_instead);
+        let iommu = IommuState {
+            walkers: WalkerPool::new(iommu_cfg.walkers, iommu_cfg.pw_queue),
+            pre_queue: VecDeque::new(),
+            redirection: RedirectionTable::new(iommu_cfg.redirection_entries),
+            // Same-area TLB: half the entries of the redirection table
+            // (512 vs 1024, §V-E), 4-way, with 32 MSHRs.
+            tlb: use_tlb.then(|| {
+                Tlb::new(TlbConfig {
+                    sets: (iommu_cfg.redirection_entries / 2 / 4).next_power_of_two(),
+                    ways: 4,
+                    latency: 8,
+                    mshrs: 32,
+                })
+            }),
+            // 32 MSHRs at the paper's 1024-entry scale; shrinks with the
+            // table so the blocking behaviour is preserved at reduced scale.
+            // 32 MSHRs x 8 target slots at the paper's 1024-entry scale;
+            // shrinks with the table so the blocking behaviour of Fig 19 is
+            // preserved at reduced scale.
+            tlb_mshr: use_tlb
+                .then(|| Mshr::with_targets((iommu_cfg.redirection_entries / 32).max(8), 8)),
+            tlb_stalled: VecDeque::new(),
+            page_table: global_pt,
+            inflight: HashMap::new(),
+        };
+
+        let mesh = Mesh::new(system.layout.width(), system.layout.height(), system.link);
+        let metrics = Metrics::new(g, TIME_WINDOW);
+
+        let mut sim = Self {
+            cfg: system,
+            policy,
+            space,
+            queue: EventQueue::new(),
+            mesh,
+            gpms,
+            iommu,
+            reqs: Vec::new(),
+            metrics,
+            concentric,
+            chains,
+            last_iommu_vpn: None,
+            migration: None,
+            home_override: HashMap::new(),
+            access_streak: HashMap::new(),
+        };
+
+        // Dispatch workgroups breadth-first (round-robin) across GPMs, the
+        // way GPU runtimes launch blocks across compute dies; pages are
+        // block-partitioned (§II-A), so workgroups and their data generally
+        // land on different GPMs — the source of the wafer-scale
+        // translation pressure of observations O1/O2.
+        let mut next_cu = vec![0u32; g];
+        for (i, wg) in traces.into_iter().enumerate() {
+            if wg.is_empty() {
+                continue;
+            }
+            let gpm = i % g;
+            let cu = next_cu[gpm];
+            next_cu[gpm] = (cu + 1) % sim.cfg.gpm.cus;
+            sim.gpms[gpm].cus[cu as usize].pipeline.push_workgroup(wg);
+        }
+        // Kick every CU.
+        for gpm in 0..g as u32 {
+            for cu in 0..sim.cfg.gpm.cus {
+                sim.queue.push(0, Event::CuIssue { gpm, cu });
+            }
+        }
+        sim
+    }
+
+    /// The active translation policy.
+    pub fn policy(&self) -> PolicyKind {
+        self.policy
+    }
+
+    /// Enables the streak-based page-migration extension (see
+    /// [`crate::migration`]). Composes with any translation policy.
+    pub fn with_migration(mut self, cfg: MigrationConfig) -> Self {
+        self.migration = Some(cfg);
+        self
+    }
+
+    /// The current home GPM of `vpn`: a migrated override if present,
+    /// otherwise the static block placement.
+    pub(crate) fn home_of(&self, vpn: Vpn) -> Option<u32> {
+        self.home_override
+            .get(&vpn)
+            .copied()
+            .or_else(|| self.space.home_gpm(vpn))
+    }
+
+    /// The HDPAT configuration, if the active policy is in the HDPAT family.
+    pub(crate) fn hdpat(&self) -> Option<HdpatConfig> {
+        match self.policy {
+            PolicyKind::Hdpat(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Runs the simulation to completion and returns the collected metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event count explodes past a safety cap (indicating a
+    /// scheduling bug rather than a big workload).
+    pub fn run(mut self) -> Metrics {
+        const EVENT_CAP: u64 = 2_000_000_000;
+        while let Some((t, ev)) = self.queue.pop() {
+            self.dispatch(t, ev);
+            debug_assert!(self.queue.total_popped() < EVENT_CAP, "event explosion");
+        }
+        // All CUs must have drained; anything else is a lost-wakeup bug.
+        for (g, gpm) in self.gpms.iter().enumerate() {
+            for (c, cu) in gpm.cus.iter().enumerate() {
+                if !cu.pipeline.is_drained() {
+                    let stuck: Vec<String> = self
+                        .reqs
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, r)| r.gpm == g as u32 && !r.resolved && r.remote_started.is_some())
+                        .map(|(i, r)| format!("req{i} vpn={} arr={:?} pw={:?} walk={:?} rdf={}", r.vpn, r.iommu_arrived, r.pw_entered, r.walk_started, r.redirect_failed))
+                        .collect();
+                    let parked = gpm.mshr_stalled.len();
+                    let mshr: Vec<String> = gpm.remote_mshr.iter().map(|(v, w)| format!("{v}:{}", w.len())).collect();
+                    panic!(
+                        "CU {c} of GPM {g} stalled with work remaining; parked={parked} mshr={mshr:?} stuck={stuck:?} iommu_busy={} iommu_q={} pre_q={}",
+                        self.iommu.walkers.busy(), self.iommu.walkers.queue_len(), self.iommu.pre_queue.len()
+                    );
+                }
+            }
+        }
+        self.metrics.total_cycles = self.metrics.gpm_finish.iter().copied().max().unwrap_or(0);
+        self.metrics.noc_bytes = self.mesh.total_bytes();
+        self.metrics.noc_hop_bytes = self.mesh.total_hop_bytes();
+        self.metrics.noc_packets = self.mesh.total_packets();
+        self.metrics
+    }
+
+    fn dispatch(&mut self, t: Cycle, ev: Event) {
+        if std::env::var("WSG_TRACE_REQ").is_ok() {
+            let target: u32 = std::env::var("WSG_TRACE_REQ").unwrap().parse().unwrap();
+            let rid = match &ev {
+                Event::GmmuWalkDone { req, .. }
+                | Event::GmmuRetry { req, .. }
+                | Event::ChainProbe { req, .. }
+                | Event::ParallelProbe { req, .. }
+                | Event::IommuArrive { req }
+                | Event::IommuWalkDone { req }
+                | Event::RedirectArrive { req, .. }
+                | Event::XlatResponse { req, .. }
+                | Event::DataAtHome { req, .. }
+                | Event::DataReturn { req, .. }
+                | Event::DataDone { req } => Some(*req),
+                _ => None,
+            };
+            if rid == Some(target) {
+                eprintln!("TRACE t={t} {ev:?}");
+            }
+        }
+        match ev {
+            Event::CuIssue { gpm, cu } => self.on_cu_issue(t, gpm, cu),
+            Event::GmmuWalkDone { gpm, req } => self.on_gmmu_walk_done(t, gpm, req),
+            Event::GmmuRetry { gpm, req } => self.submit_gmmu_walk(t, gpm, req),
+            Event::ChainProbe { req, idx } => self.on_chain_probe(t, req, idx),
+            Event::ParallelProbe {
+                req,
+                target,
+                innermost,
+            } => self.on_parallel_probe(t, req, target, innermost),
+            Event::IommuArrive { req } => self.on_iommu_arrive(t, req),
+            Event::IommuWalkDone { req } => self.on_iommu_walk_done(t, req),
+            Event::RedirectArrive { req, holder } => self.on_redirect_arrive(t, req, holder),
+            Event::PushArrive {
+                gpm,
+                vpn,
+                pfn,
+                prefetched,
+            } => self.on_push_arrive(gpm, vpn, pfn, prefetched),
+            Event::XlatResponse { req, pfn, source } => self.on_xlat_response(t, req, pfn, source),
+            Event::DataAtHome { req, home } => self.on_data_at_home(t, req, home),
+            Event::DataReturn { req, home } => self.on_data_return(t, req, home),
+            Event::DataDone { req } => self.on_data_done(t, req),
+        }
+    }
+
+    /// Sends `ev` as a packet of `bytes` from tile `from` to tile `to`,
+    /// scheduling it at the mesh-computed arrival time.
+    pub(crate) fn send(&mut self, from: Coord, to: Coord, bytes: u64, depart: Cycle, ev: Event) {
+        let out = self.mesh.send(from, to, bytes, depart);
+        self.queue.push(out.arrival, ev);
+    }
+
+    /// The tile of GPM `id`.
+    pub(crate) fn gpm_coord(&self, id: u32) -> Coord {
+        self.cfg.layout.coord_of(id)
+    }
+
+    /// The CPU tile (IOMMU location).
+    pub(crate) fn cpu(&self) -> Coord {
+        self.cfg.layout.cpu()
+    }
+
+    fn on_cu_issue(&mut self, t: Cycle, gpm: u32, cu: u32) {
+        let slot = &mut self.gpms[gpm as usize].cus[cu as usize];
+        let Some((issue_at, _)) = slot.pipeline.next_issue(t) else {
+            return;
+        };
+        let op = slot.pipeline.issue(issue_at);
+        let vpn = self.cfg.page_size.vpn_of(op.vaddr);
+        let req = self.reqs.len() as ReqId;
+        self.reqs.push(Request {
+            gpm,
+            cu,
+            op,
+            vpn,
+            remote_started: None,
+            iommu_arrived: None,
+            pw_entered: None,
+            walk_started: None,
+            chain: Vec::new(),
+            probed: Vec::new(),
+            redirect_failed: false,
+            resolved: false,
+        });
+        self.start_translation(issue_at, req);
+        // Chain the next issue: gaps accumulate from this issue time.
+        self.queue.push(issue_at, Event::CuIssue { gpm, cu });
+    }
+
+    fn on_data_done(&mut self, t: Cycle, req: ReqId) {
+        let r = &self.reqs[req as usize];
+        let (g, c) = (r.gpm, r.cu);
+        self.gpms[g as usize].cus[c as usize]
+            .pipeline
+            .complete_at(t);
+        self.metrics.ops_completed += 1;
+        let f = &mut self.metrics.gpm_finish[g as usize];
+        *f = (*f).max(t);
+        self.queue.push(t, Event::CuIssue { gpm: g, cu: c });
+    }
+}

@@ -1,0 +1,210 @@
+//! White-box behavioural tests of the translation policies, driven by
+//! hand-crafted traces so each mechanism can be observed in isolation.
+//!
+//! Workgroup `i` runs on GPM `i mod 48`; pages are block-partitioned, so a
+//! buffer page's home is known in advance and traces can target local or
+//! remote pages deliberately.
+
+use hdpat::policy::{HdpatConfig, PolicyKind};
+use hdpat::{Metrics, Simulation};
+use wsg_gpu::{AddressSpace, MemoryOp, SystemConfig, WorkgroupTrace};
+use wsg_xlat::Vpn;
+
+/// Builds a 48-GPM system with one workgroup per GPM; `ops_for(gpm)` gives
+/// each workgroup's trace.
+fn run_crafted(
+    policy: PolicyKind,
+    pages: u64,
+    ops_for: impl Fn(u32, &AddressSpace, &wsg_gpu::Buffer) -> Vec<MemoryOp>,
+) -> Metrics {
+    let system = SystemConfig::paper_baseline();
+    let gpms = system.gpm_count() as u32;
+    let mut space = AddressSpace::new(system.page_size, gpms);
+    let buf = space.alloc("crafted", pages);
+    let traces: Vec<WorkgroupTrace> = (0..gpms)
+        .map(|g| WorkgroupTrace::new(ops_for(g, &space, &buf)))
+        .collect();
+    Simulation::with_traces(system, policy, space, traces).run()
+}
+
+/// Page `p` of a 48-page buffer lives on GPM `p` (one page per GPM chunk).
+fn page_addr(space: &AddressSpace, buf: &wsg_gpu::Buffer, page: u64) -> u64 {
+    space.page_size().base_of(Vpn(buf.base_vpn.0 + page))
+}
+
+#[test]
+fn local_accesses_never_reach_the_iommu() {
+    // Every GPM touches only its own page.
+    let m = run_crafted(PolicyKind::Naive, 48, |g, space, buf| {
+        (0..8)
+            .map(|i| MemoryOp::read(page_addr(space, buf, g as u64) + i * 64, 4))
+            .collect()
+    });
+    assert_eq!(m.remote_requests, 0);
+    assert_eq!(m.iommu_walks, 0);
+    assert!(m.local_translations > 0);
+}
+
+#[test]
+fn remote_accesses_walk_at_the_iommu_under_naive() {
+    // Every GPM touches its right neighbour's page: all remote.
+    let m = run_crafted(PolicyKind::Naive, 48, |g, space, buf| {
+        let target = (g as u64 + 1) % 48;
+        vec![MemoryOp::read(page_addr(space, buf, target), 4)]
+    });
+    assert_eq!(m.remote_requests, 48);
+    assert_eq!(m.iommu_walks, 48, "no coalescing under naive");
+    assert_eq!(m.resolution.value("iommu"), 48);
+}
+
+#[test]
+fn gpm_mshr_coalesces_same_page_requests() {
+    // One GPM issues many ops to the same remote page: one primary, the
+    // rest coalesce.
+    let m = run_crafted(PolicyKind::Naive, 48, |g, space, buf| {
+        if g == 0 {
+            (0..6)
+                .map(|i| MemoryOp::read(page_addr(space, buf, 5) + i * 64, 0))
+                .collect()
+        } else {
+            vec![MemoryOp::read(page_addr(space, buf, g as u64), 4)]
+        }
+    });
+    assert_eq!(m.remote_requests, 1, "one primary from GPM 0");
+    assert_eq!(m.remote_coalesced, 5, "five waiters merged");
+}
+
+#[test]
+fn hdpat_pushes_hot_ptes_and_serves_peers() {
+    // All 48 GPMs hammer page 0 (home: GPM 0) with long gap spreads so
+    // later requests find pushed copies.
+    let m = run_crafted(PolicyKind::hdpat(), 48, |g, space, buf| {
+        (0..8)
+            .map(|i| {
+                let gap = (g as u64) * 40 + i * 500;
+                MemoryOp {
+                    vaddr: page_addr(space, buf, 0),
+                    is_read: true,
+                    gap,
+                }
+            })
+            .collect()
+    });
+    assert!(m.ptes_pushed > 0, "hot page must be pushed to layers");
+    let offloaded = m.resolution.value("peer-cache")
+        + m.resolution.value("redirection")
+        + m.resolution.value("proactive");
+    assert!(offloaded > 0, "some requests must resolve off the IOMMU");
+}
+
+#[test]
+fn prefetch_installs_sequential_neighbours() {
+    // GPM 1 streams pages 10..14 (homes 10..14, all remote) sequentially;
+    // proactive delivery should be issued for the successors.
+    let m = run_crafted(PolicyKind::hdpat(), 48, |g, space, buf| {
+        if g == 1 {
+            (0..4)
+                .map(|i| MemoryOp {
+                    vaddr: page_addr(space, buf, 10 + i),
+                    is_read: true,
+                    gap: 2000, // give walks time to finish between touches
+                })
+                .collect()
+        } else {
+            vec![MemoryOp::read(page_addr(space, buf, g as u64), 4)]
+        }
+    });
+    assert!(
+        m.prefetches_issued > 0,
+        "sequential walk stream must trigger proactive delivery"
+    );
+}
+
+#[test]
+fn barre_coalesces_in_the_pw_queue() {
+    // Many GPMs request the same page nearly simultaneously: under Barre a
+    // finishing walk completes the identical queued requests.
+    let m = run_crafted(PolicyKind::Barre, 48, |_, space, buf| {
+        vec![MemoryOp::read(page_addr(space, buf, 7), 0)]
+    });
+    assert!(
+        m.iommu_walks < 48,
+        "revisit must cut duplicate walks: {}",
+        m.iommu_walks
+    );
+    assert!(m.iommu_coalesced > 0);
+}
+
+#[test]
+fn cuckoo_false_positive_path_is_rare_but_counted() {
+    // A large random-ish remote workload: false positives are possible but
+    // must stay below the filter's design rate by a wide margin.
+    let m = run_crafted(PolicyKind::Naive, 48, |g, space, buf| {
+        (0..16)
+            .map(|i| MemoryOp::read(page_addr(space, buf, (g as u64 * 7 + i * 13) % 48), 2))
+            .collect()
+    });
+    let total = m.local_translations + m.remote_requests + m.remote_coalesced;
+    assert!(
+        (m.cuckoo_false_positives as f64) < 0.01 * total as f64,
+        "false positives {} of {total}",
+        m.cuckoo_false_positives
+    );
+}
+
+#[test]
+fn redirection_serves_repeat_requests_without_walks() {
+    // Phase 1: GPM 0 touches page 20 twice (beyond push threshold).
+    // Phase 2 (much later): GPMs 2..10 request the same page; the
+    // redirection table should forward them to the holder.
+    let m = run_crafted(
+        PolicyKind::Hdpat(HdpatConfig::with_redirection_only()),
+        48,
+        |g, space, buf| {
+            let addr = page_addr(space, buf, 20);
+            match g {
+                0 => vec![MemoryOp::read(addr, 0)],
+                1 => vec![MemoryOp::read(addr, 3000)],
+                2..=10 => vec![MemoryOp::read(addr, 20_000 + g as u64 * 1500)],
+                _ => vec![MemoryOp::read(page_addr(space, buf, g as u64), 4)],
+            }
+        },
+    );
+    let served_off_iommu =
+        m.resolution.value("redirection") + m.resolution.value("peer-cache");
+    assert!(
+        served_off_iommu > 0,
+        "late repeats must be redirected: {}",
+        m.resolution
+    );
+    assert!(m.iommu_walks < 11, "walks: {}", m.iommu_walks);
+}
+
+#[test]
+fn trans_fw_piggybacks_on_running_walks() {
+    let m = run_crafted(PolicyKind::TransFw, 48, |_, space, buf| {
+        vec![MemoryOp::read(page_addr(space, buf, 3), 0)]
+    });
+    assert!(
+        m.iommu_coalesced > 0,
+        "simultaneous same-page requests must piggyback"
+    );
+    assert!(m.iommu_walks < 48);
+}
+
+#[test]
+fn every_policy_is_work_conserving_on_crafted_traces() {
+    for p in [
+        PolicyKind::Naive,
+        PolicyKind::Distributed,
+        PolicyKind::Valkyrie,
+        PolicyKind::hdpat(),
+    ] {
+        let m = run_crafted(p, 48, |g, space, buf| {
+            (0..4)
+                .map(|i| MemoryOp::read(page_addr(space, buf, (g as u64 + i) % 48) + i * 64, 3))
+                .collect()
+        });
+        assert_eq!(m.ops_completed, 48 * 4, "{p} lost ops");
+    }
+}

@@ -1,0 +1,91 @@
+//! Tests for the hardware-capacity scaling that keeps reduced-scale runs
+//! faithful to the paper's working-set-to-capacity ratios (DESIGN.md §6).
+
+use hdpat::experiments::{hardware_divisor, scale_hardware};
+use wsg_gpu::SystemConfig;
+use wsg_workloads::Scale;
+
+#[test]
+fn divisor_matches_scale() {
+    assert_eq!(hardware_divisor(Scale::Full), 1);
+    assert_eq!(hardware_divisor(Scale::Bench), 64);
+    assert_eq!(hardware_divisor(Scale::Unit), 256);
+}
+
+#[test]
+fn full_scale_is_untouched() {
+    let reference = SystemConfig::paper_baseline();
+    let mut scaled = SystemConfig::paper_baseline();
+    scale_hardware(&mut scaled, 1);
+    assert_eq!(scaled.gpm.l2_tlb.entries(), reference.gpm.l2_tlb.entries());
+    assert_eq!(
+        scaled.iommu.redirection_entries,
+        reference.iommu.redirection_entries
+    );
+    assert_eq!(scaled.gpm.l2_cache.sets, reference.gpm.l2_cache.sets);
+}
+
+#[test]
+fn capacities_shrink_but_timing_does_not() {
+    let reference = SystemConfig::paper_baseline();
+    let mut scaled = SystemConfig::paper_baseline();
+    scale_hardware(&mut scaled, 64);
+
+    // Capacities shrink.
+    assert!(scaled.gpm.l2_tlb.entries() < reference.gpm.l2_tlb.entries());
+    assert!(scaled.gpm.gmmu_cache.entries() < reference.gpm.gmmu_cache.entries());
+    assert!(scaled.gpm.cuckoo_capacity < reference.gpm.cuckoo_capacity);
+    assert!(scaled.gpm.l2_cache.lines() < reference.gpm.l2_cache.lines());
+    assert!(scaled.iommu.redirection_entries < reference.iommu.redirection_entries);
+    assert!(scaled.iommu.pw_queue < reference.iommu.pw_queue);
+
+    // Timing and concurrency structure stay at Table I values.
+    assert_eq!(scaled.gpm.walk_latency, reference.gpm.walk_latency);
+    assert_eq!(scaled.gpm.gmmu_walkers, reference.gpm.gmmu_walkers);
+    assert_eq!(scaled.iommu.walkers, reference.iommu.walkers);
+    assert_eq!(scaled.iommu.walk_latency, reference.iommu.walk_latency);
+    assert_eq!(scaled.link, reference.link);
+    assert_eq!(scaled.gpm.hbm.bytes_per_cycle, reference.gpm.hbm.bytes_per_cycle);
+    assert_eq!(scaled.gpm.l1_tlb.latency, reference.gpm.l1_tlb.latency);
+    assert_eq!(scaled.gpm.l2_tlb.latency, reference.gpm.l2_tlb.latency);
+}
+
+#[test]
+fn floors_keep_structures_usable() {
+    let mut scaled = SystemConfig::paper_baseline();
+    scale_hardware(&mut scaled, 1_000_000); // absurd divisor
+    assert!(scaled.gpm.l2_tlb.entries() >= 1);
+    assert!(scaled.gpm.gmmu_cache.entries() >= 4);
+    assert!(scaled.gpm.cuckoo_capacity >= 256);
+    assert!(scaled.iommu.redirection_entries >= 16);
+    assert!(scaled.iommu.pw_queue >= 8);
+    assert!(scaled.gpm.l2_cache.sets >= 16);
+    // Sets must remain powers of two for the cache/TLB constructors.
+    assert!(scaled.gpm.l2_tlb.sets.is_power_of_two());
+    assert!(scaled.gpm.l2_cache.sets.is_power_of_two());
+}
+
+#[test]
+fn scaling_is_monotone_in_the_divisor() {
+    let mut d64 = SystemConfig::paper_baseline();
+    scale_hardware(&mut d64, 64);
+    let mut d256 = SystemConfig::paper_baseline();
+    scale_hardware(&mut d256, 256);
+    assert!(d256.gpm.l2_tlb.entries() <= d64.gpm.l2_tlb.entries());
+    assert!(d256.gpm.l2_cache.lines() <= d64.gpm.l2_cache.lines());
+    assert!(d256.iommu.redirection_entries <= d64.iommu.redirection_entries);
+}
+
+#[test]
+fn scaled_configs_still_simulate() {
+    use hdpat::experiments::{run, RunConfig};
+    use hdpat::policy::PolicyKind;
+    use wsg_workloads::BenchmarkId;
+    // The scaled configuration must produce a working system end to end.
+    let m = run(&RunConfig::new(
+        BenchmarkId::Km,
+        Scale::Unit,
+        PolicyKind::hdpat(),
+    ));
+    assert!(m.ops_completed > 0);
+}

@@ -1,0 +1,364 @@
+//! System configuration: every Table I parameter plus the GPU presets of
+//! Fig 21.
+
+use wsg_mem::{CacheConfig, HbmConfig};
+use wsg_noc::LinkParams;
+use wsg_sim::Cycle;
+use wsg_xlat::{PageSize, TlbConfig};
+
+use crate::wafer::WaferLayout;
+
+/// Per-GPM hardware configuration (Table I).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpmConfig {
+    /// Compute units per GPM (32 at 1 GHz in the baseline).
+    pub cus: u32,
+    /// Memory operations a CU keeps in flight concurrently.
+    pub max_outstanding_per_cu: usize,
+    /// L1 TLB (per CU group): 1-set, 32-way, 4-cycle, 4-MSHR.
+    pub l1_tlb: TlbConfig,
+    /// Shared L2 TLB: 64-set, 32-way, 32-cycle, 32-MSHR.
+    pub l2_tlb: TlbConfig,
+    /// GMMU cache (the last-level TLB): 64-set, 16-way.
+    pub gmmu_cache: TlbConfig,
+    /// Capacity of the cuckoo filter guarding the local translation path.
+    pub cuckoo_capacity: usize,
+    /// Shared page-table walkers in the GMMU (8).
+    pub gmmu_walkers: usize,
+    /// GMMU PW-queue capacity.
+    pub gmmu_queue: usize,
+    /// Full page-walk latency: 100 cycles × 5 levels = 500 cycles.
+    pub walk_latency: Cycle,
+    /// Per-CU L1 vector cache (16 KB, 4-way).
+    pub l1_cache: CacheConfig,
+    /// Shared L2 cache (4 MB, 16-way).
+    pub l2_cache: CacheConfig,
+    /// HBM stack attached to this GPM.
+    pub hbm: HbmConfig,
+}
+
+impl GpmConfig {
+    /// The MI100-derived baseline of Table I.
+    pub fn paper_baseline() -> Self {
+        Self {
+            cus: 32,
+            max_outstanding_per_cu: 8,
+            l1_tlb: TlbConfig::paper_l1(),
+            l2_tlb: TlbConfig::paper_l2(),
+            gmmu_cache: TlbConfig::paper_gmmu_cache(),
+            cuckoo_capacity: 64 * 1024,
+            gmmu_walkers: 8,
+            gmmu_queue: 32,
+            walk_latency: 500,
+            l1_cache: CacheConfig {
+                sets: 64, // 16 KB / (4 ways × 64 B)
+                ways: 4,
+                line_bytes: 64,
+                hit_latency: 4,
+            },
+            l2_cache: CacheConfig {
+                sets: 4096, // 4 MB / (16 ways × 64 B)
+                ways: 16,
+                line_bytes: 64,
+                hit_latency: 32,
+            },
+            hbm: HbmConfig::paper_baseline(),
+        }
+    }
+}
+
+impl Default for GpmConfig {
+    fn default() -> Self {
+        Self::paper_baseline()
+    }
+}
+
+/// IOMMU configuration (Table I): the host MMU at the CPU tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IommuConfig {
+    /// Shared page-table walkers (16).
+    pub walkers: usize,
+    /// Full walk latency: 100 × 5 levels = 500 cycles.
+    pub walk_latency: Cycle,
+    /// Internal PW-queue capacity feeding the walkers.
+    pub pw_queue: usize,
+    /// Input (pre-queue) buffer capacity; 4096 in the Fig 4 experiment.
+    pub pre_queue: usize,
+    /// Redirection-table entries (1024, Table I) — used only by policies
+    /// that enable redirection.
+    pub redirection_entries: usize,
+}
+
+impl IommuConfig {
+    /// Table I values.
+    pub fn paper_baseline() -> Self {
+        Self {
+            walkers: 16,
+            walk_latency: 500,
+            pw_queue: 64,
+            pre_queue: 4096,
+            redirection_entries: 1024,
+        }
+    }
+
+    /// The idealized low-latency IOMMU of Fig 2: 1-cycle walks, 16 walkers.
+    pub fn ideal_latency() -> Self {
+        Self {
+            walk_latency: 1,
+            ..Self::paper_baseline()
+        }
+    }
+
+    /// The idealized high-parallelism IOMMU of Fig 2: 500-cycle walks,
+    /// 4096 walkers.
+    pub fn ideal_parallelism() -> Self {
+        Self {
+            walkers: 4096,
+            pw_queue: 8192,
+            ..Self::paper_baseline()
+        }
+    }
+}
+
+impl Default for IommuConfig {
+    fn default() -> Self {
+        Self::paper_baseline()
+    }
+}
+
+/// Commercial GPU configurations evaluated in Fig 21. Each GPM models one
+/// quarter of the named GPU's memory storage system (the paper's scaling
+/// rule), with translation hardware held constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GpuPreset {
+    /// AMD MI100 (the Table I baseline).
+    Mi100,
+    /// AMD MI200-class (MI250X): more CUs, HBM2e.
+    Mi200,
+    /// AMD MI300-class: more CUs, larger LLC slice, HBM3.
+    Mi300,
+    /// NVIDIA H100: 256 KB L1 per CU, 50 MB L2, HBM2e.
+    H100,
+    /// NVIDIA H200: H100 compute with HBM3e bandwidth.
+    H200,
+}
+
+impl GpuPreset {
+    /// All presets in Fig 21 order.
+    pub fn all() -> [GpuPreset; 5] {
+        [
+            GpuPreset::Mi100,
+            GpuPreset::Mi200,
+            GpuPreset::Mi300,
+            GpuPreset::H100,
+            GpuPreset::H200,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GpuPreset::Mi100 => "MI100",
+            GpuPreset::Mi200 => "MI200",
+            GpuPreset::Mi300 => "MI300",
+            GpuPreset::H100 => "H100",
+            GpuPreset::H200 => "H200",
+        }
+    }
+
+    /// The per-GPM configuration for this preset.
+    pub fn gpm_config(self) -> GpmConfig {
+        let base = GpmConfig::paper_baseline();
+        match self {
+            GpuPreset::Mi100 => base,
+            GpuPreset::Mi200 => GpmConfig {
+                cus: 56, // 220 CUs / 4
+                l2_cache: CacheConfig {
+                    sets: 4096,
+                    ways: 16,
+                    line_bytes: 64,
+                    hit_latency: 32,
+                }, // 4 MB slice
+                hbm: HbmConfig {
+                    bytes_per_cycle: 3200.0, // 3.2 TB/s
+                    ..HbmConfig::paper_baseline()
+                },
+                ..base
+            },
+            GpuPreset::Mi300 => GpmConfig {
+                cus: 76, // 304 CUs / 4
+                l2_cache: CacheConfig {
+                    sets: 16384, // 16 MB slice
+                    ways: 16,
+                    line_bytes: 64,
+                    hit_latency: 40,
+                },
+                hbm: HbmConfig {
+                    bytes_per_cycle: 5300.0, // 5.3 TB/s HBM3
+                    ..HbmConfig::paper_baseline()
+                },
+                ..base
+            },
+            GpuPreset::H100 => GpmConfig {
+                cus: 33, // 132 SMs / 4
+                l1_cache: CacheConfig {
+                    sets: 1024, // 256 KB per CU
+                    ways: 4,
+                    line_bytes: 64,
+                    hit_latency: 4,
+                },
+                l2_cache: CacheConfig {
+                    sets: 8192, // 12.5 MB slice rounded to 8 MB (power of two sets)
+                    ways: 16,
+                    line_bytes: 64,
+                    hit_latency: 40,
+                },
+                hbm: HbmConfig {
+                    bytes_per_cycle: 2000.0, // 2.0 TB/s HBM2e
+                    ..HbmConfig::paper_baseline()
+                },
+                ..base
+            },
+            GpuPreset::H200 => GpmConfig {
+                cus: 33,
+                l1_cache: CacheConfig {
+                    sets: 1024,
+                    ways: 4,
+                    line_bytes: 64,
+                    hit_latency: 4,
+                },
+                l2_cache: CacheConfig {
+                    sets: 8192,
+                    ways: 16,
+                    line_bytes: 64,
+                    hit_latency: 40,
+                },
+                hbm: HbmConfig {
+                    bytes_per_cycle: 4800.0, // 4.8 TB/s HBM3e
+                    ..HbmConfig::paper_baseline()
+                },
+                ..base
+            },
+        }
+    }
+}
+
+/// The full wafer-scale system configuration.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Tile arrangement.
+    pub layout: WaferLayout,
+    /// Per-GPM hardware.
+    pub gpm: GpmConfig,
+    /// Central IOMMU.
+    pub iommu: IommuConfig,
+    /// System page size (4 KB baseline; Fig 20 sweeps it).
+    pub page_size: PageSize,
+    /// Mesh link parameters.
+    pub link: LinkParams,
+    /// Translation request packet size in bytes.
+    pub xlat_req_bytes: u64,
+    /// Translation response / PTE push packet size in bytes.
+    pub xlat_resp_bytes: u64,
+    /// Data packet (cacheline) size in bytes.
+    pub data_bytes: u64,
+}
+
+impl SystemConfig {
+    /// The paper's baseline: 7×7 wafer, MI100-derived GPMs, 4 KB pages.
+    pub fn paper_baseline() -> Self {
+        Self {
+            layout: WaferLayout::paper_7x7(),
+            gpm: GpmConfig::paper_baseline(),
+            iommu: IommuConfig::paper_baseline(),
+            page_size: PageSize::Size4K,
+            link: LinkParams::paper_baseline(),
+            xlat_req_bytes: 32,
+            xlat_resp_bytes: 32,
+            data_bytes: 64,
+        }
+    }
+
+    /// Baseline with a different GPU preset (Fig 21).
+    pub fn with_preset(preset: GpuPreset) -> Self {
+        Self {
+            gpm: preset.gpm_config(),
+            ..Self::paper_baseline()
+        }
+    }
+
+    /// Number of GPMs on the wafer.
+    pub fn gpm_count(&self) -> usize {
+        self.layout.gpm_count()
+    }
+
+    /// Total CU count across the wafer.
+    pub fn total_cus(&self) -> u32 {
+        self.gpm.cus * self.gpm_count() as u32
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::paper_baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table1() {
+        let cfg = SystemConfig::paper_baseline();
+        assert_eq!(cfg.gpm.cus, 32);
+        assert_eq!(cfg.gpm.gmmu_walkers, 8);
+        assert_eq!(cfg.gpm.walk_latency, 500);
+        assert_eq!(cfg.iommu.walkers, 16);
+        assert_eq!(cfg.iommu.walk_latency, 500);
+        assert_eq!(cfg.iommu.redirection_entries, 1024);
+        assert_eq!(cfg.link.latency, 32);
+        assert_eq!(cfg.page_size.bytes(), 4096);
+        assert_eq!(cfg.total_cus(), 1536, "48 GPMs x 32 CUs");
+    }
+
+    #[test]
+    fn baseline_l2_cache_is_4mb() {
+        let cfg = GpmConfig::paper_baseline();
+        assert_eq!(cfg.l2_cache.capacity_bytes(), 4 << 20);
+        assert_eq!(cfg.l1_cache.capacity_bytes(), 16 << 10);
+    }
+
+    #[test]
+    fn ideal_iommu_configs() {
+        assert_eq!(IommuConfig::ideal_latency().walk_latency, 1);
+        assert_eq!(IommuConfig::ideal_latency().walkers, 16);
+        assert_eq!(IommuConfig::ideal_parallelism().walkers, 4096);
+        assert_eq!(IommuConfig::ideal_parallelism().walk_latency, 500);
+    }
+
+    #[test]
+    fn presets_are_distinct_and_ordered_by_bandwidth() {
+        let bw = |p: GpuPreset| p.gpm_config().hbm.bytes_per_cycle;
+        assert!(bw(GpuPreset::Mi100) < bw(GpuPreset::Mi200));
+        assert!(bw(GpuPreset::Mi200) < bw(GpuPreset::Mi300));
+        assert!(bw(GpuPreset::H100) < bw(GpuPreset::H200));
+    }
+
+    #[test]
+    fn nvidia_presets_have_large_l1() {
+        let h100 = GpuPreset::H100.gpm_config();
+        assert_eq!(h100.l1_cache.capacity_bytes(), 256 << 10);
+        let mi = GpuPreset::Mi100.gpm_config();
+        assert!(h100.l1_cache.capacity_bytes() > mi.l1_cache.capacity_bytes());
+    }
+
+    #[test]
+    fn all_presets_produce_valid_configs() {
+        for p in GpuPreset::all() {
+            let cfg = p.gpm_config();
+            assert!(cfg.cus > 0, "{}", p.name());
+            assert!(cfg.hbm.bytes_per_cycle > 0.0);
+        }
+    }
+}

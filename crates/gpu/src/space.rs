@@ -1,0 +1,241 @@
+//! Virtual address space and page placement.
+
+use wsg_xlat::{PageSize, Vpn};
+
+/// One allocated buffer in the flat virtual address space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Buffer {
+    /// Human-readable name ("matrix_a", "edges", …).
+    pub name: String,
+    /// First VPN of the buffer.
+    pub base_vpn: Vpn,
+    /// Length in pages.
+    pub pages: u64,
+}
+
+impl Buffer {
+    /// First byte address of the buffer under `ps`.
+    pub fn base_addr(&self, ps: PageSize) -> u64 {
+        ps.base_of(self.base_vpn)
+    }
+
+    /// Byte length of the buffer under `ps`.
+    pub fn len_bytes(&self, ps: PageSize) -> u64 {
+        self.pages * ps.bytes()
+    }
+
+    /// Byte address at `offset` bytes into the buffer.
+    pub fn addr(&self, ps: PageSize, offset: u64) -> u64 {
+        debug_assert!(offset < self.len_bytes(ps), "offset beyond buffer");
+        self.base_addr(ps) + offset
+    }
+
+    /// Whether `vpn` belongs to this buffer.
+    pub fn contains(&self, vpn: Vpn) -> bool {
+        vpn >= self.base_vpn && vpn.0 < self.base_vpn.0 + self.pages
+    }
+}
+
+/// A flat virtual address space with block-partitioned page placement.
+///
+/// Following §II-A, every buffer's pages are distributed across the GPMs in
+/// equal contiguous chunks: "a memory allocation request for 480 pages
+/// results in pages 1–10 assigned to GPM 1, pages 11–20 to GPM 2, and so
+/// forth". The home GPM of a page determines which HBM holds its data and
+/// which local page table maps it.
+///
+/// # Example
+///
+/// ```
+/// use wsg_gpu::AddressSpace;
+/// use wsg_xlat::{PageSize, Vpn};
+///
+/// let mut space = AddressSpace::new(PageSize::Size4K, 4);
+/// let buf = space.alloc("input", 8); // 8 pages over 4 GPMs: 2 pages each
+/// assert_eq!(space.home_gpm(buf.base_vpn), Some(0));
+/// assert_eq!(space.home_gpm(Vpn(buf.base_vpn.0 + 7)), Some(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    page_size: PageSize,
+    gpms: u32,
+    buffers: Vec<Buffer>,
+    next_vpn: u64,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space over `gpms` GPMs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpms` is zero.
+    pub fn new(page_size: PageSize, gpms: u32) -> Self {
+        assert!(gpms > 0, "need at least one GPM");
+        Self {
+            page_size,
+            gpms,
+            buffers: Vec::new(),
+            next_vpn: 1, // VPN 0 reserved (null page)
+        }
+    }
+
+    /// The system page size.
+    pub fn page_size(&self) -> PageSize {
+        self.page_size
+    }
+
+    /// Number of GPMs pages are distributed over.
+    pub fn gpm_count(&self) -> u32 {
+        self.gpms
+    }
+
+    /// Allocates a buffer of `pages` pages and returns it.
+    ///
+    /// Buffers are laid out sequentially with one guard page between them,
+    /// so adjacent buffers never share a page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` is zero.
+    pub fn alloc(&mut self, name: &str, pages: u64) -> Buffer {
+        assert!(pages > 0, "cannot allocate an empty buffer");
+        let buf = Buffer {
+            name: name.to_owned(),
+            base_vpn: Vpn(self.next_vpn),
+            pages,
+        };
+        self.next_vpn += pages + 1;
+        self.buffers.push(buf.clone());
+        buf
+    }
+
+    /// The buffer containing `vpn`, if any.
+    pub fn buffer_of(&self, vpn: Vpn) -> Option<&Buffer> {
+        self.buffers.iter().find(|b| b.contains(vpn))
+    }
+
+    /// The home GPM of `vpn` under block partitioning, or `None` for
+    /// unmapped pages.
+    ///
+    /// Each buffer is split into `gpms` contiguous chunks of
+    /// `ceil(pages / gpms)` pages; chunk `i` lives on GPM `i`. Buffers
+    /// smaller than the GPM count occupy only the first GPMs, as in the
+    /// paper's example.
+    pub fn home_gpm(&self, vpn: Vpn) -> Option<u32> {
+        let buf = self.buffer_of(vpn)?;
+        let offset = vpn.0 - buf.base_vpn.0;
+        let chunk = buf.pages.div_ceil(self.gpms as u64).max(1);
+        Some(((offset / chunk) as u32).min(self.gpms - 1))
+    }
+
+    /// Iterates over all allocated buffers.
+    pub fn buffers(&self) -> impl Iterator<Item = &Buffer> {
+        self.buffers.iter()
+    }
+
+    /// Total allocated pages across all buffers.
+    pub fn total_pages(&self) -> u64 {
+        self.buffers.iter().map(|b| b.pages).sum()
+    }
+
+    /// Iterates every mapped VPN with its home GPM (used to build page
+    /// tables).
+    pub fn iter_pages(&self) -> impl Iterator<Item = (Vpn, u32)> + '_ {
+        self.buffers.iter().flat_map(move |b| {
+            (0..b.pages).map(move |i| {
+                let vpn = Vpn(b.base_vpn.0 + i);
+                let home = self.home_gpm(vpn).expect("page is in a buffer");
+                (vpn, home)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at least one GPM")]
+    fn zero_gpms_rejected() {
+        AddressSpace::new(PageSize::Size4K, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty buffer")]
+    fn empty_alloc_rejected() {
+        AddressSpace::new(PageSize::Size4K, 1).alloc("x", 0);
+    }
+
+    #[test]
+    fn paper_example_480_pages_over_48_gpms() {
+        let mut s = AddressSpace::new(PageSize::Size4K, 48);
+        let b = s.alloc("a", 480);
+        // Pages 0-9 (paper's 1-10) on GPM 0, 10-19 on GPM 1, etc.
+        assert_eq!(s.home_gpm(b.base_vpn), Some(0));
+        assert_eq!(s.home_gpm(Vpn(b.base_vpn.0 + 9)), Some(0));
+        assert_eq!(s.home_gpm(Vpn(b.base_vpn.0 + 10)), Some(1));
+        assert_eq!(s.home_gpm(Vpn(b.base_vpn.0 + 479)), Some(47));
+    }
+
+    #[test]
+    fn small_buffers_use_leading_gpms() {
+        let mut s = AddressSpace::new(PageSize::Size4K, 48);
+        let b = s.alloc("small", 3);
+        assert_eq!(s.home_gpm(b.base_vpn), Some(0));
+        assert_eq!(s.home_gpm(Vpn(b.base_vpn.0 + 2)), Some(2));
+    }
+
+    #[test]
+    fn buffers_do_not_overlap() {
+        let mut s = AddressSpace::new(PageSize::Size4K, 4);
+        let a = s.alloc("a", 10);
+        let b = s.alloc("b", 10);
+        assert!(a.base_vpn.0 + a.pages <= b.base_vpn.0);
+        assert!(s.buffer_of(Vpn(a.base_vpn.0 + a.pages)).is_none(), "guard page");
+    }
+
+    #[test]
+    fn unmapped_vpn_has_no_home() {
+        let s = AddressSpace::new(PageSize::Size4K, 4);
+        assert_eq!(s.home_gpm(Vpn(12345)), None);
+        assert_eq!(s.home_gpm(Vpn(0)), None, "null page unmapped");
+    }
+
+    #[test]
+    fn iter_pages_covers_everything() {
+        let mut s = AddressSpace::new(PageSize::Size4K, 4);
+        s.alloc("a", 7);
+        s.alloc("b", 5);
+        let pages: Vec<_> = s.iter_pages().collect();
+        assert_eq!(pages.len(), 12);
+        assert_eq!(s.total_pages(), 12);
+        for (vpn, home) in pages {
+            assert_eq!(s.home_gpm(vpn), Some(home));
+            assert!(home < 4);
+        }
+    }
+
+    #[test]
+    fn buffer_addressing() {
+        let mut s = AddressSpace::new(PageSize::Size4K, 2);
+        let b = s.alloc("buf", 2);
+        assert_eq!(b.len_bytes(PageSize::Size4K), 8192);
+        assert_eq!(b.addr(PageSize::Size4K, 0), b.base_addr(PageSize::Size4K));
+        assert_eq!(
+            b.addr(PageSize::Size4K, 4096),
+            b.base_addr(PageSize::Size4K) + 4096
+        );
+    }
+
+    #[test]
+    fn home_distribution_is_balanced_for_divisible_sizes() {
+        let mut s = AddressSpace::new(PageSize::Size4K, 8);
+        let b = s.alloc("big", 800);
+        let mut counts = [0u64; 8];
+        for i in 0..b.pages {
+            counts[s.home_gpm(Vpn(b.base_vpn.0 + i)).unwrap() as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 100));
+    }
+}

@@ -1,0 +1,236 @@
+//! Wafer geometry: tiles, GPM ids, and concentric layers.
+
+use wsg_noc::geometry::ring_tiles;
+use wsg_noc::Coord;
+
+/// The tile arrangement of a wafer-scale GPU.
+///
+/// One tile hosts the CPU (and its IOMMU); every other tile is a GPM. GPMs
+/// are numbered row-major, skipping the CPU tile, so a 7×7 wafer has GPMs
+/// 0..48.
+///
+/// # Example
+///
+/// ```
+/// use wsg_gpu::WaferLayout;
+///
+/// let w = WaferLayout::paper_7x7();
+/// assert_eq!(w.gpm_count(), 48);
+/// assert_eq!(w.cpu(), wsg_noc::Coord::new(3, 3));
+/// let c = w.coord_of(0);
+/// assert_eq!(w.id_of(c), Some(0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaferLayout {
+    width: u16,
+    height: u16,
+    cpu: Coord,
+    coords: Vec<Coord>,
+}
+
+impl WaferLayout {
+    /// Creates a `width × height` wafer with the CPU at `cpu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wafer has fewer than 2 tiles or `cpu` is out of bounds.
+    pub fn new(width: u16, height: u16, cpu: Coord) -> Self {
+        assert!(
+            width as u32 * height as u32 >= 2,
+            "wafer needs at least one GPM"
+        );
+        assert!(cpu.x < width && cpu.y < height, "CPU tile out of bounds");
+        let mut coords = Vec::with_capacity((width as usize * height as usize) - 1);
+        for y in 0..height {
+            for x in 0..width {
+                let c = Coord::new(x, y);
+                if c != cpu {
+                    coords.push(c);
+                }
+            }
+        }
+        Self {
+            width,
+            height,
+            cpu,
+            coords,
+        }
+    }
+
+    /// The 7×7 wafer of the main evaluation: 48 GPMs around a central CPU.
+    pub fn paper_7x7() -> Self {
+        Self::new(7, 7, Coord::new(3, 3))
+    }
+
+    /// The 7×12 wafer of Fig 22: 83 GPMs, CPU at the central tile (3, 5).
+    pub fn paper_7x12() -> Self {
+        Self::new(7, 12, Coord::new(3, 5))
+    }
+
+    /// The 4-GPM MCM-GPU reference point of Fig 4 (2×2 GPM tiles plus a CPU
+    /// tile in a 5-tile cross is not a mesh; we use a 1×5 strip with the CPU
+    /// in the middle, matching an MCM package's short distances).
+    pub fn mcm_4gpm() -> Self {
+        Self::new(5, 1, Coord::new(2, 0))
+    }
+
+    /// Wafer width in tiles.
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Wafer height in tiles.
+    pub fn height(&self) -> u16 {
+        self.height
+    }
+
+    /// The CPU tile.
+    pub fn cpu(&self) -> Coord {
+        self.cpu
+    }
+
+    /// Number of GPMs.
+    pub fn gpm_count(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// The tile of GPM `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn coord_of(&self, id: u32) -> Coord {
+        self.coords[id as usize]
+    }
+
+    /// The GPM id at `coord`, or `None` for the CPU tile / out-of-bounds.
+    pub fn id_of(&self, coord: Coord) -> Option<u32> {
+        if coord == self.cpu || coord.x >= self.width || coord.y >= self.height {
+            return None;
+        }
+        // Row-major position minus tiles skipped for the CPU.
+        let linear = coord.y as usize * self.width as usize + coord.x as usize;
+        let cpu_linear = self.cpu.y as usize * self.width as usize + self.cpu.x as usize;
+        let id = if linear > cpu_linear { linear - 1 } else { linear };
+        Some(id as u32)
+    }
+
+    /// Iterates over all GPM ids with their coordinates.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, Coord)> + '_ {
+        self.coords.iter().enumerate().map(|(i, &c)| (i as u32, c))
+    }
+
+    /// The concentric layer (ring) of a GPM: its Chebyshev distance from the
+    /// CPU tile (§IV-C's layer index; ring 1 is the innermost GPM ring).
+    pub fn layer_of(&self, id: u32) -> u32 {
+        self.coord_of(id).chebyshev(self.cpu)
+    }
+
+    /// The largest ring index present on this wafer.
+    pub fn max_layer(&self) -> u32 {
+        self.coords
+            .iter()
+            .map(|c| c.chebyshev(self.cpu))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// GPM ids of ring `r`, ordered clockwise from the top of the ring
+    /// (the stable enumeration used by HDPAT's clustering, §IV-D).
+    pub fn ring_gpms(&self, r: u32) -> Vec<u32> {
+        ring_tiles(self.cpu, r, self.width, self.height)
+            .into_iter()
+            .filter_map(|c| self.id_of(c))
+            .collect()
+    }
+
+    /// Manhattan distance in hops from a GPM to the CPU tile.
+    pub fn hops_to_cpu(&self, id: u32) -> u32 {
+        self.coord_of(id).manhattan(self.cpu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_7x7_has_48_gpms() {
+        let w = WaferLayout::paper_7x7();
+        assert_eq!(w.gpm_count(), 48);
+        assert_eq!(w.max_layer(), 3);
+        assert_eq!(w.id_of(w.cpu()), None);
+    }
+
+    #[test]
+    fn paper_7x12_has_83_gpms() {
+        let w = WaferLayout::paper_7x12();
+        assert_eq!(w.gpm_count(), 83);
+    }
+
+    #[test]
+    fn mcm_has_4_gpms() {
+        let w = WaferLayout::mcm_4gpm();
+        assert_eq!(w.gpm_count(), 4);
+        assert_eq!(w.max_layer(), 2);
+    }
+
+    #[test]
+    fn id_coord_roundtrip() {
+        let w = WaferLayout::paper_7x7();
+        for (id, coord) in w.iter() {
+            assert_eq!(w.id_of(coord), Some(id));
+            assert_eq!(w.coord_of(id), coord);
+        }
+    }
+
+    #[test]
+    fn ids_are_dense_and_skip_cpu() {
+        let w = WaferLayout::paper_7x7();
+        // Tile before the CPU in row-major order.
+        assert_eq!(w.id_of(Coord::new(2, 3)), Some(23));
+        // Tile after the CPU shares the linear slot the CPU vacated.
+        assert_eq!(w.id_of(Coord::new(4, 3)), Some(24));
+    }
+
+    #[test]
+    fn layers_partition_gpms() {
+        let w = WaferLayout::paper_7x7();
+        let total: usize = (1..=w.max_layer()).map(|r| w.ring_gpms(r).len()).sum();
+        assert_eq!(total, w.gpm_count());
+        assert_eq!(w.ring_gpms(1).len(), 8);
+        assert_eq!(w.ring_gpms(2).len(), 16);
+        assert_eq!(w.ring_gpms(3).len(), 24);
+    }
+
+    #[test]
+    fn layer_of_matches_ring_membership() {
+        let w = WaferLayout::paper_7x7();
+        for r in 1..=w.max_layer() {
+            for id in w.ring_gpms(r) {
+                assert_eq!(w.layer_of(id), r);
+            }
+        }
+    }
+
+    #[test]
+    fn hops_grow_toward_periphery() {
+        let w = WaferLayout::paper_7x7();
+        let corner = w.id_of(Coord::new(0, 0)).unwrap();
+        let adjacent = w.id_of(Coord::new(3, 2)).unwrap();
+        assert_eq!(w.hops_to_cpu(corner), 6);
+        assert_eq!(w.hops_to_cpu(adjacent), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "CPU tile out of bounds")]
+    fn cpu_must_be_on_wafer() {
+        WaferLayout::new(3, 3, Coord::new(5, 5));
+    }
+
+    #[test]
+    fn out_of_bounds_coord_has_no_id() {
+        let w = WaferLayout::paper_7x7();
+        assert_eq!(w.id_of(Coord::new(7, 0)), None);
+    }
+}

@@ -1,0 +1,397 @@
+//! Set-associative tag store with true-LRU replacement.
+
+use wsg_sim::Cycle;
+
+/// Geometry and timing of a set-associative cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of sets (must be a power of two).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes (must be a power of two); use the page size for
+    /// TLB-style caches keyed directly by page number with `line_bytes = 1`.
+    pub line_bytes: u64,
+    /// Lookup latency in cycles.
+    pub hit_latency: Cycle,
+}
+
+impl CacheConfig {
+    /// Builds a config from a total capacity instead of a set count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not divisible into `ways × line_bytes` sets
+    /// or any parameter is zero / not a power of two where required.
+    pub fn from_capacity(
+        capacity_bytes: u64,
+        ways: usize,
+        line_bytes: u64,
+        hit_latency: Cycle,
+    ) -> Self {
+        assert!(ways > 0 && line_bytes > 0 && capacity_bytes > 0);
+        let sets = capacity_bytes / (ways as u64 * line_bytes);
+        assert!(sets > 0, "capacity smaller than one set");
+        Self {
+            sets: sets as usize,
+            ways,
+            line_bytes,
+            hit_latency,
+        }
+        .validated()
+    }
+
+    fn validated(self) -> Self {
+        assert!(self.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(self.ways > 0, "associativity must be positive");
+        self
+    }
+
+    /// Total number of lines.
+    pub fn lines(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.lines() as u64 * self.line_bytes
+    }
+}
+
+/// The result of a cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupResult {
+    /// The line was present.
+    Hit,
+    /// The line was absent.
+    Miss,
+}
+
+impl LookupResult {
+    /// Whether this is a hit.
+    pub fn is_hit(self) -> bool {
+        matches!(self, LookupResult::Hit)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    last_used: u64,
+}
+
+/// A set-associative cache tag store with true-LRU replacement.
+///
+/// The store only tracks presence (tags), not data — sufficient for timing
+/// simulation. Addresses are byte addresses; the line offset and set index
+/// are derived from [`CacheConfig::line_bytes`] and [`CacheConfig::sets`].
+///
+/// # Example
+///
+/// ```
+/// use wsg_mem::{CacheConfig, SetAssocCache};
+///
+/// let mut c = SetAssocCache::new(CacheConfig {
+///     sets: 2, ways: 2, line_bytes: 64, hit_latency: 4,
+/// });
+/// assert!(!c.lookup(0x80).is_hit());
+/// c.fill(0x80);
+/// assert!(c.lookup(0x80).is_hit());
+/// assert!(c.lookup(0xBF).is_hit()); // same 64 B line
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    cfg: CacheConfig,
+    lines: Vec<Line>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`CacheConfig`]).
+    pub fn new(cfg: CacheConfig) -> Self {
+        let cfg = cfg.validated();
+        Self {
+            cfg,
+            lines: vec![
+                Line {
+                    tag: 0,
+                    valid: false,
+                    last_used: 0,
+                };
+                cfg.lines()
+            ],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    fn index(&self, addr: u64) -> (usize, u64) {
+        let block = addr / self.cfg.line_bytes;
+        let set = (block as usize) & (self.cfg.sets - 1);
+        let tag = block >> self.cfg.sets.trailing_zeros();
+        (set, tag)
+    }
+
+    fn set_slice(&mut self, set: usize) -> &mut [Line] {
+        let start = set * self.cfg.ways;
+        &mut self.lines[start..start + self.cfg.ways]
+    }
+
+    /// Looks up `addr`, updating LRU state and hit/miss statistics.
+    pub fn lookup(&mut self, addr: u64) -> LookupResult {
+        self.tick += 1;
+        let tick = self.tick;
+        let (set, tag) = self.index(addr);
+        for line in self.set_slice(set) {
+            if line.valid && line.tag == tag {
+                line.last_used = tick;
+                self.hits += 1;
+                return LookupResult::Hit;
+            }
+        }
+        self.misses += 1;
+        LookupResult::Miss
+    }
+
+    /// Checks presence without touching LRU state or statistics.
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set, tag) = self.index(addr);
+        let start = set * self.cfg.ways;
+        self.lines[start..start + self.cfg.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Inserts the line containing `addr`, evicting the LRU line of its set
+    /// if necessary. Returns the byte address of the evicted line (its first
+    /// byte), or `None` if no eviction happened. Filling an already-present
+    /// line refreshes its LRU position.
+    pub fn fill(&mut self, addr: u64) -> Option<u64> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (set, tag) = self.index(addr);
+        let sets_bits = self.cfg.sets.trailing_zeros();
+        let line_bytes = self.cfg.line_bytes;
+
+        // Refresh if present.
+        for line in self.set_slice(set) {
+            if line.valid && line.tag == tag {
+                line.last_used = tick;
+                return None;
+            }
+        }
+        // Prefer an invalid way.
+        if let Some(line) = self.set_slice(set).iter_mut().find(|l| !l.valid) {
+            *line = Line {
+                tag,
+                valid: true,
+                last_used: tick,
+            };
+            return None;
+        }
+        // Evict the LRU way.
+        let victim = self
+            .set_slice(set)
+            .iter_mut()
+            .min_by_key(|l| l.last_used)
+            .expect("ways > 0");
+        let evicted_block = (victim.tag << sets_bits) | set as u64;
+        *victim = Line {
+            tag,
+            valid: true,
+            last_used: tick,
+        };
+        self.evictions += 1;
+        Some(evicted_block * line_bytes)
+    }
+
+    /// Invalidates the line containing `addr`; returns whether it was
+    /// present.
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let (set, tag) = self.index(addr);
+        for line in self.set_slice(set) {
+            if line.valid && line.tag == tag {
+                line.valid = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of valid lines.
+    pub fn occupancy(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Lifetime eviction count.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Hit rate in `[0, 1]`; 0 if no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        SetAssocCache::new(CacheConfig {
+            sets: 2,
+            ways: 2,
+            line_bytes: 64,
+            hit_latency: 1,
+        })
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_rejected() {
+        SetAssocCache::new(CacheConfig {
+            sets: 3,
+            ways: 1,
+            line_bytes: 64,
+            hit_latency: 1,
+        });
+    }
+
+    #[test]
+    fn from_capacity_matches_table1_l2() {
+        // 4 MB, 16-way, 64 B lines -> 4096 sets.
+        let cfg = CacheConfig::from_capacity(4 << 20, 16, 64, 32);
+        assert_eq!(cfg.sets, 4096);
+        assert_eq!(cfg.capacity_bytes(), 4 << 20);
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = tiny();
+        assert_eq!(c.lookup(0), LookupResult::Miss);
+        c.fill(0);
+        assert_eq!(c.lookup(0), LookupResult::Hit);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn same_line_different_offsets_hit() {
+        let mut c = tiny();
+        c.fill(0x100);
+        assert!(c.lookup(0x13F).is_hit());
+        assert!(!c.lookup(0x140).is_hit());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = tiny();
+        // Set 0 lines: block addresses with even block number.
+        let a = 0u64; // set 0
+        let b = 2 * 64; // set 0
+        let d = 4 * 64; // set 0
+        c.fill(a);
+        c.fill(b);
+        c.lookup(a); // a is now MRU
+        let evicted = c.fill(d).expect("set is full, must evict");
+        assert_eq!(evicted, b, "b was LRU");
+        assert!(c.probe(a));
+        assert!(!c.probe(b));
+        assert!(c.probe(d));
+    }
+
+    #[test]
+    fn fill_refreshes_lru() {
+        let mut c = tiny();
+        let a = 0u64;
+        let b = 2 * 64;
+        let d = 4 * 64;
+        c.fill(a);
+        c.fill(b);
+        c.fill(a); // refresh, no eviction
+        assert_eq!(c.evictions(), 0);
+        let evicted = c.fill(d).unwrap();
+        assert_eq!(evicted, b);
+    }
+
+    #[test]
+    fn probe_does_not_perturb() {
+        let mut c = tiny();
+        c.fill(0);
+        let hits_before = c.hits();
+        assert!(c.probe(0));
+        assert!(!c.probe(64 * 2));
+        assert_eq!(c.hits(), hits_before);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = tiny();
+        c.fill(0);
+        assert!(c.invalidate(0));
+        assert!(!c.probe(0));
+        assert!(!c.invalidate(0));
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn eviction_address_is_reconstructible() {
+        let mut c = SetAssocCache::new(CacheConfig {
+            sets: 4,
+            ways: 1,
+            line_bytes: 64,
+            hit_latency: 1,
+        });
+        let addr = 7 * 4 * 64 + 2 * 64; // block 30, set 2
+        c.fill(addr);
+        let evicted = c.fill(addr + 4 * 64).unwrap();
+        assert_eq!(evicted, addr - addr % 64);
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut c = tiny();
+        c.fill(0); // set 0
+        c.fill(64); // set 1
+        c.fill(2 * 64); // set 0
+        c.fill(3 * 64); // set 1
+        assert_eq!(c.occupancy(), 4);
+        assert_eq!(c.evictions(), 0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Miss-status holding registers.
+
+use std::collections::HashMap;
+
+/// The outcome of registering a miss with an [`Mshr`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// First miss on this block: the caller must issue the fill request.
+    Primary,
+    /// A fill for this block is already outstanding; the waiter was merged.
+    Secondary,
+    /// All MSHR entries are occupied by other blocks: the requester must
+    /// stall and retry. This back-pressure is what penalizes the
+    /// TLB-with-MSHRs alternative to the redirection table in Fig 19.
+    Full,
+}
+
+/// Miss-status holding registers: a bounded table of outstanding misses,
+/// each holding the waiters to wake when the fill returns.
+///
+/// `W` is the caller's waiter token (request id, CU id, …).
+///
+/// # Example
+///
+/// ```
+/// use wsg_mem::{Mshr, MshrOutcome};
+///
+/// let mut m: Mshr<u32> = Mshr::new(2);
+/// assert_eq!(m.register(0x1000, 1), MshrOutcome::Primary);
+/// assert_eq!(m.register(0x1000, 2), MshrOutcome::Secondary);
+/// assert_eq!(m.complete(0x1000), vec![1, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mshr<W> {
+    capacity: usize,
+    targets_per_entry: usize,
+    entries: HashMap<u64, Vec<W>>,
+    stalls: u64,
+    merges: u64,
+}
+
+impl<W> Mshr<W> {
+    /// Creates MSHRs with `capacity` entries and unbounded target slots per
+    /// entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_targets(capacity, usize::MAX)
+    }
+
+    /// Creates MSHRs with `capacity` entries, each holding at most
+    /// `targets_per_entry` waiters (primary included). Further same-block
+    /// misses are rejected as [`MshrOutcome::Full`], modelling the bounded
+    /// target slots of real MSHR files.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `targets_per_entry` is zero.
+    pub fn with_targets(capacity: usize, targets_per_entry: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be positive");
+        assert!(targets_per_entry > 0, "need at least one target slot");
+        Self {
+            capacity,
+            targets_per_entry,
+            entries: HashMap::new(),
+            stalls: 0,
+            merges: 0,
+        }
+    }
+
+    /// Registers a miss on `block` for `waiter`.
+    pub fn register(&mut self, block: u64, waiter: W) -> MshrOutcome {
+        if let Some(waiters) = self.entries.get_mut(&block) {
+            if waiters.len() + 1 >= self.targets_per_entry {
+                self.stalls += 1;
+                return MshrOutcome::Full;
+            }
+            waiters.push(waiter);
+            self.merges += 1;
+            return MshrOutcome::Secondary;
+        }
+        if self.entries.len() >= self.capacity {
+            self.stalls += 1;
+            return MshrOutcome::Full;
+        }
+        self.entries.insert(block, vec![waiter]);
+        MshrOutcome::Primary
+    }
+
+    /// Completes the fill for `block`, releasing its entry and returning all
+    /// waiters in registration order. Returns an empty vector if the block
+    /// had no entry.
+    pub fn complete(&mut self, block: u64) -> Vec<W> {
+        self.entries.remove(&block).unwrap_or_default()
+    }
+
+    /// Whether a fill for `block` is outstanding.
+    pub fn contains(&self, block: u64) -> bool {
+        self.entries.contains_key(&block)
+    }
+
+    /// Number of occupied entries.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether all entries are occupied.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of registrations rejected because the table was full.
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    /// Number of secondary misses merged into existing entries.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        Mshr::<u32>::new(0);
+    }
+
+    #[test]
+    fn primary_secondary_flow() {
+        let mut m: Mshr<&str> = Mshr::new(4);
+        assert_eq!(m.register(1, "a"), MshrOutcome::Primary);
+        assert_eq!(m.register(1, "b"), MshrOutcome::Secondary);
+        assert_eq!(m.register(2, "c"), MshrOutcome::Primary);
+        assert_eq!(m.occupancy(), 2);
+        assert_eq!(m.complete(1), vec!["a", "b"]);
+        assert_eq!(m.occupancy(), 1);
+        assert_eq!(m.merges(), 1);
+    }
+
+    #[test]
+    fn full_table_stalls_new_blocks_but_merges_existing() {
+        let mut m: Mshr<u8> = Mshr::new(2);
+        m.register(1, 0);
+        m.register(2, 0);
+        assert!(m.is_full());
+        assert_eq!(m.register(3, 0), MshrOutcome::Full);
+        // Secondary misses on in-flight blocks still merge when full.
+        assert_eq!(m.register(1, 1), MshrOutcome::Secondary);
+        assert_eq!(m.stalls(), 1);
+    }
+
+    #[test]
+    fn complete_unknown_block_is_empty() {
+        let mut m: Mshr<u8> = Mshr::new(1);
+        assert!(m.complete(42).is_empty());
+    }
+
+    #[test]
+    fn complete_frees_capacity() {
+        let mut m: Mshr<u8> = Mshr::new(1);
+        m.register(1, 0);
+        assert_eq!(m.register(2, 0), MshrOutcome::Full);
+        m.complete(1);
+        assert_eq!(m.register(2, 0), MshrOutcome::Primary);
+    }
+
+    #[test]
+    fn contains_tracks_outstanding() {
+        let mut m: Mshr<u8> = Mshr::new(2);
+        assert!(!m.contains(5));
+        m.register(5, 0);
+        assert!(m.contains(5));
+        m.complete(5);
+        assert!(!m.contains(5));
+    }
+}

@@ -1,0 +1,91 @@
+//! Dimension-ordered (XY) routing.
+
+use crate::geometry::Coord;
+
+/// Computes the XY route from `from` to `to`: first along the X dimension,
+/// then along Y. Returns the full sequence of tiles including both
+/// endpoints; a route from a tile to itself is the single tile.
+///
+/// XY routing is deadlock-free on a mesh and is what MGPUSim's mesh and the
+/// paper's latency analysis assume (latency grows with Manhattan distance,
+/// §III O1).
+///
+/// # Example
+///
+/// ```
+/// use wsg_noc::{xy_route, Coord};
+/// let route = xy_route(Coord::new(0, 0), Coord::new(2, 1));
+/// let expect: Vec<Coord> = [(0, 0), (1, 0), (2, 0), (2, 1)]
+///     .into_iter().map(Coord::from).collect();
+/// assert_eq!(route, expect);
+/// ```
+pub fn xy_route(from: Coord, to: Coord) -> Vec<Coord> {
+    let mut route = Vec::with_capacity(from.manhattan(to) as usize + 1);
+    let mut cur = from;
+    route.push(cur);
+    while cur.x != to.x {
+        cur.x = if to.x > cur.x { cur.x + 1 } else { cur.x - 1 };
+        route.push(cur);
+    }
+    while cur.y != to.y {
+        cur.y = if to.y > cur.y { cur.y + 1 } else { cur.y - 1 };
+        route.push(cur);
+    }
+    route
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_route_is_single_tile() {
+        let c = Coord::new(3, 3);
+        assert_eq!(xy_route(c, c), vec![c]);
+    }
+
+    #[test]
+    fn route_length_is_manhattan_plus_one() {
+        let a = Coord::new(1, 5);
+        let b = Coord::new(6, 0);
+        assert_eq!(xy_route(a, b).len() as u32, a.manhattan(b) + 1);
+    }
+
+    #[test]
+    fn x_dimension_first() {
+        let route = xy_route(Coord::new(0, 0), Coord::new(2, 2));
+        assert_eq!(route[1], Coord::new(1, 0));
+        assert_eq!(route[2], Coord::new(2, 0));
+        assert_eq!(route[3], Coord::new(2, 1));
+    }
+
+    #[test]
+    fn handles_negative_directions() {
+        let route = xy_route(Coord::new(4, 4), Coord::new(2, 6));
+        assert_eq!(
+            route,
+            vec![
+                Coord::new(4, 4),
+                Coord::new(3, 4),
+                Coord::new(2, 4),
+                Coord::new(2, 5),
+                Coord::new(2, 6),
+            ]
+        );
+    }
+
+    #[test]
+    fn consecutive_tiles_are_adjacent() {
+        let route = xy_route(Coord::new(0, 6), Coord::new(6, 0));
+        for pair in route.windows(2) {
+            assert_eq!(pair[0].manhattan(pair[1]), 1);
+        }
+    }
+
+    #[test]
+    fn forward_and_reverse_routes_have_same_length() {
+        let a = Coord::new(1, 2);
+        let b = Coord::new(5, 6);
+        assert_eq!(xy_route(a, b).len(), xy_route(b, a).len());
+    }
+}

@@ -1,0 +1,224 @@
+//! The discrete-event queue at the heart of the simulator.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Cycle;
+
+/// A deterministic discrete-event queue.
+///
+/// Events are ordered by `(time, insertion sequence)`: two events scheduled
+/// for the same cycle are delivered in the order they were pushed, which
+/// keeps simulations reproducible regardless of heap internals.
+///
+/// The queue tracks the current simulation time ([`EventQueue::now`]), which
+/// advances monotonically as events are popped. Pushing an event in the past
+/// is a logic error and panics in debug builds.
+///
+/// # Example
+///
+/// ```
+/// let mut q = wsg_sim::EventQueue::new();
+/// q.push(100, "b");
+/// q.push(100, "c");
+/// q.push(50, "a");
+/// let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+/// assert_eq!(order, vec![(50, "a"), (100, "b"), (100, "c")]);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    now: Cycle,
+    seq: u64,
+    pushed: u64,
+    popped: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: Cycle,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time 0.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            pushed: 0,
+            popped: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at absolute cycle `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `time` is earlier than the current time.
+    pub fn push(&mut self, time: Cycle, payload: E) {
+        debug_assert!(
+            time >= self.now,
+            "event scheduled in the past: {} < {}",
+            time,
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.pushed += 1;
+        self.heap.push(Entry { time, seq, payload });
+    }
+
+    /// Schedules `payload` to fire `delay` cycles after the current time.
+    pub fn push_after(&mut self, delay: Cycle, payload: E) {
+        self.push(self.now.saturating_add(delay), payload);
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to its
+    /// timestamp. Returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now, "time ran backwards");
+        self.now = entry.time;
+        self.popped += 1;
+        Some((entry.time, entry.payload))
+    }
+
+    /// The timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Current simulation time (the timestamp of the last popped event).
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Number of events currently pending.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever pushed (throughput accounting).
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Total number of events ever popped.
+    pub fn total_popped(&self) -> u64 {
+        self.popped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, 3);
+        q.push(10, 1);
+        q.push(20, 2);
+        assert_eq!(q.pop(), Some((10, 1)));
+        assert_eq!(q.pop(), Some((20, 2)));
+        assert_eq!(q.pop(), Some((30, 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(7, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((7, i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), 0);
+        q.push(42, ());
+        q.pop();
+        assert_eq!(q.now(), 42);
+    }
+
+    #[test]
+    fn push_after_is_relative() {
+        let mut q = EventQueue::new();
+        q.push(100, "first");
+        q.pop();
+        q.push_after(5, "second");
+        assert_eq!(q.pop(), Some((105, "second")));
+    }
+
+    #[test]
+    #[should_panic(expected = "event scheduled in the past")]
+    #[cfg(debug_assertions)]
+    fn pushing_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.push(10, ());
+        q.pop();
+        q.push(5, ());
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let mut q = EventQueue::new();
+        q.push(1, ());
+        q.push(2, ());
+        q.pop();
+        assert_eq!(q.total_pushed(), 2);
+        assert_eq!(q.total_popped(), 1);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_advance_time() {
+        let mut q = EventQueue::new();
+        q.push(9, ());
+        assert_eq!(q.peek_time(), Some(9));
+        assert_eq!(q.now(), 0);
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! Discrete-event simulation engine for the wafer-scale GPU simulator.
+//!
+//! This crate is the foundation of the HDPAT reproduction. It provides:
+//!
+//! * [`EventQueue`] — a generic, deterministic discrete-event queue ordered by
+//!   `(cycle, sequence number)`.
+//! * [`ServerPool`] — an analytic model of `k` identical servers with FIFO
+//!   admission, used for bandwidth-style resources (HBM channels, walker
+//!   pools when fine-grained queue introspection is not needed).
+//! * The [`stats`] module — counters, histograms, windowed time series,
+//!   latency breakdowns and reuse-distance trackers that back every figure of
+//!   the paper.
+//! * [`SimRng`] — a seeded, reproducible random number generator used by the
+//!   workload generators.
+//!
+//! # Example
+//!
+//! ```
+//! use wsg_sim::{EventQueue, Cycle};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Ping(u32) }
+//!
+//! let mut q = EventQueue::new();
+//! q.push(10, Ev::Ping(1));
+//! q.push(5, Ev::Ping(0));
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!((t, ev), (5, Ev::Ping(0)));
+//! assert_eq!(q.now(), 5);
+//! ```
+
+pub mod event;
+pub mod rng;
+pub mod server;
+pub mod stats;
+pub mod time;
+
+pub use event::EventQueue;
+pub use rng::SimRng;
+pub use server::ServerPool;
+pub use time::Cycle;

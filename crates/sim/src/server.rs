@@ -1,0 +1,173 @@
+//! Analytic multi-server queue model.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::Cycle;
+
+/// An analytic model of `k` identical servers fed by a FIFO queue.
+///
+/// Callers admit requests in nondecreasing arrival order; the pool computes
+/// the cycle at which a server becomes available and returns the request's
+/// `(start, completion)` times. The model reserves server time immediately,
+/// which is exact for FIFO service with deterministic service times.
+///
+/// This is used for bandwidth-limited resources whose internal queue does not
+/// need to be inspected mid-flight (HBM channels, the GMMU walker pool in
+/// analytic mode). The IOMMU, whose queue *is* inspected (redirection, PW
+/// revisit, buffer-pressure sampling), is modelled with explicit events in
+/// the `hdpat` crate instead.
+///
+/// # Example
+///
+/// ```
+/// let mut pool = wsg_sim::ServerPool::new(2);
+/// // Two walkers: the first two requests start immediately, the third waits.
+/// assert_eq!(pool.admit(0, 500), (0, 500));
+/// assert_eq!(pool.admit(0, 500), (0, 500));
+/// assert_eq!(pool.admit(0, 500), (500, 1000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServerPool {
+    free_at: BinaryHeap<Reverse<Cycle>>,
+    servers: usize,
+    busy_cycles: u64,
+    admitted: u64,
+    total_wait: u64,
+}
+
+impl ServerPool {
+    /// Creates a pool of `servers` identical servers, all free at cycle 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is zero.
+    pub fn new(servers: usize) -> Self {
+        assert!(servers > 0, "a server pool needs at least one server");
+        let mut free_at = BinaryHeap::with_capacity(servers);
+        for _ in 0..servers {
+            free_at.push(Reverse(0));
+        }
+        Self {
+            free_at,
+            servers,
+            busy_cycles: 0,
+            admitted: 0,
+            total_wait: 0,
+        }
+    }
+
+    /// Admits a request arriving at `arrival` needing `service` cycles.
+    ///
+    /// Returns `(start, completion)` where `start >= arrival`.
+    pub fn admit(&mut self, arrival: Cycle, service: Cycle) -> (Cycle, Cycle) {
+        let Reverse(earliest) = self.free_at.pop().expect("pool is never empty");
+        let start = earliest.max(arrival);
+        let done = start + service;
+        self.free_at.push(Reverse(done));
+        self.busy_cycles += service;
+        self.admitted += 1;
+        self.total_wait += start - arrival;
+        (start, done)
+    }
+
+    /// The earliest cycle at which any server is free.
+    pub fn next_free(&self) -> Cycle {
+        self.free_at.peek().map(|Reverse(t)| *t).unwrap_or(0)
+    }
+
+    /// Number of servers in the pool.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Number of requests admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Total cycles of service performed (sums over servers).
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Mean queueing delay over all admitted requests, in cycles.
+    pub fn mean_wait(&self) -> f64 {
+        if self.admitted == 0 {
+            0.0
+        } else {
+            self.total_wait as f64 / self.admitted as f64
+        }
+    }
+
+    /// Server utilization in `[0, 1]` over the horizon `[0, end]`.
+    pub fn utilization(&self, end: Cycle) -> f64 {
+        if end == 0 {
+            return 0.0;
+        }
+        self.busy_cycles as f64 / (end as f64 * self.servers as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_rejected() {
+        ServerPool::new(0);
+    }
+
+    #[test]
+    fn single_server_serializes() {
+        let mut p = ServerPool::new(1);
+        assert_eq!(p.admit(0, 10), (0, 10));
+        assert_eq!(p.admit(0, 10), (10, 20));
+        assert_eq!(p.admit(25, 10), (25, 35));
+    }
+
+    #[test]
+    fn idle_server_starts_at_arrival() {
+        let mut p = ServerPool::new(4);
+        assert_eq!(p.admit(100, 7), (100, 107));
+    }
+
+    #[test]
+    fn k_servers_give_k_way_parallelism() {
+        let mut p = ServerPool::new(3);
+        for _ in 0..3 {
+            assert_eq!(p.admit(0, 100), (0, 100));
+        }
+        // Fourth request queues behind the earliest finisher.
+        assert_eq!(p.admit(0, 100), (100, 200));
+    }
+
+    #[test]
+    fn wait_accounting() {
+        let mut p = ServerPool::new(1);
+        p.admit(0, 10);
+        p.admit(0, 10); // waits 10
+        assert_eq!(p.mean_wait(), 5.0);
+        assert_eq!(p.admitted(), 2);
+        assert_eq!(p.busy_cycles(), 20);
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let mut p = ServerPool::new(2);
+        p.admit(0, 50);
+        let u = p.utilization(100);
+        assert!((u - 0.25).abs() < 1e-12);
+        assert_eq!(p.utilization(0), 0.0);
+    }
+
+    #[test]
+    fn next_free_tracks_earliest_server() {
+        let mut p = ServerPool::new(2);
+        p.admit(0, 10);
+        assert_eq!(p.next_free(), 0);
+        p.admit(0, 20);
+        assert_eq!(p.next_free(), 10);
+    }
+}

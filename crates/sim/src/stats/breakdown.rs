@@ -1,0 +1,157 @@
+//! Named-component breakdowns.
+
+use std::fmt;
+
+/// Accumulates values under a small set of named components and reports each
+/// component's share.
+///
+/// Backs the IOMMU latency breakdown of Fig 3 (`pre-queue`, `ptw-queue`,
+/// `walk`) and the resolution-source breakdown of Fig 16 (`peer-cache`,
+/// `redirection`, `proactive`, `iommu`).
+///
+/// # Example
+///
+/// ```
+/// let mut b = wsg_sim::stats::Breakdown::new(&["wait", "service"]);
+/// b.add("wait", 30);
+/// b.add("service", 70);
+/// assert_eq!(b.total(), 100);
+/// assert!((b.share("wait") - 0.3).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Breakdown {
+    names: Vec<&'static str>,
+    values: Vec<u64>,
+    samples: u64,
+}
+
+impl Breakdown {
+    /// Creates a breakdown over the given component names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names` is empty.
+    pub fn new(names: &[&'static str]) -> Self {
+        assert!(!names.is_empty(), "breakdown needs at least one component");
+        Self {
+            names: names.to_vec(),
+            values: vec![0; names.len()],
+            samples: 0,
+        }
+    }
+
+    fn idx(&self, name: &str) -> usize {
+        self.names
+            .iter()
+            .position(|&n| n == name)
+            .unwrap_or_else(|| panic!("unknown breakdown component `{name}`"))
+    }
+
+    /// Adds `value` to the component `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not one of the components passed to [`Breakdown::new`].
+    pub fn add(&mut self, name: &str, value: u64) {
+        let i = self.idx(name);
+        self.values[i] += value;
+        self.samples += 1;
+    }
+
+    /// Value accumulated under `name`.
+    pub fn value(&self, name: &str) -> u64 {
+        self.values[self.idx(name)]
+    }
+
+    /// Sum over all components.
+    pub fn total(&self) -> u64 {
+        self.values.iter().sum()
+    }
+
+    /// `name`'s fraction of the total (0 if the total is 0).
+    pub fn share(&self, name: &str) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.value(name) as f64 / total as f64
+        }
+    }
+
+    /// Number of `add` calls (not the number of distinct requests — callers
+    /// typically add several components per request).
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Iterates `(name, value, share)` in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64, f64)> + '_ {
+        let total = self.total();
+        self.names.iter().zip(&self.values).map(move |(&n, &v)| {
+            let share = if total == 0 {
+                0.0
+            } else {
+                v as f64 / total as f64
+            };
+            (n, v, share)
+        })
+    }
+}
+
+impl fmt::Display for Breakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (name, value, share) in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{name}: {value} ({:.1}%)", share * 100.0)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn empty_components_rejected() {
+        Breakdown::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown breakdown component")]
+    fn unknown_component_rejected() {
+        let mut b = Breakdown::new(&["a"]);
+        b.add("b", 1);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let mut b = Breakdown::new(&["x", "y", "z"]);
+        b.add("x", 1);
+        b.add("y", 2);
+        b.add("z", 7);
+        let s: f64 = b.iter().map(|(_, _, share)| share).sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_breakdown_has_zero_shares() {
+        let b = Breakdown::new(&["x"]);
+        assert_eq!(b.share("x"), 0.0);
+        assert_eq!(b.total(), 0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut b = Breakdown::new(&["wait", "serve"]);
+        b.add("wait", 10);
+        let s = format!("{b}");
+        assert!(s.contains("wait: 10"));
+        assert!(s.contains("serve: 0"));
+    }
+}

@@ -1,0 +1,297 @@
+//! Linear and logarithmic histograms.
+
+/// A histogram with fixed-width linear buckets plus an overflow bucket.
+///
+/// Used for distributions with a known, modest range, e.g. the VPN distance
+/// between consecutive translation requests (Fig 8).
+///
+/// # Example
+///
+/// ```
+/// let mut h = wsg_sim::stats::Histogram::new(1, 10);
+/// h.record(0);
+/// h.record(3);
+/// h.record(3);
+/// h.record(1_000); // overflow
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.bucket_count(3), 2);
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bucket_width: u64,
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` buckets of width `bucket_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is zero or `buckets` is zero.
+    pub fn new(bucket_width: u64, buckets: usize) -> Self {
+        assert!(bucket_width > 0, "bucket width must be positive");
+        assert!(buckets > 0, "need at least one bucket");
+        Self {
+            bucket_width,
+            buckets: vec![0; buckets],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value as u128;
+        self.max = self.max.max(value);
+        let idx = (value / self.bucket_width) as usize;
+        match self.buckets.get_mut(idx) {
+            Some(b) => *b += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Count of samples that fell into the bucket containing `value`.
+    pub fn bucket_count(&self, value: u64) -> u64 {
+        let idx = (value / self.bucket_width) as usize;
+        self.buckets.get(idx).copied().unwrap_or(self.overflow)
+    }
+
+    /// Samples beyond the last bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Mean of all recorded samples; 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Maximum recorded sample; 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Fraction of samples with `value <= threshold` (inclusive CDF point).
+    ///
+    /// Bucketing granularity applies: the threshold is rounded up to the end
+    /// of its bucket.
+    pub fn fraction_at_most(&self, threshold: u64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let last = (threshold / self.bucket_width) as usize;
+        let in_range: u64 = self.buckets.iter().take(last + 1).sum();
+        in_range as f64 / self.count as f64
+    }
+
+    /// Iterates over `(bucket_start, count)` pairs for non-empty buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(move |(i, &c)| (i as u64 * self.bucket_width, c))
+    }
+}
+
+/// A histogram with power-of-two buckets: bucket `i` covers `[2^i, 2^(i+1))`,
+/// with bucket 0 covering `{0, 1}`.
+///
+/// Used for quantities spanning many orders of magnitude such as
+/// reuse distances (Fig 7) and per-VPN translation counts (Fig 6).
+///
+/// # Example
+///
+/// ```
+/// let mut h = wsg_sim::stats::LogHistogram::new();
+/// h.record(0);
+/// h.record(1);
+/// h.record(5);
+/// h.record(100_000);
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.bucket_for(5), 2); // [4, 8)
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LogHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl LogHistogram {
+    /// Creates an empty log-scale histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index for `value`.
+    pub fn bucket_for(&self, value: u64) -> usize {
+        if value <= 1 {
+            0
+        } else {
+            63 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value as u128;
+        self.max = self.max.max(value);
+        let idx = self.bucket_for(value);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all samples; 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Maximum recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Iterates over `(bucket_lower_bound, count)` for non-empty buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << i }, c))
+    }
+
+    /// Fraction of samples strictly greater than 1 — i.e. for per-VPN
+    /// translation counts, the fraction of pages translated more than once
+    /// (the motivation for caching in observation O3).
+    pub fn fraction_above_one(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let singles = self.buckets.first().copied().unwrap_or(0);
+        (self.count - singles) as f64 / self.count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "bucket width must be positive")]
+    fn zero_width_rejected() {
+        Histogram::new(0, 4);
+    }
+
+    #[test]
+    fn linear_bucketing() {
+        let mut h = Histogram::new(10, 5);
+        h.record(0);
+        h.record(9);
+        h.record(10);
+        h.record(49);
+        h.record(50); // overflow
+        assert_eq!(h.bucket_count(0), 2);
+        assert_eq!(h.bucket_count(10), 1);
+        assert_eq!(h.bucket_count(49), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 50);
+    }
+
+    #[test]
+    fn linear_cdf() {
+        let mut h = Histogram::new(1, 100);
+        for v in 0..10 {
+            h.record(v);
+        }
+        assert!((h.fraction_at_most(4) - 0.5).abs() < 1e-12);
+        assert!((h.fraction_at_most(9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_iter_skips_empty() {
+        let mut h = Histogram::new(2, 4);
+        h.record(5);
+        let v: Vec<_> = h.iter().collect();
+        assert_eq!(v, vec![(4, 1)]);
+    }
+
+    #[test]
+    fn linear_mean() {
+        let mut h = Histogram::new(1, 10);
+        h.record(2);
+        h.record(4);
+        assert_eq!(h.mean(), 3.0);
+    }
+
+    #[test]
+    fn log_bucket_boundaries() {
+        let h = LogHistogram::new();
+        assert_eq!(h.bucket_for(0), 0);
+        assert_eq!(h.bucket_for(1), 0);
+        assert_eq!(h.bucket_for(2), 1);
+        assert_eq!(h.bucket_for(3), 1);
+        assert_eq!(h.bucket_for(4), 2);
+        assert_eq!(h.bucket_for(1023), 9);
+        assert_eq!(h.bucket_for(1024), 10);
+    }
+
+    #[test]
+    fn log_records_and_iterates() {
+        let mut h = LogHistogram::new();
+        h.record(1);
+        h.record(1);
+        h.record(8);
+        let buckets: Vec<_> = h.iter().collect();
+        assert_eq!(buckets, vec![(0, 2), (8, 1)]);
+        assert_eq!(h.max(), 8);
+    }
+
+    #[test]
+    fn log_fraction_above_one() {
+        let mut h = LogHistogram::new();
+        h.record(1);
+        h.record(1);
+        h.record(7);
+        h.record(9);
+        assert!((h.fraction_above_one() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_empty_stats_are_zero() {
+        let h = LogHistogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.fraction_above_one(), 0.0);
+    }
+}

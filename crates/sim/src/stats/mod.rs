@@ -1,0 +1,69 @@
+//! Statistics primitives backing the paper's figures.
+//!
+//! Every experiment in the HDPAT evaluation reduces to one of a few
+//! aggregations:
+//!
+//! * [`Histogram`] — linear-bucket histograms (Fig 6, Fig 8).
+//! * [`LogHistogram`] — power-of-two bucket histograms for quantities that
+//!   span many orders of magnitude, such as reuse distances (Fig 7).
+//! * [`TimeSeries`] — fixed-window aggregation over simulated time (Fig 4,
+//!   Fig 13).
+//! * [`Breakdown`] — named-component latency/count breakdowns (Fig 3,
+//!   Fig 16).
+//! * [`ReuseTracker`] — per-key reuse-distance measurement over a request
+//!   stream (observation O3).
+//! * [`Summary`] — running mean/min/max/count of a scalar sample stream
+//!   (Fig 17 round-trip times).
+
+mod breakdown;
+mod histogram;
+mod reuse;
+mod summary;
+mod timeseries;
+
+pub use breakdown::Breakdown;
+pub use histogram::{Histogram, LogHistogram};
+pub use reuse::ReuseTracker;
+pub use summary::Summary;
+pub use timeseries::TimeSeries;
+
+/// Geometric mean of a sequence of positive values.
+///
+/// Returns `None` for an empty input or if any value is non-positive.
+///
+/// # Example
+///
+/// ```
+/// let g = wsg_sim::stats::geo_mean(&[1.0, 4.0]).unwrap();
+/// assert!((g - 2.0).abs() < 1e-12);
+/// assert!(wsg_sim::stats::geo_mean(&[]).is_none());
+/// ```
+pub fn geo_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geo_mean_basic() {
+        assert_eq!(geo_mean(&[2.0, 2.0, 2.0]), Some(2.0));
+    }
+
+    #[test]
+    fn geo_mean_rejects_nonpositive() {
+        assert!(geo_mean(&[1.0, 0.0]).is_none());
+        assert!(geo_mean(&[1.0, -2.0]).is_none());
+    }
+
+    #[test]
+    fn geo_mean_single_value() {
+        let g = geo_mean(&[3.5]).unwrap();
+        assert!((g - 3.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,158 @@
+//! Reuse-distance measurement over a request stream.
+
+use std::collections::HashMap;
+
+use super::LogHistogram;
+
+/// Measures, for a stream of keyed requests, the number of *other* requests
+/// between two occurrences of the same key — the reuse distance of
+/// observation O3 (Fig 7) — together with per-key occurrence counts (Fig 6).
+///
+/// The distance recorded is a stream distance (requests since last
+/// occurrence), matching the paper's "distribution of access counts between
+/// repeated address translation requests".
+///
+/// # Example
+///
+/// ```
+/// let mut t = wsg_sim::stats::ReuseTracker::new();
+/// t.touch(7);
+/// t.touch(9);
+/// t.touch(7); // one other request (key 9) in between
+/// assert_eq!(t.occurrences(7), 2);
+/// assert_eq!(t.reuse_histogram().count(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ReuseTracker {
+    last_seen: HashMap<u64, u64>,
+    counts: HashMap<u64, u64>,
+    position: u64,
+    reuse: LogHistogram,
+}
+
+impl ReuseTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one occurrence of `key` and, if it has been seen before,
+    /// records its reuse distance.
+    pub fn touch(&mut self, key: u64) {
+        if let Some(prev) = self.last_seen.insert(key, self.position) {
+            // Requests strictly between the two occurrences.
+            self.reuse.record(self.position - prev - 1);
+        }
+        *self.counts.entry(key).or_insert(0) += 1;
+        self.position += 1;
+    }
+
+    /// Number of times `key` has been touched.
+    pub fn occurrences(&self, key: u64) -> u64 {
+        self.counts.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Histogram of reuse distances over all repeated keys.
+    pub fn reuse_histogram(&self) -> &LogHistogram {
+        &self.reuse
+    }
+
+    /// Histogram of per-key occurrence counts (Fig 6's distribution of
+    /// translation counts).
+    pub fn count_histogram(&self) -> LogHistogram {
+        let mut h = LogHistogram::new();
+        for &c in self.counts.values() {
+            h.record(c);
+        }
+        h
+    }
+
+    /// Number of distinct keys seen.
+    pub fn distinct_keys(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of touches.
+    pub fn total_touches(&self) -> u64 {
+        self.position
+    }
+
+    /// Fraction of keys touched more than once.
+    pub fn repeat_fraction(&self) -> f64 {
+        if self.counts.is_empty() {
+            return 0.0;
+        }
+        let repeated = self.counts.values().filter(|&&c| c > 1).count();
+        repeated as f64 / self.counts.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_occurrences() {
+        let mut t = ReuseTracker::new();
+        t.touch(1);
+        t.touch(1);
+        t.touch(2);
+        assert_eq!(t.occurrences(1), 2);
+        assert_eq!(t.occurrences(2), 1);
+        assert_eq!(t.occurrences(3), 0);
+        assert_eq!(t.distinct_keys(), 2);
+        assert_eq!(t.total_touches(), 3);
+    }
+
+    #[test]
+    fn immediate_reuse_has_distance_zero() {
+        let mut t = ReuseTracker::new();
+        t.touch(5);
+        t.touch(5);
+        let h = t.reuse_histogram();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn distance_counts_intervening_requests() {
+        let mut t = ReuseTracker::new();
+        t.touch(1);
+        for k in 2..=100 {
+            t.touch(k);
+        }
+        t.touch(1);
+        assert_eq!(t.reuse_histogram().max(), 99);
+    }
+
+    #[test]
+    fn repeat_fraction() {
+        let mut t = ReuseTracker::new();
+        t.touch(1);
+        t.touch(1);
+        t.touch(2);
+        t.touch(3);
+        t.touch(4);
+        assert!((t.repeat_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn count_histogram_reflects_multiplicity() {
+        let mut t = ReuseTracker::new();
+        t.touch(1); // once
+        for _ in 0..8 {
+            t.touch(2); // eight times
+        }
+        let h = t.count_histogram();
+        assert_eq!(h.count(), 2);
+        // 1 key in bucket {1}, 1 key in bucket [8,16).
+        assert_eq!(h.bucket_for(8), 3);
+    }
+
+    #[test]
+    fn empty_tracker() {
+        let t = ReuseTracker::new();
+        assert_eq!(t.repeat_fraction(), 0.0);
+        assert_eq!(t.distinct_keys(), 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Running scalar summaries.
+
+/// Running mean / min / max / count of a scalar sample stream.
+///
+/// Used for per-request scalar metrics such as remote-translation round-trip
+/// times (Fig 17).
+///
+/// # Example
+///
+/// ```
+/// let mut s = wsg_sim::stats::Summary::new();
+/// s.record(10.0);
+/// s.record(20.0);
+/// assert_eq!(s.mean(), 15.0);
+/// assert_eq!(s.min(), Some(10.0));
+/// assert_eq!(s.max(), Some(20.0));
+/// assert_eq!(s.count(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the samples; 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Sum of the samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn tracks_extremes() {
+        let mut s = Summary::new();
+        for v in [5.0, -3.0, 12.0] {
+            s.record(v);
+        }
+        assert_eq!(s.min(), Some(-3.0));
+        assert_eq!(s.max(), Some(12.0));
+        assert!((s.mean() - 14.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Summary::new();
+        a.record(1.0);
+        let mut b = Summary::new();
+        b.record(3.0);
+        b.record(5.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.mean(), 3.0);
+        assert_eq!(a.min(), Some(1.0));
+        assert_eq!(a.max(), Some(5.0));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Summary::new();
+        a.record(2.0);
+        let before = a.clone();
+        a.merge(&Summary::new());
+        assert_eq!(a.count(), before.count());
+        assert_eq!(a.mean(), before.mean());
+
+        let mut empty = Summary::new();
+        empty.merge(&before);
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.mean(), 2.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Fixed-window time-series aggregation.
+
+use crate::time::Cycle;
+
+/// Aggregates samples into fixed-width windows of simulated time.
+///
+/// Each window records the number of samples, their sum, and the maximum —
+/// enough to reproduce both the IOMMU buffer-pressure plot (Fig 4, max
+/// occupancy per window) and the served-requests-over-time plot (Fig 13,
+/// count per window).
+///
+/// # Example
+///
+/// ```
+/// let mut ts = wsg_sim::stats::TimeSeries::new(100);
+/// ts.record(10, 5);
+/// ts.record(20, 7);
+/// ts.record(150, 1);
+/// assert_eq!(ts.windows().count(), 2);
+/// let first = ts.windows().next().unwrap();
+/// assert_eq!((first.start, first.count, first.max), (0, 2, 7));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    window: Cycle,
+    windows: Vec<Window>,
+}
+
+/// One aggregation window of a [`TimeSeries`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// Window start time (multiple of the window width).
+    pub start: Cycle,
+    /// Number of samples recorded in the window.
+    pub count: u64,
+    /// Sum of sample values in the window.
+    pub sum: u64,
+    /// Maximum sample value in the window (0 if empty).
+    pub max: u64,
+}
+
+impl TimeSeries {
+    /// Creates a time series with the given window width in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: Cycle) -> Self {
+        assert!(window > 0, "window width must be positive");
+        Self {
+            window,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Records a sample `value` observed at time `now`.
+    pub fn record(&mut self, now: Cycle, value: u64) {
+        let idx = (now / self.window) as usize;
+        if idx >= self.windows.len() {
+            let from = self.windows.len();
+            for i in from..=idx {
+                self.windows.push(Window {
+                    start: i as Cycle * self.window,
+                    count: 0,
+                    sum: 0,
+                    max: 0,
+                });
+            }
+        }
+        let w = &mut self.windows[idx];
+        w.count += 1;
+        w.sum += value;
+        w.max = w.max.max(value);
+    }
+
+    /// Window width in cycles.
+    pub fn window_width(&self) -> Cycle {
+        self.window
+    }
+
+    /// Iterates over all windows from time 0 through the latest sample
+    /// (including empty intermediate windows).
+    pub fn windows(&self) -> impl Iterator<Item = &Window> {
+        self.windows.iter()
+    }
+
+    /// Total sample count across all windows.
+    pub fn total_count(&self) -> u64 {
+        self.windows.iter().map(|w| w.count).sum()
+    }
+
+    /// Maximum per-window `max` over the whole series.
+    pub fn peak(&self) -> u64 {
+        self.windows.iter().map(|w| w.max).max().unwrap_or(0)
+    }
+
+    /// Mean of per-window counts (useful to compare request-rate shapes
+    /// across problem sizes, Fig 13).
+    pub fn mean_count_per_window(&self) -> f64 {
+        if self.windows.is_empty() {
+            return 0.0;
+        }
+        self.total_count() as f64 / self.windows.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "window width must be positive")]
+    fn zero_window_rejected() {
+        TimeSeries::new(0);
+    }
+
+    #[test]
+    fn samples_land_in_windows() {
+        let mut ts = TimeSeries::new(10);
+        ts.record(0, 1);
+        ts.record(9, 2);
+        ts.record(10, 3);
+        let w: Vec<_> = ts.windows().cloned().collect();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].count, 2);
+        assert_eq!(w[0].sum, 3);
+        assert_eq!(w[1].count, 1);
+    }
+
+    #[test]
+    fn gaps_create_empty_windows() {
+        let mut ts = TimeSeries::new(10);
+        ts.record(5, 1);
+        ts.record(35, 1);
+        let w: Vec<_> = ts.windows().cloned().collect();
+        assert_eq!(w.len(), 4);
+        assert_eq!(w[1].count, 0);
+        assert_eq!(w[2].count, 0);
+        assert_eq!(w[1].start, 10);
+    }
+
+    #[test]
+    fn peak_tracks_max_sample() {
+        let mut ts = TimeSeries::new(100);
+        ts.record(0, 3);
+        ts.record(150, 700);
+        ts.record(151, 5);
+        assert_eq!(ts.peak(), 700);
+    }
+
+    #[test]
+    fn mean_count() {
+        let mut ts = TimeSeries::new(10);
+        ts.record(0, 0);
+        ts.record(1, 0);
+        ts.record(15, 0);
+        assert_eq!(ts.mean_count_per_window(), 1.5);
+        assert_eq!(ts.total_count(), 3);
+    }
+
+    #[test]
+    fn empty_series() {
+        let ts = TimeSeries::new(10);
+        assert_eq!(ts.peak(), 0);
+        assert_eq!(ts.mean_count_per_window(), 0.0);
+    }
+}

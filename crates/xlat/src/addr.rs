@@ -1,0 +1,156 @@
+//! Virtual and physical page numbers.
+
+use std::fmt;
+
+/// A virtual page number.
+///
+/// The newtype prevents mixing virtual and physical page numbers, and keeps
+/// HDPAT's clustering arithmetic (`VPN mod N_c`, Eq 1–2) explicit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Vpn(pub u64);
+
+/// A physical page (frame) number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Pfn(pub u64);
+
+impl Vpn {
+    /// The `n`-th next page, saturating — used by proactive delivery, which
+    /// fetches VPN N .. N+3 (§IV-G).
+    pub fn offset(self, n: u64) -> Vpn {
+        Vpn(self.0.saturating_add(n))
+    }
+
+    /// Absolute page-distance to another VPN (observation O4's metric).
+    pub fn distance(self, other: Vpn) -> u64 {
+        self.0.abs_diff(other.0)
+    }
+}
+
+impl fmt::Display for Vpn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for Pfn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{:#x}", self.0)
+    }
+}
+
+/// System page size (Fig 20 sweeps this; 4 KB is the baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum PageSize {
+    /// 4 KB pages (baseline).
+    #[default]
+    Size4K,
+    /// 16 KB pages.
+    Size16K,
+    /// 64 KB pages.
+    Size64K,
+    /// 2 MB pages.
+    Size2M,
+}
+
+impl PageSize {
+    /// Page size in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            PageSize::Size4K => 4 << 10,
+            PageSize::Size16K => 16 << 10,
+            PageSize::Size64K => 64 << 10,
+            PageSize::Size2M => 2 << 20,
+        }
+    }
+
+    /// log2 of the page size.
+    pub fn shift(self) -> u32 {
+        self.bytes().trailing_zeros()
+    }
+
+    /// The VPN containing a virtual byte address.
+    pub fn vpn_of(self, vaddr: u64) -> Vpn {
+        Vpn(vaddr >> self.shift())
+    }
+
+    /// The first byte address of a page.
+    pub fn base_of(self, vpn: Vpn) -> u64 {
+        vpn.0 << self.shift()
+    }
+
+    /// All page sizes, in ascending order (for the Fig 20 sweep).
+    pub fn all() -> [PageSize; 4] {
+        [
+            PageSize::Size4K,
+            PageSize::Size16K,
+            PageSize::Size64K,
+            PageSize::Size2M,
+        ]
+    }
+}
+
+impl fmt::Display for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageSize::Size4K => write!(f, "4KB"),
+            PageSize::Size16K => write!(f, "16KB"),
+            PageSize::Size64K => write!(f, "64KB"),
+            PageSize::Size2M => write!(f, "2MB"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vpn_arithmetic() {
+        let v = Vpn(10);
+        assert_eq!(v.offset(3), Vpn(13));
+        assert_eq!(Vpn(u64::MAX).offset(1), Vpn(u64::MAX));
+        assert_eq!(Vpn(5).distance(Vpn(9)), 4);
+        assert_eq!(Vpn(9).distance(Vpn(5)), 4);
+    }
+
+    #[test]
+    fn page_size_bytes() {
+        assert_eq!(PageSize::Size4K.bytes(), 4096);
+        assert_eq!(PageSize::Size16K.bytes(), 16384);
+        assert_eq!(PageSize::Size64K.bytes(), 65536);
+        assert_eq!(PageSize::Size2M.bytes(), 2 * 1024 * 1024);
+    }
+
+    #[test]
+    fn vpn_of_and_base_roundtrip() {
+        let ps = PageSize::Size4K;
+        assert_eq!(ps.vpn_of(0), Vpn(0));
+        assert_eq!(ps.vpn_of(4095), Vpn(0));
+        assert_eq!(ps.vpn_of(4096), Vpn(1));
+        assert_eq!(ps.base_of(Vpn(3)), 3 * 4096);
+        let addr = 123_456_789;
+        let vpn = ps.vpn_of(addr);
+        assert!(ps.base_of(vpn) <= addr && addr < ps.base_of(vpn.offset(1)));
+    }
+
+    #[test]
+    fn bigger_pages_fewer_vpns() {
+        let addr = 10 << 20; // 10 MB
+        assert!(PageSize::Size2M.vpn_of(addr).0 < PageSize::Size4K.vpn_of(addr).0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Vpn(16)), "v0x10");
+        assert_eq!(format!("{}", Pfn(16)), "p0x10");
+        assert_eq!(format!("{}", PageSize::Size4K), "4KB");
+    }
+
+    #[test]
+    fn all_page_sizes_ascending() {
+        let all = PageSize::all();
+        for pair in all.windows(2) {
+            assert!(pair[0].bytes() < pair[1].bytes());
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Page tables with access-count tracking.
+
+use std::collections::HashMap;
+
+use crate::addr::{Pfn, Vpn};
+
+/// A page-table entry.
+///
+/// Besides the frame number, HDPAT repurposes unused PTE bits as an access
+/// counter that drives *selective push*: only PTEs whose IOMMU walk count
+/// exceeds a threshold are replicated to auxiliary GPMs (§IV-F).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pte {
+    /// The physical frame backing this page.
+    pub pfn: Pfn,
+    /// The GPM whose HBM holds the frame (derived from data placement).
+    pub home_gpm: u32,
+    /// Walk count tracked in spare PTE bits (saturating at the bit width).
+    pub access_count: u32,
+}
+
+/// The number of spare PTE bits assumed for the access counter; counts
+/// saturate at `2^PTE_COUNTER_BITS - 1`.
+pub const PTE_COUNTER_BITS: u32 = 6;
+
+const COUNTER_MAX: u32 = (1 << PTE_COUNTER_BITS) - 1;
+
+/// A page table mapping VPNs to PTEs.
+///
+/// Used both per-GPM (covering only that GPM's local pages, §II-B) and
+/// globally at the IOMMU (covering all pages).
+///
+/// # Example
+///
+/// ```
+/// use wsg_xlat::{PageTable, Vpn, Pfn};
+///
+/// let mut pt = PageTable::new();
+/// pt.map(Vpn(1), Pfn(100), 0);
+/// assert_eq!(pt.translate(Vpn(1)).map(|p| p.pfn), Some(Pfn(100)));
+/// assert!(pt.translate(Vpn(2)).is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PageTable {
+    entries: HashMap<Vpn, Pte>,
+}
+
+impl PageTable {
+    /// Creates an empty page table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs (or replaces) a mapping. Returns the previous PTE, if any.
+    pub fn map(&mut self, vpn: Vpn, pfn: Pfn, home_gpm: u32) -> Option<Pte> {
+        self.entries.insert(
+            vpn,
+            Pte {
+                pfn,
+                home_gpm,
+                access_count: 0,
+            },
+        )
+    }
+
+    /// Removes a mapping (memory free — the only TLB-shootdown trigger the
+    /// paper considers, and one it deems negligible).
+    pub fn unmap(&mut self, vpn: Vpn) -> Option<Pte> {
+        self.entries.remove(&vpn)
+    }
+
+    /// Looks up a mapping without touching the access counter.
+    pub fn translate(&self, vpn: Vpn) -> Option<Pte> {
+        self.entries.get(&vpn).copied()
+    }
+
+    /// Whether `vpn` is mapped.
+    pub fn contains(&self, vpn: Vpn) -> bool {
+        self.entries.contains_key(&vpn)
+    }
+
+    /// Looks up a mapping and increments its spare-bit access counter
+    /// (saturating). Returns the PTE state *after* the increment.
+    pub fn translate_counted(&mut self, vpn: Vpn) -> Option<Pte> {
+        let e = self.entries.get_mut(&vpn)?;
+        e.access_count = (e.access_count + 1).min(COUNTER_MAX);
+        Some(*e)
+    }
+
+    /// Number of mappings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over all mappings in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vpn, &Pte)> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_translate_unmap() {
+        let mut pt = PageTable::new();
+        assert!(pt.is_empty());
+        pt.map(Vpn(3), Pfn(30), 2);
+        let pte = pt.translate(Vpn(3)).unwrap();
+        assert_eq!(pte.pfn, Pfn(30));
+        assert_eq!(pte.home_gpm, 2);
+        assert_eq!(pte.access_count, 0);
+        assert_eq!(pt.unmap(Vpn(3)).unwrap().pfn, Pfn(30));
+        assert!(pt.translate(Vpn(3)).is_none());
+    }
+
+    #[test]
+    fn remap_returns_previous() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn(1), Pfn(10), 0);
+        let prev = pt.map(Vpn(1), Pfn(20), 1).unwrap();
+        assert_eq!(prev.pfn, Pfn(10));
+        assert_eq!(pt.translate(Vpn(1)).unwrap().pfn, Pfn(20));
+        assert_eq!(pt.len(), 1);
+    }
+
+    #[test]
+    fn counted_translation_increments() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn(5), Pfn(50), 0);
+        assert_eq!(pt.translate_counted(Vpn(5)).unwrap().access_count, 1);
+        assert_eq!(pt.translate_counted(Vpn(5)).unwrap().access_count, 2);
+        // Plain translate does not bump the counter.
+        assert_eq!(pt.translate(Vpn(5)).unwrap().access_count, 2);
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn(7), Pfn(70), 0);
+        for _ in 0..2 * COUNTER_MAX {
+            pt.translate_counted(Vpn(7));
+        }
+        assert_eq!(pt.translate(Vpn(7)).unwrap().access_count, COUNTER_MAX);
+    }
+
+    #[test]
+    fn counted_translation_of_missing_page_is_none() {
+        let mut pt = PageTable::new();
+        assert!(pt.translate_counted(Vpn(9)).is_none());
+    }
+
+    #[test]
+    fn contains_and_iter() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn(1), Pfn(1), 0);
+        pt.map(Vpn(2), Pfn(2), 1);
+        assert!(pt.contains(Vpn(1)));
+        assert!(!pt.contains(Vpn(3)));
+        assert_eq!(pt.iter().count(), 2);
+    }
+}

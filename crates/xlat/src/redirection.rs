@@ -1,0 +1,232 @@
+//! The IOMMU-side redirection table (§IV-F).
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::addr::Vpn;
+
+/// The lightweight redirection table HDPAT places at the IOMMU.
+///
+/// Maps recently walked or prefetched VPNs to the auxiliary GPM now holding
+/// the PTE, so later requests for the same VPN are redirected instead of
+/// re-walked. Compared with a TLB of the same area it is (per the paper):
+///
+/// * ~2× as dense — it stores only `(process id, VPN) → GPM id`, no physical
+///   address or permission metadata, so 1024 entries fit where a TLB holds
+///   512 (Fig 19);
+/// * free of MSHRs — a missing entry never blocks the request, it simply
+///   falls through to the PW-queue, preserving concurrency.
+///
+/// Eviction is LRU (Table I). Capacity is fixed at construction.
+///
+/// # Example
+///
+/// ```
+/// use wsg_xlat::{RedirectionTable, Vpn};
+///
+/// let mut rt = RedirectionTable::new(2);
+/// rt.insert(Vpn(1), 7);
+/// rt.insert(Vpn(2), 8);
+/// assert_eq!(rt.lookup(Vpn(1)), Some(7)); // refreshes VPN 1
+/// rt.insert(Vpn(3), 9);                   // evicts VPN 2 (LRU)
+/// assert_eq!(rt.lookup(Vpn(2)), None);
+/// assert_eq!(rt.lookup(Vpn(1)), Some(7));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RedirectionTable {
+    capacity: usize,
+    entries: HashMap<Vpn, Slot>,
+    order: VecDeque<(Vpn, u64)>,
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    gpm: u32,
+    stamp: u64,
+}
+
+impl RedirectionTable {
+    /// Creates a table with the given entry capacity (1024 in Table I).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            capacity,
+            entries: HashMap::with_capacity(capacity),
+            order: VecDeque::new(),
+            stamp: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn touch(&mut self, vpn: Vpn, gpm: u32) {
+        self.stamp += 1;
+        self.entries.insert(
+            vpn,
+            Slot {
+                gpm,
+                stamp: self.stamp,
+            },
+        );
+        self.order.push_back((vpn, self.stamp));
+    }
+
+    fn evict_lru(&mut self) {
+        while let Some((vpn, stamp)) = self.order.pop_front() {
+            if let Some(slot) = self.entries.get(&vpn) {
+                if slot.stamp == stamp {
+                    self.entries.remove(&vpn);
+                    return;
+                }
+            }
+            // Stale order record (entry refreshed or already removed); skip.
+        }
+    }
+
+    /// Records that `gpm` now holds the translation for `vpn`, evicting the
+    /// LRU entry if the table is full.
+    pub fn insert(&mut self, vpn: Vpn, gpm: u32) {
+        if !self.entries.contains_key(&vpn) && self.entries.len() >= self.capacity {
+            self.evict_lru();
+        }
+        self.touch(vpn, gpm);
+    }
+
+    /// Looks up `vpn`, refreshing its LRU position on hit. Returns the
+    /// holder GPM.
+    pub fn lookup(&mut self, vpn: Vpn) -> Option<u32> {
+        match self.entries.get(&vpn).map(|s| s.gpm) {
+            Some(gpm) => {
+                self.hits += 1;
+                self.touch(vpn, gpm);
+                Some(gpm)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Checks presence without updating LRU or statistics.
+    pub fn probe(&self, vpn: Vpn) -> Option<u32> {
+        self.entries.get(&vpn).map(|s| s.gpm)
+    }
+
+    /// Removes `vpn` (e.g. when the holder evicted the PTE); returns whether
+    /// it was present.
+    pub fn remove(&mut self, vpn: Vpn) -> bool {
+        self.entries.remove(&vpn).is_some()
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lifetime hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime misses.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        RedirectionTable::new(0);
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut rt = RedirectionTable::new(4);
+        rt.insert(Vpn(1), 5);
+        assert_eq!(rt.lookup(Vpn(1)), Some(5));
+        assert!(rt.remove(Vpn(1)));
+        assert!(!rt.remove(Vpn(1)));
+        assert_eq!(rt.lookup(Vpn(1)), None);
+        assert_eq!(rt.hits(), 1);
+        assert_eq!(rt.misses(), 1);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut rt = RedirectionTable::new(3);
+        for i in 0..10 {
+            rt.insert(Vpn(i), i as u32);
+        }
+        assert_eq!(rt.len(), 3);
+        assert_eq!(rt.probe(Vpn(9)), Some(9));
+        assert_eq!(rt.probe(Vpn(0)), None);
+    }
+
+    #[test]
+    fn lru_order_respects_lookups() {
+        let mut rt = RedirectionTable::new(2);
+        rt.insert(Vpn(1), 1);
+        rt.insert(Vpn(2), 2);
+        rt.lookup(Vpn(1)); // 1 most recent
+        rt.insert(Vpn(3), 3); // evicts 2
+        assert_eq!(rt.probe(Vpn(1)), Some(1));
+        assert_eq!(rt.probe(Vpn(2)), None);
+        assert_eq!(rt.probe(Vpn(3)), Some(3));
+    }
+
+    #[test]
+    fn reinsert_updates_holder() {
+        let mut rt = RedirectionTable::new(2);
+        rt.insert(Vpn(1), 1);
+        rt.insert(Vpn(1), 9);
+        assert_eq!(rt.len(), 1);
+        assert_eq!(rt.probe(Vpn(1)), Some(9));
+    }
+
+    #[test]
+    fn stale_order_records_are_skipped() {
+        let mut rt = RedirectionTable::new(2);
+        rt.insert(Vpn(1), 1);
+        // Refresh VPN 1 many times, leaving stale order records.
+        for _ in 0..100 {
+            rt.lookup(Vpn(1));
+        }
+        rt.insert(Vpn(2), 2);
+        rt.insert(Vpn(3), 3); // must evict the true LRU (VPN 1 or 2, not panic)
+        assert_eq!(rt.len(), 2);
+        assert_eq!(rt.probe(Vpn(3)), Some(3));
+    }
+
+    #[test]
+    fn probe_does_not_refresh() {
+        let mut rt = RedirectionTable::new(2);
+        rt.insert(Vpn(1), 1);
+        rt.insert(Vpn(2), 2);
+        rt.probe(Vpn(1)); // does NOT refresh
+        rt.insert(Vpn(3), 3); // evicts VPN 1
+        assert_eq!(rt.probe(Vpn(1)), None);
+        assert_eq!(rt.probe(Vpn(2)), Some(2));
+    }
+}

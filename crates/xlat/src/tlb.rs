@@ -1,0 +1,403 @@
+//! Set-associative translation lookaside buffers.
+
+use wsg_sim::Cycle;
+
+use crate::addr::{Pfn, Vpn};
+
+/// Geometry and timing of a TLB (Table I rows "L1 … TLB", "L2 TLB",
+/// "GMMU Cache").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Lookup latency in cycles.
+    pub latency: Cycle,
+    /// MSHR entries limiting outstanding misses (0 = unlimited, used for
+    /// structures without MSHRs such as HDPAT's peer caches).
+    pub mshrs: usize,
+}
+
+impl TlbConfig {
+    /// Table I L1 TLB: 1 set, 32 ways, 4-cycle latency, 4 MSHRs.
+    pub fn paper_l1() -> Self {
+        Self {
+            sets: 1,
+            ways: 32,
+            latency: 4,
+            mshrs: 4,
+        }
+    }
+
+    /// Table I L2 TLB: 64 sets, 32 ways, 32-cycle latency, 32 MSHRs.
+    pub fn paper_l2() -> Self {
+        Self {
+            sets: 64,
+            ways: 32,
+            latency: 32,
+            mshrs: 32,
+        }
+    }
+
+    /// Table I GMMU cache (the last-level TLB): 64 sets, 16 ways.
+    pub fn paper_gmmu_cache() -> Self {
+        Self {
+            sets: 64,
+            ways: 16,
+            latency: 8,
+            mshrs: 0,
+        }
+    }
+
+    /// Total entries.
+    pub fn entries(&self) -> usize {
+        self.sets * self.ways
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TlbEntry {
+    vpn: Vpn,
+    pfn: Pfn,
+    valid: bool,
+    last_used: u64,
+    /// Marks entries installed by HDPAT's proactive delivery; lets the
+    /// simulator attribute hits to prefetching (Fig 16's "proactive"
+    /// category and the prefetch-accuracy statistic).
+    prefetched: bool,
+}
+
+/// A set-associative VPN→PFN cache with true-LRU replacement.
+///
+/// # Example
+///
+/// ```
+/// use wsg_xlat::{Tlb, TlbConfig, Vpn, Pfn};
+///
+/// let mut tlb = Tlb::new(TlbConfig { sets: 2, ways: 2, latency: 4, mshrs: 4 });
+/// assert!(tlb.lookup(Vpn(5)).is_none());
+/// tlb.fill(Vpn(5), Pfn(99), false);
+/// assert_eq!(tlb.lookup(Vpn(5)), Some(Pfn(99)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    cfg: TlbConfig,
+    entries: Vec<TlbEntry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    prefetched_hits: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `ways` is zero.
+    pub fn new(cfg: TlbConfig) -> Self {
+        assert!(cfg.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(cfg.ways > 0, "associativity must be positive");
+        Self {
+            cfg,
+            entries: vec![
+                TlbEntry {
+                    vpn: Vpn(0),
+                    pfn: Pfn(0),
+                    valid: false,
+                    last_used: 0,
+                    prefetched: false,
+                };
+                cfg.entries()
+            ],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            prefetched_hits: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> TlbConfig {
+        self.cfg
+    }
+
+    fn set_of(&self, vpn: Vpn) -> usize {
+        (vpn.0 as usize) & (self.cfg.sets - 1)
+    }
+
+    fn set_slice(&mut self, set: usize) -> &mut [TlbEntry] {
+        let start = set * self.cfg.ways;
+        &mut self.entries[start..start + self.cfg.ways]
+    }
+
+    /// Looks up `vpn`, updating LRU and statistics. Returns the PFN on hit.
+    pub fn lookup(&mut self, vpn: Vpn) -> Option<Pfn> {
+        self.lookup_meta(vpn).map(|(pfn, _)| pfn)
+    }
+
+    /// Like [`Tlb::lookup`] but also reports whether the hit entry was
+    /// installed by proactive delivery — the attribution needed for Fig 16's
+    /// "proactive" category and the prefetch-accuracy statistic. The first
+    /// hit consumes the speculative tag: the entry is demoted to a demand
+    /// entry so a prefetch is counted as *used* at most once.
+    pub fn lookup_meta(&mut self, vpn: Vpn) -> Option<(Pfn, bool)> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(vpn);
+        let mut hit: Option<(Pfn, bool)> = None;
+        for e in self.set_slice(set) {
+            if e.valid && e.vpn == vpn {
+                e.last_used = tick;
+                hit = Some((e.pfn, e.prefetched));
+                e.prefetched = false;
+                break;
+            }
+        }
+        match hit {
+            Some((pfn, was_prefetched)) => {
+                self.hits += 1;
+                if was_prefetched {
+                    self.prefetched_hits += 1;
+                }
+                Some((pfn, was_prefetched))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Checks presence without perturbing LRU or statistics.
+    pub fn probe(&self, vpn: Vpn) -> Option<Pfn> {
+        let set = self.set_of(vpn);
+        let start = set * self.cfg.ways;
+        self.entries[start..start + self.cfg.ways]
+            .iter()
+            .find(|e| e.valid && e.vpn == vpn)
+            .map(|e| e.pfn)
+    }
+
+    /// Inserts a translation at the MRU position, evicting the set's LRU
+    /// entry if needed. Returns the evicted mapping, if any. `prefetched`
+    /// tags entries installed by proactive delivery (attribution only).
+    pub fn fill(&mut self, vpn: Vpn, pfn: Pfn, prefetched: bool) -> Option<(Vpn, Pfn)> {
+        self.fill_at(vpn, pfn, prefetched, false)
+    }
+
+    /// Inserts a speculative (prefetched) translation at the *LRU* position
+    /// — prefetch-aware insertion, so speculative entries are evicted before
+    /// demand entries. Used by HDPAT's peer caches; the conventional IOMMU
+    /// TLB of Fig 19 lacks this and thrashes under proactive delivery.
+    pub fn fill_speculative(&mut self, vpn: Vpn, pfn: Pfn) -> Option<(Vpn, Pfn)> {
+        self.fill_at(vpn, pfn, true, true)
+    }
+
+    fn fill_at(
+        &mut self,
+        vpn: Vpn,
+        pfn: Pfn,
+        prefetched: bool,
+        lru_insert: bool,
+    ) -> Option<(Vpn, Pfn)> {
+        self.tick += 1;
+        // LRU-position insertion uses a stamp below every live entry
+        // (demand stamps start at 1).
+        let tick = if lru_insert { 0 } else { self.tick };
+        let set = self.set_of(vpn);
+        // Update in place if present. A speculative refresh re-arms the
+        // prefetched tag (a new delivery instance) but must not demote a
+        // demand-hot entry to the LRU position; a demand refresh clears it.
+        for e in self.set_slice(set) {
+            if e.valid && e.vpn == vpn {
+                e.pfn = pfn;
+                if !lru_insert {
+                    e.last_used = tick;
+                }
+                e.prefetched = prefetched;
+                return None;
+            }
+        }
+        if let Some(e) = self.set_slice(set).iter_mut().find(|e| !e.valid) {
+            *e = TlbEntry {
+                vpn,
+                pfn,
+                valid: true,
+                last_used: tick,
+                prefetched,
+            };
+            return None;
+        }
+        let victim = self
+            .set_slice(set)
+            .iter_mut()
+            .min_by_key(|e| e.last_used)
+            .expect("ways > 0");
+        let evicted = (victim.vpn, victim.pfn);
+        *victim = TlbEntry {
+            vpn,
+            pfn,
+            valid: true,
+            last_used: tick,
+            prefetched,
+        };
+        Some(evicted)
+    }
+
+    /// Invalidates `vpn`; returns whether it was present.
+    pub fn invalidate(&mut self, vpn: Vpn) -> bool {
+        let set = self.set_of(vpn);
+        for e in self.set_slice(set) {
+            if e.valid && e.vpn == vpn {
+                e.valid = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of valid entries.
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().filter(|e| e.valid).count()
+    }
+
+    /// Lifetime hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime misses.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hits on entries installed by proactive delivery.
+    pub fn prefetched_hits(&self) -> u64 {
+        self.prefetched_hits
+    }
+
+    /// Hit rate in `[0, 1]`; 0 before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Tlb {
+        Tlb::new(TlbConfig {
+            sets: 2,
+            ways: 2,
+            latency: 1,
+            mshrs: 4,
+        })
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_sets_rejected() {
+        Tlb::new(TlbConfig {
+            sets: 3,
+            ways: 1,
+            latency: 1,
+            mshrs: 0,
+        });
+    }
+
+    #[test]
+    fn paper_configs_have_expected_entries() {
+        assert_eq!(TlbConfig::paper_l1().entries(), 32);
+        assert_eq!(TlbConfig::paper_l2().entries(), 2048);
+        assert_eq!(TlbConfig::paper_gmmu_cache().entries(), 1024);
+    }
+
+    #[test]
+    fn fill_then_hit() {
+        let mut t = tiny();
+        assert!(t.lookup(Vpn(8)).is_none());
+        t.fill(Vpn(8), Pfn(3), false);
+        assert_eq!(t.lookup(Vpn(8)), Some(Pfn(3)));
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.misses(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut t = tiny();
+        // Set 0 holds even VPNs.
+        t.fill(Vpn(0), Pfn(0), false);
+        t.fill(Vpn(2), Pfn(2), false);
+        t.lookup(Vpn(0)); // 0 becomes MRU
+        let evicted = t.fill(Vpn(4), Pfn(4), false).unwrap();
+        assert_eq!(evicted, (Vpn(2), Pfn(2)));
+        assert!(t.probe(Vpn(0)).is_some());
+        assert!(t.probe(Vpn(2)).is_none());
+    }
+
+    #[test]
+    fn prefetched_hits_are_attributed() {
+        let mut t = tiny();
+        t.fill(Vpn(1), Pfn(1), true);
+        t.fill(Vpn(3), Pfn(3), false);
+        t.lookup(Vpn(1));
+        t.lookup(Vpn(3));
+        assert_eq!(t.prefetched_hits(), 1);
+        assert_eq!(t.hits(), 2);
+    }
+
+    #[test]
+    fn refill_updates_pfn_in_place() {
+        let mut t = tiny();
+        t.fill(Vpn(6), Pfn(1), false);
+        assert!(t.fill(Vpn(6), Pfn(9), false).is_none());
+        assert_eq!(t.probe(Vpn(6)), Some(Pfn(9)));
+        assert_eq!(t.occupancy(), 1);
+    }
+
+    #[test]
+    fn invalidate_and_occupancy() {
+        let mut t = tiny();
+        t.fill(Vpn(0), Pfn(0), false);
+        t.fill(Vpn(1), Pfn(1), false);
+        assert_eq!(t.occupancy(), 2);
+        assert!(t.invalidate(Vpn(0)));
+        assert!(!t.invalidate(Vpn(0)));
+        assert_eq!(t.occupancy(), 1);
+    }
+
+    #[test]
+    fn probe_does_not_count() {
+        let mut t = tiny();
+        t.fill(Vpn(0), Pfn(0), false);
+        t.probe(Vpn(0));
+        t.probe(Vpn(7));
+        assert_eq!(t.hits() + t.misses(), 0);
+        assert_eq!(t.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn fully_associative_single_set() {
+        let mut t = Tlb::new(TlbConfig {
+            sets: 1,
+            ways: 32,
+            latency: 4,
+            mshrs: 4,
+        });
+        for i in 0..32 {
+            t.fill(Vpn(i), Pfn(i), false);
+        }
+        assert_eq!(t.occupancy(), 32);
+        // 33rd fill evicts the LRU (VPN 0).
+        let evicted = t.fill(Vpn(100), Pfn(100), false).unwrap();
+        assert_eq!(evicted.0, Vpn(0));
+    }
+}

@@ -1,0 +1,53 @@
+//! Ablation sweep: run every benchmark under every translation policy and
+//! print the speedup matrix (the combined content of Figs 14 and 15).
+//!
+//! ```text
+//! cargo run --release --example ablation_sweep            # Bench scale
+//! WSG_SCALE=unit cargo run --release --example ablation_sweep
+//! ```
+
+use hdpat_wafer::prelude::*;
+use hdpat_wafer::sim::stats::geo_mean;
+use std::time::Instant;
+
+fn main() {
+    let scale = match std::env::var("WSG_SCALE").as_deref() {
+        Ok("unit") => Scale::Unit,
+        _ => Scale::Bench,
+    };
+    let policies: Vec<(&str, PolicyKind)> = vec![
+        ("route", PolicyKind::RouteCache { caching_layers: 2 }),
+        ("conc", PolicyKind::Concentric { caching_layers: 2 }),
+        ("dist", PolicyKind::Distributed),
+        ("clust", PolicyKind::Hdpat(HdpatConfig::peer_caching_only())),
+        ("redir", PolicyKind::Hdpat(HdpatConfig::with_redirection_only())),
+        ("pref", PolicyKind::Hdpat(HdpatConfig::with_prefetch_only())),
+        ("hdpat", PolicyKind::hdpat()),
+        ("transfw", PolicyKind::TransFw),
+        ("valk", PolicyKind::Valkyrie),
+        ("barre", PolicyKind::Barre),
+    ];
+
+    let t0 = Instant::now();
+    print!("{:6}", "bench");
+    for (n, _) in &policies {
+        print!(" {n:>8}");
+    }
+    println!();
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
+    for b in BenchmarkId::all() {
+        let base = run(&RunConfig::new(b, scale, PolicyKind::Naive));
+        print!("{:6}", b.to_string());
+        for (i, (_, p)) in policies.iter().enumerate() {
+            let s = run(&RunConfig::new(b, scale, *p)).speedup_vs(&base);
+            cols[i].push(s);
+            print!(" {s:>8.2}");
+        }
+        println!();
+    }
+    print!("{:6}", "GMEAN");
+    for c in &cols {
+        print!(" {:>8.2}", geo_mean(c).expect("speedups are positive"));
+    }
+    println!("\n\ncompleted in {:.1?}", t0.elapsed());
+}

@@ -1,0 +1,52 @@
+//! Quickstart: simulate SPMV on the paper's 7×7 wafer under the baseline
+//! (centralized IOMMU) and under HDPAT, and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hdpat_wafer::prelude::*;
+
+fn main() {
+    let benchmark = BenchmarkId::Spmv;
+    let scale = Scale::Bench;
+
+    println!("Simulating {benchmark} on a 7x7 wafer-scale GPU (48 GPMs x 32 CUs)...\n");
+
+    let baseline = run(&RunConfig::new(benchmark, scale, PolicyKind::Naive));
+    println!("baseline (centralized IOMMU):");
+    println!("  execution time      : {} cycles", baseline.total_cycles);
+    println!("  remote translations : {}", baseline.remote_requests);
+    println!("  IOMMU walks         : {}", baseline.iommu_walks);
+    println!(
+        "  mean remote RTT     : {:.0} cycles",
+        baseline.remote_rtt.mean()
+    );
+    println!(
+        "  peak IOMMU backlog  : {} requests\n",
+        baseline.iommu_buffer.peak()
+    );
+
+    let hdpat = run(&RunConfig::new(benchmark, scale, PolicyKind::hdpat()));
+    println!("HDPAT (concentric caching + redirection + proactive delivery):");
+    println!("  execution time      : {} cycles", hdpat.total_cycles);
+    println!("  IOMMU walks         : {}", hdpat.iommu_walks);
+    println!(
+        "  mean remote RTT     : {:.0} cycles",
+        hdpat.remote_rtt.mean()
+    );
+    println!(
+        "  translations offloaded from the IOMMU: {:.1}%",
+        hdpat.offload_fraction() * 100.0
+    );
+    println!("  resolution breakdown: {}", hdpat.resolution);
+    println!(
+        "  prefetch accuracy   : {:.1}%\n",
+        hdpat.prefetch_accuracy() * 100.0
+    );
+
+    println!(
+        "HDPAT speedup over baseline: {:.2}x",
+        hdpat.speedup_vs(&baseline)
+    );
+}

@@ -1,0 +1,58 @@
+//! Wafer design-space exploration: how HDPAT's benefit scales with wafer
+//! dimensions and with the number of concentric caching layers.
+//!
+//! ```text
+//! cargo run --release --example wafer_explorer
+//! ```
+
+use hdpat_wafer::noc::Coord;
+use hdpat_wafer::prelude::*;
+
+fn wafer(w: u16, h: u16) -> SystemConfig {
+    SystemConfig {
+        layout: WaferLayout::new(w, h, Coord::new(w / 2, h / 2)),
+        ..SystemConfig::paper_baseline()
+    }
+}
+
+fn main() {
+    let benchmark = BenchmarkId::Spmv;
+    let scale = Scale::Unit;
+
+    println!("== wafer-size sweep ({benchmark}, HDPAT vs baseline) ==\n");
+    println!(
+        "{:>8} {:>6} {:>12} {:>12} {:>9}",
+        "wafer", "GPMs", "base cycles", "hdpat cycles", "speedup"
+    );
+    for (w, h) in [(5u16, 5u16), (7, 7), (9, 9), (7, 12)] {
+        let sys = wafer(w, h);
+        let base =
+            run(&RunConfig::new(benchmark, scale, PolicyKind::Naive).with_system(sys.clone()));
+        let hd = run(&RunConfig::new(benchmark, scale, PolicyKind::hdpat()).with_system(sys));
+        println!(
+            "{:>8} {:>6} {:>12} {:>12} {:>8.2}x",
+            format!("{w}x{h}"),
+            w as usize * h as usize - 1,
+            base.total_cycles,
+            hd.total_cycles,
+            hd.speedup_vs(&base)
+        );
+    }
+
+    println!("\n== caching-layer sweep (7x7 wafer) ==\n");
+    println!("{:>3} {:>12} {:>9} {:>9}", "C", "cycles", "speedup", "offload");
+    let base = run(&RunConfig::new(benchmark, scale, PolicyKind::Naive));
+    for c in 1..=3u32 {
+        let policy = PolicyKind::Hdpat(HdpatConfig {
+            caching_layers: c,
+            ..HdpatConfig::paper_default()
+        });
+        let m = run(&RunConfig::new(benchmark, scale, policy));
+        println!(
+            "{c:>3} {:>12} {:>8.2}x {:>8.1}%",
+            m.total_cycles,
+            m.speedup_vs(&base),
+            m.offload_fraction() * 100.0
+        );
+    }
+}

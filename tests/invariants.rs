@@ -1,0 +1,129 @@
+//! Property-based tests on cross-crate invariants: wafer geometry,
+//! clustering maps, address placement, and simulator determinism.
+
+use hdpat_wafer::prelude::*;
+use hdpat_wafer::{gpu, noc, xlat};
+use proptest::prelude::*;
+
+use gpu::AddressSpace;
+use hdpat::layers::ConcentricMap;
+use noc::{xy_route, Coord};
+use xlat::Vpn;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// XY routes are minimal and stay inside the bounding box.
+    #[test]
+    fn xy_routes_are_minimal(ax in 0u16..12, ay in 0u16..12, bx in 0u16..12, by in 0u16..12) {
+        let a = Coord::new(ax, ay);
+        let b = Coord::new(bx, by);
+        let route = xy_route(a, b);
+        prop_assert_eq!(route.len() as u32, a.manhattan(b) + 1);
+        for c in &route {
+            prop_assert!(c.x >= ax.min(bx) && c.x <= ax.max(bx));
+            prop_assert!(c.y >= ay.min(by) && c.y <= ay.max(by));
+        }
+    }
+
+    /// Every wafer layout gives each GPM a unique dense id.
+    #[test]
+    fn wafer_ids_are_dense(w in 2u16..10, h in 2u16..10, cx in 0u16..10, cy in 0u16..10) {
+        let cpu = Coord::new(cx.min(w - 1), cy.min(h - 1));
+        let layout = WaferLayout::new(w, h, cpu);
+        let mut seen = vec![false; layout.gpm_count()];
+        for (id, coord) in layout.iter() {
+            prop_assert_eq!(layout.id_of(coord), Some(id));
+            prop_assert!(!seen[id as usize], "duplicate id");
+            seen[id as usize] = true;
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+
+    /// The concentric map assigns every VPN exactly one holder per layer,
+    /// and that holder is in the right ring.
+    #[test]
+    fn concentric_map_is_consistent(vpn in 0u64..1_000_000, rotation: bool) {
+        let layout = WaferLayout::paper_7x7();
+        let map = ConcentricMap::new(&layout, 2, rotation);
+        for layer in 1..=2 {
+            let a = map.aux_gpm(Vpn(vpn), layer);
+            let b = map.aux_gpm(Vpn(vpn), layer);
+            prop_assert_eq!(a, b, "assignment must be deterministic");
+            prop_assert_eq!(layout.layer_of(a), layer);
+        }
+    }
+
+    /// Block placement sends every page of a buffer to a valid GPM and is
+    /// monotone: later pages never map to earlier GPMs.
+    #[test]
+    fn placement_is_monotone(pages in 1u64..2_000, gpms in 1u32..64) {
+        let mut space = AddressSpace::new(PageSize::Size4K, gpms);
+        let buf = space.alloc("b", pages);
+        let mut last = 0u32;
+        for i in 0..pages {
+            let home = space.home_gpm(Vpn(buf.base_vpn.0 + i)).unwrap();
+            prop_assert!(home < gpms);
+            prop_assert!(home >= last, "placement must be monotone");
+            last = home;
+        }
+    }
+
+    /// Workload generation is a pure function of (benchmark, scale, seed).
+    #[test]
+    fn workload_generation_is_pure(seed in 0u64..1_000) {
+        let b = BenchmarkId::Spmv;
+        let mut s1 = AddressSpace::new(PageSize::Size4K, 48);
+        let mut s2 = AddressSpace::new(PageSize::Size4K, 48);
+        let a = hdpat_wafer::workloads::generate(b, Scale::Unit, &mut s1, seed);
+        let c = hdpat_wafer::workloads::generate(b, Scale::Unit, &mut s2, seed);
+        prop_assert_eq!(a, c);
+    }
+}
+
+#[test]
+fn simulation_is_deterministic_across_policies() {
+    for p in [PolicyKind::Naive, PolicyKind::hdpat(), PolicyKind::Distributed] {
+        let cfg = RunConfig::new(BenchmarkId::Km, Scale::Unit, p);
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.total_cycles, b.total_cycles, "{p} not deterministic");
+        assert_eq!(a.noc_bytes, b.noc_bytes);
+        assert_eq!(a.iommu_walks, b.iommu_walks);
+        assert_eq!(a.gpm_finish, b.gpm_finish);
+    }
+}
+
+#[test]
+fn different_seeds_change_irregular_workload_timing() {
+    let a = run(&RunConfig::new(BenchmarkId::Spmv, Scale::Unit, PolicyKind::Naive).with_seed(1));
+    let b = run(&RunConfig::new(BenchmarkId::Spmv, Scale::Unit, PolicyKind::Naive).with_seed(2));
+    assert_ne!(a.total_cycles, b.total_cycles);
+}
+
+#[test]
+fn rotation_improves_worst_case_probe_distance() {
+    // §IV-E's claim: with rotation, every requester has a nearby caching GPM.
+    let layout = WaferLayout::paper_7x7();
+    let with = ConcentricMap::new(&layout, 2, true);
+    let without = ConcentricMap::new(&layout, 2, false);
+    let worst = |map: &ConcentricMap| -> u32 {
+        let mut worst = 0;
+        for (_, coord) in layout.iter() {
+            for vpn in 0..64u64 {
+                let best = map
+                    .aux_gpms(Vpn(vpn))
+                    .into_iter()
+                    .map(|g| coord.manhattan(layout.coord_of(g)))
+                    .min()
+                    .unwrap();
+                worst = worst.max(best);
+            }
+        }
+        worst
+    };
+    assert!(
+        worst(&with) <= worst(&without),
+        "rotation must not worsen the worst-case distance"
+    );
+}

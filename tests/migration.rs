@@ -1,0 +1,82 @@
+//! Integration tests for the page-migration extension.
+
+use hdpat::experiments::{run, RunConfig};
+use hdpat::{MigrationConfig, Simulation};
+use hdpat_wafer::prelude::*;
+
+fn sim(b: BenchmarkId, p: PolicyKind) -> Simulation {
+    let cfg = RunConfig::new(b, Scale::Unit, p);
+    Simulation::new(cfg.system.clone(), p, b, Scale::Unit, cfg.seed)
+}
+
+#[test]
+fn migration_completes_all_work() {
+    let plain = run(&RunConfig::new(BenchmarkId::Relu, Scale::Unit, PolicyKind::Naive));
+    let migrated = sim(BenchmarkId::Relu, PolicyKind::Naive)
+        .with_migration(MigrationConfig::default_streak())
+        .run();
+    assert_eq!(
+        migrated.ops_completed, plain.ops_completed,
+        "migration must not lose or duplicate ops"
+    );
+    assert!(migrated.total_cycles > 0);
+}
+
+#[test]
+fn migration_actually_migrates_on_sole_consumer_workloads() {
+    // RELU: each page has exactly one (remote) consumer after round-robin
+    // dispatch — the ideal migration target.
+    let m = sim(BenchmarkId::Relu, PolicyKind::Naive)
+        .with_migration(MigrationConfig {
+            streak_threshold: 4,
+            install_latency: 100,
+        })
+        .run();
+    assert!(m.pages_migrated > 0, "no pages migrated");
+}
+
+#[test]
+fn migration_is_off_by_default() {
+    let m = run(&RunConfig::new(BenchmarkId::Relu, Scale::Unit, PolicyKind::Naive));
+    assert_eq!(m.pages_migrated, 0);
+}
+
+#[test]
+fn migration_composes_with_hdpat() {
+    let m = sim(BenchmarkId::Spmv, PolicyKind::hdpat())
+        .with_migration(MigrationConfig::default_streak())
+        .run();
+    assert!(m.ops_completed > 0);
+    // HDPAT mechanisms still operate alongside migration.
+    assert!(m.resolution.total() > 0);
+}
+
+#[test]
+fn migration_is_deterministic() {
+    let a = sim(BenchmarkId::Km, PolicyKind::hdpat())
+        .with_migration(MigrationConfig::default_streak())
+        .run();
+    let b = sim(BenchmarkId::Km, PolicyKind::hdpat())
+        .with_migration(MigrationConfig::default_streak())
+        .run();
+    assert_eq!(a.total_cycles, b.total_cycles);
+    assert_eq!(a.pages_migrated, b.pages_migrated);
+}
+
+#[test]
+fn hot_shared_pages_do_not_migrate() {
+    // PR's rank pages are shared by every GPM: streaks keep resetting, so
+    // few (if any) of them should migrate relative to the page population.
+    let m = sim(BenchmarkId::Pr, PolicyKind::Naive)
+        .with_migration(MigrationConfig::default_streak())
+        .run();
+    let relu = sim(BenchmarkId::Relu, PolicyKind::Naive)
+        .with_migration(MigrationConfig::default_streak())
+        .run();
+    assert!(
+        relu.pages_migrated >= m.pages_migrated,
+        "sole-consumer RELU ({}) should migrate at least as much as shared PR ({})",
+        relu.pages_migrated,
+        m.pages_migrated
+    );
+}
