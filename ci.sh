@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI gate for the HDPAT reproduction. Ordered cheapest-first so fast failures
+# come fast: formatting, clippy (plain and with the audit feature), the
+# determinism lint pass (DESIGN.md, "Determinism & audit policy"), then the
+# tier-1 build + tests and the full workspace suite.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy (workspace, -D warnings)"
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+echo "== cargo clippy (audit feature, -D warnings)"
+cargo clippy -p hdpat-wafer --all-targets --features audit -q -- -D warnings
+
+echo "== determinism lint (cargo run -p xtask -- lint)"
+cargo run -p xtask -q -- lint
+
+echo "== tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "== workspace tests"
+cargo test --workspace -q
+
+echo "CI green."

@@ -6,5 +6,9 @@
 fn main() {
     let scale = wsg_bench::scale_from_env();
     let table = wsg_bench::figures::fig02_headroom(scale);
-    wsg_bench::report::emit("Fig 2", "Performance headroom of idealized IOMMUs over the baseline MMU configuration.", &table);
+    wsg_bench::report::emit(
+        "Fig 2",
+        "Performance headroom of idealized IOMMUs over the baseline MMU configuration.",
+        &table,
+    );
 }

@@ -6,5 +6,9 @@
 fn main() {
     let scale = wsg_bench::scale_from_env();
     let table = wsg_bench::figures::fig03_latency_breakdown(scale);
-    wsg_bench::report::emit("Fig 3", "Averaged latency breakdown per IOMMU translation request for SPMV.", &table);
+    wsg_bench::report::emit(
+        "Fig 3",
+        "Averaged latency breakdown per IOMMU translation request for SPMV.",
+        &table,
+    );
 }

@@ -6,5 +6,9 @@
 fn main() {
     let scale = wsg_bench::scale_from_env();
     let table = wsg_bench::figures::fig04_buffer_pressure(scale);
-    wsg_bench::report::emit("Fig 4", "IOMMU buffer pressure over time: MCM-GPU (4 GPMs) vs wafer-scale GPU (48 GPMs), SPMV.", &table);
+    wsg_bench::report::emit(
+        "Fig 4",
+        "IOMMU buffer pressure over time: MCM-GPU (4 GPMs) vs wafer-scale GPU (48 GPMs), SPMV.",
+        &table,
+    );
 }

@@ -6,5 +6,9 @@
 fn main() {
     let scale = wsg_bench::scale_from_env();
     let table = wsg_bench::figures::fig05_position_imbalance(scale);
-    wsg_bench::report::emit("Fig 5", "GPM execution time by geometric position (concentric ring) for SPMV and MM.", &table);
+    wsg_bench::report::emit(
+        "Fig 5",
+        "GPM execution time by geometric position (concentric ring) for SPMV and MM.",
+        &table,
+    );
 }

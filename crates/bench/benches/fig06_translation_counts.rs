@@ -6,5 +6,9 @@
 fn main() {
     let scale = wsg_bench::scale_from_env();
     let table = wsg_bench::figures::fig06_translation_counts(scale);
-    wsg_bench::report::emit("Fig 6", "Distribution of per-VPN translation counts observed at the IOMMU.", &table);
+    wsg_bench::report::emit(
+        "Fig 6",
+        "Distribution of per-VPN translation counts observed at the IOMMU.",
+        &table,
+    );
 }

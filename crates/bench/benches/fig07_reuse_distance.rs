@@ -6,5 +6,9 @@
 fn main() {
     let scale = wsg_bench::scale_from_env();
     let table = wsg_bench::figures::fig07_reuse_distance(scale);
-    wsg_bench::report::emit("Fig 7", "Reuse distances between repeated translation requests (selected benchmarks).", &table);
+    wsg_bench::report::emit(
+        "Fig 7",
+        "Reuse distances between repeated translation requests (selected benchmarks).",
+        &table,
+    );
 }

@@ -6,5 +6,9 @@
 fn main() {
     let scale = wsg_bench::scale_from_env();
     let table = wsg_bench::figures::fig08_spatial_locality(scale);
-    wsg_bench::report::emit("Fig 8", "VPN distance between consecutive IOMMU translation requests (spatial locality).", &table);
+    wsg_bench::report::emit(
+        "Fig 8",
+        "VPN distance between consecutive IOMMU translation requests (spatial locality).",
+        &table,
+    );
 }

@@ -5,5 +5,9 @@
 
 fn main() {
     let table = wsg_bench::figures::fig13_size_invariance();
-    wsg_bench::report::emit("Fig 13", "IOMMU-served request rate over normalized time for FIR at two problem sizes.", &table);
+    wsg_bench::report::emit(
+        "Fig 13",
+        "IOMMU-served request rate over normalized time for FIR at two problem sizes.",
+        &table,
+    );
 }

@@ -6,5 +6,9 @@
 fn main() {
     let scale = wsg_bench::scale_from_env();
     let table = wsg_bench::figures::fig16_breakdown(scale);
-    wsg_bench::report::emit("Fig 16", "Breakdown of how address translations are handled in HDPAT.", &table);
+    wsg_bench::report::emit(
+        "Fig 16",
+        "Breakdown of how address translations are handled in HDPAT.",
+        &table,
+    );
 }

@@ -6,5 +6,9 @@
 fn main() {
     let scale = wsg_bench::scale_from_env();
     let table = wsg_bench::figures::fig18_prefetch_granularity(scale);
-    wsg_bench::report::emit("Fig 18", "Performance impact of proactive-delivery granularity (1/4/8 PTEs).", &table);
+    wsg_bench::report::emit(
+        "Fig 18",
+        "Performance impact of proactive-delivery granularity (1/4/8 PTEs).",
+        &table,
+    );
 }

@@ -6,5 +6,9 @@
 fn main() {
     let scale = wsg_bench::scale_from_env();
     let table = wsg_bench::figures::fig20_page_size(scale);
-    wsg_bench::report::emit("Fig 20", "System page-size sweep, normalized to the 4KB baseline.", &table);
+    wsg_bench::report::emit(
+        "Fig 20",
+        "System page-size sweep, normalized to the 4KB baseline.",
+        &table,
+    );
 }

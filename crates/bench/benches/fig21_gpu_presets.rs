@@ -6,5 +6,9 @@
 fn main() {
     let scale = wsg_bench::scale_from_env();
     let table = wsg_bench::figures::fig21_gpu_presets(scale);
-    wsg_bench::report::emit("Fig 21", "Geometric-mean HDPAT speedup across commercial GPU configurations.", &table);
+    wsg_bench::report::emit(
+        "Fig 21",
+        "Geometric-mean HDPAT speedup across commercial GPU configurations.",
+        &table,
+    );
 }

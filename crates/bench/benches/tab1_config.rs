@@ -5,5 +5,9 @@
 
 fn main() {
     let table = wsg_bench::figures::tab1_config();
-    wsg_bench::report::emit("Table I", "Configuration of the simulated wafer-scale GPU.", &table);
+    wsg_bench::report::emit(
+        "Table I",
+        "Configuration of the simulated wafer-scale GPU.",
+        &table,
+    );
 }

@@ -5,5 +5,9 @@
 
 fn main() {
     let table = wsg_bench::figures::tab2_workloads();
-    wsg_bench::report::emit("Table II", "Benchmarks, workgroup counts, and memory footprints.", &table);
+    wsg_bench::report::emit(
+        "Table II",
+        "Benchmarks, workgroup counts, and memory footprints.",
+        &table,
+    );
 }

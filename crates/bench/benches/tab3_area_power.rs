@@ -5,5 +5,9 @@
 
 fn main() {
     let table = wsg_bench::figures::tab3_area_power();
-    wsg_bench::report::emit("Sec V-F", "Area and power overhead of the HDPAT hardware additions.", &table);
+    wsg_bench::report::emit(
+        "Sec V-F",
+        "Area and power overhead of the HDPAT hardware additions.",
+        &table,
+    );
 }

@@ -25,10 +25,22 @@ fn policies() -> Vec<(&'static str, PolicyKind)> {
         ("transfw", PolicyKind::TransFw),
         ("valkyrie", PolicyKind::Valkyrie),
         ("barre", PolicyKind::Barre),
-        ("cluster", PolicyKind::Hdpat(HdpatConfig::peer_caching_only())),
-        ("redir", PolicyKind::Hdpat(HdpatConfig::with_redirection_only())),
-        ("prefetch", PolicyKind::Hdpat(HdpatConfig::with_prefetch_only())),
-        ("hdpat-tlb", PolicyKind::Hdpat(HdpatConfig::with_iommu_tlb())),
+        (
+            "cluster",
+            PolicyKind::Hdpat(HdpatConfig::peer_caching_only()),
+        ),
+        (
+            "redir",
+            PolicyKind::Hdpat(HdpatConfig::with_redirection_only()),
+        ),
+        (
+            "prefetch",
+            PolicyKind::Hdpat(HdpatConfig::with_prefetch_only()),
+        ),
+        (
+            "hdpat-tlb",
+            PolicyKind::Hdpat(HdpatConfig::with_iommu_tlb()),
+        ),
         ("hdpat", PolicyKind::hdpat()),
     ]
 }
@@ -81,12 +93,21 @@ fn main() {
     match cmd.as_str() {
         "list" => cmd_list(),
         "run" => {
-            let b = args.get(1).and_then(|s| parse_benchmark(s)).unwrap_or_else(|| usage());
-            let p = args.get(2).and_then(|s| parse_policy(s)).unwrap_or_else(|| usage());
+            let b = args
+                .get(1)
+                .and_then(|s| parse_benchmark(s))
+                .unwrap_or_else(|| usage());
+            let p = args
+                .get(2)
+                .and_then(|s| parse_policy(s))
+                .unwrap_or_else(|| usage());
             cmd_run(b, p, scale, seed);
         }
         "compare" => {
-            let b = args.get(1).and_then(|s| parse_benchmark(s)).unwrap_or_else(|| usage());
+            let b = args
+                .get(1)
+                .and_then(|s| parse_benchmark(s))
+                .unwrap_or_else(|| usage());
             cmd_compare(b, scale, seed);
         }
         "figure" => {
@@ -94,7 +115,10 @@ fn main() {
             cmd_figure(&name, scale);
         }
         "trace" => {
-            let b = args.get(1).and_then(|s| parse_benchmark(s)).unwrap_or_else(|| usage());
+            let b = args
+                .get(1)
+                .and_then(|s| parse_benchmark(s))
+                .unwrap_or_else(|| usage());
             cmd_trace(b, scale, seed);
         }
         _ => usage(),
@@ -105,14 +129,22 @@ fn cmd_list() {
     let mut t = Table::new(vec!["benchmark", "suite", "pattern"]);
     for b in BenchmarkId::all() {
         let i = b.info();
-        t.row(vec![i.abbr.to_string(), i.suite.to_string(), i.pattern.to_string()]);
+        t.row(vec![
+            i.abbr.to_string(),
+            i.suite.to_string(),
+            i.pattern.to_string(),
+        ]);
     }
     emit("Benchmarks", "Table II workloads.", &t);
     let mut t = Table::new(vec!["policy", "description"]);
     for (n, p) in policies() {
         t.row(vec![n.to_string(), p.name().to_string()]);
     }
-    emit("Policies", "Translation policies (paper name in the right column).", &t);
+    emit(
+        "Policies",
+        "Translation policies (paper name in the right column).",
+        &t,
+    );
 }
 
 fn cmd_run(b: BenchmarkId, p: PolicyKind, scale: Scale, seed: u64) {
@@ -129,14 +161,29 @@ fn cmd_run(b: BenchmarkId, p: PolicyKind, scale: Scale, seed: u64) {
     println!("  resolution          : {}", m.resolution);
     println!("  mean remote RTT     : {:.0} cycles", m.remote_rtt.mean());
     println!("  peak IOMMU backlog  : {}", m.iommu_buffer.peak());
-    println!("  prefetch accuracy   : {:.1}%", m.prefetch_accuracy() * 100.0);
-    println!("  NoC traffic         : {} bytes, {} packets", m.noc_bytes, m.noc_packets);
-    println!("  GPM imbalance       : {:.2} (max/mean finish)", m.gpm_imbalance());
+    println!(
+        "  prefetch accuracy   : {:.1}%",
+        m.prefetch_accuracy() * 100.0
+    );
+    println!(
+        "  NoC traffic         : {} bytes, {} packets",
+        m.noc_bytes, m.noc_packets
+    );
+    println!(
+        "  GPM imbalance       : {:.2} (max/mean finish)",
+        m.gpm_imbalance()
+    );
 }
 
 fn cmd_compare(b: BenchmarkId, scale: Scale, seed: u64) {
     let base = run(&RunConfig::new(b, scale, PolicyKind::Naive).with_seed(seed));
-    let mut t = Table::new(vec!["policy", "cycles", "speedup", "iommu-walks", "offload"]);
+    let mut t = Table::new(vec![
+        "policy",
+        "cycles",
+        "speedup",
+        "iommu-walks",
+        "offload",
+    ]);
     for (n, p) in policies() {
         let m = if matches!(p, PolicyKind::Naive) {
             base.clone()
@@ -200,7 +247,10 @@ fn cmd_trace(b: BenchmarkId, scale: Scale, seed: u64) {
     println!("{b} — {} ({})", info.name, info.suite);
     println!("  pattern          : {}", info.pattern);
     println!("  workgroups       : {}", wgs.len());
-    println!("  memory ops       : {ops} ({:.0}% reads)", reads as f64 / ops as f64 * 100.0);
+    println!(
+        "  memory ops       : {ops} ({:.0}% reads)",
+        reads as f64 / ops as f64 * 100.0
+    );
     println!("  distinct pages   : {}", pages.len());
     println!(
         "  remote ops       : {:.1}% (block placement, round-robin dispatch)",
@@ -217,19 +267,46 @@ type FigureFn = Box<dyn Fn() -> Table>;
 fn cmd_figure(name: &str, scale: Scale) {
     let all: Vec<(&str, FigureFn)> = vec![
         ("fig02", Box::new(move || figures::fig02_headroom(scale))),
-        ("fig03", Box::new(move || figures::fig03_latency_breakdown(scale))),
-        ("fig04", Box::new(move || figures::fig04_buffer_pressure(scale))),
-        ("fig05", Box::new(move || figures::fig05_position_imbalance(scale))),
-        ("fig06", Box::new(move || figures::fig06_translation_counts(scale))),
-        ("fig07", Box::new(move || figures::fig07_reuse_distance(scale))),
-        ("fig08", Box::new(move || figures::fig08_spatial_locality(scale))),
+        (
+            "fig03",
+            Box::new(move || figures::fig03_latency_breakdown(scale)),
+        ),
+        (
+            "fig04",
+            Box::new(move || figures::fig04_buffer_pressure(scale)),
+        ),
+        (
+            "fig05",
+            Box::new(move || figures::fig05_position_imbalance(scale)),
+        ),
+        (
+            "fig06",
+            Box::new(move || figures::fig06_translation_counts(scale)),
+        ),
+        (
+            "fig07",
+            Box::new(move || figures::fig07_reuse_distance(scale)),
+        ),
+        (
+            "fig08",
+            Box::new(move || figures::fig08_spatial_locality(scale)),
+        ),
         ("fig13", Box::new(figures::fig13_size_invariance)),
         ("fig14", Box::new(move || figures::fig14_overall(scale))),
         ("fig15", Box::new(move || figures::fig15_ablation(scale))),
         ("fig16", Box::new(move || figures::fig16_breakdown(scale))),
-        ("fig17", Box::new(move || figures::fig17_response_time(scale))),
-        ("fig18", Box::new(move || figures::fig18_prefetch_granularity(scale))),
-        ("fig19", Box::new(move || figures::fig19_redir_vs_tlb(scale))),
+        (
+            "fig17",
+            Box::new(move || figures::fig17_response_time(scale)),
+        ),
+        (
+            "fig18",
+            Box::new(move || figures::fig18_prefetch_granularity(scale)),
+        ),
+        (
+            "fig19",
+            Box::new(move || figures::fig19_redir_vs_tlb(scale)),
+        ),
         ("fig20", Box::new(move || figures::fig20_page_size(scale))),
         ("fig21", Box::new(move || figures::fig21_gpu_presets(scale))),
         ("fig22", Box::new(move || figures::fig22_wafer_7x12(scale))),

@@ -63,8 +63,13 @@ pub fn fig04_buffer_pressure(scale: Scale) -> Table {
         layout: WaferLayout::mcm_4gpm(),
         ..SystemConfig::paper_baseline()
     };
-    let mcm = run(&RunConfig::new(BenchmarkId::Spmv, scale, PolicyKind::Naive).with_system(mcm_sys));
-    let mut t = Table::new(vec!["window-start", "mcm-4gpm-occupancy", "wafer-48gpm-occupancy"]);
+    let mcm =
+        run(&RunConfig::new(BenchmarkId::Spmv, scale, PolicyKind::Naive).with_system(mcm_sys));
+    let mut t = Table::new(vec![
+        "window-start",
+        "mcm-4gpm-occupancy",
+        "wafer-48gpm-occupancy",
+    ]);
     let mcm_w: Vec<u64> = mcm.iommu_buffer.windows().map(|w| w.max).collect();
     let wafer_w: Vec<u64> = wafer.iommu_buffer.windows().map(|w| w.max).collect();
     let width = wafer.iommu_buffer.window_width();
@@ -188,8 +193,16 @@ pub fn fig08_spatial_locality(scale: Scale) -> Table {
 /// Fig 13: IOMMU-served request time series for FIR at two problem sizes,
 /// normalized per window to show the size-invariant shape.
 pub fn fig13_size_invariance() -> Table {
-    let small = run(&RunConfig::new(BenchmarkId::Fir, Scale::Unit, PolicyKind::Naive));
-    let large = run(&RunConfig::new(BenchmarkId::Fir, Scale::Bench, PolicyKind::Naive));
+    let small = run(&RunConfig::new(
+        BenchmarkId::Fir,
+        Scale::Unit,
+        PolicyKind::Naive,
+    ));
+    let large = run(&RunConfig::new(
+        BenchmarkId::Fir,
+        Scale::Bench,
+        PolicyKind::Naive,
+    ));
     let series = |m: &Metrics| -> Vec<f64> {
         let counts: Vec<u64> = m.iommu_served.windows().map(|w| w.count).collect();
         let peak = counts.iter().copied().max().unwrap_or(1).max(1) as f64;
@@ -212,7 +225,11 @@ pub fn fig13_size_invariance() -> Table {
             .collect()
     };
     let (rs, rl) = (resample(&s), resample(&l));
-    let mut t = Table::new(vec!["phase", "small-normalized-rate", "large-normalized-rate"]);
+    let mut t = Table::new(vec![
+        "phase",
+        "small-normalized-rate",
+        "large-normalized-rate",
+    ]);
     for i in 0..10 {
         t.row(vec![
             format!("{}%", i * 10),
@@ -241,9 +258,18 @@ pub fn fig15_ablation(scale: Scale) -> Table {
         ("route", PolicyKind::RouteCache { caching_layers: 2 }),
         ("concentric", PolicyKind::Concentric { caching_layers: 2 }),
         ("distributed", PolicyKind::Distributed),
-        ("cluster+rot", PolicyKind::Hdpat(HdpatConfig::peer_caching_only())),
-        ("+redirection", PolicyKind::Hdpat(HdpatConfig::with_redirection_only())),
-        ("+prefetch", PolicyKind::Hdpat(HdpatConfig::with_prefetch_only())),
+        (
+            "cluster+rot",
+            PolicyKind::Hdpat(HdpatConfig::peer_caching_only()),
+        ),
+        (
+            "+redirection",
+            PolicyKind::Hdpat(HdpatConfig::with_redirection_only()),
+        ),
+        (
+            "+prefetch",
+            PolicyKind::Hdpat(HdpatConfig::with_prefetch_only()),
+        ),
         ("HDPAT", PolicyKind::hdpat()),
     ];
     policy_matrix(scale, &policies)
@@ -358,7 +384,10 @@ pub fn fig18_prefetch_granularity(scale: Scale) -> Table {
 pub fn fig19_redir_vs_tlb(scale: Scale) -> Table {
     let policies = [
         ("redirection-table", PolicyKind::hdpat()),
-        ("iommu-tlb", PolicyKind::Hdpat(HdpatConfig::with_iommu_tlb())),
+        (
+            "iommu-tlb",
+            PolicyKind::Hdpat(HdpatConfig::with_iommu_tlb()),
+        ),
     ];
     policy_matrix(scale, &policies)
 }
@@ -393,10 +422,8 @@ pub fn fig20_page_size(scale: Scale) -> Table {
         let mut base_norm = Vec::new();
         let mut hd_norm = Vec::new();
         for (i, b) in BenchmarkId::all().into_iter().enumerate() {
-            let base =
-                run(&RunConfig::new(b, scale, PolicyKind::Naive).with_system(sys.clone()));
-            let hd =
-                run(&RunConfig::new(b, scale, PolicyKind::hdpat()).with_system(sys.clone()));
+            let base = run(&RunConfig::new(b, scale, PolicyKind::Naive).with_system(sys.clone()));
+            let hd = run(&RunConfig::new(b, scale, PolicyKind::hdpat()).with_system(sys.clone()));
             base_norm.push(refs[i] / base.total_cycles as f64);
             hd_norm.push(refs[i] / hd.total_cycles as f64);
         }
@@ -416,10 +443,8 @@ pub fn fig21_gpu_presets(scale: Scale) -> Table {
         let sys = SystemConfig::with_preset(preset);
         let mut speeds = Vec::new();
         for b in BenchmarkId::all() {
-            let base =
-                run(&RunConfig::new(b, scale, PolicyKind::Naive).with_system(sys.clone()));
-            let hd =
-                run(&RunConfig::new(b, scale, PolicyKind::hdpat()).with_system(sys.clone()));
+            let base = run(&RunConfig::new(b, scale, PolicyKind::Naive).with_system(sys.clone()));
+            let hd = run(&RunConfig::new(b, scale, PolicyKind::hdpat()).with_system(sys.clone()));
             speeds.push(hd.speedup_vs(&base));
         }
         t.row(vec![
@@ -456,7 +481,10 @@ pub fn fig22_wafer_7x12(scale: Scale) -> Table {
 pub fn tab1_config() -> Table {
     let cfg = SystemConfig::paper_baseline();
     let mut t = Table::new(vec!["module", "configuration"]);
-    t.row(vec!["CU".into(), format!("1.0 GHz, {} per GPM", cfg.gpm.cus)]);
+    t.row(vec![
+        "CU".into(),
+        format!("1.0 GHz, {} per GPM", cfg.gpm.cus),
+    ]);
     t.row(vec![
         "L1 Vector Cache".into(),
         format!(
@@ -489,7 +517,10 @@ pub fn tab1_config() -> Table {
     ]);
     t.row(vec![
         "GMMU Cache".into(),
-        format!("{}-set, {}-way", cfg.gpm.gmmu_cache.sets, cfg.gpm.gmmu_cache.ways),
+        format!(
+            "{}-set, {}-way",
+            cfg.gpm.gmmu_cache.sets, cfg.gpm.gmmu_cache.ways
+        ),
     ]);
     t.row(vec![
         "GMMU".into(),
@@ -539,7 +570,13 @@ pub fn tab1_config() -> Table {
 
 /// Table II: the benchmark catalog.
 pub fn tab2_workloads() -> Table {
-    let mut t = Table::new(vec!["abbr", "benchmark", "suite", "workgroups", "memory-fp"]);
+    let mut t = Table::new(vec![
+        "abbr",
+        "benchmark",
+        "suite",
+        "workgroups",
+        "memory-fp",
+    ]);
     for b in BenchmarkId::all() {
         let info = b.info();
         t.row(vec![

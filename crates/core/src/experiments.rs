@@ -140,7 +140,11 @@ pub fn run_with_baseline(cfg: &RunConfig) -> (Metrics, Metrics, f64) {
 
 /// Runs every Table II benchmark under `policy` at `scale` and returns
 /// per-benchmark metrics in catalog order.
-pub fn run_all(policy: PolicyKind, scale: Scale, system: &SystemConfig) -> Vec<(BenchmarkId, Metrics)> {
+pub fn run_all(
+    policy: PolicyKind,
+    scale: Scale,
+    system: &SystemConfig,
+) -> Vec<(BenchmarkId, Metrics)> {
     BenchmarkId::all()
         .into_iter()
         .map(|b| {
@@ -156,7 +160,11 @@ mod tests {
 
     #[test]
     fn naive_run_completes_all_ops() {
-        let m = run(&RunConfig::new(BenchmarkId::Relu, Scale::Unit, PolicyKind::Naive));
+        let m = run(&RunConfig::new(
+            BenchmarkId::Relu,
+            Scale::Unit,
+            PolicyKind::Naive,
+        ));
         assert!(m.ops_completed > 1000, "ops: {}", m.ops_completed);
         assert!(m.total_cycles > 0);
     }
@@ -189,7 +197,11 @@ mod tests {
 
     #[test]
     fn baseline_resolves_everything_at_iommu() {
-        let m = run(&RunConfig::new(BenchmarkId::Spmv, Scale::Unit, PolicyKind::Naive));
+        let m = run(&RunConfig::new(
+            BenchmarkId::Spmv,
+            Scale::Unit,
+            PolicyKind::Naive,
+        ));
         assert_eq!(m.resolution.value("peer-cache"), 0);
         assert_eq!(m.resolution.value("redirection"), 0);
         assert!(m.resolution.value("iommu") > 0);
@@ -197,7 +209,11 @@ mod tests {
 
     #[test]
     fn hdpat_offloads_translations() {
-        let m = run(&RunConfig::new(BenchmarkId::Pr, Scale::Unit, PolicyKind::hdpat()));
+        let m = run(&RunConfig::new(
+            BenchmarkId::Pr,
+            Scale::Unit,
+            PolicyKind::hdpat(),
+        ));
         assert!(
             m.offload_fraction() > 0.05,
             "offload fraction {}",

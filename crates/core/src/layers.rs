@@ -123,12 +123,7 @@ pub fn concentric_chain(layout: &WaferLayout, c: u32, requester: u32) -> Vec<u32
         let nearest = candidates
             .into_iter()
             .filter(|&g| g != requester)
-            .min_by_key(|&g| {
-                (
-                    layout.coord_of(requester).manhattan(layout.coord_of(g)),
-                    g,
-                )
-            });
+            .min_by_key(|&g| (layout.coord_of(requester).manhattan(layout.coord_of(g)), g));
         if let Some(g) = nearest {
             chain.push(g);
         }

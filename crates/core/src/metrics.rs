@@ -205,6 +205,67 @@ impl Metrics {
     pub fn translation_count_histogram(&self) -> LogHistogram {
         self.iommu_reuse.count_histogram()
     }
+
+    /// Serializes every metric into a stable text form: two runs of the same
+    /// `(benchmark, seed)` must produce byte-identical output
+    /// (`tests/determinism.rs` enforces this). Fields appear in declaration
+    /// order; the reuse tracker is rendered through its order-independent
+    /// accessors because its internal bookkeeping is hash-keyed.
+    pub fn to_deterministic_string(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "total_cycles: {}", self.total_cycles);
+        let _ = writeln!(s, "gpm_finish: {:?}", self.gpm_finish);
+        let _ = writeln!(s, "ops_completed: {}", self.ops_completed);
+        let _ = writeln!(s, "local_translations: {}", self.local_translations);
+        let _ = writeln!(s, "local_walks: {}", self.local_walks);
+        let _ = writeln!(s, "cuckoo_false_positives: {}", self.cuckoo_false_positives);
+        let _ = writeln!(s, "remote_requests: {}", self.remote_requests);
+        let _ = writeln!(s, "remote_coalesced: {}", self.remote_coalesced);
+        let _ = writeln!(s, "resolution: {:?}", self.resolution);
+        let _ = writeln!(s, "iommu_latency: {:?}", self.iommu_latency);
+        let _ = writeln!(s, "iommu_buffer: {:?}", self.iommu_buffer);
+        let _ = writeln!(s, "iommu_served: {:?}", self.iommu_served);
+        let _ = writeln!(
+            s,
+            "iommu_reuse.counts: {:?}",
+            self.iommu_reuse.count_histogram()
+        );
+        let _ = writeln!(
+            s,
+            "iommu_reuse.reuse: {:?}",
+            self.iommu_reuse.reuse_histogram()
+        );
+        let _ = writeln!(
+            s,
+            "iommu_reuse.distinct: {}",
+            self.iommu_reuse.distinct_keys()
+        );
+        let _ = writeln!(
+            s,
+            "iommu_reuse.touches: {}",
+            self.iommu_reuse.total_touches()
+        );
+        let _ = writeln!(s, "vpn_delta: {:?}", self.vpn_delta);
+        let _ = writeln!(s, "remote_rtt: {:?}", self.remote_rtt);
+        let _ = writeln!(s, "rtt_peer: {:?}", self.rtt_peer);
+        let _ = writeln!(s, "rtt_redirection: {:?}", self.rtt_redirection);
+        let _ = writeln!(s, "rtt_proactive: {:?}", self.rtt_proactive);
+        let _ = writeln!(s, "rtt_iommu: {:?}", self.rtt_iommu);
+        let _ = writeln!(s, "remote_retries: {}", self.remote_retries);
+        let _ = writeln!(s, "iommu_walks: {}", self.iommu_walks);
+        let _ = writeln!(s, "iommu_coalesced: {}", self.iommu_coalesced);
+        let _ = writeln!(s, "redirect_misses: {}", self.redirect_misses);
+        let _ = writeln!(s, "iommu_tlb_stalls: {}", self.iommu_tlb_stalls);
+        let _ = writeln!(s, "ptes_pushed: {}", self.ptes_pushed);
+        let _ = writeln!(s, "prefetches_issued: {}", self.prefetches_issued);
+        let _ = writeln!(s, "prefetches_used: {}", self.prefetches_used);
+        let _ = writeln!(s, "noc_bytes: {}", self.noc_bytes);
+        let _ = writeln!(s, "noc_hop_bytes: {}", self.noc_hop_bytes);
+        let _ = writeln!(s, "noc_packets: {}", self.noc_packets);
+        let _ = writeln!(s, "pages_migrated: {}", self.pages_migrated);
+        s
+    }
 }
 
 #[cfg(test)]

@@ -104,7 +104,13 @@ impl Simulation {
     /// transfers the page data across the mesh, and broadcasts a TLB
     /// shootdown to every GPM (the cost the paper cites for excluding
     /// migration).
-    fn migrate_page(&mut self, t: Cycle, vpn: Vpn, dest: u32, cfg: crate::migration::MigrationConfig) {
+    fn migrate_page(
+        &mut self,
+        t: Cycle,
+        vpn: Vpn,
+        dest: u32,
+        cfg: crate::migration::MigrationConfig,
+    ) {
         let Some(old_home) = self.home_of(vpn) else {
             return;
         };
@@ -157,7 +163,8 @@ impl Simulation {
         let page_bytes = self.cfg.page_size.bytes();
         let from = self.gpm_coord(old_home);
         let to = self.gpm_coord(dest);
-        self.mesh.send(from, to, page_bytes, t + cfg.install_latency);
+        self.mesh
+            .send(from, to, page_bytes, t + cfg.install_latency);
         self.metrics.pages_migrated += 1;
     }
 

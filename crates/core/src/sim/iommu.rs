@@ -47,11 +47,7 @@ impl Simulation {
             let hit = if self.reqs[req as usize].redirect_failed {
                 None
             } else {
-                self.iommu
-                    .tlb
-                    .as_mut()
-                    .expect("checked")
-                    .lookup_meta(vpn)
+                self.iommu.tlb.as_mut().expect("checked").lookup_meta(vpn)
             };
             if let Some((pfn, prefetched)) = hit {
                 let to = self.gpm_coord(self.reqs[req as usize].gpm);
@@ -130,7 +126,8 @@ impl Simulation {
                 self.reqs[req as usize].pw_entered = Some(t);
                 self.reqs[req as usize].walk_started = Some(t);
                 self.note_walk_started(req);
-                self.queue.push(t + walk_latency, Event::IommuWalkDone { req });
+                self.queue
+                    .push(t + walk_latency, Event::IommuWalkDone { req });
             }
             SubmitResult::Queued => {
                 self.reqs[req as usize].pw_entered = Some(t);
@@ -175,7 +172,13 @@ impl Simulation {
                 } else {
                     Resolution::Redirection
                 };
-                self.send(from, to, bytes, t + lat, Event::XlatResponse { req, pfn, source });
+                self.send(
+                    from,
+                    to,
+                    bytes,
+                    t + lat,
+                    Event::XlatResponse { req, pfn, source },
+                );
             }
             None => {
                 // Stale redirection: drop the entry and walk after all.
@@ -207,7 +210,8 @@ impl Simulation {
                 SubmitResult::Started => {
                     self.reqs[r as usize].walk_started = Some(t);
                     self.note_walk_started(r);
-                    self.queue.push(t + walk_latency, Event::IommuWalkDone { req: r });
+                    self.queue
+                        .push(t + walk_latency, Event::IommuWalkDone { req: r });
                 }
                 SubmitResult::Queued => {}
                 SubmitResult::Rejected => unreachable!("checked saturation"),
@@ -259,11 +263,7 @@ impl Simulation {
             if map_available && pte.access_count >= h.push_threshold {
                 self.push_to_layers(t, vpn, false);
                 if h.redirection && self.iommu.tlb.is_none() {
-                    let holder = self
-                        .concentric
-                        .as_ref()
-                        .expect("checked")
-                        .aux_gpm(vpn, 1);
+                    let holder = self.concentric.as_ref().expect("checked").aux_gpm(vpn, 1);
                     self.iommu.redirection.insert(vpn, holder);
                 }
             }
@@ -278,11 +278,8 @@ impl Simulation {
                         // The paper updates the redirection table for VPN
                         // N+1 only (§IV-G), limiting prefetch pollution.
                         if k == 1 && h.redirection && self.iommu.tlb.is_none() {
-                            let holder = self
-                                .concentric
-                                .as_ref()
-                                .expect("checked")
-                                .aux_gpm(nvpn, 1);
+                            let holder =
+                                self.concentric.as_ref().expect("checked").aux_gpm(nvpn, 1);
                             self.iommu.redirection.insert(nvpn, holder);
                         }
                     }
@@ -373,7 +370,11 @@ impl Simulation {
         let (Some(arrived), Some(entered)) = (r.iommu_arrived, r.pw_entered) else {
             return;
         };
-        let started = if walked { r.walk_started.unwrap_or(t) } else { t };
+        let started = if walked {
+            r.walk_started.unwrap_or(t)
+        } else {
+            t
+        };
         self.metrics
             .iommu_latency
             .add("pre-queue", entered.saturating_sub(arrived));

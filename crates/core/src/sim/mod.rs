@@ -16,7 +16,7 @@ mod data;
 mod iommu;
 mod translate;
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use wsg_gpu::{AddressSpace, CuPipeline, MemoryOp, SystemConfig, WorkgroupTrace};
 use wsg_mem::{Hbm, Mshr, SetAssocCache};
@@ -66,7 +66,9 @@ pub(crate) struct GpmState {
     pub hbm: Hbm,
     /// L2-TLB MSHR for outgoing remote translations: VPN → waiters
     /// coalesced behind the primary request.
-    pub remote_mshr: HashMap<Vpn, Vec<ReqId>>,
+    // BTreeMap, not HashMap: iterated when formatting the stalled-CU panic,
+    // and hash iteration order is nondeterministic (lint rule d1).
+    pub remote_mshr: BTreeMap<Vpn, Vec<ReqId>>,
     /// Requests stalled because every MSHR entry is occupied; drained in
     /// FIFO order as entries free up.
     pub mshr_stalled: VecDeque<ReqId>,
@@ -188,6 +190,10 @@ pub struct Simulation {
     pub(crate) home_override: HashMap<Vpn, u32>,
     /// Per-page (last remote consumer, consecutive-access streak).
     pub(crate) access_streak: HashMap<Vpn, (u32, u32)>,
+    /// The runtime invariant auditor observing the queue, mesh, and every
+    /// translation structure (`audit` feature only).
+    #[cfg(feature = "audit")]
+    pub(crate) auditor: std::rc::Rc<std::cell::RefCell<wsg_sim::audit::ConservationAuditor>>,
 }
 
 impl Simulation {
@@ -269,7 +275,7 @@ impl Simulation {
                     page_table: PageTable::new(),
                     l2_cache: SetAssocCache::new(gc.l2_cache),
                     hbm: Hbm::new(gc.hbm),
-                    remote_mshr: HashMap::new(),
+                    remote_mshr: BTreeMap::new(),
                     mshr_stalled: VecDeque::new(),
                 }
             })
@@ -330,7 +336,42 @@ impl Simulation {
             migration: None,
             home_override: HashMap::new(),
             access_streak: HashMap::new(),
+            #[cfg(feature = "audit")]
+            auditor: std::rc::Rc::new(std::cell::RefCell::new(
+                wsg_sim::audit::ConservationAuditor::new(),
+            )),
         };
+
+        // Attach the auditor to every structure before the first event, so
+        // the occupancy mirrors start from empty state.
+        #[cfg(feature = "audit")]
+        {
+            use wsg_sim::audit::AuditHandle;
+            let handle = AuditHandle::of(&sim.auditor);
+            sim.queue.set_auditor(handle.clone());
+            sim.mesh.set_auditor(handle.clone());
+            // Site ids: GPM-local structures get gpm*8+slot; per-CU L1 TLBs
+            // and IOMMU structures hang off the top of the range.
+            let g_total = sim.gpms.len() as u64;
+            for (g, gpm) in sim.gpms.iter_mut().enumerate() {
+                let g = g as u64;
+                gpm.l2_tlb.set_auditor(handle.clone(), g * 8);
+                gpm.gmmu_cache.set_auditor(handle.clone(), g * 8 + 1);
+                gpm.walkers.set_auditor(handle.clone(), g * 8 + 2);
+                for (c, cu) in gpm.cus.iter_mut().enumerate() {
+                    cu.l1_tlb
+                        .set_auditor(handle.clone(), g_total * 8 + g * 64 + c as u64);
+                }
+            }
+            let iommu_base = g_total * 8 + g_total * 64;
+            sim.iommu.walkers.set_auditor(handle.clone(), iommu_base);
+            sim.iommu
+                .redirection
+                .set_auditor(handle.clone(), iommu_base + 1);
+            if let Some(tlb) = &mut sim.iommu.tlb {
+                tlb.set_auditor(handle.clone(), iommu_base + 2);
+            }
+        }
 
         // Dispatch workgroups breadth-first (round-robin) across GPMs, the
         // way GPU runtimes launch blocks across compute dies; pages are
@@ -405,17 +446,45 @@ impl Simulation {
                         .reqs
                         .iter()
                         .enumerate()
-                        .filter(|(_, r)| r.gpm == g as u32 && !r.resolved && r.remote_started.is_some())
-                        .map(|(i, r)| format!("req{i} vpn={} arr={:?} pw={:?} walk={:?} rdf={}", r.vpn, r.iommu_arrived, r.pw_entered, r.walk_started, r.redirect_failed))
+                        .filter(|(_, r)| {
+                            r.gpm == g as u32 && !r.resolved && r.remote_started.is_some()
+                        })
+                        .map(|(i, r)| {
+                            format!(
+                                "req{i} vpn={} arr={:?} pw={:?} walk={:?} rdf={}",
+                                r.vpn,
+                                r.iommu_arrived,
+                                r.pw_entered,
+                                r.walk_started,
+                                r.redirect_failed
+                            )
+                        })
                         .collect();
                     let parked = gpm.mshr_stalled.len();
-                    let mshr: Vec<String> = gpm.remote_mshr.iter().map(|(v, w)| format!("{v}:{}", w.len())).collect();
+                    let mshr: Vec<String> = gpm
+                        .remote_mshr
+                        .iter()
+                        .map(|(v, w)| format!("{v}:{}", w.len()))
+                        .collect();
                     panic!(
                         "CU {c} of GPM {g} stalled with work remaining; parked={parked} mshr={mshr:?} stuck={stuck:?} iommu_busy={} iommu_q={} pre_q={}",
                         self.iommu.walkers.busy(), self.iommu.walkers.queue_len(), self.iommu.pre_queue.len()
                     );
                 }
             }
+        }
+        // Conservation: every scheduled event was consumed.
+        self.queue.drain_check();
+        // Runtime invariants: the auditor saw a clean run.
+        #[cfg(feature = "audit")]
+        {
+            let total = self.auditor.borrow_mut().finish();
+            assert_eq!(
+                total,
+                0,
+                "runtime invariant violations: {:#?}",
+                self.auditor.borrow().violations()
+            );
         }
         self.metrics.total_cycles = self.metrics.gpm_finish.iter().copied().max().unwrap_or(0);
         self.metrics.noc_bytes = self.mesh.total_bytes();

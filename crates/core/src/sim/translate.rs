@@ -264,7 +264,10 @@ impl Simulation {
         // Valkyrie probes the neighbour's L2 TLB rather than its GMMU cache.
         if matches!(self.policy, PolicyKind::Valkyrie) {
             let lat = gc.l2_tlb.latency;
-            let hit = self.gpms[target as usize].l2_tlb.probe(vpn).map(|p| (p, false));
+            let hit = self.gpms[target as usize]
+                .l2_tlb
+                .probe(vpn)
+                .map(|p| (p, false));
             return (hit, lat);
         }
         let gpm = &mut self.gpms[target as usize];
@@ -295,7 +298,13 @@ impl Simulation {
             } else {
                 Resolution::PeerCache
             };
-            self.send(from, to, resp_bytes, t + lat, Event::XlatResponse { req, pfn, source });
+            self.send(
+                from,
+                to,
+                resp_bytes,
+                t + lat,
+                Event::XlatResponse { req, pfn, source },
+            );
             return;
         }
         // The probed GPM may own the page (route-based caching checks the
@@ -309,7 +318,13 @@ impl Simulation {
         let from = self.gpm_coord(target);
         if next < self.reqs[req as usize].chain.len() {
             let to = self.gpm_coord(self.reqs[req as usize].chain[next]);
-            self.send(from, to, req_bytes, t + lat, Event::ChainProbe { req, idx: next });
+            self.send(
+                from,
+                to,
+                req_bytes,
+                t + lat,
+                Event::ChainProbe { req, idx: next },
+            );
         } else {
             let cpu = self.cpu();
             self.send(from, cpu, req_bytes, t + lat, Event::IommuArrive { req });
@@ -334,7 +349,13 @@ impl Simulation {
             } else {
                 Resolution::PeerCache
             };
-            self.send(from, to, bytes, t + lat, Event::XlatResponse { req, pfn, source });
+            self.send(
+                from,
+                to,
+                bytes,
+                t + lat,
+                Event::XlatResponse { req, pfn, source },
+            );
             return;
         }
         if self.gpms[target as usize].page_table.contains(vpn) {

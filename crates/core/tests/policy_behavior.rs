@@ -170,8 +170,7 @@ fn redirection_serves_repeat_requests_without_walks() {
             }
         },
     );
-    let served_off_iommu =
-        m.resolution.value("redirection") + m.resolution.value("peer-cache");
+    let served_off_iommu = m.resolution.value("redirection") + m.resolution.value("peer-cache");
     assert!(
         served_off_iommu > 0,
         "late repeats must be redirected: {}",

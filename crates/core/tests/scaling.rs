@@ -45,7 +45,10 @@ fn capacities_shrink_but_timing_does_not() {
     assert_eq!(scaled.iommu.walkers, reference.iommu.walkers);
     assert_eq!(scaled.iommu.walk_latency, reference.iommu.walk_latency);
     assert_eq!(scaled.link, reference.link);
-    assert_eq!(scaled.gpm.hbm.bytes_per_cycle, reference.gpm.hbm.bytes_per_cycle);
+    assert_eq!(
+        scaled.gpm.hbm.bytes_per_cycle,
+        reference.gpm.hbm.bytes_per_cycle
+    );
     assert_eq!(scaled.gpm.l1_tlb.latency, reference.gpm.l1_tlb.latency);
     assert_eq!(scaled.gpm.l2_tlb.latency, reference.gpm.l2_tlb.latency);
 }

@@ -155,6 +155,8 @@ impl CuPipeline {
             self.outstanding < self.max_outstanding,
             "issue beyond outstanding limit"
         );
+        // lint:allow(unwrap): panicking here is the documented contract —
+        // callers must gate on `next_issue` first.
         let op = self.pending.pop_front().expect("no pending op to issue");
         self.outstanding += 1;
         self.issued += 1;
@@ -218,9 +220,7 @@ mod tests {
     use super::*;
 
     fn wg(n: usize) -> WorkgroupTrace {
-        (0..n)
-            .map(|i| MemoryOp::read(i as u64 * 64, 1))
-            .collect()
+        (0..n).map(|i| MemoryOp::read(i as u64 * 64, 1)).collect()
     }
 
     #[test]

@@ -141,10 +141,14 @@ impl AddressSpace {
     /// Iterates every mapped VPN with its home GPM (used to build page
     /// tables).
     pub fn iter_pages(&self) -> impl Iterator<Item = (Vpn, u32)> + '_ {
+        let gpms = self.gpms;
         self.buffers.iter().flat_map(move |b| {
+            // Same striping as `home_gpm`, computed directly from the buffer
+            // being walked so no page can miss.
+            let chunk = b.pages.div_ceil(gpms as u64).max(1);
             (0..b.pages).map(move |i| {
                 let vpn = Vpn(b.base_vpn.0 + i);
-                let home = self.home_gpm(vpn).expect("page is in a buffer");
+                let home = ((i / chunk) as u32).min(gpms - 1);
                 (vpn, home)
             })
         })
@@ -192,7 +196,10 @@ mod tests {
         let a = s.alloc("a", 10);
         let b = s.alloc("b", 10);
         assert!(a.base_vpn.0 + a.pages <= b.base_vpn.0);
-        assert!(s.buffer_of(Vpn(a.base_vpn.0 + a.pages)).is_none(), "guard page");
+        assert!(
+            s.buffer_of(Vpn(a.base_vpn.0 + a.pages)).is_none(),
+            "guard page"
+        );
     }
 
     #[test]

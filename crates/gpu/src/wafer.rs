@@ -111,7 +111,11 @@ impl WaferLayout {
         // Row-major position minus tiles skipped for the CPU.
         let linear = coord.y as usize * self.width as usize + coord.x as usize;
         let cpu_linear = self.cpu.y as usize * self.width as usize + self.cpu.x as usize;
-        let id = if linear > cpu_linear { linear - 1 } else { linear };
+        let id = if linear > cpu_linear {
+            linear - 1
+        } else {
+            linear
+        };
         Some(id as u32)
     }
 

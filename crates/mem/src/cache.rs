@@ -209,11 +209,11 @@ impl SetAssocCache {
             return None;
         }
         // Evict the LRU way.
-        let victim = self
-            .set_slice(set)
-            .iter_mut()
-            .min_by_key(|l| l.last_used)
-            .expect("ways > 0");
+        let victim = match self.set_slice(set).iter_mut().min_by_key(|l| l.last_used) {
+            Some(line) => line,
+            // The constructor asserts `ways > 0`, so a set is never empty.
+            None => unreachable!("a cache set always has at least one way"),
+        };
         let evicted_block = (victim.tag << sets_bits) | set as u64;
         *victim = Line {
             tag,

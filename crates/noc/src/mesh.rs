@@ -1,6 +1,6 @@
 //! The mesh interconnect with bandwidth-reserving links.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use wsg_sim::time::serialization_cycles;
 use wsg_sim::Cycle;
@@ -77,10 +77,22 @@ pub struct Mesh {
     width: u16,
     height: u16,
     params: LinkParams,
-    links: HashMap<(Coord, Coord), LinkState>,
+    // BTreeMap, not HashMap: link statistics iterate this map, and iteration
+    // feeding figures must be deterministically ordered (lint rule D1).
+    links: BTreeMap<(Coord, Coord), LinkState>,
     total_bytes: u64,
     total_packets: u64,
     total_hop_bytes: u64,
+    #[cfg(feature = "audit")]
+    auditor: Option<wsg_sim::audit::AuditHandle>,
+}
+
+/// Encodes a directional link's endpoints into one audit site id.
+#[cfg(feature = "audit")]
+fn link_site(from: Coord, to: Coord) -> wsg_sim::audit::Site {
+    let id =
+        ((from.x as u64) << 48) | ((from.y as u64) << 32) | ((to.x as u64) << 16) | to.y as u64;
+    wsg_sim::audit::Site::new(wsg_sim::audit::SiteKind::Link, id)
 }
 
 impl Mesh {
@@ -99,11 +111,19 @@ impl Mesh {
             width,
             height,
             params,
-            links: HashMap::new(),
+            links: BTreeMap::new(),
             total_bytes: 0,
             total_packets: 0,
             total_hop_bytes: 0,
+            #[cfg(feature = "audit")]
+            auditor: None,
         }
+    }
+
+    /// Attaches an auditor observing every link injection and delivery.
+    #[cfg(feature = "audit")]
+    pub fn set_auditor(&mut self, auditor: wsg_sim::audit::AuditHandle) {
+        self.auditor = Some(auditor);
     }
 
     /// Mesh width in tiles.
@@ -151,6 +171,10 @@ impl Mesh {
         let mut queueing: Cycle = 0;
         for pair in route.windows(2) {
             let key = (pair[0], pair[1]);
+            #[cfg(feature = "audit")]
+            if let Some(a) = &self.auditor {
+                a.with(|au| au.on_inject(link_site(key.0, key.1), bytes));
+            }
             let link = self.links.entry(key).or_default();
             let start = t.max(link.next_free);
             queueing += start - t;
@@ -160,6 +184,10 @@ impl Mesh {
             link.busy_cycles += ser;
             self.total_hop_bytes += bytes;
             t = start + ser + self.params.latency;
+            #[cfg(feature = "audit")]
+            if let Some(a) = &self.auditor {
+                a.with(|au| au.on_deliver(link_site(key.0, key.1), bytes));
+            }
         }
         SendOutcome {
             arrival: t,

@@ -32,6 +32,8 @@ pub struct EventQueue<E> {
     seq: u64,
     pushed: u64,
     popped: u64,
+    #[cfg(feature = "audit")]
+    auditor: Option<crate::audit::AuditHandle>,
 }
 
 #[derive(Debug)]
@@ -80,7 +82,15 @@ impl<E> EventQueue<E> {
             seq: 0,
             pushed: 0,
             popped: 0,
+            #[cfg(feature = "audit")]
+            auditor: None,
         }
+    }
+
+    /// Attaches an auditor observing every push and pop.
+    #[cfg(feature = "audit")]
+    pub fn set_auditor(&mut self, auditor: crate::audit::AuditHandle) {
+        self.auditor = Some(auditor);
     }
 
     /// Schedules `payload` to fire at absolute cycle `time`.
@@ -89,6 +99,12 @@ impl<E> EventQueue<E> {
     ///
     /// Panics in debug builds if `time` is earlier than the current time.
     pub fn push(&mut self, time: Cycle, payload: E) {
+        // The auditor sees the violation even in release builds, where the
+        // debug_assert below compiles out.
+        #[cfg(feature = "audit")]
+        if let Some(a) = &self.auditor {
+            a.with(|au| au.on_push(self.now, time));
+        }
         debug_assert!(
             time >= self.now,
             "event scheduled in the past: {} < {}",
@@ -110,6 +126,10 @@ impl<E> EventQueue<E> {
     /// timestamp. Returns `None` when the queue is empty.
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
         let entry = self.heap.pop()?;
+        #[cfg(feature = "audit")]
+        if let Some(a) = &self.auditor {
+            a.with(|au| au.on_pop(self.now, entry.time));
+        }
         debug_assert!(entry.time >= self.now, "time ran backwards");
         self.now = entry.time;
         self.popped += 1;
@@ -144,6 +164,24 @@ impl<E> EventQueue<E> {
     /// Total number of events ever popped.
     pub fn total_popped(&self) -> u64 {
         self.popped
+    }
+
+    /// End-of-simulation conservation check: asserts every pushed event was
+    /// popped (the queue fully drained) and returns `(pushed, popped)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics — in all build profiles — if events are still pending.
+    pub fn drain_check(&self) -> (u64, u64) {
+        assert_eq!(
+            self.pushed,
+            self.popped,
+            "event queue not drained: {} pushed vs {} popped ({} pending)",
+            self.pushed,
+            self.popped,
+            self.len()
+        );
+        (self.pushed, self.popped)
     }
 }
 
@@ -220,5 +258,46 @@ mod tests {
         q.push(9, ());
         assert_eq!(q.peek_time(), Some(9));
         assert_eq!(q.now(), 0);
+    }
+
+    #[test]
+    fn drain_check_reports_counters() {
+        let mut q = EventQueue::new();
+        q.push(1, ());
+        q.push(2, ());
+        q.pop();
+        q.pop();
+        assert_eq!(q.drain_check(), (2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "not drained")]
+    fn drain_check_rejects_pending_events() {
+        let mut q = EventQueue::new();
+        q.push(1, ());
+        q.drain_check();
+    }
+
+    #[cfg(feature = "audit")]
+    #[test]
+    fn auditor_sees_past_push_in_any_profile() {
+        use crate::audit::{AuditHandle, ConservationAuditor};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let auditor = Rc::new(RefCell::new(ConservationAuditor::new()));
+        let mut q = EventQueue::new();
+        q.set_auditor(AuditHandle::of(&auditor));
+        q.push(10, ());
+        q.pop();
+        // Swallow the debug panic so the hook's observation is testable in
+        // both profiles.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            q.push(5, ());
+        }));
+        if cfg!(debug_assertions) {
+            assert!(r.is_err());
+        }
+        assert_eq!(auditor.borrow().total_violations(), 1);
     }
 }

@@ -31,6 +31,8 @@
 //! assert_eq!(q.now(), 5);
 //! ```
 
+#[cfg(feature = "audit")]
+pub mod audit;
 pub mod event;
 pub mod rng;
 pub mod server;

@@ -61,7 +61,12 @@ impl ServerPool {
     ///
     /// Returns `(start, completion)` where `start >= arrival`.
     pub fn admit(&mut self, arrival: Cycle, service: Cycle) -> (Cycle, Cycle) {
-        let Reverse(earliest) = self.free_at.pop().expect("pool is never empty");
+        let Reverse(earliest) = match self.free_at.pop() {
+            Some(entry) => entry,
+            // One slot per server is pushed at construction and re-pushed
+            // below, and the constructor rejects zero servers.
+            None => unreachable!("pool has at least one server"),
+        };
         let start = earliest.max(arrival);
         let done = start + service;
         self.free_at.push(Reverse(done));

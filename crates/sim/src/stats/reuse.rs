@@ -1,6 +1,6 @@
 //! Reuse-distance measurement over a request stream.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use super::LogHistogram;
 
@@ -25,7 +25,9 @@ use super::LogHistogram;
 #[derive(Debug, Clone, Default)]
 pub struct ReuseTracker {
     last_seen: HashMap<u64, u64>,
-    counts: HashMap<u64, u64>,
+    // BTreeMap, not HashMap: iterated by the histogram accessors, and hash
+    // order is nondeterministic (lint rule d1). `last_seen` is keyed-only.
+    counts: BTreeMap<u64, u64>,
     position: u64,
     reuse: LogHistogram,
 }

@@ -44,7 +44,11 @@ fn butterfly_passes(
 /// BT (bitonic sort): compare-exchange passes with growing power-of-two
 /// strides. Its strong intra-GPM spatial locality lets the local GMMU absorb
 /// most translations — the paper's explanation for BT's minimal HDPAT gain.
-pub fn bt(cfg: &WorkloadConfig, space: &mut AddressSpace, _rng: &mut SimRng) -> Vec<WorkgroupTrace> {
+pub fn bt(
+    cfg: &WorkloadConfig,
+    space: &mut AddressSpace,
+    _rng: &mut SimRng,
+) -> Vec<WorkgroupTrace> {
     let data = alloc_bytes(space, "bt_data", cfg.footprint_bytes);
     let passes = 4;
     let per_pass = (cfg.ops_per_wg / (3 * passes as usize)).max(1);
@@ -56,7 +60,11 @@ pub fn bt(cfg: &WorkloadConfig, space: &mut AddressSpace, _rng: &mut SimRng) -> 
 /// FWT (fast Walsh transform): butterfly passes over a larger buffer with
 /// more passes, so partners reach further and pages are revisited more often
 /// (FWT shows clear repeat translations in Fig 6).
-pub fn fwt(cfg: &WorkloadConfig, space: &mut AddressSpace, _rng: &mut SimRng) -> Vec<WorkgroupTrace> {
+pub fn fwt(
+    cfg: &WorkloadConfig,
+    space: &mut AddressSpace,
+    _rng: &mut SimRng,
+) -> Vec<WorkgroupTrace> {
     let data = alloc_bytes(space, "fwt_data", cfg.footprint_bytes);
     let passes = 6;
     let per_pass = (cfg.ops_per_wg / (3 * passes as usize)).max(1);
@@ -68,7 +76,11 @@ pub fn fwt(cfg: &WorkloadConfig, space: &mut AddressSpace, _rng: &mut SimRng) ->
 /// FFT: butterfly passes plus a shared twiddle-factor table that every
 /// workgroup re-reads — structured but dynamic, giving FFT its balanced
 /// resolution breakdown in Fig 16.
-pub fn fft(cfg: &WorkloadConfig, space: &mut AddressSpace, _rng: &mut SimRng) -> Vec<WorkgroupTrace> {
+pub fn fft(
+    cfg: &WorkloadConfig,
+    space: &mut AddressSpace,
+    _rng: &mut SimRng,
+) -> Vec<WorkgroupTrace> {
     let data = alloc_bytes(space, "fft_data", cfg.footprint_bytes * 7 / 8);
     let twiddle = alloc_bytes(space, "fft_twiddle", cfg.footprint_bytes / 8);
     let passes = 5;
@@ -125,11 +137,19 @@ mod tests {
         let wgs = fwt(&cfg, &mut space, &mut rng);
         let wg = &wgs[0];
         // Distance between own-line read and partner read grows over the trace.
-        let reads: Vec<u64> = wg.ops.iter().filter(|o| o.is_read).map(|o| o.vaddr).collect();
+        let reads: Vec<u64> = wg
+            .ops
+            .iter()
+            .filter(|o| o.is_read)
+            .map(|o| o.vaddr)
+            .collect();
         let early = reads[0].abs_diff(reads[1]);
         let late_pair = &reads[reads.len() - 2..];
         let late = late_pair[0].abs_diff(late_pair[1]);
-        assert!(late > early, "late-pass partners are further: {early} vs {late}");
+        assert!(
+            late > early,
+            "late-pass partners are further: {early} vs {late}"
+        );
     }
 
     #[test]
@@ -143,7 +163,10 @@ mod tests {
             .flat_map(|w| &w.ops)
             .filter(|o| tw.contains(ps.vpn_of(o.vaddr)))
             .count();
-        assert!(twiddle_reads >= wgs.len(), "twiddle pages shared by all WGs");
+        assert!(
+            twiddle_reads >= wgs.len(),
+            "twiddle pages shared by all WGs"
+        );
     }
 
     #[test]

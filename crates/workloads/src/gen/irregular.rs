@@ -11,12 +11,18 @@ use super::{alloc_bytes, at, wg_block, LINE};
 /// small centroid table on each step, across several iterations. The hot
 /// centroid pages plus the small-stride iterative sweep give KM its strong
 /// prefetching gain (Fig 18 discussion).
-pub fn km(cfg: &WorkloadConfig, space: &mut AddressSpace, _rng: &mut SimRng) -> Vec<WorkgroupTrace> {
+pub fn km(
+    cfg: &WorkloadConfig,
+    space: &mut AddressSpace,
+    _rng: &mut SimRng,
+) -> Vec<WorkgroupTrace> {
     let centroid_bytes = 64 * 1024;
     let points = alloc_bytes(
         space,
         "km_points",
-        cfg.footprint_bytes.saturating_sub(2 * centroid_bytes).max(centroid_bytes),
+        cfg.footprint_bytes
+            .saturating_sub(2 * centroid_bytes)
+            .max(centroid_bytes),
     );
     let centroids = alloc_bytes(space, "km_centroids", centroid_bytes);
     let assign = alloc_bytes(space, "km_assign", cfg.footprint_bytes / 16);
@@ -72,7 +78,10 @@ pub fn pr(cfg: &WorkloadConfig, space: &mut AddressSpace, rng: &mut SimRng) -> V
                     ops.push(MemoryOp::read(at(space, &ranks, hot * LINE), 15));
                 }
                 // Write back own rank once per iteration.
-                ops.push(MemoryOp::write(at(space, &ranks, (wg * LINE) % ranks.len_bytes(ps)), 10));
+                ops.push(MemoryOp::write(
+                    at(space, &ranks, (wg * LINE) % ranks.len_bytes(ps)),
+                    10,
+                ));
             }
             WorkgroupTrace::new(ops)
         })
@@ -83,7 +92,11 @@ pub fn pr(cfg: &WorkloadConfig, space: &mut AddressSpace, rng: &mut SimRng) -> V
 /// x-vector at irregular positions. The massive, hard-to-filter remote
 /// gather traffic is what makes SPMV the paper's IOMMU-stress showcase
 /// (Figs 3, 4).
-pub fn spmv(cfg: &WorkloadConfig, space: &mut AddressSpace, rng: &mut SimRng) -> Vec<WorkgroupTrace> {
+pub fn spmv(
+    cfg: &WorkloadConfig,
+    space: &mut AddressSpace,
+    rng: &mut SimRng,
+) -> Vec<WorkgroupTrace> {
     let vals = alloc_bytes(space, "spmv_vals", cfg.footprint_bytes / 2);
     let colidx = alloc_bytes(space, "spmv_colidx", cfg.footprint_bytes / 4);
     let x = alloc_bytes(space, "spmv_x", cfg.footprint_bytes / 8);

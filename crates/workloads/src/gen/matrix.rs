@@ -12,7 +12,11 @@ use super::{alloc_bytes, at, wg_block, LINE};
 /// `c` of B with a row-pitch stride (touching many pages), and writes its C
 /// tile. Row/column sharing produces the strided reuse the paper attributes
 /// to MM (observation O4, Fig 18 gains).
-pub fn mm(cfg: &WorkloadConfig, space: &mut AddressSpace, _rng: &mut SimRng) -> Vec<WorkgroupTrace> {
+pub fn mm(
+    cfg: &WorkloadConfig,
+    space: &mut AddressSpace,
+    _rng: &mut SimRng,
+) -> Vec<WorkgroupTrace> {
     let third = cfg.footprint_bytes * 3 / 8;
     let a = alloc_bytes(space, "mm_a", third);
     let b = alloc_bytes(space, "mm_b", third);
@@ -29,7 +33,10 @@ pub fn mm(cfg: &WorkloadConfig, space: &mut AddressSpace, _rng: &mut SimRng) -> 
                 // A row r, element k: sequential within the shared row.
                 ops.push(MemoryOp::read(at(space, &a, r * row_pitch + k * LINE), 20));
                 // B column c, element k: stride = row pitch (page-crossing).
-                ops.push(MemoryOp::read(at(space, &b, k * row_pitch + col * LINE), 20));
+                ops.push(MemoryOp::read(
+                    at(space, &b, k * row_pitch + col * LINE),
+                    20,
+                ));
                 if k % 4 == 3 {
                     ops.push(MemoryOp::write(
                         at(space, &c, r * row_pitch / 2 + col * LINE),
@@ -47,7 +54,11 @@ pub fn mm(cfg: &WorkloadConfig, space: &mut AddressSpace, _rng: &mut SimRng) -> 
 /// land on different far-apart pages and each output page is revisited only
 /// after a whole row sweep — the long-reuse-distance behaviour that defeats
 /// caching (the paper's explanation for MT's limited gain).
-pub fn mt(cfg: &WorkloadConfig, space: &mut AddressSpace, _rng: &mut SimRng) -> Vec<WorkgroupTrace> {
+pub fn mt(
+    cfg: &WorkloadConfig,
+    space: &mut AddressSpace,
+    _rng: &mut SimRng,
+) -> Vec<WorkgroupTrace> {
     let half = cfg.footprint_bytes / 2;
     let input = alloc_bytes(space, "mt_in", half);
     let output = alloc_bytes(space, "mt_out", half);
@@ -77,7 +88,11 @@ pub fn mt(cfg: &WorkloadConfig, space: &mut AddressSpace, _rng: &mut SimRng) -> 
 /// pages are simultaneously hot on all GPMs — the strongest cross-GPM
 /// temporal sharing in the suite, which is what concentric caching and the
 /// redirection table exploit.
-pub fn fws(cfg: &WorkloadConfig, space: &mut AddressSpace, _rng: &mut SimRng) -> Vec<WorkgroupTrace> {
+pub fn fws(
+    cfg: &WorkloadConfig,
+    space: &mut AddressSpace,
+    _rng: &mut SimRng,
+) -> Vec<WorkgroupTrace> {
     let dist = alloc_bytes(space, "fws_dist", cfg.footprint_bytes);
     let ps = space.page_size();
     let n_rows = 64u64;
@@ -193,6 +208,9 @@ mod tests {
             .step_by(3) // pivot reads are every third op
             .map(|o| ps.vpn_of(o.vaddr).0)
             .collect();
-        assert!(pivot_vpns.len() >= 2, "different iterations, different pivots");
+        assert!(
+            pivot_vpns.len() >= 2,
+            "different iterations, different pivots"
+        );
     }
 }

@@ -12,7 +12,11 @@ use super::{alloc_bytes, at, ops_per_iter, wg_block, LINE};
 /// "highly iterative … steady memory request issuing rate"); every data page
 /// is touched once, so TLBs filter almost all repeats (observation O3's
 /// single-translation class).
-pub fn aes(cfg: &WorkloadConfig, space: &mut AddressSpace, _rng: &mut SimRng) -> Vec<WorkgroupTrace> {
+pub fn aes(
+    cfg: &WorkloadConfig,
+    space: &mut AddressSpace,
+    _rng: &mut SimRng,
+) -> Vec<WorkgroupTrace> {
     let half = cfg.footprint_bytes / 2;
     let input = alloc_bytes(space, "aes_input", half);
     let output = alloc_bytes(space, "aes_output", half);
@@ -43,7 +47,11 @@ pub fn aes(cfg: &WorkloadConfig, space: &mut AddressSpace, _rng: &mut SimRng) ->
 /// RELU: pure single-pass streaming over a huge footprint — read an
 /// activation line, write it back clamped. Each page is translated exactly
 /// once (the other single-translation benchmark of Fig 6).
-pub fn relu(cfg: &WorkloadConfig, space: &mut AddressSpace, _rng: &mut SimRng) -> Vec<WorkgroupTrace> {
+pub fn relu(
+    cfg: &WorkloadConfig,
+    space: &mut AddressSpace,
+    _rng: &mut SimRng,
+) -> Vec<WorkgroupTrace> {
     let half = cfg.footprint_bytes / 2;
     let input = alloc_bytes(space, "relu_input", half);
     let output = alloc_bytes(space, "relu_output", half);
@@ -65,7 +73,11 @@ pub fn relu(cfg: &WorkloadConfig, space: &mut AddressSpace, _rng: &mut SimRng) -
 /// small overlap into the next block (the filter taps), iterating with a
 /// small stride shift. The strongly sequential, small-stride pattern is why
 /// FIR benefits most from proactive delivery (Fig 18 discussion).
-pub fn fir(cfg: &WorkloadConfig, space: &mut AddressSpace, _rng: &mut SimRng) -> Vec<WorkgroupTrace> {
+pub fn fir(
+    cfg: &WorkloadConfig,
+    space: &mut AddressSpace,
+    _rng: &mut SimRng,
+) -> Vec<WorkgroupTrace> {
     let half = cfg.footprint_bytes / 2;
     let input = alloc_bytes(space, "fir_signal", half);
     let output = alloc_bytes(space, "fir_output", half);
@@ -101,7 +113,11 @@ pub fn fir(cfg: &WorkloadConfig, space: &mut AddressSpace, _rng: &mut SimRng) ->
 
 /// SC (simple convolution): 2-D sliding window over an image with a hot
 /// filter page; adjacent workgroups overlap on the image rows they read.
-pub fn sc(cfg: &WorkloadConfig, space: &mut AddressSpace, _rng: &mut SimRng) -> Vec<WorkgroupTrace> {
+pub fn sc(
+    cfg: &WorkloadConfig,
+    space: &mut AddressSpace,
+    _rng: &mut SimRng,
+) -> Vec<WorkgroupTrace> {
     let image_bytes = cfg.footprint_bytes * 3 / 4;
     let image = alloc_bytes(space, "sc_image", image_bytes);
     let output = alloc_bytes(space, "sc_output", cfg.footprint_bytes / 4);
@@ -116,7 +132,10 @@ pub fn sc(cfg: &WorkloadConfig, space: &mut AddressSpace, _rng: &mut SimRng) -> 
                 // Read a 3-row window column by column: same x, rows r-1..r+1.
                 let col = (i % 8) * LINE;
                 let row = (i / 8) % 4;
-                ops.push(MemoryOp::read(at(space, &image, start + row * row_bytes + col), 20));
+                ops.push(MemoryOp::read(
+                    at(space, &image, start + row * row_bytes + col),
+                    20,
+                ));
                 ops.push(MemoryOp::read(
                     at(space, &image, start + (row + 1) * row_bytes + col),
                     10,
@@ -125,7 +144,10 @@ pub fn sc(cfg: &WorkloadConfig, space: &mut AddressSpace, _rng: &mut SimRng) -> 
                     ops.push(MemoryOp::read(at(space, &filter, 0), 10));
                 }
                 if i % 8 == 7 {
-                    ops.push(MemoryOp::write(at(space, &output, start / 3 + row * LINE), 10));
+                    ops.push(MemoryOp::write(
+                        at(space, &output, start / 3 + row * LINE),
+                        10,
+                    ));
                 }
             }
             WorkgroupTrace::new(ops)
@@ -137,7 +159,11 @@ pub fn sc(cfg: &WorkloadConfig, space: &mut AddressSpace, _rng: &mut SimRng) -> 
 /// tensor and writes them out as sequential columns — overlapping reads,
 /// streaming writes, strong spatial locality (one of the high bars of
 /// Fig 8).
-pub fn i2c(cfg: &WorkloadConfig, space: &mut AddressSpace, _rng: &mut SimRng) -> Vec<WorkgroupTrace> {
+pub fn i2c(
+    cfg: &WorkloadConfig,
+    space: &mut AddressSpace,
+    _rng: &mut SimRng,
+) -> Vec<WorkgroupTrace> {
     let input = alloc_bytes(space, "i2c_input", cfg.footprint_bytes / 3);
     let output = alloc_bytes(space, "i2c_output", cfg.footprint_bytes * 2 / 3);
     (0..cfg.workgroups)
@@ -153,7 +179,10 @@ pub fn i2c(cfg: &WorkloadConfig, space: &mut AddressSpace, _rng: &mut SimRng) ->
                 let off = in_start + (i * LINE / 2) % (in_chunk + LINE);
                 ops.push(MemoryOp::read(at(space, &input, off), 15));
                 ops.push(MemoryOp::read(at(space, &input, off + LINE), 15));
-                ops.push(MemoryOp::write(at(space, &output, out_start + i * LINE), 10));
+                ops.push(MemoryOp::write(
+                    at(space, &output, out_start + i * LINE),
+                    10,
+                ));
             }
             WorkgroupTrace::new(ops)
         })
@@ -192,7 +221,12 @@ mod tests {
     fn aes_has_long_gaps() {
         let (cfg, mut space, mut rng) = setup(BenchmarkId::Aes);
         let wgs = aes(&cfg, &mut space, &mut rng);
-        let max_gap = wgs.iter().flat_map(|w| &w.ops).map(|o| o.gap).max().unwrap();
+        let max_gap = wgs
+            .iter()
+            .flat_map(|w| &w.ops)
+            .map(|o| o.gap)
+            .max()
+            .unwrap();
         assert!(max_gap >= 20, "AES is compute-bound");
     }
 
@@ -258,6 +292,9 @@ mod tests {
         let mut sorted = reads.clone();
         sorted.sort();
         sorted.dedup();
-        assert!(sorted.len() < reads.len(), "overlapping windows re-read lines");
+        assert!(
+            sorted.len() < reads.len(),
+            "overlapping windows re-read lines"
+        );
     }
 }

@@ -78,7 +78,10 @@ fn gathers_cross_chunks_more_than_streams() {
         gather_min > stream_max,
         "gather min {gather_min:.2} must exceed streaming max {stream_max:.2}"
     );
-    assert!(gather_min > 0.10, "gathers must leave their chunk: {gather_min:.2}");
+    assert!(
+        gather_min > 0.10,
+        "gathers must leave their chunk: {gather_min:.2}"
+    );
 }
 
 #[test]

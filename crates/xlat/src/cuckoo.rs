@@ -95,11 +95,15 @@ impl CuckooFilter {
             return true;
         }
         // Kick a resident fingerprint to its alternate bucket.
-        let mut idx = if hash64(key ^ fp as u64) & 1 == 0 { i1 } else { i2 };
+        let mut idx = if hash64(key ^ fp as u64) & 1 == 0 {
+            i1
+        } else {
+            i2
+        };
         let mut fp = fp;
         for kick in 0..MAX_KICKS {
-            let victim_slot = (hash64(idx as u64 ^ fp as u64 ^ kick as u64)
-                % BUCKET_SIZE as u64) as usize;
+            let victim_slot =
+                (hash64(idx as u64 ^ fp as u64 ^ kick as u64) % BUCKET_SIZE as u64) as usize;
             std::mem::swap(&mut self.buckets[idx][victim_slot], &mut fp);
             self.kicks += 1;
             idx = self.index2(idx, fp);

@@ -1,6 +1,6 @@
 //! Page tables with access-count tracking.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::addr::{Pfn, Vpn};
 
@@ -42,7 +42,9 @@ const COUNTER_MAX: u32 = (1 << PTE_COUNTER_BITS) - 1;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct PageTable {
-    entries: HashMap<Vpn, Pte>,
+    // BTreeMap, not HashMap: `iter()` is public, and hash iteration order is
+    // nondeterministic (lint rule d1).
+    entries: BTreeMap<Vpn, Pte>,
 }
 
 impl PageTable {
@@ -97,7 +99,7 @@ impl PageTable {
         self.entries.is_empty()
     }
 
-    /// Iterates over all mappings in unspecified order.
+    /// Iterates over all mappings in ascending VPN order.
     pub fn iter(&self) -> impl Iterator<Item = (&Vpn, &Pte)> {
         self.entries.iter()
     }

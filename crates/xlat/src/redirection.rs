@@ -1,6 +1,6 @@
 //! The IOMMU-side redirection table (§IV-F).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::addr::Vpn;
 
@@ -34,11 +34,17 @@ use crate::addr::Vpn;
 #[derive(Debug, Clone)]
 pub struct RedirectionTable {
     capacity: usize,
-    entries: HashMap<Vpn, Slot>,
+    // BTreeMap, not HashMap: keeps any future iteration over live entries
+    // deterministically ordered (lint rule D1).
+    entries: BTreeMap<Vpn, Slot>,
     order: VecDeque<(Vpn, u64)>,
     stamp: u64,
     hits: u64,
     misses: u64,
+    #[cfg(feature = "audit")]
+    auditor: Option<wsg_sim::audit::AuditHandle>,
+    #[cfg(feature = "audit")]
+    audit_site: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -57,17 +63,47 @@ impl RedirectionTable {
         assert!(capacity > 0, "capacity must be positive");
         Self {
             capacity,
-            entries: HashMap::with_capacity(capacity),
+            entries: BTreeMap::new(),
             order: VecDeque::new(),
             stamp: 0,
             hits: 0,
             misses: 0,
+            #[cfg(feature = "audit")]
+            auditor: None,
+            #[cfg(feature = "audit")]
+            audit_site: 0,
+        }
+    }
+
+    /// Attaches an auditor observing entry creation and removal under
+    /// instance id `site`.
+    #[cfg(feature = "audit")]
+    pub fn set_auditor(&mut self, auditor: wsg_sim::audit::AuditHandle, site: u64) {
+        self.auditor = Some(auditor);
+        self.audit_site = site;
+    }
+
+    #[cfg(feature = "audit")]
+    fn audit_fill(&self) {
+        if let Some(a) = &self.auditor {
+            let site =
+                wsg_sim::audit::Site::new(wsg_sim::audit::SiteKind::Redirection, self.audit_site);
+            a.with(|au| au.on_fill(site, self.entries.len(), self.capacity));
+        }
+    }
+
+    #[cfg(feature = "audit")]
+    fn audit_evict(&self) {
+        if let Some(a) = &self.auditor {
+            let site =
+                wsg_sim::audit::Site::new(wsg_sim::audit::SiteKind::Redirection, self.audit_site);
+            a.with(|au| au.on_evict(site, self.entries.len()));
         }
     }
 
     fn touch(&mut self, vpn: Vpn, gpm: u32) {
         self.stamp += 1;
-        self.entries.insert(
+        let prior = self.entries.insert(
             vpn,
             Slot {
                 gpm,
@@ -75,6 +111,11 @@ impl RedirectionTable {
             },
         );
         self.order.push_back((vpn, self.stamp));
+        let _created = prior.is_none();
+        #[cfg(feature = "audit")]
+        if _created {
+            self.audit_fill();
+        }
     }
 
     fn evict_lru(&mut self) {
@@ -82,6 +123,8 @@ impl RedirectionTable {
             if let Some(slot) = self.entries.get(&vpn) {
                 if slot.stamp == stamp {
                     self.entries.remove(&vpn);
+                    #[cfg(feature = "audit")]
+                    self.audit_evict();
                     return;
                 }
             }
@@ -122,7 +165,12 @@ impl RedirectionTable {
     /// Removes `vpn` (e.g. when the holder evicted the PTE); returns whether
     /// it was present.
     pub fn remove(&mut self, vpn: Vpn) -> bool {
-        self.entries.remove(&vpn).is_some()
+        let removed = self.entries.remove(&vpn).is_some();
+        #[cfg(feature = "audit")]
+        if removed {
+            self.audit_evict();
+        }
+        removed
     }
 
     /// Current number of entries.

@@ -88,6 +88,10 @@ pub struct Tlb {
     hits: u64,
     misses: u64,
     prefetched_hits: u64,
+    #[cfg(feature = "audit")]
+    auditor: Option<wsg_sim::audit::AuditHandle>,
+    #[cfg(feature = "audit")]
+    audit_site: u64,
 }
 
 impl Tlb {
@@ -115,6 +119,34 @@ impl Tlb {
             hits: 0,
             misses: 0,
             prefetched_hits: 0,
+            #[cfg(feature = "audit")]
+            auditor: None,
+            #[cfg(feature = "audit")]
+            audit_site: 0,
+        }
+    }
+
+    /// Attaches an auditor observing fills and evictions under instance id
+    /// `site`.
+    #[cfg(feature = "audit")]
+    pub fn set_auditor(&mut self, auditor: wsg_sim::audit::AuditHandle, site: u64) {
+        self.auditor = Some(auditor);
+        self.audit_site = site;
+    }
+
+    #[cfg(feature = "audit")]
+    fn audit_fill(&self) {
+        if let Some(a) = &self.auditor {
+            let site = wsg_sim::audit::Site::new(wsg_sim::audit::SiteKind::Tlb, self.audit_site);
+            a.with(|au| au.on_fill(site, self.occupancy(), self.cfg.entries()));
+        }
+    }
+
+    #[cfg(feature = "audit")]
+    fn audit_evict(&self, occupancy: usize) {
+        if let Some(a) = &self.auditor {
+            let site = wsg_sim::audit::Site::new(wsg_sim::audit::SiteKind::Tlb, self.audit_site);
+            a.with(|au| au.on_evict(site, occupancy));
         }
     }
 
@@ -228,13 +260,16 @@ impl Tlb {
                 last_used: tick,
                 prefetched,
             };
+            #[cfg(feature = "audit")]
+            self.audit_fill();
             return None;
         }
-        let victim = self
-            .set_slice(set)
-            .iter_mut()
-            .min_by_key(|e| e.last_used)
-            .expect("ways > 0");
+        // Every way is valid: replace the set's LRU entry. `ways > 0` is a
+        // constructor invariant, so the set slice is non-empty.
+        let victim = match self.set_slice(set).iter_mut().min_by_key(|e| e.last_used) {
+            Some(v) => v,
+            None => unreachable!("ways > 0"),
+        };
         let evicted = (victim.vpn, victim.pfn);
         *victim = TlbEntry {
             vpn,
@@ -243,19 +278,30 @@ impl Tlb {
             last_used: tick,
             prefetched,
         };
+        #[cfg(feature = "audit")]
+        {
+            self.audit_evict(self.occupancy() - 1);
+            self.audit_fill();
+        }
         Some(evicted)
     }
 
     /// Invalidates `vpn`; returns whether it was present.
     pub fn invalidate(&mut self, vpn: Vpn) -> bool {
         let set = self.set_of(vpn);
+        let mut hit = false;
         for e in self.set_slice(set) {
             if e.valid && e.vpn == vpn {
                 e.valid = false;
-                return true;
+                hit = true;
+                break;
             }
         }
-        false
+        #[cfg(feature = "audit")]
+        if hit {
+            self.audit_evict(self.occupancy());
+        }
+        hit
     }
 
     /// Number of valid entries.

@@ -51,6 +51,10 @@ pub struct WalkerPool<T> {
     queued: u64,
     rejected: u64,
     coalesced: u64,
+    #[cfg(feature = "audit")]
+    auditor: Option<wsg_sim::audit::AuditHandle>,
+    #[cfg(feature = "audit")]
+    audit_site: u64,
 }
 
 impl<T> WalkerPool<T> {
@@ -71,6 +75,34 @@ impl<T> WalkerPool<T> {
             queued: 0,
             rejected: 0,
             coalesced: 0,
+            #[cfg(feature = "audit")]
+            auditor: None,
+            #[cfg(feature = "audit")]
+            audit_site: 0,
+        }
+    }
+
+    /// Attaches an auditor observing PW-queue occupancy under instance id
+    /// `site`.
+    #[cfg(feature = "audit")]
+    pub fn set_auditor(&mut self, auditor: wsg_sim::audit::AuditHandle, site: u64) {
+        self.auditor = Some(auditor);
+        self.audit_site = site;
+    }
+
+    #[cfg(feature = "audit")]
+    fn audit_queue_fill(&self) {
+        if let Some(a) = &self.auditor {
+            let site = wsg_sim::audit::Site::new(wsg_sim::audit::SiteKind::Walker, self.audit_site);
+            a.with(|au| au.on_fill(site, self.queue.len(), self.queue_capacity));
+        }
+    }
+
+    #[cfg(feature = "audit")]
+    fn audit_queue_evict(&self, occupancy: usize) {
+        if let Some(a) = &self.auditor {
+            let site = wsg_sim::audit::Site::new(wsg_sim::audit::SiteKind::Walker, self.audit_site);
+            a.with(|au| au.on_evict(site, occupancy));
         }
     }
 
@@ -87,6 +119,8 @@ impl<T> WalkerPool<T> {
         } else if self.queue.len() < self.queue_capacity {
             self.queue.push_back(token);
             self.queued += 1;
+            #[cfg(feature = "audit")]
+            self.audit_queue_fill();
             SubmitResult::Queued
         } else {
             self.rejected += 1;
@@ -108,6 +142,8 @@ impl<T> WalkerPool<T> {
                 // The freed walker immediately picks up the next request;
                 // `busy` stays unchanged.
                 self.started += 1;
+                #[cfg(feature = "audit")]
+                self.audit_queue_evict(self.queue.len());
                 Some(next)
             }
             None => {
@@ -133,6 +169,12 @@ impl<T> WalkerPool<T> {
         }
         self.queue = kept;
         self.coalesced += drained.len() as u64;
+        #[cfg(feature = "audit")]
+        for i in 0..drained.len() {
+            // One evict per drained request, with the intermediate occupancy
+            // each removal would have left.
+            self.audit_queue_evict(self.queue.len() + drained.len() - 1 - i);
+        }
         drained
     }
 

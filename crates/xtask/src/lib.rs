@@ -1,0 +1,943 @@
+//! Determinism lint pass for the HDPAT workspace (`cargo run -p xtask -- lint`).
+//!
+//! Four rules, documented in DESIGN.md under "Determinism & audit policy":
+//!
+//! * `map-iter` (d1) — no iteration over `HashMap`/`HashSet` in library code.
+//!   Hash iteration order depends on `RandomState`, so any model behaviour or
+//!   output derived from it varies run to run.
+//! * `wallclock` (d2) — no wall-clock reads or ambient entropy
+//!   (`Instant::now`, `SystemTime`, `thread_rng`, `rand::random`,
+//!   `from_entropy`) outside `SimRng` (`crates/sim/src/rng.rs`), the one
+//!   sanctioned randomness boundary.
+//! * `float-cycle` (d3) — no floating-point expression cast into `Cycle`.
+//!   Float rounding makes cycle accounting platform- and optimisation-level
+//!   sensitive; cycle math must stay in integers.
+//! * `unwrap` (d4) — no `.unwrap()` / `.expect(...)` in non-test library code
+//!   of the five model crates (sim, noc, xlat, mem, gpu). Panics there abort
+//!   mid-simulation with no indication of which seed/config was running.
+//!
+//! Any site can opt out with `// lint:allow(<rule>)` on the same line or in
+//! the comment block immediately above; rules are named by slug (`map-iter`)
+//! or code (`d1`). The linter strips comments and string literals and skips
+//! `#[cfg(test)]` regions, but it is a line scanner, not a parser — it trades
+//! completeness for having zero dependencies.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The four determinism rules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// d1: iteration over a hash-ordered collection.
+    MapIter,
+    /// d2: wall-clock or ambient-entropy source outside SimRng.
+    Wallclock,
+    /// d3: floating-point expression cast into `Cycle`.
+    FloatCycle,
+    /// d4: `.unwrap()` / `.expect(...)` in model-crate library code.
+    Unwrap,
+}
+
+impl Rule {
+    /// Human-readable slug used in diagnostics and `lint:allow(...)`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::MapIter => "map-iter",
+            Rule::Wallclock => "wallclock",
+            Rule::FloatCycle => "float-cycle",
+            Rule::Unwrap => "unwrap",
+        }
+    }
+
+    /// Short code (d1..d4), also accepted inside `lint:allow(...)`.
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::MapIter => "d1",
+            Rule::Wallclock => "d2",
+            Rule::FloatCycle => "d3",
+            Rule::Unwrap => "d4",
+        }
+    }
+
+    /// Parses either the slug or the code; unknown tokens yield `None`.
+    pub fn parse(token: &str) -> Option<Rule> {
+        match token {
+            "map-iter" | "d1" => Some(Rule::MapIter),
+            "wallclock" | "d2" => Some(Rule::Wallclock),
+            "float-cycle" | "d3" => Some(Rule::FloatCycle),
+            "unwrap" | "d4" => Some(Rule::Unwrap),
+            _ => None,
+        }
+    }
+}
+
+/// One lint finding, formatted as `path:line: [rule] message`.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    pub path: String,
+    pub line: usize,
+    pub rule: Rule,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path,
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// Which rules apply to a given file; decided by [`classify`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RuleSet {
+    pub map_iter: bool,
+    pub wallclock: bool,
+    pub float_cycle: bool,
+    pub unwrap: bool,
+}
+
+impl RuleSet {
+    pub fn all() -> Self {
+        RuleSet {
+            map_iter: true,
+            wallclock: true,
+            float_cycle: true,
+            unwrap: true,
+        }
+    }
+
+    pub fn none() -> Self {
+        RuleSet::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        *self == RuleSet::none()
+    }
+}
+
+/// Result of linting a tree: how many files were actually scanned (after
+/// classification) and every diagnostic found.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub files_scanned: usize,
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+// ---------------------------------------------------------------------------
+// Source preprocessing: comment/string stripping, cfg(test) regions, allows.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct PreLine {
+    /// Line content with comments removed and string/char literal contents
+    /// blanked out (each skipped byte becomes a space, so token boundaries
+    /// survive but no literal text can trigger a rule).
+    code: String,
+    /// Rules named by `lint:allow(...)` anywhere on the raw line.
+    allows: Vec<Rule>,
+    /// True inside a `#[cfg(test)]` item: no rules apply.
+    test_code: bool,
+}
+
+#[derive(Clone, Copy)]
+enum ScanState {
+    Normal,
+    /// Nested block comment depth.
+    Block(u32),
+    Str,
+    /// Raw string, closing delimiter is `"` followed by this many `#`.
+    RawStr(u8),
+}
+
+fn parse_allows(raw: &str) -> Vec<Rule> {
+    let mut out = Vec::new();
+    let mut rest = raw;
+    while let Some(i) = rest.find("lint:allow(") {
+        rest = &rest[i + "lint:allow(".len()..];
+        let Some(end) = rest.find(')') else { break };
+        for token in rest[..end].split(',') {
+            if let Some(rule) = Rule::parse(token.trim()) {
+                out.push(rule);
+            }
+        }
+        rest = &rest[end..];
+    }
+    out
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Strips one line according to the carried scanner state, returning the
+/// blanked code text and the state at end of line.
+fn strip_line(raw: &str, mut state: ScanState) -> (String, ScanState) {
+    let bytes = raw.as_bytes();
+    let len = bytes.len();
+    let mut code = Vec::with_capacity(len);
+    let mut i = 0;
+    while i < len {
+        match state {
+            ScanState::Block(depth) => {
+                if bytes[i] == b'/' && i + 1 < len && bytes[i + 1] == b'*' {
+                    state = ScanState::Block(depth + 1);
+                    i += 2;
+                } else if bytes[i] == b'*' && i + 1 < len && bytes[i + 1] == b'/' {
+                    state = if depth == 1 {
+                        ScanState::Normal
+                    } else {
+                        ScanState::Block(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                code.push(b' ');
+            }
+            ScanState::Str => {
+                if bytes[i] == b'\\' {
+                    i += 2;
+                    code.push(b' ');
+                } else if bytes[i] == b'"' {
+                    state = ScanState::Normal;
+                    i += 1;
+                    code.push(b' ');
+                } else {
+                    i += 1;
+                    code.push(b' ');
+                }
+            }
+            ScanState::RawStr(hashes) => {
+                if bytes[i] == b'"' {
+                    let h = hashes as usize;
+                    if i + h < len
+                        && bytes[i + 1..].len() >= h
+                        && bytes[i + 1..i + 1 + h].iter().all(|&b| b == b'#')
+                    {
+                        state = ScanState::Normal;
+                        i += 1 + h;
+                        code.push(b' ');
+                        continue;
+                    }
+                }
+                i += 1;
+                code.push(b' ');
+            }
+            ScanState::Normal => {
+                let b = bytes[i];
+                let prev_is_ident = i > 0 && is_ident_byte(bytes[i - 1]);
+                if b == b'/' && i + 1 < len && bytes[i + 1] == b'/' {
+                    // Line comment: rest of the line is gone.
+                    break;
+                } else if b == b'/' && i + 1 < len && bytes[i + 1] == b'*' {
+                    state = ScanState::Block(1);
+                    i += 2;
+                    code.push(b' ');
+                } else if b == b'"' {
+                    state = ScanState::Str;
+                    i += 1;
+                    code.push(b' ');
+                } else if (b == b'r' || b == b'b') && !prev_is_ident {
+                    // Possible raw/byte string prefix: r", r#", br", br#".
+                    let mut j = i + 1;
+                    if b == b'b' && j < len && bytes[j] == b'r' {
+                        j += 1;
+                    } else if b == b'b' {
+                        // b"..." or b'.' fall through to plain handling below.
+                        j = i + 1;
+                        if j < len && bytes[j] == b'"' {
+                            state = ScanState::Str;
+                            i = j + 1;
+                            code.push(b' ');
+                            code.push(b' ');
+                            continue;
+                        }
+                        code.push(b);
+                        i += 1;
+                        continue;
+                    }
+                    let mut hashes = 0u8;
+                    while j < len && bytes[j] == b'#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if b == b'r' && hashes == 0 && j == i + 1 && (j >= len || bytes[j] != b'"') {
+                        // Just the identifier letter `r`.
+                        code.push(b);
+                        i += 1;
+                        continue;
+                    }
+                    if j < len && bytes[j] == b'"' {
+                        state = ScanState::RawStr(hashes);
+                        code.extend(std::iter::repeat_n(b' ', j - i + 1));
+                        i = j + 1;
+                    } else {
+                        code.push(b);
+                        i += 1;
+                    }
+                } else if b == b'\'' {
+                    // Char literal vs lifetime.
+                    if i + 1 < len && bytes[i + 1] == b'\\' {
+                        let mut j = i + 3; // skip the escaped byte
+                        while j < len && bytes[j] != b'\'' {
+                            j += 1;
+                        }
+                        code.extend(std::iter::repeat_n(b' ', j.min(len - 1) - i + 1));
+                        i = j + 1;
+                    } else if i + 2 < len && bytes[i + 2] == b'\'' && bytes[i + 1] != b'\'' {
+                        code.push(b' ');
+                        code.push(b' ');
+                        code.push(b' ');
+                        i += 3;
+                    } else {
+                        // Lifetime tick: drop the tick, keep the name.
+                        code.push(b' ');
+                        i += 1;
+                    }
+                } else {
+                    code.push(b);
+                    i += 1;
+                }
+            }
+        }
+    }
+    (String::from_utf8_lossy(&code).into_owned(), state)
+}
+
+fn preprocess(source: &str) -> Vec<PreLine> {
+    let mut out = Vec::new();
+    let mut state = ScanState::Normal;
+    for raw in source.lines() {
+        let allows = parse_allows(raw);
+        let (code, next) = strip_line(raw, state);
+        state = next;
+        out.push(PreLine {
+            code,
+            allows,
+            test_code: false,
+        });
+    }
+    mark_test_regions(&mut out);
+    out
+}
+
+/// Marks every line belonging to a `#[cfg(test)]` item (attribute line
+/// through the matching close brace) as test code.
+fn mark_test_regions(lines: &mut [PreLine]) {
+    let mut pending_attr = false;
+    let mut depth: i64 = 0;
+    let mut in_region = false;
+    for line in lines.iter_mut() {
+        if in_region {
+            line.test_code = true;
+            depth += brace_delta(&line.code);
+            if depth <= 0 {
+                in_region = false;
+            }
+            continue;
+        }
+        if line.code.contains("#[cfg(test)]") || line.code.contains("#[cfg(all(test") {
+            pending_attr = true;
+            line.test_code = true;
+            continue;
+        }
+        if pending_attr {
+            line.test_code = true;
+            if line.code.contains('{') {
+                pending_attr = false;
+                depth = brace_delta(&line.code);
+                in_region = depth > 0;
+            }
+        }
+    }
+}
+
+fn brace_delta(code: &str) -> i64 {
+    let mut d = 0i64;
+    for b in code.bytes() {
+        match b {
+            b'{' => d += 1,
+            b'}' => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+// ---------------------------------------------------------------------------
+// Rule checks.
+// ---------------------------------------------------------------------------
+
+/// Every occurrence of `needle` in `hay` that stands alone as an identifier.
+fn ident_occurrences(hay: &str, needle: &str) -> Vec<usize> {
+    let bytes = hay.as_bytes();
+    let mut out = Vec::new();
+    let mut start = 0;
+    while let Some(pos) = hay[start..].find(needle) {
+        let i = start + pos;
+        let before_ok = i == 0 || !is_ident_byte(bytes[i - 1]);
+        let end = i + needle.len();
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            out.push(i);
+        }
+        start = i + needle.len();
+    }
+    out
+}
+
+/// Reads the identifier that ends at byte `end` (exclusive), if any.
+fn ident_ending_at(code: &str, end: usize) -> Option<&str> {
+    let bytes = code.as_bytes();
+    let mut start = end;
+    while start > 0 && is_ident_byte(bytes[start - 1]) {
+        start -= 1;
+    }
+    if start == end {
+        None
+    } else {
+        Some(&code[start..end])
+    }
+}
+
+/// Collects identifiers declared with a `HashMap`/`HashSet` type or
+/// initialised from one (`x: HashMap<..>`, `let x = HashMap::new()`).
+fn collect_map_idents(code: &str, idents: &mut BTreeSet<String>) {
+    let bytes = code.as_bytes();
+    for ty in ["HashMap", "HashSet"] {
+        for occ in ident_occurrences(code, ty) {
+            // Walk backwards over whitespace, `&`, and `mut` to the sigil
+            // that binds the type to a name.
+            let mut i = occ;
+            loop {
+                while i > 0 && bytes[i - 1].is_ascii_whitespace() {
+                    i -= 1;
+                }
+                if i > 0 && bytes[i - 1] == b'&' {
+                    i -= 1;
+                    continue;
+                }
+                if i >= 3 && &code[i - 3..i] == "mut" && (i == 3 || !is_ident_byte(bytes[i - 4])) {
+                    i -= 3;
+                    continue;
+                }
+                break;
+            }
+            if i == 0 {
+                continue;
+            }
+            let sigil = bytes[i - 1];
+            if sigil == b':' {
+                // `name: HashMap<..>` — reject the `::` path case.
+                if i >= 2 && bytes[i - 2] == b':' {
+                    continue;
+                }
+                let mut j = i - 1;
+                while j > 0 && bytes[j - 1].is_ascii_whitespace() {
+                    j -= 1;
+                }
+                if let Some(name) = ident_ending_at(code, j) {
+                    idents.insert(name.to_string());
+                }
+            } else if sigil == b'=' {
+                // `name = HashMap::new()` — reject `==`, `=>`, `+=` etc.
+                if i >= 2
+                    && matches!(
+                        bytes[i - 2],
+                        b'=' | b'<' | b'>' | b'+' | b'-' | b'*' | b'/' | b'!' | b'&' | b'|' | b'^'
+                    )
+                {
+                    continue;
+                }
+                let mut j = i - 1;
+                while j > 0 && bytes[j - 1].is_ascii_whitespace() {
+                    j -= 1;
+                }
+                if let Some(name) = ident_ending_at(code, j) {
+                    if !matches!(name, "if" | "in" | "while" | "match" | "return" | "else") {
+                        idents.insert(name.to_string());
+                    }
+                }
+            }
+        }
+    }
+}
+
+const ITER_SUFFIXES: [&str; 10] = [
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+    ".drain(",
+    ".retain(",
+];
+
+fn check_map_iter(
+    path: &str,
+    lineno: usize,
+    code: &str,
+    idents: &BTreeSet<String>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let bytes = code.as_bytes();
+    for ident in idents {
+        for occ in ident_occurrences(code, ident) {
+            let after = &code[occ + ident.len()..];
+            let flagged_suffix = ITER_SUFFIXES.iter().find(|s| after.starts_with(*s));
+            let mut flagged = flagged_suffix.is_some();
+            if !flagged {
+                // `for x in ident` / `in &ident` / `in &mut ident`.
+                let mut i = occ;
+                loop {
+                    while i > 0 && bytes[i - 1].is_ascii_whitespace() {
+                        i -= 1;
+                    }
+                    if i > 0 && bytes[i - 1] == b'&' {
+                        i -= 1;
+                        continue;
+                    }
+                    if i >= 3
+                        && &code[i - 3..i] == "mut"
+                        && (i == 3 || !is_ident_byte(bytes[i - 4]))
+                    {
+                        i -= 3;
+                        continue;
+                    }
+                    break;
+                }
+                if i >= 2 && &code[i - 2..i] == "in" && (i == 2 || !is_ident_byte(bytes[i - 3])) {
+                    // Only treat it as a loop when nothing chains a
+                    // deterministic accessor after the ident.
+                    flagged = after.is_empty() || after.starts_with(' ') || after.starts_with('{');
+                }
+            }
+            if flagged {
+                diags.push(Diagnostic {
+                    path: path.to_string(),
+                    line: lineno,
+                    rule: Rule::MapIter,
+                    message: format!(
+                        "iteration over hash-ordered collection `{ident}`; use BTreeMap/BTreeSet, \
+                         sort the keys first, or annotate lint:allow(map-iter)"
+                    ),
+                });
+                break;
+            }
+        }
+    }
+}
+
+const WALLCLOCK_PATTERNS: [(&str, &str); 5] = [
+    ("Instant::now", "wall-clock read"),
+    ("SystemTime", "wall-clock read"),
+    ("thread_rng", "ambient entropy"),
+    ("rand::random", "ambient entropy"),
+    ("from_entropy", "ambient entropy"),
+];
+
+fn check_wallclock(path: &str, lineno: usize, code: &str, diags: &mut Vec<Diagnostic>) {
+    for (pat, what) in WALLCLOCK_PATTERNS {
+        if code.contains(pat) {
+            diags.push(Diagnostic {
+                path: path.to_string(),
+                line: lineno,
+                rule: Rule::Wallclock,
+                message: format!(
+                    "{what} `{pat}` outside SimRng; derive all variation from the seeded \
+                     SimRng or annotate lint:allow(wallclock)"
+                ),
+            });
+        }
+    }
+}
+
+fn has_float_literal(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    for i in 1..bytes.len().saturating_sub(1) {
+        if bytes[i] == b'.' && bytes[i - 1].is_ascii_digit() && bytes[i + 1].is_ascii_digit() {
+            return true;
+        }
+    }
+    false
+}
+
+fn check_float_cycle(path: &str, lineno: usize, code: &str, diags: &mut Vec<Diagnostic>) {
+    if ident_occurrences(code, "Cycle")
+        .iter()
+        .any(|&occ| occ >= 3 && code[..occ].trim_end().ends_with("as"))
+    {
+        let floaty = code.contains("f64")
+            || code.contains("f32")
+            || code.contains(".ceil()")
+            || code.contains(".floor()")
+            || code.contains(".round()")
+            || code.contains(".powf(")
+            || has_float_literal(code);
+        if floaty {
+            diags.push(Diagnostic {
+                path: path.to_string(),
+                line: lineno,
+                rule: Rule::FloatCycle,
+                message: "floating-point expression cast into Cycle; keep cycle math in \
+                          integers (div_ceil etc.) or annotate lint:allow(float-cycle)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+fn check_unwrap(path: &str, lineno: usize, code: &str, diags: &mut Vec<Diagnostic>) {
+    for pat in [".unwrap()", ".expect("] {
+        if code.contains(pat) {
+            diags.push(Diagnostic {
+                path: path.to_string(),
+                line: lineno,
+                rule: Rule::Unwrap,
+                message: format!(
+                    "`{pat}..` in model-crate library code; return an error, handle the None \
+                     case, or annotate lint:allow(unwrap)"
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points.
+// ---------------------------------------------------------------------------
+
+/// Lints one source text under the given rule set. `path` is used verbatim in
+/// diagnostics.
+pub fn lint_source(path: &str, source: &str, rules: RuleSet) -> Vec<Diagnostic> {
+    let lines = preprocess(source);
+    let mut map_idents = BTreeSet::new();
+    if rules.map_iter {
+        for line in &lines {
+            if !line.test_code {
+                collect_map_idents(&line.code, &mut map_idents);
+            }
+        }
+    }
+    let mut diags = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if line.test_code || line.code.trim().is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let allowed = |rule: Rule| {
+            if line.allows.contains(&rule) {
+                return true;
+            }
+            // Walk up through the comment block (code-empty lines) directly
+            // above this line; an allow anywhere in it applies here.
+            let mut j = idx;
+            while j > 0 {
+                j -= 1;
+                if lines[j].allows.contains(&rule) {
+                    return true;
+                }
+                if !lines[j].code.trim().is_empty() {
+                    break;
+                }
+            }
+            false
+        };
+        if rules.map_iter && !allowed(Rule::MapIter) {
+            check_map_iter(path, lineno, &line.code, &map_idents, &mut diags);
+        }
+        if rules.wallclock && !allowed(Rule::Wallclock) {
+            check_wallclock(path, lineno, &line.code, &mut diags);
+        }
+        if rules.float_cycle && !allowed(Rule::FloatCycle) {
+            check_float_cycle(path, lineno, &line.code, &mut diags);
+        }
+        if rules.unwrap && !allowed(Rule::Unwrap) {
+            check_unwrap(path, lineno, &line.code, &mut diags);
+        }
+    }
+    diags
+}
+
+/// Decides which rules apply to a workspace-relative path.
+///
+/// * Library code (`src/`) of every crate: `map-iter`, `wallclock`,
+///   `float-cycle`; plus `unwrap` for the five model crates
+///   (sim, noc, xlat, mem, gpu).
+/// * `crates/sim/src/rng.rs` is the sanctioned entropy boundary: exempt from
+///   `wallclock`.
+/// * Examples: `wallclock` + `float-cycle` (they drive the model but may
+///   legitimately format host output).
+/// * Tests and benches: no rules — assertions may iterate maps freely.
+/// * Vendored tooling (`crates/xtask`, `crates/proptest`, `crates/criterion`)
+///   is not model code and is skipped entirely.
+pub fn classify(rel: &Path) -> RuleSet {
+    let comps: Vec<&str> = rel
+        .components()
+        .filter_map(|c| c.as_os_str().to_str())
+        .collect();
+    match comps.as_slice() {
+        ["crates", krate, section, rest @ ..] => {
+            if matches!(*krate, "xtask" | "proptest" | "criterion") {
+                return RuleSet::none();
+            }
+            match *section {
+                "src" => {
+                    let mut rules = RuleSet {
+                        map_iter: true,
+                        wallclock: true,
+                        float_cycle: true,
+                        unwrap: matches!(*krate, "sim" | "noc" | "xlat" | "mem" | "gpu"),
+                    };
+                    if *krate == "sim" && rest == ["rng.rs"] {
+                        rules.wallclock = false;
+                    }
+                    rules
+                }
+                "examples" => RuleSet {
+                    wallclock: true,
+                    float_cycle: true,
+                    ..RuleSet::none()
+                },
+                _ => RuleSet::none(),
+            }
+        }
+        ["src", ..] => RuleSet {
+            map_iter: true,
+            wallclock: true,
+            float_cycle: true,
+            ..RuleSet::none()
+        },
+        ["examples", ..] => RuleSet {
+            wallclock: true,
+            float_cycle: true,
+            ..RuleSet::none()
+        },
+        _ => RuleSet::none(),
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(rd) = fs::read_dir(dir) else { return };
+    let mut entries: Vec<PathBuf> = rd.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path
+                .file_name()
+                .and_then(|s| s.to_str())
+                .unwrap_or_default();
+            if matches!(name, "target" | ".git") {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().and_then(|s| s.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lints the whole workspace rooted at `root`, classifying each file by its
+/// relative path. File order (and thus diagnostic order) is deterministic.
+pub fn lint_workspace(root: &Path) -> Report {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files);
+    let mut report = Report::default();
+    for file in files {
+        let rel = file.strip_prefix(root).unwrap_or(&file);
+        let rules = classify(rel);
+        if rules.is_empty() {
+            continue;
+        }
+        let Ok(source) = fs::read_to_string(&file) else {
+            continue;
+        };
+        report.files_scanned += 1;
+        report
+            .diagnostics
+            .extend(lint_source(&rel.display().to_string(), &source, rules));
+    }
+    report
+}
+
+/// Lints an explicit file or directory with every rule enabled — used for
+/// fixtures and ad-hoc checks (`cargo run -p xtask -- lint path/to/file.rs`).
+pub fn lint_path(path: &Path) -> Report {
+    let mut files = Vec::new();
+    if path.is_dir() {
+        collect_rs_files(path, &mut files);
+    } else {
+        files.push(path.to_path_buf());
+    }
+    let mut report = Report::default();
+    for file in files {
+        let Ok(source) = fs::read_to_string(&file) else {
+            continue;
+        };
+        report.files_scanned += 1;
+        report.diagnostics.extend(lint_source(
+            &file.display().to_string(),
+            &source,
+            RuleSet::all(),
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        let lines = preprocess(
+            "let x = \"Instant::now\"; // Instant::now in comment\nlet y = 1; /* thread_rng */ let z = 2;\n",
+        );
+        assert!(!lines[0].code.contains("Instant"));
+        assert!(!lines[1].code.contains("thread_rng"));
+        assert!(lines[1].code.contains("let z"));
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let lines = preprocess("a/*\nthread_rng\n*/b\n");
+        assert!(lines[0].code.contains('a'));
+        assert!(!lines[1].code.contains("thread_rng"));
+        assert!(lines[2].code.contains('b'));
+    }
+
+    #[test]
+    fn raw_strings_are_stripped() {
+        let lines = preprocess("let x = r#\"rand::random\"#; let ok = 1;\n");
+        assert!(!lines[0].code.contains("rand::random"));
+        assert!(lines[0].code.contains("let ok"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let lines = preprocess("fn f<'a>(c: char) -> bool { c == '\"' }\n");
+        // The double-quote char literal must not open a string.
+        assert!(lines[0].code.contains("bool"));
+    }
+
+    #[test]
+    fn allows_are_parsed() {
+        assert_eq!(
+            parse_allows("// lint:allow(map-iter, d4)"),
+            vec![Rule::MapIter, Rule::Unwrap]
+        );
+        assert_eq!(parse_allows("no allow here"), vec![]);
+    }
+
+    #[test]
+    fn cfg_test_region_is_skipped() {
+        let src = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { x.unwrap(); }\n}\npub fn h() { y.unwrap(); }\n";
+        let diags = lint_source("t.rs", src, RuleSet::all());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 6);
+        assert_eq!(diags[0].rule, Rule::Unwrap);
+    }
+
+    #[test]
+    fn map_idents_are_collected() {
+        let mut set = BTreeSet::new();
+        collect_map_idents("pub links: HashMap<(Coord, Coord), LinkState>,", &mut set);
+        collect_map_idents("let mut seen = HashSet::new();", &mut set);
+        collect_map_idents("fn f(m: &HashMap<u32, u32>) {}", &mut set);
+        collect_map_idents("use std::collections::HashMap;", &mut set);
+        let names: Vec<&str> = set.iter().map(|s| s.as_str()).collect();
+        assert_eq!(names, vec!["links", "m", "seen"]);
+    }
+
+    #[test]
+    fn map_iteration_is_flagged() {
+        let src = "struct S { links: HashMap<u32, u32> }\nfn f(s: &S) { for (k, v) in s.links.iter() {} }\nfn g(s: &S) -> Option<&u32> { s.links.get(&1) }\n";
+        let diags = lint_source("t.rs", src, RuleSet::all());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 2);
+        assert_eq!(diags[0].rule, Rule::MapIter);
+    }
+
+    #[test]
+    fn for_loop_over_map_is_flagged() {
+        let src =
+            "fn f() { let mut m = HashMap::new(); m.insert(1, 2); for x in &m { let _ = x; } }\n";
+        let diags = lint_source("t.rs", src, RuleSet::all());
+        assert!(diags.iter().any(|d| d.rule == Rule::MapIter));
+    }
+
+    #[test]
+    fn allow_on_same_or_previous_line() {
+        let src = "fn f() { t.unwrap() } // lint:allow(unwrap)\n// lint:allow(d4)\nfn g() { t.unwrap() }\nfn h() { t.unwrap() }\n";
+        let diags = lint_source("t.rs", src, RuleSet::all());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 4);
+    }
+
+    #[test]
+    fn allow_carries_across_a_comment_block() {
+        let src = "// lint:allow(d4): justified at length,\n// over several comment lines.\nfn g() { t.unwrap() }\nfn h() { t.unwrap() }\n";
+        let diags = lint_source("t.rs", src, RuleSet::all());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 4);
+    }
+
+    #[test]
+    fn float_cycle_flagged_only_in_float_context() {
+        let all = RuleSet::all();
+        let bad = lint_source("t.rs", "let c = (b as f64 / r).ceil() as Cycle;\n", all);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, Rule::FloatCycle);
+        let ok = lint_source("t.rs", "let c = (b / r) as Cycle;\n", all);
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_is_not_flagged() {
+        let diags = lint_source(
+            "t.rs",
+            "let x = m.get(&1).copied().unwrap_or(0);\n",
+            RuleSet::all(),
+        );
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn classify_scopes_rules_by_path() {
+        let lib = classify(Path::new("crates/sim/src/event.rs"));
+        assert!(lib.map_iter && lib.wallclock && lib.float_cycle && lib.unwrap);
+        let rng = classify(Path::new("crates/sim/src/rng.rs"));
+        assert!(!rng.wallclock && rng.map_iter);
+        let core = classify(Path::new("crates/core/src/sim/mod.rs"));
+        assert!(core.map_iter && !core.unwrap);
+        assert!(classify(Path::new("crates/xtask/src/lib.rs")).is_empty());
+        assert!(classify(Path::new("crates/sim/tests/t.rs")).is_empty());
+        assert!(classify(Path::new("tests/invariants.rs")).is_empty());
+        let ex = classify(Path::new("examples/ablation_sweep.rs"));
+        assert!(ex.wallclock && !ex.unwrap);
+        let facade = classify(Path::new("src/lib.rs"));
+        assert!(facade.map_iter && !facade.unwrap);
+    }
+
+    #[test]
+    fn diagnostic_display_format() {
+        let d = Diagnostic {
+            path: "crates/sim/src/event.rs".into(),
+            line: 42,
+            rule: Rule::MapIter,
+            message: "msg".into(),
+        };
+        assert_eq!(d.to_string(), "crates/sim/src/event.rs:42: [map-iter] msg");
+    }
+}

@@ -1,0 +1,55 @@
+//! Workspace task runner. Currently one task: `lint`, the determinism lint
+//! pass described in DESIGN.md ("Determinism & audit policy").
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let report = match args.get(1) {
+                Some(path) => {
+                    let path = Path::new(path);
+                    if !path.exists() {
+                        eprintln!("xtask lint: no such file or directory: {}", path.display());
+                        return ExitCode::from(2);
+                    }
+                    xtask::lint_path(path)
+                }
+                None => xtask::lint_workspace(&workspace_root()),
+            };
+            for diag in &report.diagnostics {
+                println!("{diag}");
+            }
+            if report.diagnostics.is_empty() {
+                println!("lint clean: {} file(s) scanned", report.files_scanned);
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "lint: {} violation(s) in {} file(s) scanned",
+                    report.diagnostics.len(),
+                    report.files_scanned
+                );
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint [path]");
+            eprintln!();
+            eprintln!("Runs the determinism lint pass (rules d1..d4, see DESIGN.md).");
+            eprintln!("With no path, lints the whole workspace with per-path rule scoping;");
+            eprintln!("with a file or directory, lints it with every rule enabled.");
+            ExitCode::from(2)
+        }
+    }
+}

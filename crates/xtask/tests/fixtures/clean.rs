@@ -1,0 +1,37 @@
+//! Fixture: must pass every rule. Exercises the corners the linter has to
+//! get right — literals, doc comments, cfg(test) regions, and the
+//! `lint:allow` escape hatch. Doc example (ignored): `values.first().unwrap()`.
+
+use std::collections::BTreeMap;
+
+pub type Cycle = u64;
+
+pub struct Table {
+    entries: BTreeMap<u64, u64>,
+}
+
+pub fn sum(table: &Table) -> u64 {
+    table.entries.values().sum() // BTreeMap: deterministic order
+}
+
+pub fn not_entropy() -> &'static str {
+    "Instant::now and thread_rng live only inside this string literal"
+}
+
+pub fn scaled(bytes: u64) -> Cycle {
+    // lint:allow(float-cycle): fixed-point conversion audited by hand.
+    (bytes as f64 * 0.5) as Cycle
+}
+
+pub fn head(values: &[u64]) -> Option<u64> {
+    values.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let values = [1u64];
+        assert_eq!(*values.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,24 @@
+// Fixture: seeded d1 (map-iter) violations. Never compiled; scanned by the
+// lint integration tests and by `cargo run -p xtask -- lint <this file>`.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct RouterState {
+    pub inflight: HashMap<u64, u32>,
+}
+
+pub fn total_inflight(state: &RouterState) -> u32 {
+    let mut sum = 0;
+    for (_id, count) in state.inflight.iter() { // VIOLATION: map-iter
+        sum += count;
+    }
+    sum
+}
+
+pub fn lookup(state: &RouterState, id: u64) -> Option<u32> {
+    state.inflight.get(&id).copied() // keyed access: fine
+}
+
+pub fn drain_all(seen: &mut HashSet<u64>) -> Vec<u64> {
+    seen.drain().collect() // VIOLATION: map-iter
+}

@@ -1,0 +1,16 @@
+// Fixture: seeded d2 (wallclock) violations.
+
+use std::time::Instant;
+
+pub fn stamp() -> u128 {
+    let t0 = Instant::now(); // VIOLATION: wallclock
+    t0.elapsed().as_nanos()
+}
+
+pub fn roll() -> u64 {
+    rand::random::<u64>() // VIOLATION: wallclock (ambient entropy)
+}
+
+pub fn deterministic(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) // fine
+}

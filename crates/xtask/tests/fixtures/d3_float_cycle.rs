@@ -1,0 +1,11 @@
+// Fixture: seeded d3 (float-cycle) violation.
+
+pub type Cycle = u64;
+
+pub fn serialization(bytes: u64, bytes_per_cycle: f64) -> Cycle {
+    (bytes as f64 / bytes_per_cycle).ceil() as Cycle // VIOLATION: float-cycle
+}
+
+pub fn integer_cycles(bytes: u64, bytes_per_cycle: u64) -> Cycle {
+    bytes.div_ceil(bytes_per_cycle) as Cycle // fine: integer math
+}

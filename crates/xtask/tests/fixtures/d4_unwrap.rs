@@ -1,0 +1,13 @@
+// Fixture: seeded d4 (unwrap) violations.
+
+pub fn head(values: &[u64]) -> u64 {
+    *values.first().unwrap() // VIOLATION: unwrap
+}
+
+pub fn capacity(raw: &str) -> usize {
+    raw.parse().expect("capacity must parse") // VIOLATION: unwrap
+}
+
+pub fn head_or_zero(values: &[u64]) -> u64 {
+    values.first().copied().unwrap_or(0) // fine: total
+}

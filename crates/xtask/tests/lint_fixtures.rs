@@ -1,0 +1,168 @@
+//! Negative-path tests for the determinism lint: each seeded fixture must
+//! produce its violation with the right rule and line, the clean fixture must
+//! pass, and the CLI must exit nonzero/zero accordingly.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use xtask::{lint_source, Rule, RuleSet};
+
+fn fixture_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn fixture(name: &str) -> String {
+    std::fs::read_to_string(fixture_path(name)).expect("fixture readable")
+}
+
+/// 1-based line number of the first line containing `needle`.
+fn line_of(source: &str, needle: &str) -> usize {
+    source
+        .lines()
+        .position(|l| l.contains(needle))
+        .map(|i| i + 1)
+        .unwrap_or_else(|| panic!("fixture should contain {needle:?}"))
+}
+
+#[test]
+fn d1_fixture_reports_each_seeded_violation() {
+    let src = fixture("d1_map_iter.rs");
+    let diags = lint_source("d1_map_iter.rs", &src, RuleSet::all());
+    let map_iter: Vec<usize> = diags
+        .iter()
+        .filter(|d| d.rule == Rule::MapIter)
+        .map(|d| d.line)
+        .collect();
+    assert_eq!(
+        map_iter,
+        vec![
+            line_of(&src, "state.inflight.iter()"),
+            line_of(&src, "seen.drain()"),
+        ],
+        "diagnostics: {diags:#?}"
+    );
+    assert!(diags.iter().all(|d| d.rule == Rule::MapIter));
+}
+
+#[test]
+fn d2_fixture_reports_each_seeded_violation() {
+    let src = fixture("d2_wallclock.rs");
+    let diags = lint_source("d2_wallclock.rs", &src, RuleSet::all());
+    let wallclock: Vec<usize> = diags
+        .iter()
+        .filter(|d| d.rule == Rule::Wallclock)
+        .map(|d| d.line)
+        .collect();
+    assert_eq!(
+        wallclock,
+        vec![
+            line_of(&src, "Instant::now()"),
+            line_of(&src, "rand::random::<u64>()"),
+        ],
+        "diagnostics: {diags:#?}"
+    );
+}
+
+#[test]
+fn d3_fixture_reports_the_seeded_violation() {
+    let src = fixture("d3_float_cycle.rs");
+    let diags = lint_source("d3_float_cycle.rs", &src, RuleSet::all());
+    let float_cycle: Vec<usize> = diags
+        .iter()
+        .filter(|d| d.rule == Rule::FloatCycle)
+        .map(|d| d.line)
+        .collect();
+    assert_eq!(
+        float_cycle,
+        vec![line_of(&src, ".ceil() as Cycle")],
+        "diagnostics: {diags:#?}"
+    );
+    // The integer-math variant must not be flagged.
+    assert_eq!(diags.len(), float_cycle.len());
+}
+
+#[test]
+fn d4_fixture_reports_each_seeded_violation() {
+    let src = fixture("d4_unwrap.rs");
+    let diags = lint_source("d4_unwrap.rs", &src, RuleSet::all());
+    let unwrap: Vec<usize> = diags
+        .iter()
+        .filter(|d| d.rule == Rule::Unwrap)
+        .map(|d| d.line)
+        .collect();
+    assert_eq!(
+        unwrap,
+        vec![
+            line_of(&src, ".unwrap()"),
+            line_of(&src, ".expect(\"capacity must parse\")"),
+        ],
+        "diagnostics: {diags:#?}"
+    );
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let src = fixture("clean.rs");
+    let diags = lint_source("clean.rs", &src, RuleSet::all());
+    assert!(diags.is_empty(), "clean fixture flagged: {diags:#?}");
+}
+
+#[test]
+fn cli_exits_nonzero_with_file_line_diagnostics_on_seeded_fixtures() {
+    for name in [
+        "d1_map_iter.rs",
+        "d2_wallclock.rs",
+        "d3_float_cycle.rs",
+        "d4_unwrap.rs",
+    ] {
+        let path = fixture_path(name);
+        let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+            .args(["lint", path.to_str().expect("utf-8 path")])
+            .output()
+            .expect("xtask binary runs");
+        assert!(
+            !out.status.success(),
+            "{name}: expected nonzero exit, stdout: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains(&format!("{name}:")),
+            "{name}: diagnostics should carry file:line, got: {stdout}"
+        );
+    }
+}
+
+#[test]
+fn cli_exits_zero_on_clean_fixture() {
+    let path = fixture_path("clean.rs");
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint", path.to_str().expect("utf-8 path")])
+        .output()
+        .expect("xtask binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "expected clean exit, got: {stdout}");
+    assert!(stdout.contains("lint clean"), "got: {stdout}");
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let report = xtask::lint_workspace(root);
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace lint violations:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.files_scanned > 20, "walker found too few files");
+}

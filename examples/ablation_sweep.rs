@@ -20,7 +20,10 @@ fn main() {
         ("conc", PolicyKind::Concentric { caching_layers: 2 }),
         ("dist", PolicyKind::Distributed),
         ("clust", PolicyKind::Hdpat(HdpatConfig::peer_caching_only())),
-        ("redir", PolicyKind::Hdpat(HdpatConfig::with_redirection_only())),
+        (
+            "redir",
+            PolicyKind::Hdpat(HdpatConfig::with_redirection_only()),
+        ),
         ("pref", PolicyKind::Hdpat(HdpatConfig::with_prefetch_only())),
         ("hdpat", PolicyKind::hdpat()),
         ("transfw", PolicyKind::TransFw),
@@ -28,6 +31,8 @@ fn main() {
         ("barre", PolicyKind::Barre),
     ];
 
+    // lint:allow(wallclock): host-side progress timing only; never feeds the
+    // model.
     let t0 = Instant::now();
     print!("{:6}", "bench");
     for (n, _) in &policies {

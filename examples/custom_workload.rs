@@ -54,7 +54,10 @@ fn main() {
         .map(|wg| stencil_wg(&space, &grid, wg, wg_count))
         .collect();
 
-    println!("custom stencil workload: {wg_count} workgroups over {} pages\n", grid.pages);
+    println!(
+        "custom stencil workload: {wg_count} workgroups over {} pages\n",
+        grid.pages
+    );
 
     let baseline = Simulation::with_traces(
         system.clone(),
@@ -65,8 +68,14 @@ fn main() {
     .run();
     let hdpat = Simulation::with_traces(system, PolicyKind::hdpat(), space, traces).run();
 
-    println!("baseline: {} cycles, {} IOMMU walks", baseline.total_cycles, baseline.iommu_walks);
-    println!("HDPAT   : {} cycles, {} IOMMU walks", hdpat.total_cycles, hdpat.iommu_walks);
+    println!(
+        "baseline: {} cycles, {} IOMMU walks",
+        baseline.total_cycles, baseline.iommu_walks
+    );
+    println!(
+        "HDPAT   : {} cycles, {} IOMMU walks",
+        hdpat.total_cycles, hdpat.iommu_walks
+    );
     println!("speedup : {:.2}x", hdpat.speedup_vs(&baseline));
     println!("offload : {:.1}%", hdpat.offload_fraction() * 100.0);
 }

@@ -23,7 +23,10 @@ fn main() {
     println!("== {benchmark}: baseline translation behaviour ==\n");
     let m = run(&RunConfig::new(benchmark, Scale::Bench, PolicyKind::Naive));
 
-    println!("execution: {} cycles, {} memory ops", m.total_cycles, m.ops_completed);
+    println!(
+        "execution: {} cycles, {} memory ops",
+        m.total_cycles, m.ops_completed
+    );
     println!(
         "translations: {} local, {} remote primaries (+{} coalesced)",
         m.local_translations, m.remote_requests, m.remote_coalesced
@@ -43,7 +46,10 @@ fn main() {
         let ids = layout.ring_gpms(ring);
         let mean: u64 =
             ids.iter().map(|&id| m.gpm_finish[id as usize]).sum::<u64>() / ids.len() as u64;
-        println!("  ring {ring}: mean finish {mean} cycles ({} GPMs)", ids.len());
+        println!(
+            "  ring {ring}: mean finish {mean} cycles ({} GPMs)",
+            ids.len()
+        );
     }
 
     // Figs 6-7: translation reuse at the IOMMU.
@@ -72,8 +78,16 @@ fn main() {
     }
 
     println!("\n== with HDPAT ==\n");
-    let hd = run(&RunConfig::new(benchmark, Scale::Bench, PolicyKind::hdpat()));
-    println!("execution: {} cycles ({:.2}x)", hd.total_cycles, hd.speedup_vs(&m));
+    let hd = run(&RunConfig::new(
+        benchmark,
+        Scale::Bench,
+        PolicyKind::hdpat(),
+    ));
+    println!(
+        "execution: {} cycles ({:.2}x)",
+        hd.total_cycles,
+        hd.speedup_vs(&m)
+    );
     println!("resolution (Fig 16): {}", hd.resolution);
     println!(
         "round-trip time (Fig 17): {:.0} -> {:.0} cycles ({:.0}% saved)",

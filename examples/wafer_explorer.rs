@@ -40,7 +40,10 @@ fn main() {
     }
 
     println!("\n== caching-layer sweep (7x7 wafer) ==\n");
-    println!("{:>3} {:>12} {:>9} {:>9}", "C", "cycles", "speedup", "offload");
+    println!(
+        "{:>3} {:>12} {:>9} {:>9}",
+        "C", "cycles", "speedup", "offload"
+    );
     let base = run(&RunConfig::new(benchmark, scale, PolicyKind::Naive));
     for c in 1..=3u32 {
         let policy = PolicyKind::Hdpat(HdpatConfig {

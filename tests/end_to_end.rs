@@ -77,7 +77,10 @@ fn hdpat_beats_sota_baselines_on_geomean() {
     let hd = geo_mean(&hd_speed).unwrap();
     for (i, p) in sota.iter().enumerate() {
         let gm = (sota_best[i] / BenchmarkId::all().len() as f64).exp();
-        assert!(hd > gm, "HDPAT ({hd:.2}) must beat {p} ({gm:.2}) on geomean");
+        assert!(
+            hd > gm,
+            "HDPAT ({hd:.2}) must beat {p} ({gm:.2}) on geomean"
+        );
     }
 }
 
@@ -109,7 +112,11 @@ fn hdpat_offloads_and_reduces_walks() {
             hd.iommu_walks,
             base.iommu_walks
         );
-        assert!(hd.offload_fraction() > 0.1, "{b}: offload {:.2}", hd.offload_fraction());
+        assert!(
+            hd.offload_fraction() > 0.1,
+            "{b}: offload {:.2}",
+            hd.offload_fraction()
+        );
     }
 }
 
@@ -139,7 +146,12 @@ fn redirection_table_beats_equal_area_tlb() {
     // Fig 19's headline: the redirection table outperforms a same-area TLB.
     let mut rt = Vec::new();
     let mut tlb = Vec::new();
-    for b in [BenchmarkId::Spmv, BenchmarkId::Pr, BenchmarkId::Mm, BenchmarkId::Fws] {
+    for b in [
+        BenchmarkId::Spmv,
+        BenchmarkId::Pr,
+        BenchmarkId::Mm,
+        BenchmarkId::Fws,
+    ] {
         let base = run(&cfg(b, PolicyKind::Naive));
         rt.push(run(&cfg(b, PolicyKind::hdpat())).speedup_vs(&base));
         tlb.push(run(&cfg(b, PolicyKind::Hdpat(HdpatConfig::with_iommu_tlb()))).speedup_vs(&base));
@@ -161,7 +173,11 @@ fn bigger_wafer_still_benefits() {
     let b = BenchmarkId::Spmv;
     let base = run(&cfg(b, PolicyKind::Naive).with_system(sys.clone()));
     let hd = run(&cfg(b, PolicyKind::hdpat()).with_system(sys));
-    assert!(hd.speedup_vs(&base) > 1.05, "7x12 speedup {:.2}", hd.speedup_vs(&base));
+    assert!(
+        hd.speedup_vs(&base) > 1.05,
+        "7x12 speedup {:.2}",
+        hd.speedup_vs(&base)
+    );
 }
 
 #[test]
@@ -197,7 +213,11 @@ fn noc_traffic_overhead_is_modest() {
     let base = run(&cfg(BenchmarkId::Spmv, PolicyKind::Naive));
     let hd = run(&cfg(BenchmarkId::Spmv, PolicyKind::hdpat()));
     let extra = hd.noc_bytes as f64 / base.noc_bytes as f64 - 1.0;
-    assert!(extra < 0.25, "extra traffic too high: {:.1}%", extra * 100.0);
+    assert!(
+        extra < 0.25,
+        "extra traffic too high: {:.1}%",
+        extra * 100.0
+    );
 }
 
 #[test]

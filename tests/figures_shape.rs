@@ -7,7 +7,8 @@ use wsg_bench::report::Table;
 use wsg_workloads::{BenchmarkId, Scale};
 
 fn parse_ratio(cell: &str) -> f64 {
-    cell.parse().unwrap_or_else(|_| panic!("not a ratio: {cell}"))
+    cell.parse()
+        .unwrap_or_else(|_| panic!("not a ratio: {cell}"))
 }
 
 fn gmean_row<'a>(t: &'a Table, label: &str) -> &'a Vec<String> {
@@ -22,8 +23,16 @@ fn fig02_shows_headroom() {
     let t = figures::fig02_headroom(Scale::Unit);
     assert_eq!(t.rows.len(), 15, "14 benchmarks + GMEAN");
     let gm = gmean_row(&t, "GMEAN");
-    assert!(parse_ratio(&gm[1]) > 1.3, "ideal-latency headroom: {}", gm[1]);
-    assert!(parse_ratio(&gm[2]) > 1.3, "ideal-parallelism headroom: {}", gm[2]);
+    assert!(
+        parse_ratio(&gm[1]) > 1.3,
+        "ideal-latency headroom: {}",
+        gm[1]
+    );
+    assert!(
+        parse_ratio(&gm[2]) > 1.3,
+        "ideal-parallelism headroom: {}",
+        gm[2]
+    );
 }
 
 #[test]
@@ -39,14 +48,27 @@ fn fig03_breakdown_sums_to_one() {
     // The paper's observation: queueing (pre-queue) dominates the walk.
     let pre: f64 = t.rows[0][2].trim_end_matches('%').parse().unwrap();
     let walk: f64 = t.rows[2][2].trim_end_matches('%').parse().unwrap();
-    assert!(pre > walk, "pre-queue ({pre}%) should dominate walk ({walk}%)");
+    assert!(
+        pre > walk,
+        "pre-queue ({pre}%) should dominate walk ({walk}%)"
+    );
 }
 
 #[test]
 fn fig04_wafer_pressure_exceeds_mcm() {
     let t = figures::fig04_buffer_pressure(Scale::Unit);
-    let mcm_peak: u64 = t.rows.iter().map(|r| r[1].parse::<u64>().unwrap()).max().unwrap();
-    let wafer_peak: u64 = t.rows.iter().map(|r| r[2].parse::<u64>().unwrap()).max().unwrap();
+    let mcm_peak: u64 = t
+        .rows
+        .iter()
+        .map(|r| r[1].parse::<u64>().unwrap())
+        .max()
+        .unwrap();
+    let wafer_peak: u64 = t
+        .rows
+        .iter()
+        .map(|r| r[2].parse::<u64>().unwrap())
+        .max()
+        .unwrap();
     assert!(
         wafer_peak > 2 * mcm_peak.max(1),
         "48-GPM wafer backlog ({wafer_peak}) must dwarf 4-GPM MCM ({mcm_peak})"
@@ -69,10 +91,18 @@ fn fig06_separates_streaming_from_reuse_benchmarks() {
     // Observation O3: streaming benchmarks rarely re-translate a page
     // (AES/RELU), while gather benchmarks re-translate constantly (PR/SPMV).
     for abbr in ["AES", "RELU"] {
-        assert!(many(abbr) < 20.0, "{abbr} x5+ share too high: {}%", many(abbr));
+        assert!(
+            many(abbr) < 20.0,
+            "{abbr} x5+ share too high: {}%",
+            many(abbr)
+        );
     }
     for abbr in ["PR", "SPMV"] {
-        assert!(many(abbr) > 50.0, "{abbr} x5+ share too low: {}%", many(abbr));
+        assert!(
+            many(abbr) > 50.0,
+            "{abbr} x5+ share too low: {}%",
+            many(abbr)
+        );
     }
 }
 
@@ -105,7 +135,10 @@ fn fig13_shapes_are_comparable() {
     for row in &t.rows {
         for cell in &row[1..] {
             let v: f64 = cell.parse().unwrap();
-            assert!((0.0..=1.0).contains(&v), "normalized rate out of range: {v}");
+            assert!(
+                (0.0..=1.0).contains(&v),
+                "normalized rate out of range: {v}"
+            );
         }
     }
 }
@@ -164,7 +197,10 @@ fn fig18_prefetch_saturates() {
     let d1 = parse_ratio(&gm[1]);
     let d4 = parse_ratio(&gm[2]);
     let d8 = parse_ratio(&gm[3]);
-    assert!(d4 >= d1 * 0.98, "4-PTE ({d4}) should not lose to 1-PTE ({d1})");
+    assert!(
+        d4 >= d1 * 0.98,
+        "4-PTE ({d4}) should not lose to 1-PTE ({d1})"
+    );
     assert!(
         (d8 - d4).abs() < 0.35,
         "8-PTE ({d8}) saturates near 4-PTE ({d4})"

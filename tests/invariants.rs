@@ -83,7 +83,11 @@ proptest! {
 
 #[test]
 fn simulation_is_deterministic_across_policies() {
-    for p in [PolicyKind::Naive, PolicyKind::hdpat(), PolicyKind::Distributed] {
+    for p in [
+        PolicyKind::Naive,
+        PolicyKind::hdpat(),
+        PolicyKind::Distributed,
+    ] {
         let cfg = RunConfig::new(BenchmarkId::Km, Scale::Unit, p);
         let a = run(&cfg);
         let b = run(&cfg);

@@ -11,7 +11,11 @@ fn sim(b: BenchmarkId, p: PolicyKind) -> Simulation {
 
 #[test]
 fn migration_completes_all_work() {
-    let plain = run(&RunConfig::new(BenchmarkId::Relu, Scale::Unit, PolicyKind::Naive));
+    let plain = run(&RunConfig::new(
+        BenchmarkId::Relu,
+        Scale::Unit,
+        PolicyKind::Naive,
+    ));
     let migrated = sim(BenchmarkId::Relu, PolicyKind::Naive)
         .with_migration(MigrationConfig::default_streak())
         .run();
@@ -37,7 +41,11 @@ fn migration_actually_migrates_on_sole_consumer_workloads() {
 
 #[test]
 fn migration_is_off_by_default() {
-    let m = run(&RunConfig::new(BenchmarkId::Relu, Scale::Unit, PolicyKind::Naive));
+    let m = run(&RunConfig::new(
+        BenchmarkId::Relu,
+        Scale::Unit,
+        PolicyKind::Naive,
+    ));
     assert_eq!(m.pages_migrated, 0);
 }
 
