@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # CI gate for the HDPAT reproduction. Ordered cheapest-first so fast failures
 # come fast: formatting, clippy (plain and with the audit feature), the
-# determinism lint pass (DESIGN.md, "Determinism & audit policy"), then the
-# tier-1 build + tests and the full workspace suite.
+# determinism lint pass (DESIGN.md, "Determinism & audit policy"), rustdoc
+# (warnings denied) + doctests, then the tier-1 build + tests, the full
+# workspace suite, and the EXPERIMENTS.md drift gate (DESIGN.md §9).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -18,11 +19,20 @@ cargo clippy -p hdpat-wafer --all-targets --features audit -q -- -D warnings
 echo "== determinism lint (cargo run -p xtask -- lint)"
 cargo run -p xtask -q -- lint
 
+echo "== rustdoc (workspace, -D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
+echo "== doctests"
+cargo test --workspace --doc -q
+
 echo "== tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
 echo "== workspace tests"
 cargo test --workspace -q
+
+echo "== EXPERIMENTS.md drift gate (regen-experiments --check)"
+cargo run --release -q -p wsg-bench --bin hdpat-sim -- regen-experiments --scale bench --check
 
 echo "CI green."

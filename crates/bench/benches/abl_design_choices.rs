@@ -7,7 +7,7 @@
 //!
 //! Run with `cargo bench --bench abl_design_choices`.
 
-use hdpat::experiments::{run, RunConfig};
+use hdpat::experiments::{RunConfig, SweepCtx};
 use hdpat::policy::{HdpatConfig, PolicyKind};
 use wsg_bench::report::{emit, ratio, Table};
 use wsg_sim::stats::geo_mean;
@@ -23,19 +23,29 @@ const BENCHES: [BenchmarkId; 6] = [
     BenchmarkId::Relu,
 ];
 
-fn gmean_speedup(cfg: HdpatConfig, scale: wsg_workloads::Scale) -> f64 {
-    let speeds: Vec<f64> = BENCHES
+fn gmean_speedup(ctx: &SweepCtx, cfg: HdpatConfig, scale: wsg_workloads::Scale) -> f64 {
+    // One (baseline, variant) pair per benchmark; the shared run cache
+    // dedups the six Naive baselines across all eleven variants.
+    let points: Vec<RunConfig> = BENCHES
         .iter()
-        .map(|&b| {
-            let base = run(&RunConfig::new(b, scale, PolicyKind::Naive));
-            run(&RunConfig::new(b, scale, PolicyKind::Hdpat(cfg))).speedup_vs(&base)
+        .flat_map(|&b| {
+            [
+                RunConfig::new(b, scale, PolicyKind::Naive),
+                RunConfig::new(b, scale, PolicyKind::Hdpat(cfg)),
+            ]
         })
+        .collect();
+    let results = ctx.sweep(&points);
+    let speeds: Vec<f64> = results
+        .chunks(2)
+        .map(|pair| pair[1].speedup_vs(&pair[0]))
         .collect();
     geo_mean(&speeds).expect("positive speedups")
 }
 
 fn main() {
     let scale = wsg_bench::scale_from_env();
+    let ctx = wsg_bench::ctx_from_env();
     let base_cfg = HdpatConfig::paper_default();
 
     let mut t = Table::new(vec!["variant", "gmean-speedup"]);
@@ -43,6 +53,7 @@ fn main() {
     // Rotation.
     for (name, rotation) in [("rotation on (default)", true), ("rotation off", false)] {
         let s = gmean_speedup(
+            &ctx,
             HdpatConfig {
                 rotation,
                 ..base_cfg
@@ -55,6 +66,7 @@ fn main() {
     // Caching layers C.
     for c in 1..=3u32 {
         let s = gmean_speedup(
+            &ctx,
             HdpatConfig {
                 caching_layers: c,
                 ..base_cfg
@@ -67,6 +79,7 @@ fn main() {
     // Selective-push threshold.
     for thr in [1u32, 2, 4, 8] {
         let s = gmean_speedup(
+            &ctx,
             HdpatConfig {
                 push_threshold: thr,
                 ..base_cfg
@@ -79,6 +92,7 @@ fn main() {
     // PW-queue revisit.
     for (name, revisit) in [("revisit on (default)", true), ("revisit off", false)] {
         let s = gmean_speedup(
+            &ctx,
             HdpatConfig {
                 queue_revisit: revisit,
                 ..base_cfg

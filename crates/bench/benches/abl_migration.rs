@@ -6,8 +6,7 @@
 use hdpat::experiments::{hardware_divisor, scale_hardware, RunConfig};
 use hdpat::policy::PolicyKind;
 use hdpat::{MigrationConfig, Simulation};
-use wsg_bench::report::{emit, ratio, Table};
-use wsg_sim::stats::geo_mean;
+use wsg_bench::report::{emit, gmean_cell, ratio, Table};
 use wsg_workloads::BenchmarkId;
 
 const BENCHES: [BenchmarkId; 6] = [
@@ -66,7 +65,7 @@ fn main() {
         ]);
     }
     let mut gm = vec!["GMEAN".to_string()];
-    gm.extend(cols.iter().map(|c| ratio(geo_mean(c).unwrap_or(0.0))));
+    gm.extend(cols.iter().map(|c| gmean_cell(c)));
     gm.push(String::new());
     t.row(gm);
     emit(

@@ -5,7 +5,8 @@
 
 fn main() {
     let scale = wsg_bench::scale_from_env();
-    let table = wsg_bench::figures::fig02_headroom(scale);
+    let ctx = wsg_bench::ctx_from_env();
+    let table = wsg_bench::figures::fig02_headroom(&ctx, scale);
     wsg_bench::report::emit(
         "Fig 2",
         "Performance headroom of idealized IOMMUs over the baseline MMU configuration.",

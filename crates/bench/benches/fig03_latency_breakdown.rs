@@ -5,7 +5,8 @@
 
 fn main() {
     let scale = wsg_bench::scale_from_env();
-    let table = wsg_bench::figures::fig03_latency_breakdown(scale);
+    let ctx = wsg_bench::ctx_from_env();
+    let table = wsg_bench::figures::fig03_latency_breakdown(&ctx, scale);
     wsg_bench::report::emit(
         "Fig 3",
         "Averaged latency breakdown per IOMMU translation request for SPMV.",

@@ -5,7 +5,8 @@
 
 fn main() {
     let scale = wsg_bench::scale_from_env();
-    let table = wsg_bench::figures::fig04_buffer_pressure(scale);
+    let ctx = wsg_bench::ctx_from_env();
+    let table = wsg_bench::figures::fig04_buffer_pressure(&ctx, scale);
     wsg_bench::report::emit(
         "Fig 4",
         "IOMMU buffer pressure over time: MCM-GPU (4 GPMs) vs wafer-scale GPU (48 GPMs), SPMV.",

@@ -5,7 +5,8 @@
 
 fn main() {
     let scale = wsg_bench::scale_from_env();
-    let table = wsg_bench::figures::fig05_position_imbalance(scale);
+    let ctx = wsg_bench::ctx_from_env();
+    let table = wsg_bench::figures::fig05_position_imbalance(&ctx, scale);
     wsg_bench::report::emit(
         "Fig 5",
         "GPM execution time by geometric position (concentric ring) for SPMV and MM.",

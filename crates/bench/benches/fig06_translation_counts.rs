@@ -5,7 +5,8 @@
 
 fn main() {
     let scale = wsg_bench::scale_from_env();
-    let table = wsg_bench::figures::fig06_translation_counts(scale);
+    let ctx = wsg_bench::ctx_from_env();
+    let table = wsg_bench::figures::fig06_translation_counts(&ctx, scale);
     wsg_bench::report::emit(
         "Fig 6",
         "Distribution of per-VPN translation counts observed at the IOMMU.",

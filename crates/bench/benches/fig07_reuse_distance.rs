@@ -5,7 +5,8 @@
 
 fn main() {
     let scale = wsg_bench::scale_from_env();
-    let table = wsg_bench::figures::fig07_reuse_distance(scale);
+    let ctx = wsg_bench::ctx_from_env();
+    let table = wsg_bench::figures::fig07_reuse_distance(&ctx, scale);
     wsg_bench::report::emit(
         "Fig 7",
         "Reuse distances between repeated translation requests (selected benchmarks).",

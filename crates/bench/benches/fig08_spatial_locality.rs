@@ -5,7 +5,8 @@
 
 fn main() {
     let scale = wsg_bench::scale_from_env();
-    let table = wsg_bench::figures::fig08_spatial_locality(scale);
+    let ctx = wsg_bench::ctx_from_env();
+    let table = wsg_bench::figures::fig08_spatial_locality(&ctx, scale);
     wsg_bench::report::emit(
         "Fig 8",
         "VPN distance between consecutive IOMMU translation requests (spatial locality).",

@@ -4,7 +4,8 @@
 //! smoke run.
 
 fn main() {
-    let table = wsg_bench::figures::fig13_size_invariance();
+    let ctx = wsg_bench::ctx_from_env();
+    let table = wsg_bench::figures::fig13_size_invariance(&ctx);
     wsg_bench::report::emit(
         "Fig 13",
         "IOMMU-served request rate over normalized time for FIR at two problem sizes.",

@@ -5,7 +5,8 @@
 
 fn main() {
     let scale = wsg_bench::scale_from_env();
-    let table = wsg_bench::figures::fig14_overall(scale);
+    let ctx = wsg_bench::ctx_from_env();
+    let table = wsg_bench::figures::fig14_overall(&ctx, scale);
     wsg_bench::report::emit(
         "Fig 14",
         "Overall speedup of Trans-FW, Valkyrie, Barre and HDPAT over the baseline.",

@@ -5,6 +5,7 @@
 
 fn main() {
     let scale = wsg_bench::scale_from_env();
-    let table = wsg_bench::figures::fig15_ablation(scale);
+    let ctx = wsg_bench::ctx_from_env();
+    let table = wsg_bench::figures::fig15_ablation(&ctx, scale);
     wsg_bench::report::emit("Fig 15", "Ablation over HDPAT's techniques (route/concentric/distributed/cluster+rotation/redirection/prefetch).", &table);
 }

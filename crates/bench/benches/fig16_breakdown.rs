@@ -5,7 +5,8 @@
 
 fn main() {
     let scale = wsg_bench::scale_from_env();
-    let table = wsg_bench::figures::fig16_breakdown(scale);
+    let ctx = wsg_bench::ctx_from_env();
+    let table = wsg_bench::figures::fig16_breakdown(&ctx, scale);
     wsg_bench::report::emit(
         "Fig 16",
         "Breakdown of how address translations are handled in HDPAT.",

@@ -5,6 +5,7 @@
 
 fn main() {
     let scale = wsg_bench::scale_from_env();
-    let table = wsg_bench::figures::fig17_response_time(scale);
+    let ctx = wsg_bench::ctx_from_env();
+    let table = wsg_bench::figures::fig17_response_time(&ctx, scale);
     wsg_bench::report::emit("Fig 17", "Remote-translation round-trip time with HDPAT, normalized to baseline, plus extra NoC traffic.", &table);
 }

@@ -5,7 +5,8 @@
 
 fn main() {
     let scale = wsg_bench::scale_from_env();
-    let table = wsg_bench::figures::fig18_prefetch_granularity(scale);
+    let ctx = wsg_bench::ctx_from_env();
+    let table = wsg_bench::figures::fig18_prefetch_granularity(&ctx, scale);
     wsg_bench::report::emit(
         "Fig 18",
         "Performance impact of proactive-delivery granularity (1/4/8 PTEs).",

@@ -5,7 +5,8 @@
 
 fn main() {
     let scale = wsg_bench::scale_from_env();
-    let table = wsg_bench::figures::fig19_redir_vs_tlb(scale);
+    let ctx = wsg_bench::ctx_from_env();
+    let table = wsg_bench::figures::fig19_redir_vs_tlb(&ctx, scale);
     wsg_bench::report::emit(
         "Fig 19",
         "Redirection table vs a same-area conventional TLB at the IOMMU.",

@@ -5,7 +5,8 @@
 
 fn main() {
     let scale = wsg_bench::scale_from_env();
-    let table = wsg_bench::figures::fig20_page_size(scale);
+    let ctx = wsg_bench::ctx_from_env();
+    let table = wsg_bench::figures::fig20_page_size(&ctx, scale);
     wsg_bench::report::emit(
         "Fig 20",
         "System page-size sweep, normalized to the 4KB baseline.",

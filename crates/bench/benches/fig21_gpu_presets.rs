@@ -5,7 +5,8 @@
 
 fn main() {
     let scale = wsg_bench::scale_from_env();
-    let table = wsg_bench::figures::fig21_gpu_presets(scale);
+    let ctx = wsg_bench::ctx_from_env();
+    let table = wsg_bench::figures::fig21_gpu_presets(&ctx, scale);
     wsg_bench::report::emit(
         "Fig 21",
         "Geometric-mean HDPAT speedup across commercial GPU configurations.",

@@ -5,6 +5,7 @@
 
 fn main() {
     let scale = wsg_bench::scale_from_env();
-    let table = wsg_bench::figures::fig22_wafer_7x12(scale);
+    let ctx = wsg_bench::ctx_from_env();
+    let table = wsg_bench::figures::fig22_wafer_7x12(&ctx, scale);
     wsg_bench::report::emit("Fig 22", "HDPAT speedup on the larger 7x12 wafer.", &table);
 }

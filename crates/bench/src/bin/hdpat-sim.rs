@@ -6,14 +6,22 @@
 //! hdpat-sim run PR naive --scale unit --seed 7
 //! hdpat-sim compare KM                    # every policy on one benchmark
 //! hdpat-sim figure fig14                  # regenerate one paper figure
-//! hdpat-sim figure all                    # regenerate everything
+//! hdpat-sim figure all --jobs 4           # regenerate everything, 4 workers
 //! hdpat-sim trace SPMV                    # workload-trace statistics
+//! hdpat-sim regen-experiments             # rewrite EXPERIMENTS.md tables
+//! hdpat-sim regen-experiments --check     # CI doc drift gate
 //! ```
+//!
+//! `--jobs N` sets the sweep worker count (default: available parallelism).
+//! Simulation points are deduplicated through a per-invocation run cache and
+//! executed across the workers; `--no-cache` disables the deduplication.
+//! Output is byte-identical for every `--jobs` value, including `--jobs 1`
+//! (the serial path), and with or without the cache.
 
-use hdpat::experiments::{run, RunConfig};
+use hdpat::experiments::{run, RunConfig, SweepCtx};
 use hdpat::policy::{HdpatConfig, PolicyKind};
-use wsg_bench::figures;
 use wsg_bench::report::{emit, Table};
+use wsg_bench::{figures, regen};
 use wsg_workloads::{BenchmarkId, Scale};
 
 fn policies() -> Vec<(&'static str, PolicyKind)> {
@@ -69,7 +77,7 @@ fn parse_scale(s: &str) -> Option<Scale> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  hdpat-sim list\n  hdpat-sim run <BENCH> <POLICY> [--scale unit|bench|full] [--seed N]\n  hdpat-sim compare <BENCH> [--scale ...]\n  hdpat-sim figure <figNN|tabN|all> [--scale ...]\n  hdpat-sim trace <BENCH> [--scale ...] [--seed N]"
+        "usage:\n  hdpat-sim list\n  hdpat-sim run <BENCH> <POLICY> [--scale unit|bench|full] [--seed N]\n  hdpat-sim compare <BENCH> [--scale ...] [--jobs N] [--no-cache]\n  hdpat-sim figure <figNN|tabN|all> [--scale ...] [--jobs N] [--no-cache]\n  hdpat-sim trace <BENCH> [--scale ...] [--seed N]\n  hdpat-sim regen-experiments [--scale ...] [--jobs N] [--check] [--path FILE]"
     );
     std::process::exit(2);
 }
@@ -89,6 +97,18 @@ fn main() {
     let seed: u64 = flag(&args, "--seed")
         .map(|s| s.parse().unwrap_or_else(|_| usage()))
         .unwrap_or(42);
+    let jobs = match flag(&args, "--jobs") {
+        Some(j) => j.parse().unwrap_or_else(|_| usage()),
+        None => wsg_sim::pool::default_jobs(),
+    };
+    // `--no-cache` disables run deduplication (every point simulates
+    // fresh, like the pre-sweep serial harness); output is identical either
+    // way, so this exists only for cache-speedup measurements.
+    let ctx = if args.iter().any(|a| a == "--no-cache") {
+        SweepCtx::without_cache(jobs)
+    } else {
+        SweepCtx::new(jobs)
+    };
 
     match cmd.as_str() {
         "list" => cmd_list(),
@@ -108,11 +128,11 @@ fn main() {
                 .get(1)
                 .and_then(|s| parse_benchmark(s))
                 .unwrap_or_else(|| usage());
-            cmd_compare(b, scale, seed);
+            cmd_compare(&ctx, b, scale, seed);
         }
         "figure" => {
             let name = args.get(1).cloned().unwrap_or_else(|| usage());
-            cmd_figure(&name, scale);
+            cmd_figure(&ctx, &name, scale);
         }
         "trace" => {
             let b = args
@@ -120,6 +140,13 @@ fn main() {
                 .and_then(|s| parse_benchmark(s))
                 .unwrap_or_else(|| usage());
             cmd_trace(b, scale, seed);
+        }
+        "regen-experiments" => {
+            let check = args.iter().any(|a| a == "--check");
+            let path = flag(&args, "--path").unwrap_or_else(|| {
+                concat!(env!("CARGO_MANIFEST_DIR"), "/../../EXPERIMENTS.md").into()
+            });
+            cmd_regen_experiments(&ctx, scale, &path, check);
         }
         _ => usage(),
     }
@@ -175,8 +202,13 @@ fn cmd_run(b: BenchmarkId, p: PolicyKind, scale: Scale, seed: u64) {
     );
 }
 
-fn cmd_compare(b: BenchmarkId, scale: Scale, seed: u64) {
-    let base = run(&RunConfig::new(b, scale, PolicyKind::Naive).with_seed(seed));
+fn cmd_compare(ctx: &SweepCtx, b: BenchmarkId, scale: Scale, seed: u64) {
+    let points: Vec<RunConfig> = policies()
+        .into_iter()
+        .map(|(_, p)| RunConfig::new(b, scale, p).with_seed(seed))
+        .collect();
+    let results = ctx.sweep(&points);
+    let base = &results[0]; // `naive` is the first catalog entry.
     let mut t = Table::new(vec![
         "policy",
         "cycles",
@@ -184,16 +216,11 @@ fn cmd_compare(b: BenchmarkId, scale: Scale, seed: u64) {
         "iommu-walks",
         "offload",
     ]);
-    for (n, p) in policies() {
-        let m = if matches!(p, PolicyKind::Naive) {
-            base.clone()
-        } else {
-            run(&RunConfig::new(b, scale, p).with_seed(seed))
-        };
+    for ((n, _), m) in policies().into_iter().zip(&results) {
         t.row(vec![
             n.to_string(),
             m.total_cycles.to_string(),
-            format!("{:.2}", m.speedup_vs(&base)),
+            format!("{:.2}", m.speedup_vs(base)),
             m.iommu_walks.to_string(),
             format!("{:.1}%", m.offload_fraction() * 100.0),
         ]);
@@ -262,54 +289,54 @@ fn cmd_trace(b: BenchmarkId, scale: Scale, seed: u64) {
     );
 }
 
-type FigureFn = Box<dyn Fn() -> Table>;
+type FigureFn<'a> = Box<dyn Fn() -> Table + 'a>;
 
-fn cmd_figure(name: &str, scale: Scale) {
+fn cmd_figure(ctx: &SweepCtx, name: &str, scale: Scale) {
     let all: Vec<(&str, FigureFn)> = vec![
-        ("fig02", Box::new(move || figures::fig02_headroom(scale))),
+        ("fig02", Box::new(|| figures::fig02_headroom(ctx, scale))),
         (
             "fig03",
-            Box::new(move || figures::fig03_latency_breakdown(scale)),
+            Box::new(|| figures::fig03_latency_breakdown(ctx, scale)),
         ),
         (
             "fig04",
-            Box::new(move || figures::fig04_buffer_pressure(scale)),
+            Box::new(|| figures::fig04_buffer_pressure(ctx, scale)),
         ),
         (
             "fig05",
-            Box::new(move || figures::fig05_position_imbalance(scale)),
+            Box::new(|| figures::fig05_position_imbalance(ctx, scale)),
         ),
         (
             "fig06",
-            Box::new(move || figures::fig06_translation_counts(scale)),
+            Box::new(|| figures::fig06_translation_counts(ctx, scale)),
         ),
         (
             "fig07",
-            Box::new(move || figures::fig07_reuse_distance(scale)),
+            Box::new(|| figures::fig07_reuse_distance(ctx, scale)),
         ),
         (
             "fig08",
-            Box::new(move || figures::fig08_spatial_locality(scale)),
+            Box::new(|| figures::fig08_spatial_locality(ctx, scale)),
         ),
-        ("fig13", Box::new(figures::fig13_size_invariance)),
-        ("fig14", Box::new(move || figures::fig14_overall(scale))),
-        ("fig15", Box::new(move || figures::fig15_ablation(scale))),
-        ("fig16", Box::new(move || figures::fig16_breakdown(scale))),
+        ("fig13", Box::new(|| figures::fig13_size_invariance(ctx))),
+        ("fig14", Box::new(|| figures::fig14_overall(ctx, scale))),
+        ("fig15", Box::new(|| figures::fig15_ablation(ctx, scale))),
+        ("fig16", Box::new(|| figures::fig16_breakdown(ctx, scale))),
         (
             "fig17",
-            Box::new(move || figures::fig17_response_time(scale)),
+            Box::new(|| figures::fig17_response_time(ctx, scale)),
         ),
         (
             "fig18",
-            Box::new(move || figures::fig18_prefetch_granularity(scale)),
+            Box::new(|| figures::fig18_prefetch_granularity(ctx, scale)),
         ),
         (
             "fig19",
-            Box::new(move || figures::fig19_redir_vs_tlb(scale)),
+            Box::new(|| figures::fig19_redir_vs_tlb(ctx, scale)),
         ),
-        ("fig20", Box::new(move || figures::fig20_page_size(scale))),
-        ("fig21", Box::new(move || figures::fig21_gpu_presets(scale))),
-        ("fig22", Box::new(move || figures::fig22_wafer_7x12(scale))),
+        ("fig20", Box::new(|| figures::fig20_page_size(ctx, scale))),
+        ("fig21", Box::new(|| figures::fig21_gpu_presets(ctx, scale))),
+        ("fig22", Box::new(|| figures::fig22_wafer_7x12(ctx, scale))),
         ("tab1", Box::new(figures::tab1_config)),
         ("tab2", Box::new(figures::tab2_workloads)),
         ("tab3", Box::new(figures::tab3_area_power)),
@@ -324,5 +351,55 @@ fn cmd_figure(name: &str, scale: Scale) {
     if !matched {
         eprintln!("unknown figure `{name}`; try fig02..fig22, tab1..tab3, or `all`");
         std::process::exit(2);
+    }
+    let (hits, misses) = ctx.cache_stats();
+    eprintln!(
+        "[sweep] {} simulation(s) executed, {} cache hit(s), {} worker(s)",
+        misses,
+        hits,
+        ctx.jobs()
+    );
+}
+
+fn cmd_regen_experiments(ctx: &SweepCtx, scale: Scale, path: &str, check: bool) {
+    let doc = match std::fs::read_to_string(path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("regen-experiments: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let blocks = regen::blocks(ctx, scale);
+    let fresh = match regen::apply(&doc, &blocks) {
+        Ok(fresh) => fresh,
+        Err(e) => {
+            eprintln!("regen-experiments: {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let (hits, misses) = ctx.cache_stats();
+    eprintln!(
+        "[sweep] {} simulation(s) executed, {} cache hit(s), {} worker(s)",
+        misses,
+        hits,
+        ctx.jobs()
+    );
+    if check {
+        if fresh == doc {
+            println!("regen-experiments --check: {path} is up to date");
+        } else {
+            eprintln!(
+                "regen-experiments --check: measured tables in {path} are stale; \
+                 run `hdpat-sim regen-experiments` and commit the result"
+            );
+            std::process::exit(1);
+        }
+    } else if fresh == doc {
+        println!("regen-experiments: {path} already up to date");
+    } else if let Err(e) = std::fs::write(path, &fresh) {
+        eprintln!("regen-experiments: cannot write {path}: {e}");
+        std::process::exit(2);
+    } else {
+        println!("regen-experiments: rewrote measured tables in {path}");
     }
 }

@@ -1,53 +1,65 @@
 //! One function per paper table/figure. Each returns a [`Table`] whose rows
 //! mirror what the paper plots, so bench targets print them and integration
 //! tests assert on their shape.
+//!
+//! Every figure takes a [`SweepCtx`] and submits its simulation points as
+//! one batch through [`SweepCtx::sweep`]: unique points run across the
+//! context's worker pool, duplicates (most prominently the Naive baseline,
+//! which a dozen figures normalize against) are simulated once per context,
+//! and results come back in input order — so a figure's table is
+//! byte-identical whatever the `--jobs` value and whatever ran before it on
+//! the same context (`tests/sweep_determinism.rs`).
 
-use hdpat::experiments::{run, RunConfig};
+use hdpat::experiments::{RunConfig, SweepCtx};
 use hdpat::policy::{HdpatConfig, PolicyKind};
 use hdpat::Metrics;
 use wsg_gpu::{GpuPreset, IommuConfig, SystemConfig, WaferLayout};
-use wsg_sim::stats::geo_mean;
 use wsg_workloads::{BenchmarkId, Scale};
 use wsg_xlat::PageSize;
 
-use crate::report::{pct, ratio, Table};
+use crate::report::{gmean_cell, pct, ratio, Table};
 
 /// Fig 2: performance headroom of idealized IOMMUs (1-cycle / 16-walker and
 /// 500-cycle / 4096-walker) over the baseline.
-pub fn fig02_headroom(scale: Scale) -> Table {
+pub fn fig02_headroom(ctx: &SweepCtx, scale: Scale) -> Table {
+    let lat_sys = SystemConfig {
+        iommu: IommuConfig::ideal_latency(),
+        ..SystemConfig::paper_baseline()
+    };
+    let par_sys = SystemConfig {
+        iommu: IommuConfig::ideal_parallelism(),
+        ..SystemConfig::paper_baseline()
+    };
+    let points: Vec<RunConfig> = BenchmarkId::all()
+        .into_iter()
+        .flat_map(|b| {
+            [
+                RunConfig::new(b, scale, PolicyKind::Naive),
+                RunConfig::new(b, scale, PolicyKind::Naive).with_system(lat_sys.clone()),
+                RunConfig::new(b, scale, PolicyKind::Naive).with_system(par_sys.clone()),
+            ]
+        })
+        .collect();
+    let results = ctx.sweep(&points);
     let mut t = Table::new(vec!["bench", "ideal-latency", "ideal-parallelism"]);
     let mut lats = Vec::new();
     let mut pars = Vec::new();
-    for b in BenchmarkId::all() {
-        let base = run(&RunConfig::new(b, scale, PolicyKind::Naive));
-        let lat_sys = SystemConfig {
-            iommu: IommuConfig::ideal_latency(),
-            ..SystemConfig::paper_baseline()
-        };
-        let par_sys = SystemConfig {
-            iommu: IommuConfig::ideal_parallelism(),
-            ..SystemConfig::paper_baseline()
-        };
-        let sl = run(&RunConfig::new(b, scale, PolicyKind::Naive).with_system(lat_sys))
-            .speedup_vs(&base);
-        let sp = run(&RunConfig::new(b, scale, PolicyKind::Naive).with_system(par_sys))
-            .speedup_vs(&base);
+    for (b, chunk) in BenchmarkId::all().into_iter().zip(results.chunks(3)) {
+        let (base, lat, par) = (&chunk[0], &chunk[1], &chunk[2]);
+        let sl = lat.speedup_vs(base);
+        let sp = par.speedup_vs(base);
         lats.push(sl);
         pars.push(sp);
         t.row(vec![b.to_string(), ratio(sl), ratio(sp)]);
     }
-    t.row(vec![
-        "GMEAN".into(),
-        ratio(geo_mean(&lats).unwrap_or(0.0)),
-        ratio(geo_mean(&pars).unwrap_or(0.0)),
-    ]);
+    t.row(vec!["GMEAN".into(), gmean_cell(&lats), gmean_cell(&pars)]);
     t
 }
 
 /// Fig 3: average latency breakdown per IOMMU translation request for SPMV
 /// (pre-queue wait / PTW-queue wait / walk).
-pub fn fig03_latency_breakdown(scale: Scale) -> Table {
-    let m = run(&RunConfig::new(BenchmarkId::Spmv, scale, PolicyKind::Naive));
+pub fn fig03_latency_breakdown(ctx: &SweepCtx, scale: Scale) -> Table {
+    let m = ctx.run(&RunConfig::new(BenchmarkId::Spmv, scale, PolicyKind::Naive));
     let mut t = Table::new(vec!["component", "total-cycles", "share"]);
     for (name, value, share) in m.iommu_latency.iter() {
         t.row(vec![name.to_string(), value.to_string(), pct(share)]);
@@ -57,14 +69,16 @@ pub fn fig03_latency_breakdown(scale: Scale) -> Table {
 
 /// Fig 4: IOMMU buffer pressure over time, MCM 4-GPM vs 48-GPM wafer, for
 /// SPMV. One row per time window with the max occupancy observed.
-pub fn fig04_buffer_pressure(scale: Scale) -> Table {
-    let wafer = run(&RunConfig::new(BenchmarkId::Spmv, scale, PolicyKind::Naive));
+pub fn fig04_buffer_pressure(ctx: &SweepCtx, scale: Scale) -> Table {
     let mcm_sys = SystemConfig {
         layout: WaferLayout::mcm_4gpm(),
         ..SystemConfig::paper_baseline()
     };
-    let mcm =
-        run(&RunConfig::new(BenchmarkId::Spmv, scale, PolicyKind::Naive).with_system(mcm_sys));
+    let results = ctx.sweep(&[
+        RunConfig::new(BenchmarkId::Spmv, scale, PolicyKind::Naive),
+        RunConfig::new(BenchmarkId::Spmv, scale, PolicyKind::Naive).with_system(mcm_sys),
+    ]);
+    let (wafer, mcm) = (&results[0], &results[1]);
     let mut t = Table::new(vec![
         "window-start",
         "mcm-4gpm-occupancy",
@@ -85,10 +99,13 @@ pub fn fig04_buffer_pressure(scale: Scale) -> Table {
 
 /// Fig 5: GPM execution time by concentric ring (distance from the CPU
 /// tile) for SPMV and MM — central GPMs finish sooner.
-pub fn fig05_position_imbalance(scale: Scale) -> Table {
+pub fn fig05_position_imbalance(ctx: &SweepCtx, scale: Scale) -> Table {
     let layout = WaferLayout::paper_7x7();
-    let spmv = run(&RunConfig::new(BenchmarkId::Spmv, scale, PolicyKind::Naive));
-    let mm = run(&RunConfig::new(BenchmarkId::Mm, scale, PolicyKind::Naive));
+    let results = ctx.sweep(&[
+        RunConfig::new(BenchmarkId::Spmv, scale, PolicyKind::Naive),
+        RunConfig::new(BenchmarkId::Mm, scale, PolicyKind::Naive),
+    ]);
+    let (spmv, mm) = (&results[0], &results[1]);
     let ring_mean = |m: &Metrics, ring: u32| -> f64 {
         let ids = layout.ring_gpms(ring);
         let sum: u64 = ids.iter().map(|&id| m.gpm_finish[id as usize]).sum();
@@ -98,8 +115,8 @@ pub fn fig05_position_imbalance(scale: Scale) -> Table {
     for ring in 1..=layout.max_layer() {
         t.row(vec![
             ring.to_string(),
-            format!("{:.0}", ring_mean(&spmv, ring)),
-            format!("{:.0}", ring_mean(&mm, ring)),
+            format!("{:.0}", ring_mean(spmv, ring)),
+            format!("{:.0}", ring_mean(mm, ring)),
         ]);
     }
     t
@@ -108,10 +125,14 @@ pub fn fig05_position_imbalance(scale: Scale) -> Table {
 /// Fig 6: distribution of per-VPN IOMMU translation counts. For each
 /// benchmark: distinct pages seen at the IOMMU and the fraction translated
 /// once / 2-4 times / 5+ times.
-pub fn fig06_translation_counts(scale: Scale) -> Table {
+pub fn fig06_translation_counts(ctx: &SweepCtx, scale: Scale) -> Table {
+    let points: Vec<RunConfig> = BenchmarkId::all()
+        .into_iter()
+        .map(|b| RunConfig::new(b, scale, PolicyKind::Naive))
+        .collect();
+    let results = ctx.sweep(&points);
     let mut t = Table::new(vec!["bench", "pages", "x1", "x2-4", "x5+"]);
-    for b in BenchmarkId::all() {
-        let m = run(&RunConfig::new(b, scale, PolicyKind::Naive));
+    for (b, m) in BenchmarkId::all().into_iter().zip(&results) {
         let h = m.translation_count_histogram();
         let total = h.count().max(1);
         let mut once = 0u64;
@@ -139,15 +160,20 @@ pub fn fig06_translation_counts(scale: Scale) -> Table {
 
 /// Fig 7: reuse-distance distribution between repeated IOMMU translations
 /// for the benchmarks the paper highlights (BT, FWT, MT, PR).
-pub fn fig07_reuse_distance(scale: Scale) -> Table {
-    let mut t = Table::new(vec!["bench", "repeats", "<=64", "65-4096", ">4096", "max"]);
-    for b in [
+pub fn fig07_reuse_distance(ctx: &SweepCtx, scale: Scale) -> Table {
+    let benches = [
         BenchmarkId::Bt,
         BenchmarkId::Fwt,
         BenchmarkId::Mt,
         BenchmarkId::Pr,
-    ] {
-        let m = run(&RunConfig::new(b, scale, PolicyKind::Naive));
+    ];
+    let points: Vec<RunConfig> = benches
+        .into_iter()
+        .map(|b| RunConfig::new(b, scale, PolicyKind::Naive))
+        .collect();
+    let results = ctx.sweep(&points);
+    let mut t = Table::new(vec!["bench", "repeats", "<=64", "65-4096", ">4096", "max"]);
+    for (b, m) in benches.into_iter().zip(&results) {
         let h = m.iommu_reuse.reuse_histogram();
         let total = h.count().max(1);
         let (mut small, mut mid, mut large) = (0u64, 0u64, 0u64);
@@ -174,10 +200,14 @@ pub fn fig07_reuse_distance(scale: Scale) -> Table {
 
 /// Fig 8: fraction of consecutive IOMMU translation requests within a given
 /// VPN distance of each other (spatial locality, observation O4).
-pub fn fig08_spatial_locality(scale: Scale) -> Table {
+pub fn fig08_spatial_locality(ctx: &SweepCtx, scale: Scale) -> Table {
+    let points: Vec<RunConfig> = BenchmarkId::all()
+        .into_iter()
+        .map(|b| RunConfig::new(b, scale, PolicyKind::Naive))
+        .collect();
+    let results = ctx.sweep(&points);
     let mut t = Table::new(vec!["bench", "<=1", "<=2", "<=4", "<=8"]);
-    for b in BenchmarkId::all() {
-        let m = run(&RunConfig::new(b, scale, PolicyKind::Naive));
+    for (b, m) in BenchmarkId::all().into_iter().zip(&results) {
         let h = &m.vpn_delta;
         t.row(vec![
             b.to_string(),
@@ -192,24 +222,19 @@ pub fn fig08_spatial_locality(scale: Scale) -> Table {
 
 /// Fig 13: IOMMU-served request time series for FIR at two problem sizes,
 /// normalized per window to show the size-invariant shape.
-pub fn fig13_size_invariance() -> Table {
-    let small = run(&RunConfig::new(
-        BenchmarkId::Fir,
-        Scale::Unit,
-        PolicyKind::Naive,
-    ));
-    let large = run(&RunConfig::new(
-        BenchmarkId::Fir,
-        Scale::Bench,
-        PolicyKind::Naive,
-    ));
+pub fn fig13_size_invariance(ctx: &SweepCtx) -> Table {
+    let results = ctx.sweep(&[
+        RunConfig::new(BenchmarkId::Fir, Scale::Unit, PolicyKind::Naive),
+        RunConfig::new(BenchmarkId::Fir, Scale::Bench, PolicyKind::Naive),
+    ]);
+    let (small, large) = (&results[0], &results[1]);
     let series = |m: &Metrics| -> Vec<f64> {
         let counts: Vec<u64> = m.iommu_served.windows().map(|w| w.count).collect();
         let peak = counts.iter().copied().max().unwrap_or(1).max(1) as f64;
         counts.iter().map(|&c| c as f64 / peak).collect()
     };
-    let s = series(&small);
-    let l = series(&large);
+    let s = series(small);
+    let l = series(large);
     // Resample both to 10 normalized-time buckets.
     let resample = |v: &[f64]| -> Vec<f64> {
         (0..10)
@@ -242,18 +267,18 @@ pub fn fig13_size_invariance() -> Table {
 
 /// Fig 14: overall speedup of Trans-FW, Valkyrie, Barre and HDPAT over the
 /// baseline, per benchmark plus geometric mean.
-pub fn fig14_overall(scale: Scale) -> Table {
+pub fn fig14_overall(ctx: &SweepCtx, scale: Scale) -> Table {
     let policies = [
         ("Trans-FW", PolicyKind::TransFw),
         ("Valkyrie", PolicyKind::Valkyrie),
         ("Barre", PolicyKind::Barre),
         ("HDPAT", PolicyKind::hdpat()),
     ];
-    policy_matrix(scale, &policies)
+    policy_matrix(ctx, scale, &policies)
 }
 
 /// Fig 15: the ablation over HDPAT's techniques.
-pub fn fig15_ablation(scale: Scale) -> Table {
+pub fn fig15_ablation(ctx: &SweepCtx, scale: Scale) -> Table {
     let policies = [
         ("route", PolicyKind::RouteCache { caching_layers: 2 }),
         ("concentric", PolicyKind::Concentric { caching_layers: 2 }),
@@ -272,26 +297,41 @@ pub fn fig15_ablation(scale: Scale) -> Table {
         ),
         ("HDPAT", PolicyKind::hdpat()),
     ];
-    policy_matrix(scale, &policies)
+    policy_matrix(ctx, scale, &policies)
 }
 
-fn policy_matrix(scale: Scale, policies: &[(&str, PolicyKind)]) -> Table {
+/// Shared speedup matrix: one row per benchmark, one column per policy,
+/// every cell normalized to the Naive baseline, plus a GMEAN row. All
+/// `(1 + policies) × benchmarks` points go through the sweep as one batch.
+fn policy_matrix(ctx: &SweepCtx, scale: Scale, policies: &[(&str, PolicyKind)]) -> Table {
+    let points: Vec<RunConfig> = BenchmarkId::all()
+        .into_iter()
+        .flat_map(|b| {
+            std::iter::once(RunConfig::new(b, scale, PolicyKind::Naive)).chain(
+                policies
+                    .iter()
+                    .map(move |(_, p)| RunConfig::new(b, scale, *p)),
+            )
+        })
+        .collect();
+    let results = ctx.sweep(&points);
     let mut headers = vec!["bench".to_string()];
     headers.extend(policies.iter().map(|(n, _)| n.to_string()));
     let mut t = Table::new(headers);
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
-    for b in BenchmarkId::all() {
-        let base = run(&RunConfig::new(b, scale, PolicyKind::Naive));
+    let stride = policies.len() + 1;
+    for (b, chunk) in BenchmarkId::all().into_iter().zip(results.chunks(stride)) {
+        let base = &chunk[0];
         let mut row = vec![b.to_string()];
-        for (i, (_, p)) in policies.iter().enumerate() {
-            let s = run(&RunConfig::new(b, scale, *p)).speedup_vs(&base);
+        for (i, m) in chunk[1..].iter().enumerate() {
+            let s = m.speedup_vs(base);
             cols[i].push(s);
             row.push(ratio(s));
         }
         t.row(row);
     }
     let mut gm = vec!["GMEAN".to_string()];
-    gm.extend(cols.iter().map(|c| ratio(geo_mean(c).unwrap_or(0.0))));
+    gm.extend(cols.iter().map(|c| gmean_cell(c)));
     t.row(gm);
     t
 }
@@ -299,7 +339,12 @@ fn policy_matrix(scale: Scale, policies: &[(&str, PolicyKind)]) -> Table {
 /// Fig 16: how HDPAT resolves remote translations — peer cache /
 /// redirection / proactive delivery / IOMMU shares per benchmark, plus the
 /// total offload fraction.
-pub fn fig16_breakdown(scale: Scale) -> Table {
+pub fn fig16_breakdown(ctx: &SweepCtx, scale: Scale) -> Table {
+    let points: Vec<RunConfig> = BenchmarkId::all()
+        .into_iter()
+        .map(|b| RunConfig::new(b, scale, PolicyKind::hdpat()))
+        .collect();
+    let results = ctx.sweep(&points);
     let mut t = Table::new(vec![
         "bench",
         "peer-cache",
@@ -309,8 +354,7 @@ pub fn fig16_breakdown(scale: Scale) -> Table {
         "offloaded",
     ]);
     let mut offloads = Vec::new();
-    for b in BenchmarkId::all() {
-        let m = run(&RunConfig::new(b, scale, PolicyKind::hdpat()));
+    for (b, m) in BenchmarkId::all().into_iter().zip(&results) {
         offloads.push(m.offload_fraction());
         t.row(vec![
             b.to_string(),
@@ -335,13 +379,22 @@ pub fn fig16_breakdown(scale: Scale) -> Table {
 
 /// Fig 17: remote-translation round-trip time under HDPAT, normalized to
 /// the baseline, plus the additional NoC traffic HDPAT injects.
-pub fn fig17_response_time(scale: Scale) -> Table {
+pub fn fig17_response_time(ctx: &SweepCtx, scale: Scale) -> Table {
+    let points: Vec<RunConfig> = BenchmarkId::all()
+        .into_iter()
+        .flat_map(|b| {
+            [
+                RunConfig::new(b, scale, PolicyKind::Naive),
+                RunConfig::new(b, scale, PolicyKind::hdpat()),
+            ]
+        })
+        .collect();
+    let results = ctx.sweep(&points);
     let mut t = Table::new(vec!["bench", "normalized-rtt", "extra-traffic"]);
     let mut rtts = Vec::new();
     let mut extras = Vec::new();
-    for b in BenchmarkId::all() {
-        let base = run(&RunConfig::new(b, scale, PolicyKind::Naive));
-        let hd = run(&RunConfig::new(b, scale, PolicyKind::hdpat()));
+    for (b, chunk) in BenchmarkId::all().into_iter().zip(results.chunks(2)) {
+        let (base, hd) = (&chunk[0], &chunk[1]);
         let norm = if base.remote_rtt.mean() > 0.0 {
             hd.remote_rtt.mean() / base.remote_rtt.mean()
         } else {
@@ -365,7 +418,7 @@ pub fn fig17_response_time(scale: Scale) -> Table {
 }
 
 /// Fig 18: proactive-delivery granularity sweep (1 / 4 / 8 PTEs per walk).
-pub fn fig18_prefetch_granularity(scale: Scale) -> Table {
+pub fn fig18_prefetch_granularity(ctx: &SweepCtx, scale: Scale) -> Table {
     let degree = |d: u32| {
         PolicyKind::Hdpat(HdpatConfig {
             prefetch_degree: d,
@@ -377,11 +430,11 @@ pub fn fig18_prefetch_granularity(scale: Scale) -> Table {
         ("4-PTE", degree(4)),
         ("8-PTE", degree(8)),
     ];
-    policy_matrix(scale, &policies)
+    policy_matrix(ctx, scale, &policies)
 }
 
 /// Fig 19: redirection table vs a same-area conventional TLB at the IOMMU.
-pub fn fig19_redir_vs_tlb(scale: Scale) -> Table {
+pub fn fig19_redir_vs_tlb(ctx: &SweepCtx, scale: Scale) -> Table {
     let policies = [
         ("redirection-table", PolicyKind::hdpat()),
         (
@@ -389,7 +442,7 @@ pub fn fig19_redir_vs_tlb(scale: Scale) -> Table {
             PolicyKind::Hdpat(HdpatConfig::with_iommu_tlb()),
         ),
     ];
-    policy_matrix(scale, &policies)
+    policy_matrix(ctx, scale, &policies)
 }
 
 /// Fig 20: page-size sweep. Geometric-mean performance of the baseline and
@@ -397,7 +450,7 @@ pub fn fig19_redir_vs_tlb(scale: Scale) -> Table {
 ///
 /// 2 MB pages are omitted below `Scale::Full`: scaled footprints span fewer
 /// 2 MB pages than the wafer has GPMs, which degenerates placement.
-pub fn fig20_page_size(scale: Scale) -> Table {
+pub fn fig20_page_size(ctx: &SweepCtx, scale: Scale) -> Table {
     let sizes: &[PageSize] = if matches!(scale, Scale::Full) {
         &[
             PageSize::Size4K,
@@ -408,72 +461,92 @@ pub fn fig20_page_size(scale: Scale) -> Table {
     } else {
         &[PageSize::Size4K, PageSize::Size16K, PageSize::Size64K]
     };
-    let mut t = Table::new(vec!["page-size", "baseline", "HDPAT"]);
-    // Reference: 4 KB baseline cycles per benchmark.
-    let refs: Vec<f64> = BenchmarkId::all()
+    // Points: the 4 KB reference baseline per benchmark, then per page size
+    // a (baseline, HDPAT) pair per benchmark. The sweep's fingerprint cache
+    // collapses the 4 KB baseline pair with the reference runs.
+    let mut points: Vec<RunConfig> = BenchmarkId::all()
         .into_iter()
-        .map(|b| run(&RunConfig::new(b, scale, PolicyKind::Naive)).total_cycles as f64)
+        .map(|b| RunConfig::new(b, scale, PolicyKind::Naive))
         .collect();
     for &ps in sizes {
         let sys = SystemConfig {
             page_size: ps,
             ..SystemConfig::paper_baseline()
         };
+        for b in BenchmarkId::all() {
+            points.push(RunConfig::new(b, scale, PolicyKind::Naive).with_system(sys.clone()));
+            points.push(RunConfig::new(b, scale, PolicyKind::hdpat()).with_system(sys.clone()));
+        }
+    }
+    let results = ctx.sweep(&points);
+    let n = BenchmarkId::all().len();
+    let refs = &results[..n];
+    let mut t = Table::new(vec!["page-size", "baseline", "HDPAT"]);
+    for (si, &ps) in sizes.iter().enumerate() {
+        let chunk = &results[n + si * 2 * n..n + (si + 1) * 2 * n];
         let mut base_norm = Vec::new();
         let mut hd_norm = Vec::new();
-        for (i, b) in BenchmarkId::all().into_iter().enumerate() {
-            let base = run(&RunConfig::new(b, scale, PolicyKind::Naive).with_system(sys.clone()));
-            let hd = run(&RunConfig::new(b, scale, PolicyKind::hdpat()).with_system(sys.clone()));
-            base_norm.push(refs[i] / base.total_cycles as f64);
-            hd_norm.push(refs[i] / hd.total_cycles as f64);
+        for (i, pair) in chunk.chunks(2).enumerate() {
+            base_norm.push(refs[i].total_cycles as f64 / pair[0].total_cycles as f64);
+            hd_norm.push(refs[i].total_cycles as f64 / pair[1].total_cycles as f64);
         }
         t.row(vec![
             ps.to_string(),
-            ratio(geo_mean(&base_norm).unwrap_or(0.0)),
-            ratio(geo_mean(&hd_norm).unwrap_or(0.0)),
+            gmean_cell(&base_norm),
+            gmean_cell(&hd_norm),
         ]);
     }
     t
 }
 
 /// Fig 21: geometric-mean HDPAT speedup across commercial GPU presets.
-pub fn fig21_gpu_presets(scale: Scale) -> Table {
-    let mut t = Table::new(vec!["preset", "hdpat-speedup"]);
+pub fn fig21_gpu_presets(ctx: &SweepCtx, scale: Scale) -> Table {
+    let mut points = Vec::new();
     for preset in GpuPreset::all() {
         let sys = SystemConfig::with_preset(preset);
-        let mut speeds = Vec::new();
         for b in BenchmarkId::all() {
-            let base = run(&RunConfig::new(b, scale, PolicyKind::Naive).with_system(sys.clone()));
-            let hd = run(&RunConfig::new(b, scale, PolicyKind::hdpat()).with_system(sys.clone()));
-            speeds.push(hd.speedup_vs(&base));
+            points.push(RunConfig::new(b, scale, PolicyKind::Naive).with_system(sys.clone()));
+            points.push(RunConfig::new(b, scale, PolicyKind::hdpat()).with_system(sys.clone()));
         }
-        t.row(vec![
-            preset.name().to_string(),
-            ratio(geo_mean(&speeds).unwrap_or(0.0)),
-        ]);
+    }
+    let results = ctx.sweep(&points);
+    let n = BenchmarkId::all().len();
+    let mut t = Table::new(vec!["preset", "hdpat-speedup"]);
+    for (pi, preset) in GpuPreset::all().into_iter().enumerate() {
+        let chunk = &results[pi * 2 * n..(pi + 1) * 2 * n];
+        let speeds: Vec<f64> = chunk
+            .chunks(2)
+            .map(|pair| pair[1].speedup_vs(&pair[0]))
+            .collect();
+        t.row(vec![preset.name().to_string(), gmean_cell(&speeds)]);
     }
     t
 }
 
 /// Fig 22: HDPAT speedup per benchmark on the larger 7×12 wafer.
-pub fn fig22_wafer_7x12(scale: Scale) -> Table {
+pub fn fig22_wafer_7x12(ctx: &SweepCtx, scale: Scale) -> Table {
     let sys = SystemConfig {
         layout: WaferLayout::paper_7x12(),
         ..SystemConfig::paper_baseline()
     };
+    let points: Vec<RunConfig> = BenchmarkId::all()
+        .into_iter()
+        .flat_map(|b| {
+            [
+                RunConfig::new(b, scale, PolicyKind::Naive).with_system(sys.clone()),
+                RunConfig::new(b, scale, PolicyKind::hdpat()).with_system(sys.clone()),
+            ]
+        })
+        .collect();
+    let results = ctx.sweep(&points);
     let mut t = Table::new(vec!["bench", "hdpat-speedup"]);
     let mut speeds = Vec::new();
-    for b in BenchmarkId::all() {
-        let base = run(&RunConfig::new(b, scale, PolicyKind::Naive).with_system(sys.clone()));
-        let hd = run(&RunConfig::new(b, scale, PolicyKind::hdpat()).with_system(sys.clone()));
-        let s = hd.speedup_vs(&base);
+    for (b, chunk) in BenchmarkId::all().into_iter().zip(results.chunks(2)) {
+        let s = chunk[1].speedup_vs(&chunk[0]);
         speeds.push(s);
         t.row(vec![b.to_string(), ratio(s)]);
     }
-    t.row(vec![
-        "GMEAN".into(),
-        ratio(geo_mean(&speeds).unwrap_or(0.0)),
-    ]);
+    t.row(vec!["GMEAN".into(), gmean_cell(&speeds)]);
     t
 }
 

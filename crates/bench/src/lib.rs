@@ -10,11 +10,15 @@
 //!
 //! Scale control: the `WSG_SCALE` environment variable selects `unit`
 //! (seconds, smoke-test quality) or `bench` (the default; minutes,
-//! reproduction quality) for all figure benches.
+//! reproduction quality) for all figure benches. `WSG_JOBS` caps the sweep
+//! worker count (default: the host's available parallelism) — it changes
+//! wall-clock time only, never a byte of output.
 
 pub mod figures;
+pub mod regen;
 pub mod report;
 
+use hdpat::experiments::SweepCtx;
 use wsg_workloads::Scale;
 
 /// The scale figure benches run at: `WSG_SCALE=unit|bench|full`
@@ -24,5 +28,14 @@ pub fn scale_from_env() -> Scale {
         Ok("unit") => Scale::Unit,
         Ok("full") => Scale::Full,
         _ => Scale::Bench,
+    }
+}
+
+/// A sweep context sized by `WSG_JOBS` (default: available parallelism),
+/// used by every figure bench target.
+pub fn ctx_from_env() -> SweepCtx {
+    match std::env::var("WSG_JOBS").ok().and_then(|j| j.parse().ok()) {
+        Some(jobs) => SweepCtx::new(jobs),
+        None => SweepCtx::auto(),
     }
 }

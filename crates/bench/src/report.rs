@@ -1,4 +1,6 @@
-//! Plain-text table and CSV emitters for figure output.
+//! Plain-text, CSV and Markdown emitters for figure output.
+
+use wsg_sim::stats::geo_mean;
 
 /// A printable result table: header row plus data rows.
 #[derive(Debug, Clone, Default)]
@@ -68,6 +70,40 @@ impl Table {
         }
         out
     }
+
+    /// Renders as a GitHub-flavoured Markdown table (first column
+    /// left-aligned, the rest right-aligned). `hdpat-sim regen-experiments`
+    /// uses this to rewrite the measured tables of EXPERIMENTS.md, so the
+    /// rendering must stay byte-stable for identical row data.
+    pub fn to_markdown(&self) -> String {
+        let escape = |cell: &str| cell.replace('|', "\\|");
+        let mut out = String::new();
+        out.push_str("| ");
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(" | "),
+        );
+        out.push_str(" |\n|");
+        for i in 0..self.headers.len() {
+            out.push_str(if i == 0 { "---|" } else { "---:|" });
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str("| ");
+            out.push_str(
+                &row.iter()
+                    .map(|c| escape(c))
+                    .collect::<Vec<_>>()
+                    .join(" | "),
+            );
+            out.push_str(" |\n");
+        }
+        out
+    }
 }
 
 /// Formats a ratio as `1.57x` style.
@@ -78,6 +114,17 @@ pub fn ratio(x: f64) -> String {
 /// Formats a fraction as a percentage with one decimal.
 pub fn pct(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
+}
+
+/// Formats the geometric mean of `values` as a ratio cell, or `n/a` when the
+/// mean is undefined (empty input or a non-positive value). Figures use this
+/// instead of `geo_mean(..).unwrap_or(0.0)`, which silently rendered an
+/// impossible `0.00` speedup for an empty slice.
+pub fn gmean_cell(values: &[f64]) -> String {
+    match geo_mean(values) {
+        Some(g) => ratio(g),
+        None => "n/a".into(),
+    }
 }
 
 /// Prints a figure banner plus the table, used by every bench target.
@@ -121,5 +168,23 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(ratio(1.567), "1.57");
         assert_eq!(pct(0.421), "42.1%");
+    }
+
+    #[test]
+    fn gmean_cell_renders_na_not_zero() {
+        assert_eq!(gmean_cell(&[2.0, 2.0]), "2.00");
+        assert_eq!(gmean_cell(&[]), "n/a");
+        assert_eq!(gmean_cell(&[1.0, 0.0]), "n/a");
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let mut t = Table::new(vec!["bench", "speedup"]);
+        t.row(vec!["SPMV", "1.57"]);
+        t.row(vec!["with|pipe", "2.00"]);
+        assert_eq!(
+            t.to_markdown(),
+            "| bench | speedup |\n|---|---:|\n| SPMV | 1.57 |\n| with\\|pipe | 2.00 |\n"
+        );
     }
 }

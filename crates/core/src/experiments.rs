@@ -1,5 +1,7 @@
-//! One-call experiment runner used by the examples, tests, and the figure
-//! benches.
+//! Experiment runners used by the examples, tests, and the figure benches:
+//! the one-call [`run`] plus the deterministic parallel sweep API
+//! ([`SweepCtx`], [`RunCache`]) that deduplicates and fans independent
+//! points across worker threads without changing a single output byte.
 
 use wsg_gpu::SystemConfig;
 use wsg_workloads::{BenchmarkId, Scale};
@@ -37,6 +39,10 @@ pub fn hardware_divisor(scale: Scale) -> usize {
         Scale::Unit => 256,
     }
 }
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::metrics::Metrics;
 use crate::policy::PolicyKind;
@@ -99,6 +105,22 @@ impl RunConfig {
         self.seed = seed;
         self
     }
+
+    /// Canonical fingerprint of this run: two configs simulate identically
+    /// if and only if their fingerprints are equal, no matter how they were
+    /// constructed (`new` + `with_system` vs hand-assembled fields).
+    ///
+    /// The fingerprint is the `Debug` rendering of every field. All config
+    /// types are plain data with derived `Debug`, so the rendering is a
+    /// total, deterministic function of the field values — including `f64`
+    /// parameters, which Rust formats with shortest-roundtrip precision.
+    /// [`RunCache`] uses it as the cache key.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "{:?}|{:?}|{:?}|{:?}|seed={}",
+            self.system, self.policy, self.benchmark, self.scale, self.seed
+        )
+    }
 }
 
 /// Runs one simulation to completion.
@@ -123,6 +145,179 @@ pub fn run(cfg: &RunConfig) -> Metrics {
         cfg.seed,
     )
     .run()
+}
+
+/// Keyed in-memory cache of completed runs: [`RunConfig::fingerprint`] →
+/// [`Metrics`].
+///
+/// The cache is shared by reference across every figure of one bench
+/// invocation, so common points (most prominently the Naive baseline, which
+/// a dozen figures normalize against) are simulated exactly once. Entries
+/// are `Arc`-shared — a hit hands back the same metrics object the miss
+/// produced, so cached and uncached paths cannot diverge.
+///
+/// Thread-safe: [`SweepCtx::sweep`] fills it from pool workers.
+#[derive(Debug, Default)]
+pub struct RunCache {
+    /// BTreeMap keeps any future iteration over the cache deterministic
+    /// (lint rule d1); lookups are by exact fingerprint.
+    entries: Mutex<BTreeMap<String, Arc<Metrics>>>,
+}
+
+impl RunCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The metrics cached for `key`, if present.
+    pub fn get(&self, key: &str) -> Option<Arc<Metrics>> {
+        match self.entries.lock() {
+            Ok(map) => map.get(key).cloned(),
+            Err(poisoned) => poisoned.into_inner().get(key).cloned(),
+        }
+    }
+
+    /// Stores `metrics` under `key`. First writer wins: on a duplicate
+    /// insert the existing entry is kept, so every reader of a key observes
+    /// one object identity.
+    pub fn insert(&self, key: String, metrics: Arc<Metrics>) {
+        let mut map = match self.entries.lock() {
+            Ok(map) => map,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        map.entry(key).or_insert(metrics);
+    }
+
+    /// Number of cached points.
+    pub fn len(&self) -> usize {
+        match self.entries.lock() {
+            Ok(map) => map.len(),
+            Err(poisoned) => poisoned.into_inner().len(),
+        }
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Execution context for simulation sweeps: a worker-thread budget plus a
+/// [`RunCache`] threaded across every sweep issued through it.
+///
+/// # Determinism contract (see DESIGN.md §9)
+///
+/// * Results are returned in **input order**, never completion order.
+/// * Each point is fully specified by its [`RunConfig`] (including the
+///   seed), so where and when it executes cannot affect its metrics.
+/// * Consequently the output is byte-identical for every `jobs` value and
+///   for cached vs uncached execution (`tests/sweep_determinism.rs`
+///   enforces this) — `jobs` and the cache only change wall-clock time.
+#[derive(Debug)]
+pub struct SweepCtx {
+    cache: Option<RunCache>,
+    jobs: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SweepCtx {
+    /// A context running up to `jobs` simulations concurrently (clamped to
+    /// at least 1), with caching enabled.
+    pub fn new(jobs: usize) -> Self {
+        Self {
+            cache: Some(RunCache::new()),
+            jobs: jobs.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A serial context (`jobs = 1`): today's exact one-at-a-time behaviour,
+    /// still with cross-figure caching.
+    pub fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// A context sized to the host's available parallelism.
+    pub fn auto() -> Self {
+        Self::new(wsg_sim::pool::default_jobs())
+    }
+
+    /// A context with the run cache disabled: every sweep point is simulated
+    /// fresh, even within a single [`SweepCtx::sweep`] call. Exists to prove
+    /// the cache is purely an optimization.
+    pub fn without_cache(jobs: usize) -> Self {
+        Self {
+            cache: None,
+            ..Self::new(jobs)
+        }
+    }
+
+    /// The worker-thread budget.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// `(cache hits, simulations executed)` across the context's lifetime.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Runs a single point through the cache.
+    pub fn run(&self, cfg: &RunConfig) -> Arc<Metrics> {
+        let mut out = self.sweep(std::slice::from_ref(cfg));
+        match out.pop() {
+            Some(m) => m,
+            // sweep() returns exactly one result per input point.
+            None => unreachable!("sweep of one point returned no result"),
+        }
+    }
+
+    /// Runs every point and returns metrics **in input order**.
+    ///
+    /// Duplicate and already-cached points are simulated once (unless the
+    /// cache is disabled); the unique remainder is executed across the
+    /// worker pool. See the type-level determinism contract.
+    pub fn sweep(&self, cfgs: &[RunConfig]) -> Vec<Arc<Metrics>> {
+        let Some(cache) = &self.cache else {
+            self.misses.fetch_add(cfgs.len() as u64, Ordering::Relaxed);
+            return wsg_sim::pool::run_indexed(self.jobs, cfgs.len(), |i| Arc::new(run(&cfgs[i])));
+        };
+        let keys: Vec<String> = cfgs.iter().map(RunConfig::fingerprint).collect();
+        // Unique uncached points, in first-occurrence order.
+        let mut pending = BTreeSet::new();
+        let mut todo: Vec<usize> = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            if cache.get(key).is_none() && pending.insert(key.as_str()) {
+                todo.push(i);
+            }
+        }
+        self.hits
+            .fetch_add((cfgs.len() - todo.len()) as u64, Ordering::Relaxed);
+        self.misses.fetch_add(todo.len() as u64, Ordering::Relaxed);
+        let fresh =
+            wsg_sim::pool::run_indexed(self.jobs, todo.len(), |j| Arc::new(run(&cfgs[todo[j]])));
+        for (j, &i) in todo.iter().enumerate() {
+            cache.insert(keys[i].clone(), fresh[j].clone());
+        }
+        keys.iter()
+            .map(|key| match cache.get(key) {
+                Some(m) => m,
+                None => unreachable!("sweep point missing from cache after execution"),
+            })
+            .collect()
+    }
+}
+
+impl Default for SweepCtx {
+    fn default() -> Self {
+        Self::auto()
+    }
 }
 
 /// Runs `policy` and the naive baseline on the same workload and returns
@@ -157,6 +352,63 @@ pub fn run_all(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fingerprint_is_content_based() {
+        // `new` scales the baseline for Unit; `with_system` re-applies the
+        // same scaling to an identical baseline — same content, same key.
+        let a = RunConfig::new(BenchmarkId::Relu, Scale::Unit, PolicyKind::Naive);
+        let b = RunConfig::new(BenchmarkId::Relu, Scale::Unit, PolicyKind::Naive)
+            .with_system(SystemConfig::paper_baseline());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), a.clone().with_seed(7).fingerprint());
+        assert_ne!(
+            a.fingerprint(),
+            RunConfig::new(BenchmarkId::Relu, Scale::Unit, PolicyKind::hdpat()).fingerprint()
+        );
+    }
+
+    #[test]
+    fn sweep_dedups_and_preserves_input_order() {
+        let relu = RunConfig::new(BenchmarkId::Relu, Scale::Unit, PolicyKind::Naive);
+        let aes = RunConfig::new(BenchmarkId::Aes, Scale::Unit, PolicyKind::Naive);
+        let ctx = SweepCtx::serial();
+        let out = ctx.sweep(&[relu.clone(), aes.clone(), relu.clone()]);
+        assert_eq!(out.len(), 3);
+        // Duplicate points resolve to the same Arc, simulated once.
+        assert!(Arc::ptr_eq(&out[0], &out[2]));
+        assert!(!Arc::ptr_eq(&out[0], &out[1]));
+        let (hits, misses) = ctx.cache_stats();
+        assert_eq!((hits, misses), (1, 2));
+        // A later sweep through the same context hits the cache.
+        let again = ctx.run(&aes);
+        assert!(Arc::ptr_eq(&again, &out[1]));
+        assert_eq!(ctx.cache_stats(), (2, 2));
+    }
+
+    #[test]
+    fn sweep_matches_serial_run_across_jobs_and_caching() {
+        let cfgs: Vec<RunConfig> = [BenchmarkId::Relu, BenchmarkId::Aes]
+            .into_iter()
+            .map(|b| RunConfig::new(b, Scale::Unit, PolicyKind::Naive))
+            .collect();
+        let reference: Vec<String> = cfgs
+            .iter()
+            .map(|c| run(c).to_deterministic_string())
+            .collect();
+        for ctx in [
+            SweepCtx::serial(),
+            SweepCtx::new(4),
+            SweepCtx::without_cache(4),
+        ] {
+            let got: Vec<String> = ctx
+                .sweep(&cfgs)
+                .iter()
+                .map(|m| m.to_deterministic_string())
+                .collect();
+            assert_eq!(got, reference, "jobs={} diverged", ctx.jobs());
+        }
+    }
 
     #[test]
     fn naive_run_completes_all_ops() {

@@ -14,6 +14,9 @@
 //!   the paper.
 //! * [`SimRng`] — a seeded, reproducible random number generator used by the
 //!   workload generators.
+//! * The [`pool`] module — a scoped worker pool for fanning independent,
+//!   fully seeded simulations across threads without sacrificing
+//!   reproducibility (results come back in input order).
 //!
 //! # Example
 //!
@@ -34,6 +37,7 @@
 #[cfg(feature = "audit")]
 pub mod audit;
 pub mod event;
+pub mod pool;
 pub mod rng;
 pub mod server;
 pub mod stats;

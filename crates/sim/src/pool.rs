@@ -1,0 +1,162 @@
+//! Scoped worker pool for deterministic fan-out of independent simulations.
+//!
+//! The registry is unreachable in this build environment, so the pool is
+//! hand-rolled on [`std::thread::scope`] instead of pulling in rayon. It is
+//! deliberately minimal: a shared atomic work index hands out job indices to
+//! `jobs` worker threads, every worker buffers `(index, result)` pairs
+//! locally, and the buffers are merged and sorted by index after the scope
+//! joins. Because each job is a pure function of its index and results are
+//! returned in input order, the output is **bit-identical for every `jobs`
+//! value** — OS scheduling decides only *when* a job runs, never what it
+//! computes or where its result lands.
+//!
+//! This file is the one sanctioned thread-spawning site in the workspace:
+//! the determinism lint's `wallclock`/ambient-entropy rule (d2) flags
+//! `thread::spawn` / `thread::scope` / `available_parallelism` everywhere
+//! else, because ad-hoc concurrency is the easiest way to let scheduling
+//! nondeterminism leak into model state. See DESIGN.md §9.
+//!
+//! # Example
+//!
+//! ```
+//! use wsg_sim::pool;
+//!
+//! let squares = pool::run_indexed(4, 8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! // Input order is preserved regardless of the worker count:
+//! assert_eq!(squares, pool::run_indexed(1, 8, |i| i * i));
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The default worker count: the host's available parallelism, or 1 when it
+/// cannot be determined. This is the only machine-dependent input to the
+/// pool, and it only ever changes wall-clock time, never results.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f(0), f(1), …, f(n - 1)` across up to `jobs` worker threads and
+/// returns the results **in index order**.
+///
+/// With `jobs <= 1` (or fewer than two items) everything runs on the calling
+/// thread in index order — byte-for-byte the serial path, with no threads
+/// spawned at all. `f` must be safe to call concurrently from multiple
+/// threads; each index is handed to exactly one worker.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f` after all workers have joined
+/// (the behaviour of [`std::thread::scope`]).
+pub fn run_indexed<T, F>(jobs: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let merged: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..jobs.min(n))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    // A poisoned mutex means another worker panicked while
+                    // merging; that panic is about to be propagated below,
+                    // so this worker's results are moot.
+                    if let Ok(mut out) = merged.lock() {
+                        out.extend(local);
+                    }
+                })
+            })
+            .collect();
+        // Join every worker before re-raising, so the scope never has to
+        // auto-join a panicked thread (which would mask the payload).
+        let mut first_panic = None;
+        for worker in workers {
+            if let Err(payload) = worker.join() {
+                first_panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+    });
+    let mut pairs = match merged.into_inner() {
+        Ok(pairs) => pairs,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    pairs.sort_by_key(|&(i, _)| i);
+    assert_eq!(pairs.len(), n, "worker pool lost results");
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let serial = run_indexed(1, 100, |i| i as u64 * 3 + 1);
+        for jobs in [2, 4, 7] {
+            assert_eq!(serial, run_indexed(jobs, 100, |i| i as u64 * 3 + 1));
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = run_indexed(4, 0, |_| 1);
+        assert!(empty.is_empty());
+        assert_eq!(run_indexed(4, 1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn more_jobs_than_items() {
+        assert_eq!(run_indexed(16, 3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn results_keep_input_order_under_skew() {
+        // Early indices do the most work, so late indices finish first on a
+        // multi-core host; order must still be by index.
+        let out = run_indexed(4, 32, |i| {
+            let spin = (32 - i) * 10_000;
+            let mut acc = 0u64;
+            for k in 0..spin {
+                acc = acc.wrapping_add(k as u64);
+            }
+            (i, acc)
+        });
+        for (idx, (i, _)) in out.iter().enumerate() {
+            assert_eq!(idx, *i);
+        }
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        let _ = run_indexed(2, 8, |i| {
+            if i == 5 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

@@ -5,10 +5,14 @@
 //! * `map-iter` (d1) — no iteration over `HashMap`/`HashSet` in library code.
 //!   Hash iteration order depends on `RandomState`, so any model behaviour or
 //!   output derived from it varies run to run.
-//! * `wallclock` (d2) — no wall-clock reads or ambient entropy
+//! * `wallclock` (d2) — no wall-clock reads, ambient entropy
 //!   (`Instant::now`, `SystemTime`, `thread_rng`, `rand::random`,
-//!   `from_entropy`) outside `SimRng` (`crates/sim/src/rng.rs`), the one
-//!   sanctioned randomness boundary.
+//!   `from_entropy`), or ambient concurrency (`thread::spawn`,
+//!   `thread::scope`, `available_parallelism`) in model code. The two
+//!   sanctioned boundaries are `SimRng` (`crates/sim/src/rng.rs`) for
+//!   randomness and the sweep worker pool (`crates/sim/src/pool.rs`) for
+//!   threads; see DESIGN.md §9 for why the pool cannot leak scheduling
+//!   order into results.
 //! * `float-cycle` (d3) — no floating-point expression cast into `Cycle`.
 //!   Float rounding makes cycle accounting platform- and optimisation-level
 //!   sensitive; cycle math must stay in integers.
@@ -539,12 +543,15 @@ fn check_map_iter(
     }
 }
 
-const WALLCLOCK_PATTERNS: [(&str, &str); 5] = [
+const WALLCLOCK_PATTERNS: [(&str, &str); 8] = [
     ("Instant::now", "wall-clock read"),
     ("SystemTime", "wall-clock read"),
     ("thread_rng", "ambient entropy"),
     ("rand::random", "ambient entropy"),
     ("from_entropy", "ambient entropy"),
+    ("thread::spawn", "ambient concurrency"),
+    ("thread::scope", "ambient concurrency"),
+    ("available_parallelism", "ambient concurrency"),
 ];
 
 fn check_wallclock(path: &str, lineno: usize, code: &str, diags: &mut Vec<Diagnostic>) {
@@ -555,8 +562,9 @@ fn check_wallclock(path: &str, lineno: usize, code: &str, diags: &mut Vec<Diagno
                 line: lineno,
                 rule: Rule::Wallclock,
                 message: format!(
-                    "{what} `{pat}` outside SimRng; derive all variation from the seeded \
-                     SimRng or annotate lint:allow(wallclock)"
+                    "{what} `{pat}` in model code; route randomness through the seeded \
+                     SimRng, threads through wsg_sim::pool, or annotate \
+                     lint:allow(wallclock)"
                 ),
             });
         }
@@ -675,8 +683,9 @@ pub fn lint_source(path: &str, source: &str, rules: RuleSet) -> Vec<Diagnostic> 
 /// * Library code (`src/`) of every crate: `map-iter`, `wallclock`,
 ///   `float-cycle`; plus `unwrap` for the five model crates
 ///   (sim, noc, xlat, mem, gpu).
-/// * `crates/sim/src/rng.rs` is the sanctioned entropy boundary: exempt from
-///   `wallclock`.
+/// * `crates/sim/src/rng.rs` (the sanctioned entropy boundary) and
+///   `crates/sim/src/pool.rs` (the sanctioned thread-spawning site for
+///   deterministic sweeps) are exempt from `wallclock`.
 /// * Examples: `wallclock` + `float-cycle` (they drive the model but may
 ///   legitimately format host output).
 /// * Tests and benches: no rules — assertions may iterate maps freely.
@@ -700,7 +709,7 @@ pub fn classify(rel: &Path) -> RuleSet {
                         float_cycle: true,
                         unwrap: matches!(*krate, "sim" | "noc" | "xlat" | "mem" | "gpu"),
                     };
-                    if *krate == "sim" && rest == ["rng.rs"] {
+                    if *krate == "sim" && (rest == ["rng.rs"] || rest == ["pool.rs"]) {
                         rules.wallclock = false;
                     }
                     rules
@@ -919,6 +928,8 @@ mod tests {
         assert!(lib.map_iter && lib.wallclock && lib.float_cycle && lib.unwrap);
         let rng = classify(Path::new("crates/sim/src/rng.rs"));
         assert!(!rng.wallclock && rng.map_iter);
+        let pool = classify(Path::new("crates/sim/src/pool.rs"));
+        assert!(!pool.wallclock && pool.map_iter && pool.unwrap);
         let core = classify(Path::new("crates/core/src/sim/mod.rs"));
         assert!(core.map_iter && !core.unwrap);
         assert!(classify(Path::new("crates/xtask/src/lib.rs")).is_empty());

@@ -11,6 +11,10 @@ pub fn roll() -> u64 {
     rand::random::<u64>() // VIOLATION: wallclock (ambient entropy)
 }
 
+pub fn fan_out() {
+    std::thread::spawn(|| {}).join().ok(); // VIOLATION: wallclock (ambient concurrency)
+}
+
 pub fn deterministic(seed: u64) -> u64 {
     seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) // fine
 }

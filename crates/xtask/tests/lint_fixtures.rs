@@ -60,6 +60,7 @@ fn d2_fixture_reports_each_seeded_violation() {
         vec![
             line_of(&src, "Instant::now()"),
             line_of(&src, "rand::random::<u64>()"),
+            line_of(&src, "std::thread::spawn"),
         ],
         "diagnostics: {diags:#?}"
     );

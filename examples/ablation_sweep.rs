@@ -4,6 +4,7 @@
 //! ```text
 //! cargo run --release --example ablation_sweep            # Bench scale
 //! WSG_SCALE=unit cargo run --release --example ablation_sweep
+//! WSG_JOBS=4 cargo run --release --example ablation_sweep # 4 sweep workers
 //! ```
 
 use hdpat_wafer::prelude::*;
@@ -14,6 +15,10 @@ fn main() {
     let scale = match std::env::var("WSG_SCALE").as_deref() {
         Ok("unit") => Scale::Unit,
         _ => Scale::Bench,
+    };
+    let ctx = match std::env::var("WSG_JOBS").ok().and_then(|j| j.parse().ok()) {
+        Some(jobs) => SweepCtx::new(jobs),
+        None => SweepCtx::auto(),
     };
     let policies: Vec<(&str, PolicyKind)> = vec![
         ("route", PolicyKind::RouteCache { caching_layers: 2 }),
@@ -34,17 +39,33 @@ fn main() {
     // lint:allow(wallclock): host-side progress timing only; never feeds the
     // model.
     let t0 = Instant::now();
+    // One batched sweep: per benchmark, the Naive baseline followed by every
+    // policy variant. Results come back in input order regardless of worker
+    // count, so the printed matrix is byte-identical for any WSG_JOBS.
+    let points: Vec<RunConfig> = BenchmarkId::all()
+        .into_iter()
+        .flat_map(|b| {
+            std::iter::once(RunConfig::new(b, scale, PolicyKind::Naive)).chain(
+                policies
+                    .iter()
+                    .map(move |(_, p)| RunConfig::new(b, scale, *p)),
+            )
+        })
+        .collect();
+    let results = ctx.sweep(&points);
+
     print!("{:6}", "bench");
     for (n, _) in &policies {
         print!(" {n:>8}");
     }
     println!();
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
-    for b in BenchmarkId::all() {
-        let base = run(&RunConfig::new(b, scale, PolicyKind::Naive));
+    let stride = policies.len() + 1;
+    for (b, row) in BenchmarkId::all().into_iter().zip(results.chunks(stride)) {
+        let base = &row[0];
         print!("{:6}", b.to_string());
-        for (i, (_, p)) in policies.iter().enumerate() {
-            let s = run(&RunConfig::new(b, scale, *p)).speedup_vs(&base);
+        for (i, m) in row[1..].iter().enumerate() {
+            let s = m.speedup_vs(base);
             cols[i].push(s);
             print!(" {s:>8.2}");
         }
@@ -54,5 +75,10 @@ fn main() {
     for c in &cols {
         print!(" {:>8.2}", geo_mean(c).expect("speedups are positive"));
     }
-    println!("\n\ncompleted in {:.1?}", t0.elapsed());
+    let (hits, misses) = ctx.cache_stats();
+    println!(
+        "\n\ncompleted in {:.1?} ({misses} simulations, {hits} cache hits, {} workers)",
+        t0.elapsed(),
+        ctx.jobs()
+    );
 }

@@ -2,9 +2,20 @@
 //! well-formed table at test scale, and the key rows carry the expected
 //! qualitative content.
 
+use std::sync::OnceLock;
+
+use hdpat::experiments::SweepCtx;
 use wsg_bench::figures;
 use wsg_bench::report::Table;
 use wsg_workloads::{BenchmarkId, Scale};
+
+/// One process-wide sweep context: the test threads share its run cache, so
+/// the Unit-scale baselines common to many figures simulate once per process
+/// instead of once per test.
+fn ctx() -> &'static SweepCtx {
+    static CTX: OnceLock<SweepCtx> = OnceLock::new();
+    CTX.get_or_init(SweepCtx::auto)
+}
 
 fn parse_ratio(cell: &str) -> f64 {
     cell.parse()
@@ -20,7 +31,7 @@ fn gmean_row<'a>(t: &'a Table, label: &str) -> &'a Vec<String> {
 
 #[test]
 fn fig02_shows_headroom() {
-    let t = figures::fig02_headroom(Scale::Unit);
+    let t = figures::fig02_headroom(ctx(), Scale::Unit);
     assert_eq!(t.rows.len(), 15, "14 benchmarks + GMEAN");
     let gm = gmean_row(&t, "GMEAN");
     assert!(
@@ -37,7 +48,7 @@ fn fig02_shows_headroom() {
 
 #[test]
 fn fig03_breakdown_sums_to_one() {
-    let t = figures::fig03_latency_breakdown(Scale::Unit);
+    let t = figures::fig03_latency_breakdown(ctx(), Scale::Unit);
     assert_eq!(t.rows.len(), 3);
     let total: f64 = t
         .rows
@@ -56,7 +67,7 @@ fn fig03_breakdown_sums_to_one() {
 
 #[test]
 fn fig04_wafer_pressure_exceeds_mcm() {
-    let t = figures::fig04_buffer_pressure(Scale::Unit);
+    let t = figures::fig04_buffer_pressure(ctx(), Scale::Unit);
     let mcm_peak: u64 = t
         .rows
         .iter()
@@ -77,13 +88,13 @@ fn fig04_wafer_pressure_exceeds_mcm() {
 
 #[test]
 fn fig05_has_one_row_per_ring() {
-    let t = figures::fig05_position_imbalance(Scale::Unit);
+    let t = figures::fig05_position_imbalance(ctx(), Scale::Unit);
     assert_eq!(t.rows.len(), 3, "7x7 wafer has rings 1..3");
 }
 
 #[test]
 fn fig06_separates_streaming_from_reuse_benchmarks() {
-    let t = figures::fig06_translation_counts(Scale::Unit);
+    let t = figures::fig06_translation_counts(ctx(), Scale::Unit);
     let many = |abbr: &str| -> f64 {
         let row = t.rows.iter().find(|r| r[0] == abbr).unwrap();
         row[4].trim_end_matches('%').parse().unwrap()
@@ -108,7 +119,7 @@ fn fig06_separates_streaming_from_reuse_benchmarks() {
 
 #[test]
 fn fig07_reports_repeats_for_reuse_benchmarks() {
-    let t = figures::fig07_reuse_distance(Scale::Unit);
+    let t = figures::fig07_reuse_distance(ctx(), Scale::Unit);
     assert_eq!(t.rows.len(), 4);
     for row in &t.rows {
         let repeats: u64 = row[1].parse().unwrap();
@@ -118,7 +129,7 @@ fn fig07_reports_repeats_for_reuse_benchmarks() {
 
 #[test]
 fn fig08_locality_fractions_are_monotone() {
-    let t = figures::fig08_spatial_locality(Scale::Unit);
+    let t = figures::fig08_spatial_locality(ctx(), Scale::Unit);
     for row in &t.rows {
         let f: Vec<f64> = (1..5)
             .map(|i| row[i].trim_end_matches('%').parse().unwrap())
@@ -129,7 +140,7 @@ fn fig08_locality_fractions_are_monotone() {
 
 #[test]
 fn fig13_shapes_are_comparable() {
-    let t = figures::fig13_size_invariance();
+    let t = figures::fig13_size_invariance(ctx());
     assert_eq!(t.rows.len(), 10);
     // Both series are normalized to [0, 1].
     for row in &t.rows {
@@ -145,7 +156,7 @@ fn fig13_shapes_are_comparable() {
 
 #[test]
 fn fig14_hdpat_wins_overall() {
-    let t = figures::fig14_overall(Scale::Unit);
+    let t = figures::fig14_overall(ctx(), Scale::Unit);
     let gm = gmean_row(&t, "GMEAN");
     let headers = &t.headers;
     let hdpat_idx = headers.iter().position(|h| h == "HDPAT").unwrap();
@@ -164,7 +175,7 @@ fn fig14_hdpat_wins_overall() {
 
 #[test]
 fn fig15_full_hdpat_tops_the_ablation() {
-    let t = figures::fig15_ablation(Scale::Unit);
+    let t = figures::fig15_ablation(ctx(), Scale::Unit);
     let gm = gmean_row(&t, "GMEAN");
     let full = parse_ratio(gm.last().unwrap());
     let clust_idx = t.headers.iter().position(|h| h == "cluster+rot").unwrap();
@@ -176,7 +187,7 @@ fn fig15_full_hdpat_tops_the_ablation() {
 
 #[test]
 fn fig16_offload_is_substantial() {
-    let t = figures::fig16_breakdown(Scale::Unit);
+    let t = figures::fig16_breakdown(ctx(), Scale::Unit);
     let mean = t.rows.last().unwrap();
     let offload: f64 = mean[5].trim_end_matches('%').parse().unwrap();
     assert!(offload > 20.0, "mean offload {offload}% too low");
@@ -184,7 +195,7 @@ fn fig16_offload_is_substantial() {
 
 #[test]
 fn fig17_rtt_improves() {
-    let t = figures::fig17_response_time(Scale::Unit);
+    let t = figures::fig17_response_time(ctx(), Scale::Unit);
     let mean = t.rows.last().unwrap();
     let norm = parse_ratio(&mean[1]);
     assert!(norm < 1.0, "HDPAT should reduce mean RTT: {norm}");
@@ -192,7 +203,7 @@ fn fig17_rtt_improves() {
 
 #[test]
 fn fig18_prefetch_saturates() {
-    let t = figures::fig18_prefetch_granularity(Scale::Unit);
+    let t = figures::fig18_prefetch_granularity(ctx(), Scale::Unit);
     let gm = gmean_row(&t, "GMEAN");
     let d1 = parse_ratio(&gm[1]);
     let d4 = parse_ratio(&gm[2]);
@@ -209,7 +220,7 @@ fn fig18_prefetch_saturates() {
 
 #[test]
 fn fig19_has_both_variants() {
-    let t = figures::fig19_redir_vs_tlb(Scale::Unit);
+    let t = figures::fig19_redir_vs_tlb(ctx(), Scale::Unit);
     let gm = gmean_row(&t, "GMEAN");
     let rt = parse_ratio(&gm[1]);
     let tlb = parse_ratio(&gm[2]);
@@ -220,7 +231,7 @@ fn fig19_has_both_variants() {
 
 #[test]
 fn fig20_larger_pages_help_baseline() {
-    let t = figures::fig20_page_size(Scale::Unit);
+    let t = figures::fig20_page_size(ctx(), Scale::Unit);
     assert!(t.rows.len() >= 3);
     let first = parse_ratio(&t.rows[0][1]);
     let last = parse_ratio(&t.rows.last().unwrap()[1]);
@@ -230,7 +241,7 @@ fn fig20_larger_pages_help_baseline() {
 
 #[test]
 fn fig21_covers_all_presets() {
-    let t = figures::fig21_gpu_presets(Scale::Unit);
+    let t = figures::fig21_gpu_presets(ctx(), Scale::Unit);
     assert_eq!(t.rows.len(), 5);
     for row in &t.rows {
         assert!(parse_ratio(&row[1]) > 0.9, "{} regressed", row[0]);
@@ -239,7 +250,7 @@ fn fig21_covers_all_presets() {
 
 #[test]
 fn fig22_scales_to_7x12() {
-    let t = figures::fig22_wafer_7x12(Scale::Unit);
+    let t = figures::fig22_wafer_7x12(ctx(), Scale::Unit);
     let gm = gmean_row(&t, "GMEAN");
     assert!(parse_ratio(&gm[1]) > 1.05, "7x12 gmean: {}", gm[1]);
 }

@@ -1,0 +1,86 @@
+//! Jobs-invariance of the sweep runner: the same figure regenerated with one
+//! worker, four workers, and with the run cache disabled must be
+//! byte-identical in every rendering, and the underlying metrics must agree
+//! down to the last byte of their deterministic serialization. This is the
+//! contract that makes `--jobs` a pure wall-clock knob (DESIGN.md §9).
+
+use hdpat::experiments::{RunConfig, SweepCtx};
+use hdpat::policy::PolicyKind;
+use wsg_bench::figures;
+use wsg_workloads::{BenchmarkId, Scale};
+
+/// The three configurations that must be indistinguishable from the output:
+/// today's serial behavior, a parallel cached sweep, and a parallel sweep
+/// with deduplication disabled.
+fn contexts() -> [(&'static str, SweepCtx); 3] {
+    [
+        ("jobs=1 cached", SweepCtx::serial()),
+        ("jobs=4 cached", SweepCtx::new(4)),
+        ("jobs=4 uncached", SweepCtx::without_cache(4)),
+    ]
+}
+
+#[test]
+fn fig14_is_byte_identical_across_jobs_and_caching() {
+    let tables: Vec<(&str, _)> = contexts()
+        .into_iter()
+        .map(|(name, ctx)| (name, figures::fig14_overall(&ctx, Scale::Unit)))
+        .collect();
+    let (ref_name, ref_table) = &tables[0];
+    for (name, table) in &tables[1..] {
+        assert_eq!(
+            ref_table.to_text(),
+            table.to_text(),
+            "fig14 text differs: {ref_name} vs {name}"
+        );
+        assert_eq!(
+            ref_table.to_csv(),
+            table.to_csv(),
+            "fig14 CSV differs: {ref_name} vs {name}"
+        );
+        assert_eq!(
+            ref_table.to_markdown(),
+            table.to_markdown(),
+            "fig14 Markdown differs: {ref_name} vs {name}"
+        );
+    }
+}
+
+#[test]
+fn sweep_metrics_are_byte_identical_across_jobs_and_caching() {
+    // Duplicates included on purpose: the cached contexts dedup them, the
+    // uncached one re-simulates, and none of that may show in the results.
+    let points: Vec<RunConfig> = [
+        BenchmarkId::Spmv,
+        BenchmarkId::Fir,
+        BenchmarkId::Spmv,
+        BenchmarkId::Km,
+    ]
+    .into_iter()
+    .flat_map(|b| {
+        [
+            RunConfig::new(b, Scale::Unit, PolicyKind::Naive),
+            RunConfig::new(b, Scale::Unit, PolicyKind::hdpat()),
+        ]
+    })
+    .collect();
+
+    let renderings: Vec<(&str, Vec<String>)> = contexts()
+        .into_iter()
+        .map(|(name, ctx)| {
+            let bytes = ctx
+                .sweep(&points)
+                .iter()
+                .map(|m| m.to_deterministic_string())
+                .collect();
+            (name, bytes)
+        })
+        .collect();
+    let (ref_name, ref_bytes) = &renderings[0];
+    for (name, bytes) in &renderings[1..] {
+        assert_eq!(
+            ref_bytes, bytes,
+            "sweep metrics differ: {ref_name} vs {name}"
+        );
+    }
+}
