@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # CI gate for the HDPAT reproduction. Ordered cheapest-first so fast failures
-# come fast: formatting, clippy (plain and with the audit feature), the
+# come fast: formatting, clippy (plain and with the audit/trace features), the
 # determinism lint pass (DESIGN.md, "Determinism & audit policy"), rustdoc
 # (warnings denied) + doctests, then the tier-1 build + tests, the full
-# workspace suite, and the EXPERIMENTS.md drift gate (DESIGN.md §9).
+# workspace suite, the trace determinism gate (DESIGN.md §10), and the
+# EXPERIMENTS.md drift gate (DESIGN.md §9).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -15,6 +16,9 @@ cargo clippy --workspace --all-targets -q -- -D warnings
 
 echo "== cargo clippy (audit feature, -D warnings)"
 cargo clippy -p hdpat-wafer --all-targets --features audit -q -- -D warnings
+
+echo "== cargo clippy (trace feature, -D warnings)"
+cargo clippy -p hdpat-wafer --all-targets --features trace -q -- -D warnings
 
 echo "== determinism lint (cargo run -p xtask -- lint)"
 cargo run -p xtask -q -- lint
@@ -31,6 +35,19 @@ cargo test -q
 
 echo "== workspace tests"
 cargo test --workspace -q
+
+echo "== trace determinism gate (tests/trace_determinism.rs)"
+cargo test --features trace --test trace_determinism -q
+
+echo "== trace on/off run parity (hdpat-sim run output byte-identical)"
+mkdir -p target/ci
+cargo build --release -q -p wsg-bench
+./target/release/hdpat-sim run KM hdpat --scale unit --seed 7 > target/ci/run_plain.txt
+cargo build --release -q --features trace -p wsg-bench
+./target/release/hdpat-sim run KM hdpat --scale unit --seed 7 > target/ci/run_traced.txt
+cmp target/ci/run_plain.txt target/ci/run_traced.txt
+# Leave the default (trace-off) binary in place for the drift gate below.
+cargo build --release -q -p wsg-bench
 
 echo "== EXPERIMENTS.md drift gate (regen-experiments --check)"
 cargo run --release -q -p wsg-bench --bin hdpat-sim -- regen-experiments --scale bench --check

@@ -8,6 +8,8 @@
 //! hdpat-sim figure fig14                  # regenerate one paper figure
 //! hdpat-sim figure all --jobs 4           # regenerate everything, 4 workers
 //! hdpat-sim trace SPMV                    # workload-trace statistics
+//! hdpat-sim trace SPMV --out t.json       # request-lifecycle trace (needs
+//!                                         # the `trace` cargo feature)
 //! hdpat-sim regen-experiments             # rewrite EXPERIMENTS.md tables
 //! hdpat-sim regen-experiments --check     # CI doc drift gate
 //! ```
@@ -77,7 +79,7 @@ fn parse_scale(s: &str) -> Option<Scale> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  hdpat-sim list\n  hdpat-sim run <BENCH> <POLICY> [--scale unit|bench|full] [--seed N]\n  hdpat-sim compare <BENCH> [--scale ...] [--jobs N] [--no-cache]\n  hdpat-sim figure <figNN|tabN|all> [--scale ...] [--jobs N] [--no-cache]\n  hdpat-sim trace <BENCH> [--scale ...] [--seed N]\n  hdpat-sim regen-experiments [--scale ...] [--jobs N] [--check] [--path FILE]"
+        "usage:\n  hdpat-sim list\n  hdpat-sim run <BENCH> <POLICY> [--scale unit|bench|full] [--seed N]\n  hdpat-sim compare <BENCH> [--scale ...] [--jobs N] [--no-cache]\n  hdpat-sim figure <figNN|tabN|all> [--scale ...] [--jobs N] [--no-cache]\n  hdpat-sim trace <BENCH> [--scale ...] [--seed N] [--out FILE] [--policy P]\n  hdpat-sim regen-experiments [--scale ...] [--jobs N] [--check] [--path FILE]"
     );
     std::process::exit(2);
 }
@@ -135,11 +137,25 @@ fn main() {
             cmd_figure(&ctx, &name, scale);
         }
         "trace" => {
+            // The benchmark is positional, but `--benchmark B` is accepted
+            // too for symmetry with the flag-style options.
             let b = args
                 .get(1)
-                .and_then(|s| parse_benchmark(s))
+                .filter(|s| !s.starts_with("--"))
+                .cloned()
+                .or_else(|| flag(&args, "--benchmark"))
+                .as_deref()
+                .and_then(parse_benchmark)
                 .unwrap_or_else(|| usage());
-            cmd_trace(b, scale, seed);
+            match flag(&args, "--out") {
+                Some(out) => {
+                    let p = flag(&args, "--policy")
+                        .map(|s| parse_policy(&s).unwrap_or_else(|| usage()))
+                        .unwrap_or_else(PolicyKind::hdpat);
+                    cmd_trace_run(b, p, scale, seed, &out);
+                }
+                None => cmd_trace(b, scale, seed),
+            }
         }
         "regen-experiments" => {
             let check = args.iter().any(|a| a == "--check");
@@ -287,6 +303,35 @@ fn cmd_trace(b: BenchmarkId, scale: Scale, seed: u64) {
         "  spatial locality : {:.1}% of consecutive ops within 4 pages",
         near as f64 / pairs.max(1) as f64 * 100.0
     );
+}
+
+/// Runs one traced simulation, writes the request lifecycle as Chrome
+/// trace-event JSON (loadable in Perfetto / `chrome://tracing`), and prints
+/// the per-stage latency table as CSV on stdout.
+#[cfg(feature = "trace")]
+fn cmd_trace_run(b: BenchmarkId, p: PolicyKind, scale: Scale, seed: u64, out: &str) {
+    let (m, sink) = hdpat::experiments::run_traced(&RunConfig::new(b, scale, p).with_seed(seed));
+    if let Err(e) = std::fs::write(out, sink.to_chrome_json()) {
+        eprintln!("trace: cannot write {out}: {e}");
+        std::process::exit(2);
+    }
+    print!("{}", sink.stage_csv());
+    eprintln!(
+        "[trace] {b} under {p} (seed {seed}): {} events over {} cycles -> {out}",
+        sink.len(),
+        m.total_cycles
+    );
+}
+
+/// Without the feature there is no tracing infrastructure to run; fail
+/// loudly rather than silently printing workload statistics.
+#[cfg(not(feature = "trace"))]
+fn cmd_trace_run(_b: BenchmarkId, _p: PolicyKind, _scale: Scale, _seed: u64, _out: &str) {
+    eprintln!(
+        "trace --out needs the `trace` feature; rebuild with \
+         `cargo run --release --features trace --bin hdpat-sim -- trace ...`"
+    );
+    std::process::exit(2);
 }
 
 type FigureFn<'a> = Box<dyn Fn() -> Table + 'a>;

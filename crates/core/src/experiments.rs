@@ -147,6 +147,33 @@ pub fn run(cfg: &RunConfig) -> Metrics {
     .run()
 }
 
+/// Runs one experiment point like [`run`], with a request-lifecycle trace
+/// sink attached for the whole run. Returns the metrics (with
+/// `stage_latency` populated) together with the filled sink.
+///
+/// Tracing is purely observational: the metrics' deterministic serialization
+/// is byte-identical to an untraced [`run`] of the same point
+/// (`tests/trace_determinism.rs`).
+#[cfg(feature = "trace")]
+pub fn run_traced(cfg: &RunConfig) -> (Metrics, wsg_sim::trace::TraceSink) {
+    let mut sim = Simulation::new(
+        cfg.system.clone(),
+        cfg.policy,
+        cfg.benchmark,
+        cfg.scale,
+        cfg.seed,
+    );
+    let sink = wsg_sim::trace::TraceSink::shared();
+    sim.set_tracer(&sink);
+    // `run` consumes the simulation, dropping the engine's sink handles, so
+    // the Rc unwraps cleanly; the clone fallback is defensive only.
+    let metrics = sim.run();
+    let sink = std::rc::Rc::try_unwrap(sink)
+        .map(|cell| cell.into_inner())
+        .unwrap_or_else(|rc| rc.borrow().clone());
+    (metrics, sink)
+}
+
 /// Keyed in-memory cache of completed runs: [`RunConfig::fingerprint`] →
 /// [`Metrics`].
 ///

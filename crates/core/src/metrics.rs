@@ -112,6 +112,14 @@ pub struct Metrics {
     pub noc_packets: u64,
     /// Pages migrated by the optional migration extension.
     pub pages_migrated: u64,
+
+    /// Per-stage latency distributions folded from an attached trace sink,
+    /// sorted by stage name (`trace` feature only). Deliberately excluded
+    /// from [`Metrics::to_deterministic_string`], which must stay
+    /// byte-identical whether or not a tracer was attached; render with
+    /// [`Metrics::stage_latency_string`].
+    #[cfg(feature = "trace")]
+    pub stage_latency: Vec<(String, wsg_sim::trace::StageStats)>,
 }
 
 impl Metrics {
@@ -149,7 +157,27 @@ impl Metrics {
             noc_hop_bytes: 0,
             noc_packets: 0,
             pages_migrated: 0,
+            #[cfg(feature = "trace")]
+            stage_latency: Vec::new(),
         }
+    }
+
+    /// Renders the per-stage latency table (populated by a traced run) in a
+    /// stable text form: one line per stage in name order, all values exact
+    /// integers. Kept separate from [`Metrics::to_deterministic_string`] so
+    /// the determinism contract is unaffected by tracing.
+    #[cfg(feature = "trace")]
+    pub fn stage_latency_string(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for (stage, st) in &self.stage_latency {
+            let _ = writeln!(
+                s,
+                "{stage}: count={} sum={} p50={} p95={} p99={} min={} max={}",
+                st.count, st.sum, st.p50, st.p95, st.p99, st.min, st.max
+            );
+        }
+        s
     }
 
     /// Records a resolved remote translation.

@@ -103,6 +103,9 @@ pub(crate) struct Request {
     pub cu: u32,
     pub op: MemoryOp,
     pub vpn: Vpn,
+    /// Issue cycle, kept for the whole-translation trace span.
+    #[cfg(feature = "trace")]
+    pub issued: Cycle,
     pub remote_started: Option<Cycle>,
     pub iommu_arrived: Option<Cycle>,
     pub pw_entered: Option<Cycle>,
@@ -194,6 +197,10 @@ pub struct Simulation {
     /// translation structure (`audit` feature only).
     #[cfg(feature = "audit")]
     pub(crate) auditor: std::rc::Rc<std::cell::RefCell<wsg_sim::audit::ConservationAuditor>>,
+    /// Request-lifecycle trace sink handle (`trace` feature only); attached
+    /// with [`Simulation::set_tracer`], absent by default.
+    #[cfg(feature = "trace")]
+    pub(crate) tracer: Option<wsg_sim::trace::TraceHandle>,
 }
 
 impl Simulation {
@@ -340,6 +347,8 @@ impl Simulation {
             auditor: std::rc::Rc::new(std::cell::RefCell::new(
                 wsg_sim::audit::ConservationAuditor::new(),
             )),
+            #[cfg(feature = "trace")]
+            tracer: None,
         };
 
         // Attach the auditor to every structure before the first event, so
@@ -400,6 +409,50 @@ impl Simulation {
     /// The active translation policy.
     pub fn policy(&self) -> PolicyKind {
         self.policy
+    }
+
+    /// Attaches a request-lifecycle trace sink to the engine and every model
+    /// structure, using the same site-id numbering as the audit feature:
+    /// GPM-local structures at `gpm*8 + slot` (L2 TLB 0, GMMU cache 1,
+    /// walkers 2, cuckoo 3, HBM 4), per-CU L1 TLBs at
+    /// `G*8 + gpm*64 + cu`, IOMMU structures from `G*8 + G*64` (walkers +0,
+    /// redirection +1, TLB +2, TLB MSHR +3).
+    ///
+    /// Attach before [`Simulation::run`]; tracing is purely observational
+    /// and never changes metrics (`tests/trace_determinism.rs`).
+    #[cfg(feature = "trace")]
+    pub fn set_tracer(
+        &mut self,
+        sink: &std::rc::Rc<std::cell::RefCell<wsg_sim::trace::TraceSink>>,
+    ) {
+        use wsg_sim::trace::TraceHandle;
+        let handle = TraceHandle::of(sink);
+        self.mesh.set_tracer(handle.clone());
+        let g_total = self.gpms.len() as u64;
+        for (g, gpm) in self.gpms.iter_mut().enumerate() {
+            let g = g as u64;
+            gpm.l2_tlb.set_tracer(handle.clone(), g * 8);
+            gpm.gmmu_cache.set_tracer(handle.clone(), g * 8 + 1);
+            gpm.walkers.set_tracer(handle.clone(), g * 8 + 2);
+            gpm.cuckoo.set_tracer(handle.clone(), g * 8 + 3);
+            gpm.hbm.set_tracer(handle.clone(), g * 8 + 4);
+            for (c, cu) in gpm.cus.iter_mut().enumerate() {
+                cu.l1_tlb
+                    .set_tracer(handle.clone(), g_total * 8 + g * 64 + c as u64);
+            }
+        }
+        let iommu_base = g_total * 8 + g_total * 64;
+        self.iommu.walkers.set_tracer(handle.clone(), iommu_base);
+        self.iommu
+            .redirection
+            .set_tracer(handle.clone(), iommu_base + 1);
+        if let Some(tlb) = &mut self.iommu.tlb {
+            tlb.set_tracer(handle.clone(), iommu_base + 2);
+        }
+        if let Some(mshr) = &mut self.iommu.tlb_mshr {
+            mshr.set_tracer(handle.clone(), iommu_base + 3);
+        }
+        self.tracer = Some(handle);
     }
 
     /// Enables the streak-based page-migration extension (see
@@ -490,29 +543,54 @@ impl Simulation {
         self.metrics.noc_bytes = self.mesh.total_bytes();
         self.metrics.noc_hop_bytes = self.mesh.total_hop_bytes();
         self.metrics.noc_packets = self.mesh.total_packets();
+        // Fold the per-stage latency distributions into the metrics. This
+        // does not touch `to_deterministic_string`, so traced and untraced
+        // runs serialize identically (DESIGN.md §10).
+        #[cfg(feature = "trace")]
+        if let Some(tr) = &self.tracer {
+            self.metrics.stage_latency = tr.with(|s| {
+                s.stage_summary()
+                    .into_iter()
+                    .map(|(stage, stats)| (stage.to_string(), stats))
+                    .collect()
+            });
+        }
         self.metrics
+    }
+
+    /// The request id an event is about, if any.
+    fn event_req(ev: &Event) -> Option<ReqId> {
+        match ev {
+            Event::GmmuWalkDone { req, .. }
+            | Event::GmmuRetry { req, .. }
+            | Event::ChainProbe { req, .. }
+            | Event::ParallelProbe { req, .. }
+            | Event::IommuArrive { req }
+            | Event::IommuWalkDone { req }
+            | Event::RedirectArrive { req, .. }
+            | Event::XlatResponse { req, .. }
+            | Event::DataAtHome { req, .. }
+            | Event::DataReturn { req, .. }
+            | Event::DataDone { req } => Some(*req),
+            Event::CuIssue { .. } | Event::PushArrive { .. } => None,
+        }
     }
 
     fn dispatch(&mut self, t: Cycle, ev: Event) {
         if std::env::var("WSG_TRACE_REQ").is_ok() {
             let target: u32 = std::env::var("WSG_TRACE_REQ").unwrap().parse().unwrap();
-            let rid = match &ev {
-                Event::GmmuWalkDone { req, .. }
-                | Event::GmmuRetry { req, .. }
-                | Event::ChainProbe { req, .. }
-                | Event::ParallelProbe { req, .. }
-                | Event::IommuArrive { req }
-                | Event::IommuWalkDone { req }
-                | Event::RedirectArrive { req, .. }
-                | Event::XlatResponse { req, .. }
-                | Event::DataAtHome { req, .. }
-                | Event::DataReturn { req, .. }
-                | Event::DataDone { req } => Some(*req),
-                _ => None,
-            };
-            if rid == Some(target) {
+            if Self::event_req(&ev) == Some(target) {
                 eprintln!("TRACE t={t} {ev:?}");
             }
+        }
+        // Stamp the (cycle, request) context so leaf-structure hooks can
+        // emit instants without the engine threading either value through.
+        #[cfg(feature = "trace")]
+        if let Some(tr) = &self.tracer {
+            let rid = Self::event_req(&ev)
+                .map(u64::from)
+                .unwrap_or(wsg_sim::trace::NO_REQ);
+            tr.with(|s| s.set_context(t, rid));
         }
         match ev {
             Event::CuIssue { gpm, cu } => self.on_cu_issue(t, gpm, cu),
@@ -565,11 +643,20 @@ impl Simulation {
         let op = slot.pipeline.issue(issue_at);
         let vpn = self.cfg.page_size.vpn_of(op.vaddr);
         let req = self.reqs.len() as ReqId;
+        #[cfg(feature = "trace")]
+        if let Some(tr) = &self.tracer {
+            tr.with(|s| {
+                s.set_context(issue_at, req as u64);
+                s.instant("issue", gpm as u64, vpn.0);
+            });
+        }
         self.reqs.push(Request {
             gpm,
             cu,
             op,
             vpn,
+            #[cfg(feature = "trace")]
+            issued: issue_at,
             remote_started: None,
             iommu_arrived: None,
             pw_entered: None,

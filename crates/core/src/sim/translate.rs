@@ -385,6 +385,13 @@ impl Simulation {
         if let Some(start) = self.reqs[req as usize].remote_started {
             let rtt = (t - start) as f64;
             self.metrics.remote_rtt.record(rtt);
+            // The "remote" span covers exactly this interval, so a trace's
+            // per-stage sum reconciles with the remote_rtt summary.
+            #[cfg(feature = "trace")]
+            if let Some(tr) = &self.tracer {
+                let r = &self.reqs[req as usize];
+                tr.with(|s| s.complete("remote", start, t - start, r.gpm as u64, r.vpn.0));
+            }
             match source {
                 Resolution::PeerCache => self.metrics.rtt_peer.record(rtt),
                 Resolution::Redirection => self.metrics.rtt_redirection.record(rtt),
@@ -413,6 +420,12 @@ impl Simulation {
             (r.gpm, r.cu, r.vpn)
         };
         let _ = source;
+        // Whole-translation span: issue to PFN delivery at the requester.
+        #[cfg(feature = "trace")]
+        if let Some(tr) = &self.tracer {
+            let issued = self.reqs[req as usize].issued;
+            tr.with(|s| s.complete("xlat", issued, t - issued, gpm_id as u64, vpn.0));
+        }
 
         // Opportunistic fill of the GPMs probed on the way (route-based and
         // concentric caching store the PTE as the response returns, §IV-B/C).

@@ -63,6 +63,10 @@ pub struct Hbm {
     channels: ServerPool,
     bytes_served: u64,
     accesses: u64,
+    #[cfg(feature = "trace")]
+    tracer: Option<wsg_sim::trace::TraceHandle>,
+    #[cfg(feature = "trace")]
+    trace_site: u64,
 }
 
 impl Hbm {
@@ -78,7 +82,19 @@ impl Hbm {
             cfg,
             bytes_served: 0,
             accesses: 0,
+            #[cfg(feature = "trace")]
+            tracer: None,
+            #[cfg(feature = "trace")]
+            trace_site: 0,
         }
+    }
+
+    /// Attaches a tracer recording access service spans under instance id
+    /// `site`.
+    #[cfg(feature = "trace")]
+    pub fn set_tracer(&mut self, tracer: wsg_sim::trace::TraceHandle, site: u64) {
+        self.tracer = Some(tracer);
+        self.trace_site = site;
     }
 
     /// The configuration.
@@ -94,7 +110,12 @@ impl Hbm {
         let (_, done) = self.channels.admit(now, service);
         self.bytes_served += bytes;
         self.accesses += 1;
-        done + self.cfg.access_latency
+        let completion = done + self.cfg.access_latency;
+        #[cfg(feature = "trace")]
+        if let Some(tr) = &self.tracer {
+            tr.with(|s| s.complete("hbm.access", now, completion - now, self.trace_site, bytes));
+        }
+        completion
     }
 
     /// Total bytes served.

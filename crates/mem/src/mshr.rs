@@ -37,6 +37,10 @@ pub struct Mshr<W> {
     entries: HashMap<u64, Vec<W>>,
     stalls: u64,
     merges: u64,
+    #[cfg(feature = "trace")]
+    tracer: Option<wsg_sim::trace::TraceHandle>,
+    #[cfg(feature = "trace")]
+    trace_site: u64,
 }
 
 impl<W> Mshr<W> {
@@ -67,25 +71,54 @@ impl<W> Mshr<W> {
             entries: HashMap::new(),
             stalls: 0,
             merges: 0,
+            #[cfg(feature = "trace")]
+            tracer: None,
+            #[cfg(feature = "trace")]
+            trace_site: 0,
+        }
+    }
+
+    /// Attaches a tracer recording registration outcomes under instance id
+    /// `site`.
+    #[cfg(feature = "trace")]
+    pub fn set_tracer(&mut self, tracer: wsg_sim::trace::TraceHandle, site: u64) {
+        self.tracer = Some(tracer);
+        self.trace_site = site;
+    }
+
+    #[cfg(feature = "trace")]
+    fn trace_event(&self, stage: &'static str, block: u64) {
+        if let Some(tr) = &self.tracer {
+            tr.with(|s| s.instant(stage, self.trace_site, block));
         }
     }
 
     /// Registers a miss on `block` for `waiter`.
     pub fn register(&mut self, block: u64, waiter: W) -> MshrOutcome {
         if let Some(waiters) = self.entries.get_mut(&block) {
-            if waiters.len() + 1 >= self.targets_per_entry {
+            // `waiters` already includes the primary, so the entry is at its
+            // target bound exactly when `len() == targets_per_entry`.
+            if waiters.len() >= self.targets_per_entry {
                 self.stalls += 1;
+                #[cfg(feature = "trace")]
+                self.trace_event("mshr.full", block);
                 return MshrOutcome::Full;
             }
             waiters.push(waiter);
             self.merges += 1;
+            #[cfg(feature = "trace")]
+            self.trace_event("mshr.secondary", block);
             return MshrOutcome::Secondary;
         }
         if self.entries.len() >= self.capacity {
             self.stalls += 1;
+            #[cfg(feature = "trace")]
+            self.trace_event("mshr.full", block);
             return MshrOutcome::Full;
         }
         self.entries.insert(block, vec![waiter]);
+        #[cfg(feature = "trace")]
+        self.trace_event("mshr.primary", block);
         MshrOutcome::Primary
     }
 
@@ -159,6 +192,17 @@ mod tests {
         // Secondary misses on in-flight blocks still merge when full.
         assert_eq!(m.register(1, 1), MshrOutcome::Secondary);
         assert_eq!(m.stalls(), 1);
+    }
+
+    #[test]
+    fn target_bound_counts_the_primary() {
+        // `targets_per_entry = 2` means primary + exactly one secondary.
+        let mut m: Mshr<u8> = Mshr::with_targets(4, 2);
+        assert_eq!(m.register(1, 0), MshrOutcome::Primary);
+        assert_eq!(m.register(1, 1), MshrOutcome::Secondary);
+        assert_eq!(m.register(1, 2), MshrOutcome::Full);
+        assert_eq!(m.stalls(), 1);
+        assert_eq!(m.complete(1), vec![0, 1]);
     }
 
     #[test]

@@ -85,6 +85,15 @@ pub struct Mesh {
     total_hop_bytes: u64,
     #[cfg(feature = "audit")]
     auditor: Option<wsg_sim::audit::AuditHandle>,
+    #[cfg(feature = "trace")]
+    tracer: Option<wsg_sim::trace::TraceHandle>,
+}
+
+/// Encodes a directional link's endpoints into one trace site id (same
+/// packing as the audit link site).
+#[cfg(feature = "trace")]
+fn trace_link_site(from: Coord, to: Coord) -> u64 {
+    ((from.x as u64) << 48) | ((from.y as u64) << 32) | ((to.x as u64) << 16) | to.y as u64
 }
 
 /// Encodes a directional link's endpoints into one audit site id.
@@ -117,6 +126,8 @@ impl Mesh {
             total_hop_bytes: 0,
             #[cfg(feature = "audit")]
             auditor: None,
+            #[cfg(feature = "trace")]
+            tracer: None,
         }
     }
 
@@ -124,6 +135,12 @@ impl Mesh {
     #[cfg(feature = "audit")]
     pub fn set_auditor(&mut self, auditor: wsg_sim::audit::AuditHandle) {
         self.auditor = Some(auditor);
+    }
+
+    /// Attaches a tracer recording a span per packet and per link hop.
+    #[cfg(feature = "trace")]
+    pub fn set_tracer(&mut self, tracer: wsg_sim::trace::TraceHandle) {
+        self.tracer = Some(tracer);
     }
 
     /// Mesh width in tiles.
@@ -156,15 +173,17 @@ impl Mesh {
     pub fn send(&mut self, from: Coord, to: Coord, bytes: u64, depart: Cycle) -> SendOutcome {
         assert!(self.contains(from), "source {from} outside mesh");
         assert!(self.contains(to), "destination {to} outside mesh");
-        self.total_packets += 1;
-        self.total_bytes += bytes;
         if from == to {
+            // Intra-GPM traffic does not use the mesh, so it must not show
+            // up in the injected-traffic totals either.
             return SendOutcome {
                 arrival: depart,
                 hops: 0,
                 queueing: 0,
             };
         }
+        self.total_packets += 1;
+        self.total_bytes += bytes;
         let route = xy_route(from, to);
         let ser = serialization_cycles(bytes, self.params.bytes_per_cycle);
         let mut t = depart;
@@ -183,17 +202,49 @@ impl Mesh {
             link.packets += 1;
             link.busy_cycles += ser;
             self.total_hop_bytes += bytes;
+            let hop_depart = t;
             t = start + ser + self.params.latency;
             #[cfg(feature = "audit")]
             if let Some(a) = &self.auditor {
                 a.with(|au| au.on_deliver(link_site(key.0, key.1), bytes));
             }
+            #[cfg(feature = "trace")]
+            if let Some(tr) = &self.tracer {
+                // Per-hop span: waiting for the link plus serialization plus
+                // traversal, on the link's own site.
+                tr.with(|s| {
+                    s.complete(
+                        "noc.hop",
+                        hop_depart,
+                        t - hop_depart,
+                        trace_link_site(key.0, key.1),
+                        bytes,
+                    )
+                });
+            }
+            #[cfg(not(feature = "trace"))]
+            let _ = hop_depart;
         }
-        SendOutcome {
+        let out = SendOutcome {
             arrival: t,
             hops: route.len() as u32 - 1,
             queueing,
+        };
+        #[cfg(feature = "trace")]
+        if let Some(tr) = &self.tracer {
+            // Packet-level span on the source→destination pair, carrying the
+            // hop count so stage summaries can distinguish path lengths.
+            tr.with(|s| {
+                s.complete(
+                    "noc.send",
+                    depart,
+                    out.arrival - depart,
+                    trace_link_site(from, to),
+                    ((out.hops as u64) << 32) | bytes.min(u32::MAX as u64),
+                )
+            });
         }
+        out
     }
 
     /// The zero-load latency of a `bytes`-sized packet between two tiles
@@ -226,13 +277,17 @@ impl Mesh {
 
     /// The most-utilized link's busy fraction over `[0, end]`, or 0 for an
     /// idle mesh.
+    ///
+    /// Clamped to `[0, 1]`: bandwidth reservations can extend past the
+    /// caller's horizon (a packet injected near `end` stays "busy" beyond
+    /// it), and a fraction above 1 is meaningless as a utilization.
     pub fn peak_link_utilization(&self, end: Cycle) -> f64 {
         if end == 0 {
             return 0.0;
         }
         self.links
             .values()
-            .map(|l| l.busy_cycles as f64 / end as f64)
+            .map(|l| (l.busy_cycles as f64 / end as f64).min(1.0))
             .fold(0.0, f64::max)
     }
 
@@ -332,9 +387,22 @@ mod tests {
         let mut m = small();
         m.send(Coord::new(0, 0), Coord::new(2, 0), 64, 0); // 2 hops
         m.send(Coord::new(0, 0), Coord::new(0, 0), 64, 0); // local
-        assert_eq!(m.total_packets(), 2);
-        assert_eq!(m.total_bytes(), 128);
+        assert_eq!(m.total_packets(), 1);
+        assert_eq!(m.total_bytes(), 64);
         assert_eq!(m.total_hop_bytes(), 128); // 64 B over 2 links
+    }
+
+    #[test]
+    fn self_addressed_packets_do_not_inflate_traffic() {
+        // Intra-GPM deliveries never touch the mesh, so they must not count
+        // toward the "additional traffic" denominator either.
+        let mut m = small();
+        for t in 0..10 {
+            m.send(Coord::new(2, 2), Coord::new(2, 2), 64, t);
+        }
+        assert_eq!(m.total_packets(), 0);
+        assert_eq!(m.total_bytes(), 0);
+        assert_eq!(m.total_hop_bytes(), 0);
     }
 
     #[test]
@@ -345,6 +413,16 @@ mod tests {
         m.reset();
         assert_eq!(m.total_bytes(), 0);
         assert_eq!(m.peak_link_utilization(100), 0.0);
+    }
+
+    #[test]
+    fn peak_utilization_is_clamped_to_one() {
+        let mut m = small();
+        // 800 bytes at 8 B/cyc = 100 busy cycles on the (0,0)→(1,0) link;
+        // a 10-cycle horizon would read as 10× utilization unclamped.
+        m.send(Coord::new(0, 0), Coord::new(1, 0), 800, 0);
+        let peak = m.peak_link_utilization(10);
+        assert_eq!(peak, 1.0);
     }
 
     #[test]

@@ -29,8 +29,8 @@ proptest! {
         }
     }
 
-    /// Total payload bytes equal the sum of injected packet sizes, and
-    /// hop-bytes equal payload × hops.
+    /// Total payload bytes equal the sum of injected non-local packet
+    /// sizes, and hop-bytes equal payload × hops.
     #[test]
     fn traffic_accounting_is_exact(
         sends in proptest::collection::vec((0u16..5, 0u16..5, 0u16..5, 0u16..5, 1u64..256), 1..50)
@@ -38,16 +38,22 @@ proptest! {
         let mut mesh = Mesh::new(5, 5, LinkParams::default());
         let mut bytes = 0u64;
         let mut hop_bytes = 0u64;
+        let mut packets = 0u64;
         for &(ax, ay, bx, by, sz) in &sends {
             let a = Coord::new(ax, ay);
             let b = Coord::new(bx, by);
             mesh.send(a, b, sz, 0);
-            bytes += sz;
-            hop_bytes += sz * a.manhattan(b) as u64;
+            // Self-addressed deliveries never touch the mesh and are
+            // excluded from traffic accounting.
+            if a != b {
+                bytes += sz;
+                hop_bytes += sz * a.manhattan(b) as u64;
+                packets += 1;
+            }
         }
         prop_assert_eq!(mesh.total_bytes(), bytes);
         prop_assert_eq!(mesh.total_hop_bytes(), hop_bytes);
-        prop_assert_eq!(mesh.total_packets(), sends.len() as u64);
+        prop_assert_eq!(mesh.total_packets(), packets);
     }
 
     /// Manhattan distance is a metric (triangle inequality, symmetry).

@@ -42,6 +42,8 @@ pub mod rng;
 pub mod server;
 pub mod stats;
 pub mod time;
+#[cfg(feature = "trace")]
+pub mod trace;
 
 pub use event::EventQueue;
 pub use rng::SimRng;

@@ -106,11 +106,15 @@ impl ServerPool {
     }
 
     /// Server utilization in `[0, 1]` over the horizon `[0, end]`.
+    ///
+    /// Clamped to `[0, 1]`: reservations made near `end` can extend past the
+    /// caller's horizon (busy cycles are booked at admission), and a
+    /// utilization above 1 is meaningless.
     pub fn utilization(&self, end: Cycle) -> f64 {
         if end == 0 {
             return 0.0;
         }
-        self.busy_cycles as f64 / (end as f64 * self.servers as f64)
+        (self.busy_cycles as f64 / (end as f64 * self.servers as f64)).min(1.0)
     }
 }
 
@@ -165,6 +169,15 @@ mod tests {
         let u = p.utilization(100);
         assert!((u - 0.25).abs() < 1e-12);
         assert_eq!(p.utilization(0), 0.0);
+    }
+
+    #[test]
+    fn utilization_is_clamped_to_one() {
+        let mut p = ServerPool::new(2);
+        // 500 busy cycles booked against a 10-cycle horizon: the raw ratio
+        // is 25×, but utilization must still read as full, not more.
+        p.admit(0, 500);
+        assert_eq!(p.utilization(10), 1.0);
     }
 
     #[test]

@@ -44,6 +44,10 @@ pub struct CuckooFilter {
     bucket_mask: u64,
     len: usize,
     kicks: u64,
+    #[cfg(feature = "trace")]
+    tracer: Option<wsg_sim::trace::TraceHandle>,
+    #[cfg(feature = "trace")]
+    trace_site: u64,
 }
 
 impl CuckooFilter {
@@ -62,7 +66,19 @@ impl CuckooFilter {
             bucket_mask: num_buckets as u64 - 1,
             len: 0,
             kicks: 0,
+            #[cfg(feature = "trace")]
+            tracer: None,
+            #[cfg(feature = "trace")]
+            trace_site: 0,
         }
+    }
+
+    /// Attaches a tracer recording membership-test outcomes under instance
+    /// id `site`.
+    #[cfg(feature = "trace")]
+    pub fn set_tracer(&mut self, tracer: wsg_sim::trace::TraceHandle, site: u64) {
+        self.tracer = Some(tracer);
+        self.trace_site = site;
     }
 
     fn fingerprint(key: u64) -> Fingerprint {
@@ -131,7 +147,13 @@ impl CuckooFilter {
         let fp = Self::fingerprint(key);
         let i1 = self.index1(key);
         let i2 = self.index2(i1, fp);
-        self.buckets[i1].contains(&fp) || self.buckets[i2].contains(&fp)
+        let hit = self.buckets[i1].contains(&fp) || self.buckets[i2].contains(&fp);
+        #[cfg(feature = "trace")]
+        if let Some(tr) = &self.tracer {
+            let stage = if hit { "cuckoo.hit" } else { "cuckoo.miss" };
+            tr.with(|s| s.instant(stage, self.trace_site, key));
+        }
+        hit
     }
 
     /// Removes one copy of `key`'s fingerprint. Returns whether a

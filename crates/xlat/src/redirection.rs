@@ -45,6 +45,10 @@ pub struct RedirectionTable {
     auditor: Option<wsg_sim::audit::AuditHandle>,
     #[cfg(feature = "audit")]
     audit_site: u64,
+    #[cfg(feature = "trace")]
+    tracer: Option<wsg_sim::trace::TraceHandle>,
+    #[cfg(feature = "trace")]
+    trace_site: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -72,6 +76,10 @@ impl RedirectionTable {
             auditor: None,
             #[cfg(feature = "audit")]
             audit_site: 0,
+            #[cfg(feature = "trace")]
+            tracer: None,
+            #[cfg(feature = "trace")]
+            trace_site: 0,
         }
     }
 
@@ -81,6 +89,21 @@ impl RedirectionTable {
     pub fn set_auditor(&mut self, auditor: wsg_sim::audit::AuditHandle, site: u64) {
         self.auditor = Some(auditor);
         self.audit_site = site;
+    }
+
+    /// Attaches a tracer recording lookup outcomes and insertions under
+    /// instance id `site`.
+    #[cfg(feature = "trace")]
+    pub fn set_tracer(&mut self, tracer: wsg_sim::trace::TraceHandle, site: u64) {
+        self.tracer = Some(tracer);
+        self.trace_site = site;
+    }
+
+    #[cfg(feature = "trace")]
+    fn trace_event(&self, stage: &'static str, vpn: Vpn) {
+        if let Some(tr) = &self.tracer {
+            tr.with(|s| s.instant(stage, self.trace_site, vpn.0));
+        }
     }
 
     #[cfg(feature = "audit")]
@@ -111,6 +134,15 @@ impl RedirectionTable {
             },
         );
         self.order.push_back((vpn, self.stamp));
+        // Every refresh leaves a stale `(vpn, stamp)` record behind; without
+        // compaction a hot VPN grows `order` linearly with hits. Rebuilding
+        // from the live entries whenever the deque exceeds 2× capacity keeps
+        // it O(capacity) at amortized O(1) per touch.
+        if self.order.len() > 2 * self.capacity {
+            let entries = &self.entries;
+            self.order
+                .retain(|&(vpn, stamp)| entries.get(&vpn).is_some_and(|s| s.stamp == stamp));
+        }
         let _created = prior.is_none();
         #[cfg(feature = "audit")]
         if _created {
@@ -139,6 +171,8 @@ impl RedirectionTable {
             self.evict_lru();
         }
         self.touch(vpn, gpm);
+        #[cfg(feature = "trace")]
+        self.trace_event("redir.insert", vpn);
     }
 
     /// Looks up `vpn`, refreshing its LRU position on hit. Returns the
@@ -148,10 +182,14 @@ impl RedirectionTable {
             Some(gpm) => {
                 self.hits += 1;
                 self.touch(vpn, gpm);
+                #[cfg(feature = "trace")]
+                self.trace_event("redir.hit", vpn);
                 Some(gpm)
             }
             None => {
                 self.misses += 1;
+                #[cfg(feature = "trace")]
+                self.trace_event("redir.miss", vpn);
                 None
             }
         }
@@ -265,6 +303,29 @@ mod tests {
         rt.insert(Vpn(3), 3); // must evict the true LRU (VPN 1 or 2, not panic)
         assert_eq!(rt.len(), 2);
         assert_eq!(rt.probe(Vpn(3)), Some(3));
+    }
+
+    #[test]
+    fn order_stays_bounded_under_repeated_hits() {
+        let mut rt = RedirectionTable::new(4);
+        for i in 0..4 {
+            rt.insert(Vpn(i), i as u32);
+        }
+        // A hot VPN: every hit refreshes the LRU position, which used to
+        // append a fresh order record without ever reclaiming the stale one.
+        for _ in 0..10_000 {
+            rt.lookup(Vpn(0));
+        }
+        assert!(
+            rt.order.len() <= 2 * rt.capacity(),
+            "order grew to {} records for a {}-entry table",
+            rt.order.len(),
+            rt.capacity()
+        );
+        // LRU semantics survive compaction: VPN 0 is the most recent.
+        rt.insert(Vpn(9), 9);
+        assert_eq!(rt.probe(Vpn(0)), Some(0));
+        assert_eq!(rt.probe(Vpn(1)), None);
     }
 
     #[test]

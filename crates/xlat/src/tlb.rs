@@ -92,6 +92,10 @@ pub struct Tlb {
     auditor: Option<wsg_sim::audit::AuditHandle>,
     #[cfg(feature = "audit")]
     audit_site: u64,
+    #[cfg(feature = "trace")]
+    tracer: Option<wsg_sim::trace::TraceHandle>,
+    #[cfg(feature = "trace")]
+    trace_site: u64,
 }
 
 impl Tlb {
@@ -123,6 +127,10 @@ impl Tlb {
             auditor: None,
             #[cfg(feature = "audit")]
             audit_site: 0,
+            #[cfg(feature = "trace")]
+            tracer: None,
+            #[cfg(feature = "trace")]
+            trace_site: 0,
         }
     }
 
@@ -132,6 +140,20 @@ impl Tlb {
     pub fn set_auditor(&mut self, auditor: wsg_sim::audit::AuditHandle, site: u64) {
         self.auditor = Some(auditor);
         self.audit_site = site;
+    }
+
+    /// Attaches a tracer recording lookup outcomes under instance id `site`.
+    #[cfg(feature = "trace")]
+    pub fn set_tracer(&mut self, tracer: wsg_sim::trace::TraceHandle, site: u64) {
+        self.tracer = Some(tracer);
+        self.trace_site = site;
+    }
+
+    #[cfg(feature = "trace")]
+    fn trace_lookup(&self, stage: &'static str, vpn: Vpn) {
+        if let Some(tr) = &self.tracer {
+            tr.with(|s| s.instant(stage, self.trace_site, vpn.0));
+        }
     }
 
     #[cfg(feature = "audit")]
@@ -193,10 +215,14 @@ impl Tlb {
                 if was_prefetched {
                     self.prefetched_hits += 1;
                 }
+                #[cfg(feature = "trace")]
+                self.trace_lookup("tlb.hit", vpn);
                 Some((pfn, was_prefetched))
             }
             None => {
                 self.misses += 1;
+                #[cfg(feature = "trace")]
+                self.trace_lookup("tlb.miss", vpn);
                 None
             }
         }

@@ -55,6 +55,10 @@ pub struct WalkerPool<T> {
     auditor: Option<wsg_sim::audit::AuditHandle>,
     #[cfg(feature = "audit")]
     audit_site: u64,
+    #[cfg(feature = "trace")]
+    tracer: Option<wsg_sim::trace::TraceHandle>,
+    #[cfg(feature = "trace")]
+    trace_site: u64,
 }
 
 impl<T> WalkerPool<T> {
@@ -79,6 +83,10 @@ impl<T> WalkerPool<T> {
             auditor: None,
             #[cfg(feature = "audit")]
             audit_site: 0,
+            #[cfg(feature = "trace")]
+            tracer: None,
+            #[cfg(feature = "trace")]
+            trace_site: 0,
         }
     }
 
@@ -88,6 +96,21 @@ impl<T> WalkerPool<T> {
     pub fn set_auditor(&mut self, auditor: wsg_sim::audit::AuditHandle, site: u64) {
         self.auditor = Some(auditor);
         self.audit_site = site;
+    }
+
+    /// Attaches a tracer recording submit outcomes and queue promotions
+    /// under instance id `site`.
+    #[cfg(feature = "trace")]
+    pub fn set_tracer(&mut self, tracer: wsg_sim::trace::TraceHandle, site: u64) {
+        self.tracer = Some(tracer);
+        self.trace_site = site;
+    }
+
+    #[cfg(feature = "trace")]
+    fn trace_event(&self, stage: &'static str, arg: u64) {
+        if let Some(tr) = &self.tracer {
+            tr.with(|s| s.instant(stage, self.trace_site, arg));
+        }
     }
 
     #[cfg(feature = "audit")]
@@ -115,15 +138,21 @@ impl<T> WalkerPool<T> {
         if self.busy < self.walkers {
             self.busy += 1;
             self.started += 1;
+            #[cfg(feature = "trace")]
+            self.trace_event("walk.start", self.busy as u64);
             SubmitResult::Started
         } else if self.queue.len() < self.queue_capacity {
             self.queue.push_back(token);
             self.queued += 1;
             #[cfg(feature = "audit")]
             self.audit_queue_fill();
+            #[cfg(feature = "trace")]
+            self.trace_event("walk.queue", self.queue.len() as u64);
             SubmitResult::Queued
         } else {
             self.rejected += 1;
+            #[cfg(feature = "trace")]
+            self.trace_event("walk.reject", self.queue.len() as u64);
             SubmitResult::Rejected
         }
     }
@@ -144,6 +173,8 @@ impl<T> WalkerPool<T> {
                 self.started += 1;
                 #[cfg(feature = "audit")]
                 self.audit_queue_evict(self.queue.len());
+                #[cfg(feature = "trace")]
+                self.trace_event("walk.promote", self.queue.len() as u64);
                 Some(next)
             }
             None => {

@@ -1,6 +1,6 @@
 //! Determinism lint pass for the HDPAT workspace (`cargo run -p xtask -- lint`).
 //!
-//! Four rules, documented in DESIGN.md under "Determinism & audit policy":
+//! Five rules, documented in DESIGN.md under "Determinism & audit policy":
 //!
 //! * `map-iter` (d1) — no iteration over `HashMap`/`HashSet` in library code.
 //!   Hash iteration order depends on `RandomState`, so any model behaviour or
@@ -19,6 +19,12 @@
 //! * `unwrap` (d4) — no `.unwrap()` / `.expect(...)` in non-test library code
 //!   of the five model crates (sim, noc, xlat, mem, gpu). Panics there abort
 //!   mid-simulation with no indication of which seed/config was running.
+//! * `hook-pattern` (d5) — observability handles (`AuditHandle`,
+//!   `TraceHandle`) must be held as `Option<...>` fields attached via a
+//!   `set_*` method, never stored directly. A mandatory handle would make
+//!   the audit/trace features load-bearing instead of purely observational
+//!   (DESIGN.md §10). Function signatures are exempt — attach methods take
+//!   the handle by value before storing it optionally.
 //!
 //! Any site can opt out with `// lint:allow(<rule>)` on the same line or in
 //! the comment block immediately above; rules are named by slug (`map-iter`)
@@ -31,7 +37,7 @@ use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-/// The four determinism rules.
+/// The five determinism rules.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// d1: iteration over a hash-ordered collection.
@@ -42,6 +48,8 @@ pub enum Rule {
     FloatCycle,
     /// d4: `.unwrap()` / `.expect(...)` in model-crate library code.
     Unwrap,
+    /// d5: an observability handle stored directly instead of `Option<...>`.
+    HookPattern,
 }
 
 impl Rule {
@@ -52,16 +60,18 @@ impl Rule {
             Rule::Wallclock => "wallclock",
             Rule::FloatCycle => "float-cycle",
             Rule::Unwrap => "unwrap",
+            Rule::HookPattern => "hook-pattern",
         }
     }
 
-    /// Short code (d1..d4), also accepted inside `lint:allow(...)`.
+    /// Short code (d1..d5), also accepted inside `lint:allow(...)`.
     pub fn code(self) -> &'static str {
         match self {
             Rule::MapIter => "d1",
             Rule::Wallclock => "d2",
             Rule::FloatCycle => "d3",
             Rule::Unwrap => "d4",
+            Rule::HookPattern => "d5",
         }
     }
 
@@ -72,6 +82,7 @@ impl Rule {
             "wallclock" | "d2" => Some(Rule::Wallclock),
             "float-cycle" | "d3" => Some(Rule::FloatCycle),
             "unwrap" | "d4" => Some(Rule::Unwrap),
+            "hook-pattern" | "d5" => Some(Rule::HookPattern),
             _ => None,
         }
     }
@@ -106,6 +117,7 @@ pub struct RuleSet {
     pub wallclock: bool,
     pub float_cycle: bool,
     pub unwrap: bool,
+    pub hook_pattern: bool,
 }
 
 impl RuleSet {
@@ -115,6 +127,7 @@ impl RuleSet {
             wallclock: true,
             float_cycle: true,
             unwrap: true,
+            hook_pattern: true,
         }
     }
 
@@ -622,6 +635,57 @@ fn check_unwrap(path: &str, lineno: usize, code: &str, diags: &mut Vec<Diagnosti
     }
 }
 
+/// The optional-handle hooks that d5 guards. Both follow the same pattern:
+/// a structure stores `Option<Handle>` and gains the hook via `set_*`.
+const HOOK_HANDLES: [&str; 2] = ["AuditHandle", "TraceHandle"];
+
+fn check_hook_pattern(path: &str, lineno: usize, code: &str, diags: &mut Vec<Diagnostic>) {
+    // Whole-line exemption for signatures: attach methods legitimately take
+    // the handle by value (`fn set_tracer(&mut self, tracer: TraceHandle)`).
+    if !ident_occurrences(code, "fn").is_empty() {
+        return;
+    }
+    let bytes = code.as_bytes();
+    for needle in HOOK_HANDLES {
+        for occ in ident_occurrences(code, needle) {
+            let after = &code[occ + needle.len()..];
+            if after.starts_with("::") {
+                continue; // path expression (`TraceHandle::of`), not a type
+            }
+            // Walk back over qualifying path segments (`wsg_sim::trace::`)
+            // to where the full type path begins.
+            let mut i = occ;
+            while i >= 2 && bytes[i - 2] == b':' && bytes[i - 1] == b':' {
+                i -= 2;
+                while i > 0 && is_ident_byte(bytes[i - 1]) {
+                    i -= 1;
+                }
+            }
+            // Only type-ascription position is suspect: a single `:` binding
+            // the bare handle type to a field or binding. `Option<Handle>`
+            // fails this test naturally (the path is preceded by `<`).
+            let mut j = i;
+            while j > 0 && bytes[j - 1].is_ascii_whitespace() {
+                j -= 1;
+            }
+            if j == 0 || bytes[j - 1] != b':' || (j >= 2 && bytes[j - 2] == b':') {
+                continue;
+            }
+            diags.push(Diagnostic {
+                path: path.to_string(),
+                line: lineno,
+                rule: Rule::HookPattern,
+                message: format!(
+                    "`{needle}` stored directly; observability hooks must stay optional \
+                     (`Option<{needle}>` plus a set_* attach method, like the audit \
+                     pattern) or annotate lint:allow(hook-pattern)"
+                ),
+            });
+            break;
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Entry points.
 // ---------------------------------------------------------------------------
@@ -674,6 +738,9 @@ pub fn lint_source(path: &str, source: &str, rules: RuleSet) -> Vec<Diagnostic> 
         if rules.unwrap && !allowed(Rule::Unwrap) {
             check_unwrap(path, lineno, &line.code, &mut diags);
         }
+        if rules.hook_pattern && !allowed(Rule::HookPattern) {
+            check_hook_pattern(path, lineno, &line.code, &mut diags);
+        }
     }
     diags
 }
@@ -708,6 +775,7 @@ pub fn classify(rel: &Path) -> RuleSet {
                         wallclock: true,
                         float_cycle: true,
                         unwrap: matches!(*krate, "sim" | "noc" | "xlat" | "mem" | "gpu"),
+                        hook_pattern: true,
                     };
                     if *krate == "sim" && (rest == ["rng.rs"] || rest == ["pool.rs"]) {
                         rules.wallclock = false;
@@ -726,6 +794,7 @@ pub fn classify(rel: &Path) -> RuleSet {
             map_iter: true,
             wallclock: true,
             float_cycle: true,
+            hook_pattern: true,
             ..RuleSet::none()
         },
         ["examples", ..] => RuleSet {
@@ -920,6 +989,26 @@ mod tests {
             RuleSet::all(),
         );
         assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn hook_pattern_requires_optional_handles() {
+        let all = RuleSet::all();
+        let bad = lint_source("t.rs", "pub struct S { tracer: TraceHandle }\n", all);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, Rule::HookPattern);
+        let qualified = lint_source("t.rs", "    auditor: wsg_sim::audit::AuditHandle,\n", all);
+        assert_eq!(qualified.len(), 1);
+        for ok in [
+            "    tracer: Option<TraceHandle>,\n",
+            "    auditor: Option<wsg_sim::audit::AuditHandle>,\n",
+            "    pub fn set_tracer(&mut self, tracer: TraceHandle) {\n",
+            "        let h = TraceHandle::of(sink);\n",
+            "use wsg_sim::trace::TraceHandle;\n",
+            "pub struct TraceHandle(Rc<RefCell<TraceSink>>);\n",
+        ] {
+            assert!(lint_source("t.rs", ok, all).is_empty(), "flagged: {ok}");
+        }
     }
 
     #[test]

@@ -1,0 +1,21 @@
+// Fixture: seeded d5 (hook-pattern) violations. Observability handles must
+// be held as `Option<...>` and attached through a `set_*` method so the
+// audit/trace features stay purely observational.
+
+pub struct Probe {
+    tracer: TraceHandle,                  // VIOLATION: hook-pattern
+    auditor: wsg_sim::audit::AuditHandle, // VIOLATION: hook-pattern
+    ok_tracer: Option<TraceHandle>,       // fine: optional handle
+    ok_auditor: Option<wsg_sim::audit::AuditHandle>, // fine: optional handle
+}
+
+impl Probe {
+    pub fn set_tracer(&mut self, tracer: TraceHandle) {
+        // fine above: a signature takes the handle by value to store it.
+        self.ok_tracer = Some(tracer);
+    }
+
+    pub fn attach(&mut self, sink: &Sink) {
+        self.ok_tracer = Some(TraceHandle::of(sink)); // fine: path expression
+    }
+}

@@ -104,6 +104,28 @@ fn d4_fixture_reports_each_seeded_violation() {
 }
 
 #[test]
+fn d5_fixture_reports_each_seeded_violation() {
+    let src = fixture("d5_hook_pattern.rs");
+    let diags = lint_source("d5_hook_pattern.rs", &src, RuleSet::all());
+    let hook: Vec<usize> = diags
+        .iter()
+        .filter(|d| d.rule == Rule::HookPattern)
+        .map(|d| d.line)
+        .collect();
+    assert_eq!(
+        hook,
+        vec![
+            line_of(&src, "tracer: TraceHandle,"),
+            line_of(&src, "auditor: wsg_sim::audit::AuditHandle,"),
+        ],
+        "diagnostics: {diags:#?}"
+    );
+    // The Option-wrapped fields, the signature, and the path expression must
+    // all pass.
+    assert_eq!(diags.len(), hook.len());
+}
+
+#[test]
 fn clean_fixture_is_clean() {
     let src = fixture("clean.rs");
     let diags = lint_source("clean.rs", &src, RuleSet::all());
@@ -117,6 +139,7 @@ fn cli_exits_nonzero_with_file_line_diagnostics_on_seeded_fixtures() {
         "d2_wallclock.rs",
         "d3_float_cycle.rs",
         "d4_unwrap.rs",
+        "d5_hook_pattern.rs",
     ] {
         let path = fixture_path(name);
         let out = Command::new(env!("CARGO_BIN_EXE_xtask"))

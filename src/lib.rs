@@ -44,6 +44,8 @@ pub use wsg_xlat as xlat;
 
 /// The most commonly used types, importable with one `use`.
 pub mod prelude {
+    #[cfg(feature = "trace")]
+    pub use hdpat::experiments::run_traced;
     pub use hdpat::experiments::{run, run_all, run_with_baseline, RunCache, RunConfig, SweepCtx};
     pub use hdpat::policy::{HdpatConfig, PolicyKind};
     pub use hdpat::{Metrics, Resolution, Simulation};

@@ -1,0 +1,86 @@
+//! The tracing contract (DESIGN.md §10): a trace sink is purely
+//! observational. Attaching one must not perturb a single metric, and the
+//! trace itself must be as deterministic as the run it observed — two traced
+//! runs of the same `(benchmark, seed)` serialize to byte-identical JSON.
+
+#![cfg(feature = "trace")]
+
+use hdpat_wafer::prelude::*;
+
+fn point(bench: BenchmarkId, seed: u64) -> RunConfig {
+    RunConfig::new(bench, Scale::Unit, PolicyKind::hdpat()).with_seed(seed)
+}
+
+#[test]
+fn tracing_does_not_change_metrics() {
+    let cfg = point(BenchmarkId::Km, 7);
+    let plain = run(&cfg).to_deterministic_string();
+    let (traced, sink) = run_traced(&cfg);
+    assert!(!sink.is_empty(), "traced run recorded no events");
+    assert_eq!(
+        plain,
+        traced.to_deterministic_string(),
+        "attaching a trace sink changed the deterministic metrics"
+    );
+}
+
+#[test]
+fn traced_runs_serialize_byte_identical_json() {
+    let cfg = point(BenchmarkId::Spmv, 11);
+    let (_, a) = run_traced(&cfg);
+    let (_, b) = run_traced(&cfg);
+    assert!(!a.is_empty());
+    assert_eq!(
+        a.to_chrome_json(),
+        b.to_chrome_json(),
+        "same-seed traces differ"
+    );
+    assert_eq!(a.stage_csv(), b.stage_csv());
+}
+
+#[test]
+fn remote_spans_reconcile_with_remote_rtt() {
+    let cfg = point(BenchmarkId::Km, 7);
+    let (metrics, sink) = run_traced(&cfg);
+    let summary = sink.stage_summary();
+    let remote = summary.get("remote").expect("remote spans recorded");
+    // One "remote" span per recorded round trip, covering the same interval.
+    assert_eq!(remote.count, metrics.remote_rtt.count());
+    assert_eq!(remote.sum as f64, metrics.remote_rtt.sum());
+}
+
+#[test]
+fn sweep_results_unchanged_with_trace_compiled_in() {
+    // The sweep runner never attaches a tracer; merely compiling the feature
+    // in must not reach its fingerprints or results (extends the
+    // tests/sweep_determinism.rs contract to the trace build).
+    let cfg = point(BenchmarkId::Km, 7);
+    let swept = SweepCtx::serial().run(&cfg);
+    assert_eq!(
+        swept.to_deterministic_string(),
+        run(&cfg).to_deterministic_string()
+    );
+}
+
+#[test]
+fn stage_latency_is_folded_into_metrics() {
+    let cfg = point(BenchmarkId::Km, 7);
+    let (metrics, sink) = run_traced(&cfg);
+    assert!(!metrics.stage_latency.is_empty());
+    // The fold is exactly the sink's summary, in stage-name order.
+    let from_sink: Vec<String> = sink.stage_summary().keys().map(|k| k.to_string()).collect();
+    let folded: Vec<String> = metrics
+        .stage_latency
+        .iter()
+        .map(|(stage, _)| stage.clone())
+        .collect();
+    assert_eq!(folded, from_sink);
+    // Every delivered translation closes an "xlat" span; the rendering
+    // covers it (instants like "issue" are counted in the sink only).
+    assert!(metrics.stage_latency_string().contains("xlat: count="));
+    // Untraced runs leave the field empty, and the deterministic string
+    // never mentions it (the determinism contract surface is unchanged).
+    let plain = run(&cfg);
+    assert!(plain.stage_latency.is_empty());
+    assert!(!plain.to_deterministic_string().contains("stage"));
+}
