@@ -3,8 +3,10 @@
 # come fast: formatting, clippy (plain and with the audit/trace features), the
 # determinism lint pass (DESIGN.md, "Determinism & audit policy"), rustdoc
 # (warnings denied) + doctests, then the tier-1 build + tests, the full
-# workspace suite, the trace determinism gate (DESIGN.md §10), and the
-# EXPERIMENTS.md drift gate (DESIGN.md §9).
+# workspace suite, the trace determinism gate (DESIGN.md §10), the
+# EXPERIMENTS.md drift gate (DESIGN.md §9), and the perf-trajectory gate
+# (DESIGN.md §11): fig14 must stay byte-identical to the pre-PR-4 golden run
+# while the hot-loop rework keeps its measured speedup on record.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -51,5 +53,11 @@ cargo build --release -q -p wsg-bench
 
 echo "== EXPERIMENTS.md drift gate (regen-experiments --check)"
 cargo run --release -q -p wsg-bench --bin hdpat-sim -- regen-experiments --scale bench --check
+
+echo "== perf-trajectory gate (fig14 vs pre-PR-4 golden, perf artifact)"
+./target/release/hdpat-sim figure fig14 --scale bench \
+    --perf-out target/ci/BENCH_PR4_fig14.json > target/ci/fig14.txt
+cmp tests/golden/fig14_bench.txt target/ci/fig14.txt
+cat target/ci/BENCH_PR4_fig14.json
 
 echo "CI green."

@@ -5,9 +5,9 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use wsg_gpu::AddressSpace;
 use wsg_noc::{Coord, LinkParams, Mesh};
-use wsg_sim::EventQueue;
+use wsg_sim::{EventQueue, SimRng};
 use wsg_workloads::{BenchmarkId, Scale};
-use wsg_xlat::{CuckooFilter, PageSize, Pfn, RedirectionTable, Tlb, TlbConfig, Vpn};
+use wsg_xlat::{CuckooFilter, PageSize, PageTable, Pfn, RedirectionTable, Tlb, TlbConfig, Vpn};
 
 fn bench_cuckoo(c: &mut Criterion) {
     let mut g = c.benchmark_group("cuckoo_filter");
@@ -115,6 +115,66 @@ fn bench_event_queue(c: &mut Criterion) {
             black_box(q.pop());
         });
     });
+    // Poisson-ish ramp: a standing population of 4096 events where every pop
+    // re-arms one event at a jittered future time drawn from the seeded
+    // SimRng — mostly near-future (calendar ring residency and wrap-around),
+    // 5% far-future (the sorted overflow level and its migration back into
+    // the ring). This is the shape of the simulator's steady-state hot loop.
+    c.bench_function("event_queue_ramp", |b| {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut rng = SimRng::seeded(42);
+        for i in 0..4096u64 {
+            q.push(rng.gen_range(0..512), i);
+        }
+        b.iter(|| {
+            let (t, p) = q.pop().expect("standing population never drains");
+            let delay = if rng.chance(0.05) {
+                8_192 + rng.gen_range(0..4_096)
+            } else {
+                rng.gen_range(0..64)
+            };
+            q.push(t + delay, p);
+            black_box(t);
+        });
+    });
+}
+
+fn bench_page_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("page_table");
+    g.bench_function("translate_hit", |b| {
+        let mut pt = PageTable::new();
+        for v in 0..65_536u64 {
+            pt.map(Vpn(v), Pfn(v), (v % 48) as u32);
+        }
+        let mut v = 0u64;
+        b.iter(|| {
+            v = (v + 1) % 65_536;
+            black_box(pt.translate(Vpn(v)));
+        });
+    });
+    g.bench_function("translate_counted", |b| {
+        let mut pt = PageTable::new();
+        for v in 0..65_536u64 {
+            pt.map(Vpn(v), Pfn(v), (v % 48) as u32);
+        }
+        let mut v = 0u64;
+        b.iter(|| {
+            v = (v + 1) % 65_536;
+            black_box(pt.translate_counted(Vpn(v)));
+        });
+    });
+    g.bench_function("map_unmap_churn", |b| {
+        let mut pt = PageTable::new();
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 1;
+            pt.map(Vpn(v), Pfn(v), 0);
+            if v >= 4_096 {
+                black_box(pt.unmap(Vpn(v - 4_096)));
+            }
+        });
+    });
+    g.finish();
 }
 
 fn bench_workload_gen(c: &mut Criterion) {
@@ -138,6 +198,7 @@ criterion_group!(
     bench_redirection,
     bench_mesh,
     bench_event_queue,
+    bench_page_table,
     bench_workload_gen
 );
 criterion_main!(benches);

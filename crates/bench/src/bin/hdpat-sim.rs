@@ -79,7 +79,7 @@ fn parse_scale(s: &str) -> Option<Scale> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  hdpat-sim list\n  hdpat-sim run <BENCH> <POLICY> [--scale unit|bench|full] [--seed N]\n  hdpat-sim compare <BENCH> [--scale ...] [--jobs N] [--no-cache]\n  hdpat-sim figure <figNN|tabN|all> [--scale ...] [--jobs N] [--no-cache]\n  hdpat-sim trace <BENCH> [--scale ...] [--seed N] [--out FILE] [--policy P]\n  hdpat-sim regen-experiments [--scale ...] [--jobs N] [--check] [--path FILE]"
+        "usage:\n  hdpat-sim list\n  hdpat-sim run <BENCH> <POLICY> [--scale unit|bench|full] [--seed N]\n  hdpat-sim compare <BENCH> [--scale ...] [--jobs N] [--no-cache]\n  hdpat-sim figure <figNN|tabN|all> [--scale ...] [--jobs N] [--no-cache] [--perf-out FILE]\n  hdpat-sim trace <BENCH> [--scale ...] [--seed N] [--out FILE] [--policy P]\n  hdpat-sim regen-experiments [--scale ...] [--jobs N] [--check] [--path FILE]"
     );
     std::process::exit(2);
 }
@@ -134,7 +134,8 @@ fn main() {
         }
         "figure" => {
             let name = args.get(1).cloned().unwrap_or_else(|| usage());
-            cmd_figure(&ctx, &name, scale);
+            let perf_out = flag(&args, "--perf-out");
+            cmd_figure(&ctx, &name, scale, perf_out.as_deref());
         }
         "trace" => {
             // The benchmark is positional, but `--benchmark B` is accepted
@@ -336,7 +337,11 @@ fn cmd_trace_run(_b: BenchmarkId, _p: PolicyKind, _scale: Scale, _seed: u64, _ou
 
 type FigureFn<'a> = Box<dyn Fn() -> Table + 'a>;
 
-fn cmd_figure(ctx: &SweepCtx, name: &str, scale: Scale) {
+fn cmd_figure(ctx: &SweepCtx, name: &str, scale: Scale, perf_out: Option<&str>) {
+    // Host-side throughput measurement for the `--perf-out` artifact; the
+    // deterministic figure text on stdout never depends on it.
+    // lint:allow(wallclock)
+    let wall_start = std::time::Instant::now();
     let all: Vec<(&str, FigureFn)> = vec![
         ("fig02", Box::new(|| figures::fig02_headroom(ctx, scale))),
         (
@@ -404,6 +409,26 @@ fn cmd_figure(ctx: &SweepCtx, name: &str, scale: Scale) {
         hits,
         ctx.jobs()
     );
+    if let Some(path) = perf_out {
+        let wall_seconds = wall_start.elapsed().as_secs_f64();
+        let total_events = ctx.events_executed();
+        let events_per_sec = if wall_seconds > 0.0 {
+            total_events as f64 / wall_seconds
+        } else {
+            0.0
+        };
+        let json = format!(
+            "{{\n  \"figure\": \"{name}\",\n  \"wall_seconds\": {wall_seconds:.3},\n  \
+             \"total_events\": {total_events},\n  \"events_per_sec\": {events_per_sec:.0},\n  \
+             \"simulations\": {misses},\n  \"cache_hits\": {hits},\n  \"jobs\": {jobs}\n}}\n",
+            jobs = ctx.jobs()
+        );
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("figure --perf-out: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("[perf] wrote {path}");
+    }
 }
 
 fn cmd_regen_experiments(ctx: &SweepCtx, scale: Scale, path: &str, check: bool) {

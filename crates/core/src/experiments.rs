@@ -247,6 +247,7 @@ pub struct SweepCtx {
     jobs: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    events: AtomicU64,
 }
 
 impl SweepCtx {
@@ -258,6 +259,7 @@ impl SweepCtx {
             jobs: jobs.max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            events: AtomicU64::new(0),
         }
     }
 
@@ -295,6 +297,14 @@ impl SweepCtx {
         )
     }
 
+    /// Total simulator events delivered by runs this context actually
+    /// executed (cache hits contribute nothing — their events were counted
+    /// when the miss ran). Feeds the `--perf-out` trajectory artifact; not
+    /// part of any deterministic output.
+    pub fn events_executed(&self) -> u64 {
+        self.events.load(Ordering::Relaxed)
+    }
+
     /// Runs a single point through the cache.
     pub fn run(&self, cfg: &RunConfig) -> Arc<Metrics> {
         let mut out = self.sweep(std::slice::from_ref(cfg));
@@ -313,7 +323,12 @@ impl SweepCtx {
     pub fn sweep(&self, cfgs: &[RunConfig]) -> Vec<Arc<Metrics>> {
         let Some(cache) = &self.cache else {
             self.misses.fetch_add(cfgs.len() as u64, Ordering::Relaxed);
-            return wsg_sim::pool::run_indexed(self.jobs, cfgs.len(), |i| Arc::new(run(&cfgs[i])));
+            let out =
+                wsg_sim::pool::run_indexed(self.jobs, cfgs.len(), |i| Arc::new(run(&cfgs[i])));
+            for m in &out {
+                self.events.fetch_add(m.sim_events, Ordering::Relaxed);
+            }
+            return out;
         };
         let keys: Vec<String> = cfgs.iter().map(RunConfig::fingerprint).collect();
         // Unique uncached points, in first-occurrence order.
@@ -330,6 +345,8 @@ impl SweepCtx {
         let fresh =
             wsg_sim::pool::run_indexed(self.jobs, todo.len(), |j| Arc::new(run(&cfgs[todo[j]])));
         for (j, &i) in todo.iter().enumerate() {
+            self.events
+                .fetch_add(fresh[j].sim_events, Ordering::Relaxed);
             cache.insert(keys[i].clone(), fresh[j].clone());
         }
         keys.iter()

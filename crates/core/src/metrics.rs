@@ -113,6 +113,16 @@ pub struct Metrics {
     /// Pages migrated by the optional migration extension.
     pub pages_migrated: u64,
 
+    /// Discrete events the run's event queue processed (the hot-loop work
+    /// unit of DESIGN.md §11). Excluded from
+    /// [`Metrics::to_deterministic_string`] so figure outputs stay
+    /// byte-comparable across engine revisions that schedule differently.
+    pub sim_events: u64,
+    /// Host wall-clock nanoseconds spent inside `Simulation::run`.
+    /// Host-dependent by nature, so — like `stage_latency` — deliberately
+    /// excluded from [`Metrics::to_deterministic_string`].
+    pub host_wall_nanos: u64,
+
     /// Per-stage latency distributions folded from an attached trace sink,
     /// sorted by stage name (`trace` feature only). Deliberately excluded
     /// from [`Metrics::to_deterministic_string`], which must stay
@@ -157,6 +167,8 @@ impl Metrics {
             noc_hop_bytes: 0,
             noc_packets: 0,
             pages_migrated: 0,
+            sim_events: 0,
+            host_wall_nanos: 0,
             #[cfg(feature = "trace")]
             stage_latency: Vec::new(),
         }

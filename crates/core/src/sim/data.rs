@@ -88,14 +88,16 @@ impl Simulation {
         let Some(cfg) = self.migration else {
             return;
         };
-        let streak = self.access_streak.entry(vpn).or_insert((consumer, 0));
+        let streak = self
+            .access_streak
+            .get_or_insert_with(vpn.0, || (consumer, 0));
         if streak.0 == consumer {
             streak.1 += 1;
         } else {
             *streak = (consumer, 1);
         }
         if streak.1 >= cfg.streak_threshold {
-            self.access_streak.remove(&vpn);
+            self.access_streak.remove(vpn.0);
             self.migrate_page(t, vpn, consumer, cfg);
         }
     }
@@ -140,7 +142,7 @@ impl Simulation {
         }
         self.iommu.page_table.map(vpn, pfn, dest);
         self.iommu.redirection.remove(vpn);
-        self.home_override.insert(vpn, dest);
+        self.home_override.insert(vpn.0, dest);
 
         // Wafer-wide TLB shootdown: every GPM drops its copies; the
         // invalidation packets cross the mesh from the CPU tile.

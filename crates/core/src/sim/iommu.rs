@@ -92,7 +92,7 @@ impl Simulation {
             // Trans-FW: piggyback on an identical walk, but only while that
             // walk is actually running (the forwarding structure covers the
             // 16 active walkers, not the whole queue).
-            if let Some(waiters) = self.iommu.inflight.get_mut(&vpn) {
+            if let Some(waiters) = self.iommu.inflight.get_mut(vpn.0) {
                 waiters.push(req);
                 return;
             }
@@ -143,7 +143,7 @@ impl Simulation {
     fn note_walk_started(&mut self, req: ReqId) {
         if matches!(self.policy, crate::policy::PolicyKind::TransFw) {
             let vpn = self.reqs[req as usize].vpn;
-            self.iommu.inflight.entry(vpn).or_default();
+            self.iommu.inflight.get_or_insert_with(vpn.0, Vec::new);
         }
     }
 
@@ -232,7 +232,7 @@ impl Simulation {
         // Trans-FW: forward the just-resolved walk to its piggybacked
         // requests.
         if matches!(self.policy, crate::policy::PolicyKind::TransFw) {
-            for w in self.iommu.inflight.remove(&vpn).unwrap_or_default() {
+            for w in self.iommu.inflight.remove(vpn.0).unwrap_or_default() {
                 self.metrics.iommu_coalesced += 1;
                 self.respond_from_iommu(t, w, pte.pfn, Resolution::Iommu);
             }

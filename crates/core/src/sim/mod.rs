@@ -16,12 +16,12 @@ mod data;
 mod iommu;
 mod translate;
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use wsg_gpu::{AddressSpace, CuPipeline, MemoryOp, SystemConfig, WorkgroupTrace};
 use wsg_mem::{Hbm, Mshr, SetAssocCache};
 use wsg_noc::{Coord, Mesh};
-use wsg_sim::{Cycle, EventQueue};
+use wsg_sim::{Cycle, EventQueue, HashIndex};
 use wsg_workloads::{BenchmarkId, Scale};
 use wsg_xlat::{CuckooFilter, PageTable, Pfn, RedirectionTable, Tlb, TlbConfig, Vpn, WalkerPool};
 
@@ -65,10 +65,10 @@ pub(crate) struct GpmState {
     pub l2_cache: SetAssocCache,
     pub hbm: Hbm,
     /// L2-TLB MSHR for outgoing remote translations: VPN → waiters
-    /// coalesced behind the primary request.
-    // BTreeMap, not HashMap: iterated when formatting the stalled-CU panic,
-    // and hash iteration order is nondeterministic (lint rule d1).
-    pub remote_mshr: BTreeMap<Vpn, Vec<ReqId>>,
+    /// coalesced behind the primary request. A seeded [`HashIndex`] keyed by
+    /// raw VPN; the stalled-CU panic formatter sorts on demand, so reporting
+    /// stays deterministic (lint rules d1/d6).
+    pub remote_mshr: HashIndex<Vec<ReqId>>,
     /// Requests stalled because every MSHR entry is occupied; drained in
     /// FIFO order as entries free up.
     pub mshr_stalled: VecDeque<ReqId>,
@@ -93,7 +93,7 @@ pub(crate) struct IommuState {
     /// Trans-FW's in-flight walk table: requests arriving for a VPN whose
     /// walk is already queued or running piggyback on it instead of
     /// enqueueing their own (remote forwarding of in-flight results).
-    pub inflight: HashMap<Vpn, Vec<ReqId>>,
+    pub inflight: HashIndex<Vec<ReqId>>,
 }
 
 /// One in-flight memory operation with its translation bookkeeping.
@@ -190,9 +190,9 @@ pub struct Simulation {
     pub(crate) migration: Option<MigrationConfig>,
     /// Dynamic home overrides for migrated pages (checked before the static
     /// block placement).
-    pub(crate) home_override: HashMap<Vpn, u32>,
+    pub(crate) home_override: HashIndex<u32>,
     /// Per-page (last remote consumer, consecutive-access streak).
-    pub(crate) access_streak: HashMap<Vpn, (u32, u32)>,
+    pub(crate) access_streak: HashIndex<(u32, u32)>,
     /// The runtime invariant auditor observing the queue, mesh, and every
     /// translation structure (`audit` feature only).
     #[cfg(feature = "audit")]
@@ -282,13 +282,13 @@ impl Simulation {
                     page_table: PageTable::new(),
                     l2_cache: SetAssocCache::new(gc.l2_cache),
                     hbm: Hbm::new(gc.hbm),
-                    remote_mshr: BTreeMap::new(),
+                    remote_mshr: HashIndex::with_capacity(gc.l2_tlb.mshrs.max(1)),
                     mshr_stalled: VecDeque::new(),
                 }
             })
             .collect();
 
-        let mut global_pt = PageTable::new();
+        let mut global_pt = PageTable::with_capacity(space.total_pages() as usize);
         for (vpn, home) in space.iter_pages() {
             let pfn = Pfn(vpn.0); // identity frame mapping
             global_pt.map(vpn, pfn, home);
@@ -321,17 +321,21 @@ impl Simulation {
                 .then(|| Mshr::with_targets((iommu_cfg.redirection_entries / 32).max(8), 8)),
             tlb_stalled: VecDeque::new(),
             page_table: global_pt,
-            inflight: HashMap::new(),
+            inflight: HashIndex::new(),
         };
 
         let mesh = Mesh::new(system.layout.width(), system.layout.height(), system.link);
         let metrics = Metrics::new(g, TIME_WINDOW);
+        let peak_outstanding = g * system.gpm.cus as usize;
 
         let mut sim = Self {
             cfg: system,
             policy,
             space,
-            queue: EventQueue::new(),
+            // Far-future overflow tier pre-sized to the wafer's maximum
+            // outstanding-request population (ring pushes dominate, but HBM
+            // refresh-style long delays land here).
+            queue: EventQueue::with_capacity(peak_outstanding),
             mesh,
             gpms,
             iommu,
@@ -341,8 +345,8 @@ impl Simulation {
             chains,
             last_iommu_vpn: None,
             migration: None,
-            home_override: HashMap::new(),
-            access_streak: HashMap::new(),
+            home_override: HashIndex::new(),
+            access_streak: HashIndex::new(),
             #[cfg(feature = "audit")]
             auditor: std::rc::Rc::new(std::cell::RefCell::new(
                 wsg_sim::audit::ConservationAuditor::new(),
@@ -360,8 +364,12 @@ impl Simulation {
             sim.queue.set_auditor(handle.clone());
             sim.mesh.set_auditor(handle.clone());
             // Site ids: GPM-local structures get gpm*8+slot; per-CU L1 TLBs
-            // and IOMMU structures hang off the top of the range.
+            // and IOMMU structures hang off the top of the range. The L1
+            // stride widens past 64 for presets with more CUs per GPM
+            // (e.g. MI300's 76) — a fixed 64 made neighbouring GPMs share
+            // site ids, and the two occupancy streams diverged the mirror.
             let g_total = sim.gpms.len() as u64;
+            let cu_stride = sim.cu_site_stride();
             for (g, gpm) in sim.gpms.iter_mut().enumerate() {
                 let g = g as u64;
                 gpm.l2_tlb.set_auditor(handle.clone(), g * 8);
@@ -369,10 +377,10 @@ impl Simulation {
                 gpm.walkers.set_auditor(handle.clone(), g * 8 + 2);
                 for (c, cu) in gpm.cus.iter_mut().enumerate() {
                     cu.l1_tlb
-                        .set_auditor(handle.clone(), g_total * 8 + g * 64 + c as u64);
+                        .set_auditor(handle.clone(), g_total * 8 + g * cu_stride + c as u64);
                 }
             }
-            let iommu_base = g_total * 8 + g_total * 64;
+            let iommu_base = g_total * 8 + g_total * cu_stride;
             sim.iommu.walkers.set_auditor(handle.clone(), iommu_base);
             sim.iommu
                 .redirection
@@ -411,12 +419,27 @@ impl Simulation {
         self.policy
     }
 
+    /// Per-GPM site-id stride for the L1-TLB range of the audit/trace
+    /// numbering: at least 64 (the historical stride, kept so existing
+    /// configurations number identically) and wide enough that a preset with
+    /// more than 64 CUs per GPM cannot alias a neighbouring GPM's sites.
+    #[cfg(any(feature = "audit", feature = "trace"))]
+    fn cu_site_stride(&self) -> u64 {
+        self.gpms
+            .iter()
+            .map(|g| g.cus.len() as u64)
+            .max()
+            .unwrap_or(0)
+            .max(64)
+    }
+
     /// Attaches a request-lifecycle trace sink to the engine and every model
     /// structure, using the same site-id numbering as the audit feature:
     /// GPM-local structures at `gpm*8 + slot` (L2 TLB 0, GMMU cache 1,
     /// walkers 2, cuckoo 3, HBM 4), per-CU L1 TLBs at
-    /// `G*8 + gpm*64 + cu`, IOMMU structures from `G*8 + G*64` (walkers +0,
-    /// redirection +1, TLB +2, TLB MSHR +3).
+    /// `G*8 + gpm*S + cu` where the stride `S = max(64, CUs per GPM)`, and
+    /// IOMMU structures from `G*8 + G*S` (walkers +0, redirection +1,
+    /// TLB +2, TLB MSHR +3).
     ///
     /// Attach before [`Simulation::run`]; tracing is purely observational
     /// and never changes metrics (`tests/trace_determinism.rs`).
@@ -429,6 +452,7 @@ impl Simulation {
         let handle = TraceHandle::of(sink);
         self.mesh.set_tracer(handle.clone());
         let g_total = self.gpms.len() as u64;
+        let cu_stride = self.cu_site_stride();
         for (g, gpm) in self.gpms.iter_mut().enumerate() {
             let g = g as u64;
             gpm.l2_tlb.set_tracer(handle.clone(), g * 8);
@@ -438,10 +462,10 @@ impl Simulation {
             gpm.hbm.set_tracer(handle.clone(), g * 8 + 4);
             for (c, cu) in gpm.cus.iter_mut().enumerate() {
                 cu.l1_tlb
-                    .set_tracer(handle.clone(), g_total * 8 + g * 64 + c as u64);
+                    .set_tracer(handle.clone(), g_total * 8 + g * cu_stride + c as u64);
             }
         }
-        let iommu_base = g_total * 8 + g_total * 64;
+        let iommu_base = g_total * 8 + g_total * cu_stride;
         self.iommu.walkers.set_tracer(handle.clone(), iommu_base);
         self.iommu
             .redirection
@@ -466,7 +490,7 @@ impl Simulation {
     /// otherwise the static block placement.
     pub(crate) fn home_of(&self, vpn: Vpn) -> Option<u32> {
         self.home_override
-            .get(&vpn)
+            .get(vpn.0)
             .copied()
             .or_else(|| self.space.home_gpm(vpn))
     }
@@ -487,6 +511,11 @@ impl Simulation {
     /// scheduling bug rather than a big workload).
     pub fn run(mut self) -> Metrics {
         const EVENT_CAP: u64 = 2_000_000_000;
+        // lint:allow(wallclock): events-per-second accounting only; the
+        // reading lands in `Metrics::host_wall_nanos`, which is excluded
+        // from the deterministic serialization, and never feeds back into
+        // the model.
+        let wall_start = std::time::Instant::now();
         while let Some((t, ev)) = self.queue.pop() {
             self.dispatch(t, ev);
             debug_assert!(self.queue.total_popped() < EVENT_CAP, "event explosion");
@@ -516,8 +545,8 @@ impl Simulation {
                     let parked = gpm.mshr_stalled.len();
                     let mshr: Vec<String> = gpm
                         .remote_mshr
-                        .iter()
-                        .map(|(v, w)| format!("{v}:{}", w.len()))
+                        .iter_sorted()
+                        .map(|(v, w)| format!("{}:{}", Vpn(v), w.len()))
                         .collect();
                     panic!(
                         "CU {c} of GPM {g} stalled with work remaining; parked={parked} mshr={mshr:?} stuck={stuck:?} iommu_busy={} iommu_q={} pre_q={}",
@@ -540,6 +569,8 @@ impl Simulation {
             );
         }
         self.metrics.total_cycles = self.metrics.gpm_finish.iter().copied().max().unwrap_or(0);
+        self.metrics.sim_events = self.queue.total_popped();
+        self.metrics.host_wall_nanos = wall_start.elapsed().as_nanos() as u64;
         self.metrics.noc_bytes = self.mesh.total_bytes();
         self.metrics.noc_hop_bytes = self.mesh.total_hop_bytes();
         self.metrics.noc_packets = self.mesh.total_packets();

@@ -180,7 +180,7 @@ impl Simulation {
         let mshr_cap = self.cfg.gpm.l2_tlb.mshrs.max(1);
         {
             let gpm = &mut self.gpms[gpm_id as usize];
-            if let Some(waiters) = gpm.remote_mshr.get_mut(&vpn) {
+            if let Some(waiters) = gpm.remote_mshr.get_mut(vpn.0) {
                 // An identical request is in flight: coalesce (secondary
                 // miss in the L2 TLB MSHR).
                 waiters.push(req);
@@ -194,7 +194,7 @@ impl Simulation {
                 gpm.mshr_stalled.push_back(req);
                 return;
             }
-            gpm.remote_mshr.insert(vpn, Vec::new());
+            gpm.remote_mshr.insert(vpn.0, Vec::new());
         }
         if !is_retry || self.reqs[req as usize].remote_started.is_none() {
             self.metrics.remote_requests += 1;
@@ -448,7 +448,7 @@ impl Simulation {
         // Release coalesced waiters.
         let waiters = self.gpms[gpm_id as usize]
             .remote_mshr
-            .remove(&vpn)
+            .remove(vpn.0)
             .unwrap_or_default();
         for w in waiters {
             self.reqs[w as usize].resolved = true;

@@ -1,6 +1,6 @@
 //! Miss-status holding registers.
 
-use std::collections::HashMap;
+use wsg_sim::HashIndex;
 
 /// The outcome of registering a miss with an [`Mshr`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,7 +34,9 @@ pub enum MshrOutcome {
 pub struct Mshr<W> {
     capacity: usize,
     targets_per_entry: usize,
-    entries: HashMap<u64, Vec<W>>,
+    // Seeded deterministic index (DESIGN.md §11); never iterated, so no
+    // ordering surface exists (lint rules d1/d6).
+    entries: HashIndex<Vec<W>>,
     stalls: u64,
     merges: u64,
     #[cfg(feature = "trace")]
@@ -68,7 +70,7 @@ impl<W> Mshr<W> {
         Self {
             capacity,
             targets_per_entry,
-            entries: HashMap::new(),
+            entries: HashIndex::with_capacity(capacity),
             stalls: 0,
             merges: 0,
             #[cfg(feature = "trace")]
@@ -95,7 +97,7 @@ impl<W> Mshr<W> {
 
     /// Registers a miss on `block` for `waiter`.
     pub fn register(&mut self, block: u64, waiter: W) -> MshrOutcome {
-        if let Some(waiters) = self.entries.get_mut(&block) {
+        if let Some(waiters) = self.entries.get_mut(block) {
             // `waiters` already includes the primary, so the entry is at its
             // target bound exactly when `len() == targets_per_entry`.
             if waiters.len() >= self.targets_per_entry {
@@ -126,12 +128,12 @@ impl<W> Mshr<W> {
     /// waiters in registration order. Returns an empty vector if the block
     /// had no entry.
     pub fn complete(&mut self, block: u64) -> Vec<W> {
-        self.entries.remove(&block).unwrap_or_default()
+        self.entries.remove(block).unwrap_or_default()
     }
 
     /// Whether a fill for `block` is outstanding.
     pub fn contains(&self, block: u64) -> bool {
-        self.entries.contains_key(&block)
+        self.entries.contains_key(block)
     }
 
     /// Number of occupied entries.

@@ -1,12 +1,9 @@
 //! The mesh interconnect with bandwidth-reserving links.
 
-use std::collections::BTreeMap;
-
 use wsg_sim::time::serialization_cycles;
 use wsg_sim::Cycle;
 
 use crate::geometry::Coord;
-use crate::routing::xy_route;
 
 /// Physical parameters of one mesh link.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -77,9 +74,10 @@ pub struct Mesh {
     width: u16,
     height: u16,
     params: LinkParams,
-    // BTreeMap, not HashMap: link statistics iterate this map, and iteration
-    // feeding figures must be deterministically ordered (lint rule D1).
-    links: BTreeMap<(Coord, Coord), LinkState>,
+    // Flat per-tile × per-direction array (see `link_index`): O(1) access on
+    // the per-hop hot path, and any iteration walks it in index order, which
+    // is a fixed function of the topology (lint rule D1).
+    links: Vec<LinkState>,
     total_bytes: u64,
     total_packets: u64,
     total_hop_bytes: u64,
@@ -120,7 +118,7 @@ impl Mesh {
             width,
             height,
             params,
-            links: BTreeMap::new(),
+            links: vec![LinkState::default(); width as usize * height as usize * 4],
             total_bytes: 0,
             total_packets: 0,
             total_hop_bytes: 0,
@@ -163,6 +161,39 @@ impl Mesh {
         c.x < self.width && c.y < self.height
     }
 
+    /// Slot of the directional link `from → to` in the flat link array:
+    /// four outgoing directions (+x, −x, +y, −y) per source tile.
+    fn link_index(&self, from: Coord, to: Coord) -> usize {
+        let dir = if to.x > from.x {
+            0
+        } else if to.x < from.x {
+            1
+        } else if to.y > from.y {
+            2
+        } else {
+            3
+        };
+        (from.y as usize * self.width as usize + from.x as usize) * 4 + dir
+    }
+
+    /// Inverse of [`Mesh::link_index`]: the `(from, to)` endpoints of slot
+    /// `idx`. Slots on the mesh boundary point off-grid and are never
+    /// reserved; callers iterate only over slots with traffic.
+    fn link_endpoints(&self, idx: usize) -> (Coord, Coord) {
+        let tile = idx / 4;
+        let from = Coord::new(
+            (tile % self.width as usize) as u16,
+            (tile / self.width as usize) as u16,
+        );
+        let to = match idx % 4 {
+            0 => Coord::new(from.x + 1, from.y),
+            1 => Coord::new(from.x.wrapping_sub(1), from.y),
+            2 => Coord::new(from.x, from.y + 1),
+            _ => Coord::new(from.x, from.y.wrapping_sub(1)),
+        };
+        (from, to)
+    }
+
     /// Injects a packet of `bytes` payload from `from` to `to` at cycle
     /// `depart` and returns its delivery outcome. Reserves bandwidth on
     /// every link of the XY route.
@@ -184,17 +215,26 @@ impl Mesh {
         }
         self.total_packets += 1;
         self.total_bytes += bytes;
-        let route = xy_route(from, to);
         let ser = serialization_cycles(bytes, self.params.bytes_per_cycle);
         let mut t = depart;
         let mut queueing: Cycle = 0;
-        for pair in route.windows(2) {
-            let key = (pair[0], pair[1]);
+        let mut hops: u32 = 0;
+        // Walk the XY route (X first, then Y — see `xy_route`) without
+        // materializing it: one directional hop per iteration.
+        let mut cur = from;
+        while cur != to {
+            let next = if cur.x != to.x {
+                Coord::new(if to.x > cur.x { cur.x + 1 } else { cur.x - 1 }, cur.y)
+            } else {
+                Coord::new(cur.x, if to.y > cur.y { cur.y + 1 } else { cur.y - 1 })
+            };
+            let key = (cur, next);
             #[cfg(feature = "audit")]
             if let Some(a) = &self.auditor {
                 a.with(|au| au.on_inject(link_site(key.0, key.1), bytes));
             }
-            let link = self.links.entry(key).or_default();
+            let idx = self.link_index(key.0, key.1);
+            let link = &mut self.links[idx];
             let start = t.max(link.next_free);
             queueing += start - t;
             link.next_free = start + ser;
@@ -224,10 +264,12 @@ impl Mesh {
             }
             #[cfg(not(feature = "trace"))]
             let _ = hop_depart;
+            cur = next;
+            hops += 1;
         }
         let out = SendOutcome {
             arrival: t,
-            hops: route.len() as u32 - 1,
+            hops,
             queueing,
         };
         #[cfg(feature = "trace")]
@@ -286,7 +328,7 @@ impl Mesh {
             return 0.0;
         }
         self.links
-            .values()
+            .iter()
             .map(|l| (l.busy_cycles as f64 / end as f64).min(1.0))
             .fold(0.0, f64::max)
     }
@@ -296,7 +338,12 @@ impl Mesh {
         let mut v: Vec<_> = self
             .links
             .iter()
-            .map(|(&(a, b), l)| (a, b, l.packets, l.busy_cycles, l.next_free))
+            .enumerate()
+            .filter(|(_, l)| l.packets > 0)
+            .map(|(idx, l)| {
+                let (a, b) = self.link_endpoints(idx);
+                (a, b, l.packets, l.busy_cycles, l.next_free)
+            })
             .collect();
         v.sort_by_key(|x| std::cmp::Reverse(x.2));
         v.truncate(n);
@@ -305,7 +352,7 @@ impl Mesh {
 
     /// Resets traffic accounting and link reservations (topology retained).
     pub fn reset(&mut self) {
-        self.links.clear();
+        self.links.fill(LinkState::default());
         self.total_bytes = 0;
         self.total_packets = 0;
         self.total_hop_bytes = 0;

@@ -83,6 +83,14 @@ pub trait Audit {
         let _ = (prev, time);
     }
 
+    /// `EventQueue::push_after` was asked for a delay that overflows the
+    /// cycle counter (`now + delay > Cycle::MAX`). Debug builds panic right
+    /// after reporting; release builds clamp to `Cycle::MAX` and continue,
+    /// so this hook is the only release-mode record of the wrap.
+    fn on_delay_overflow(&mut self, now: Cycle, delay: Cycle) {
+        let _ = (now, delay);
+    }
+
     /// A packet of `bytes` was injected into link `site`.
     fn on_inject(&mut self, site: Site, bytes: u64) {
         let _ = (site, bytes);
@@ -273,6 +281,12 @@ impl Audit for ConservationAuditor {
         }
     }
 
+    fn on_delay_overflow(&mut self, now: Cycle, delay: Cycle) {
+        self.violation(format!(
+            "push_after delay overflow: {now} + {delay} wraps the cycle counter"
+        ));
+    }
+
     fn on_inject(&mut self, site: Site, bytes: u64) {
         let f = self.links.entry(site.id).or_default();
         f.injected_packets += 1;
@@ -305,6 +319,14 @@ mod tests {
 
     fn site() -> Site {
         Site::new(SiteKind::Tlb, 7)
+    }
+
+    #[test]
+    fn delay_overflow_is_a_violation() {
+        let mut a = ConservationAuditor::new();
+        a.on_delay_overflow(u64::MAX - 3, 10);
+        assert_eq!(a.total_violations(), 1);
+        assert!(a.violations()[0].contains("push_after delay overflow"));
     }
 
     #[test]

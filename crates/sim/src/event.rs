@@ -1,19 +1,57 @@
 //! The discrete-event queue at the heart of the simulator.
+//!
+//! Implemented as a two-level *calendar queue* (DESIGN.md §11): a ring of
+//! per-cycle FIFO buckets covering the near future, backed by a sorted
+//! overflow heap for far-future events. Push and pop are O(1) on the ring —
+//! the common case by far in the simulator's hot loop — while delivery order
+//! stays exactly the `(time, insertion sequence)` order of the original
+//! `BinaryHeap` implementation (`tests/equivalence.rs` proves the two
+//! pop-for-pop identical under arbitrary interleavings).
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::time::Cycle;
+
+/// Width of the calendar ring: how far ahead of the window base an event may
+/// land and still get an O(1) bucket. Must be a power of two (the bucket
+/// index is `time % HORIZON`) and a multiple of 64 (the occupancy bitmap is
+/// scanned a `u64` word at a time).
+const HORIZON: usize = 4096;
+/// Occupancy bitmap words — one bit per bucket.
+const WORDS: usize = HORIZON / 64;
 
 /// A deterministic discrete-event queue.
 ///
 /// Events are ordered by `(time, insertion sequence)`: two events scheduled
 /// for the same cycle are delivered in the order they were pushed, which
-/// keeps simulations reproducible regardless of heap internals.
+/// keeps simulations reproducible regardless of container internals.
 ///
 /// The queue tracks the current simulation time ([`EventQueue::now`]), which
 /// advances monotonically as events are popped. Pushing an event in the past
 /// is a logic error and panics in debug builds.
+///
+/// # Structure
+///
+/// Three tiers, strictly ordered in time, so the earliest `(time, seq)`
+/// entry is always at the front of the first non-empty tier:
+///
+/// * **Ring** — `HORIZON` per-cycle FIFO buckets covering
+///   `[base, base + HORIZON)`, where `base` only ever advances. Each
+///   occupied bucket holds the events of exactly one timestamp in insertion
+///   order, so FIFO order *is* sequence order. A two-level occupancy bitmap
+///   (a bit per bucket, a summary bit per word) finds the next occupied
+///   bucket in a handful of `trailing_zeros` operations.
+/// * **Overflow** — a `(time, seq)`-sorted heap for events at or beyond
+///   `base + HORIZON`. Whenever `base` advances, entries that came inside
+///   the window migrate into their ring buckets in heap order; an overflow
+///   entry always migrates before any direct push to the same cycle can
+///   occur (the window had not reached that cycle yet), so bucket FIFO
+///   order still equals sequence order.
+/// * **Backlog** — a sorted heap for events below `base`. Unreachable in
+///   debug builds (pushing the past panics); in release builds it preserves
+///   the heap-order delivery of erroneous past pushes, which the attached
+///   auditor reports.
 ///
 /// # Example
 ///
@@ -27,7 +65,20 @@ use crate::time::Cycle;
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// Per-cycle FIFO buckets; index `time % HORIZON`.
+    buckets: Vec<VecDeque<E>>,
+    /// Occupancy bit per bucket.
+    words: [u64; WORDS],
+    /// Occupancy bit per `words` entry.
+    summary: u64,
+    /// Start of the ring window `[base, base + HORIZON)`. Monotone.
+    base: Cycle,
+    /// Events resident in the ring.
+    ring_len: usize,
+    /// Events at `time >= base + HORIZON`, in `(time, seq)` order.
+    overflow: BinaryHeap<Entry<E>>,
+    /// Events at `time < base` (release-mode past pushes only).
+    backlog: BinaryHeap<Entry<E>>,
     now: Cycle,
     seq: u64,
     pushed: u64,
@@ -76,8 +127,23 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue at time 0.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty queue at time 0 with `far` slots reserved in the
+    /// far-future overflow tier (the ring is a fixed allocation; its buckets
+    /// allocate lazily on first use).
+    pub fn with_capacity(far: usize) -> Self {
+        let mut buckets = Vec::with_capacity(HORIZON);
+        buckets.resize_with(HORIZON, VecDeque::new);
         Self {
-            heap: BinaryHeap::new(),
+            buckets,
+            words: [0; WORDS],
+            summary: 0,
+            base: 0,
+            ring_len: 0,
+            overflow: BinaryHeap::with_capacity(far),
+            backlog: BinaryHeap::new(),
             now: 0,
             seq: 0,
             pushed: 0,
@@ -91,6 +157,88 @@ impl<E> EventQueue<E> {
     #[cfg(feature = "audit")]
     pub fn set_auditor(&mut self, auditor: crate::audit::AuditHandle) {
         self.auditor = Some(auditor);
+    }
+
+    fn set_bit(&mut self, idx: usize) {
+        self.words[idx / 64] |= 1u64 << (idx % 64);
+        self.summary |= 1u64 << (idx / 64);
+    }
+
+    fn clear_bit(&mut self, idx: usize) {
+        self.words[idx / 64] &= !(1u64 << (idx % 64));
+        if self.words[idx / 64] == 0 {
+            self.summary &= !(1u64 << (idx / 64));
+        }
+    }
+
+    /// First occupied bucket in cyclic scan order starting at `from` (the
+    /// window base slot): bits `>= from` first, wrapping to end just below
+    /// it. `None` iff the ring is empty.
+    fn next_occupied(&self, from: usize) -> Option<usize> {
+        let w0 = from / 64;
+        let high = self.words[w0] & (!0u64 << (from % 64));
+        if high != 0 {
+            return Some(w0 * 64 + high.trailing_zeros() as usize);
+        }
+        if self.summary == 0 {
+            return None;
+        }
+        // Cyclic word scan w0+1, w0+2, ... ending back at w0, whose low bits
+        // (the far end of the window) are correctly considered last.
+        let rot = self.summary.rotate_right(((w0 + 1) % WORDS) as u32);
+        if rot == 0 {
+            return None;
+        }
+        let w = (w0 + 1 + rot.trailing_zeros() as usize) % WORDS;
+        Some(w * 64 + self.words[w].trailing_zeros() as usize)
+    }
+
+    /// Absolute time of ring bucket `idx`, given the window base slot.
+    fn bucket_time(&self, idx: usize, from: usize) -> Cycle {
+        self.base + ((idx + HORIZON - from) % HORIZON) as Cycle
+    }
+
+    /// Advances the window base, migrating overflow entries that came inside
+    /// the window into their ring buckets in `(time, seq)` order.
+    fn advance_base(&mut self, to: Cycle) {
+        self.base = to;
+        while let Some(head) = self.overflow.peek() {
+            // No overflow: every overflow entry's time is >= the new base
+            // (it exceeded the old base by a full horizon, and `to` is
+            // either a ring time inside the old window or the overflow
+            // minimum itself).
+            if head.time - self.base >= HORIZON as Cycle {
+                break;
+            }
+            let entry = match self.overflow.pop() {
+                Some(e) => e,
+                None => unreachable!("peeked entry vanished"),
+            };
+            let idx = (entry.time % HORIZON as Cycle) as usize;
+            self.buckets[idx].push_back(entry.payload);
+            self.set_bit(idx);
+            self.ring_len += 1;
+        }
+    }
+
+    /// Pops the earliest ring event. Caller guarantees `ring_len > 0`.
+    fn pop_ring(&mut self) -> (Cycle, E) {
+        let from = (self.base % HORIZON as Cycle) as usize;
+        let idx = match self.next_occupied(from) {
+            Some(i) => i,
+            None => unreachable!("ring_len > 0 with an empty occupancy bitmap"),
+        };
+        let time = self.bucket_time(idx, from);
+        let payload = match self.buckets[idx].pop_front() {
+            Some(p) => p,
+            None => unreachable!("occupied bit over an empty bucket"),
+        };
+        if self.buckets[idx].is_empty() {
+            self.clear_bit(idx);
+        }
+        self.ring_len -= 1;
+        self.advance_base(time);
+        (time, payload)
     }
 
     /// Schedules `payload` to fire at absolute cycle `time`.
@@ -114,31 +262,82 @@ impl<E> EventQueue<E> {
         let seq = self.seq;
         self.seq += 1;
         self.pushed += 1;
-        self.heap.push(Entry { time, seq, payload });
+        if time < self.base {
+            // Release-only: a past push (or a push between a regressed `now`
+            // and `base`) cannot enter the ring; the backlog heap preserves
+            // its (time, seq) delivery slot ahead of every ring entry.
+            self.backlog.push(Entry { time, seq, payload });
+        } else if time - self.base < HORIZON as Cycle {
+            let idx = (time % HORIZON as Cycle) as usize;
+            self.buckets[idx].push_back(payload);
+            self.set_bit(idx);
+            self.ring_len += 1;
+        } else {
+            self.overflow.push(Entry { time, seq, payload });
+        }
     }
 
     /// Schedules `payload` to fire `delay` cycles after the current time.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `now + delay` overflows the cycle counter.
+    /// Release builds report the overflow through
+    /// `audit::Audit::on_delay_overflow` (when auditing is enabled) and
+    /// clamp the event to `Cycle::MAX`.
     pub fn push_after(&mut self, delay: Cycle, payload: E) {
-        self.push(self.now.saturating_add(delay), payload);
+        match self.now.checked_add(delay) {
+            Some(time) => self.push(time, payload),
+            None => {
+                #[cfg(feature = "audit")]
+                if let Some(a) = &self.auditor {
+                    a.with(|au| au.on_delay_overflow(self.now, delay));
+                }
+                if cfg!(debug_assertions) {
+                    panic!(
+                        "push_after delay overflow: {} + {} wraps the cycle counter",
+                        self.now, delay
+                    );
+                }
+                self.push(Cycle::MAX, payload);
+            }
+        }
     }
 
     /// Removes and returns the earliest event, advancing the clock to its
     /// timestamp. Returns `None` when the queue is empty.
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
-        let entry = self.heap.pop()?;
+        let (time, payload) = if let Some(e) = self.backlog.pop() {
+            (e.time, e.payload)
+        } else if self.ring_len > 0 {
+            self.pop_ring()
+        } else if let Some(e) = self.overflow.pop() {
+            self.advance_base(e.time);
+            (e.time, e.payload)
+        } else {
+            return None;
+        };
         #[cfg(feature = "audit")]
         if let Some(a) = &self.auditor {
-            a.with(|au| au.on_pop(self.now, entry.time));
+            a.with(|au| au.on_pop(self.now, time));
         }
-        debug_assert!(entry.time >= self.now, "time ran backwards");
-        self.now = entry.time;
+        debug_assert!(time >= self.now, "time ran backwards");
+        self.now = time;
         self.popped += 1;
-        Some((entry.time, entry.payload))
+        Some((time, payload))
     }
 
     /// The timestamp of the next event without removing it.
     pub fn peek_time(&self) -> Option<Cycle> {
-        self.heap.peek().map(|e| e.time)
+        if let Some(e) = self.backlog.peek() {
+            return Some(e.time);
+        }
+        if self.ring_len > 0 {
+            let from = (self.base % HORIZON as Cycle) as usize;
+            let idx = self.next_occupied(from)?;
+            return Some(self.bucket_time(idx, from));
+        }
+        self.overflow.peek().map(|e| e.time)
     }
 
     /// Current simulation time (the timestamp of the last popped event).
@@ -148,12 +347,12 @@ impl<E> EventQueue<E> {
 
     /// Number of events currently pending.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.ring_len + self.overflow.len() + self.backlog.len()
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total number of events ever pushed (throughput accounting).
@@ -231,6 +430,49 @@ mod tests {
     }
 
     #[test]
+    fn far_future_events_cross_the_horizon() {
+        // Events beyond base + HORIZON take the overflow path and must still
+        // deliver in (time, seq) order after migrating back into the ring.
+        let mut q = EventQueue::new();
+        let far = HORIZON as Cycle * 3 + 17;
+        q.push(far, "far-b");
+        q.push(5, "near");
+        q.push(far, "far-c");
+        q.push(far + 1, "far-d");
+        assert_eq!(q.pop(), Some((5, "near")));
+        assert_eq!(q.pop(), Some((far, "far-b")));
+        assert_eq!(q.pop(), Some((far, "far-c")));
+        assert_eq!(q.pop(), Some((far + 1, "far-d")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn migration_keeps_fifo_with_direct_pushes() {
+        // An overflow entry migrates the moment the window reaches it —
+        // before any direct push to the same cycle is possible — so bucket
+        // FIFO order equals global insertion order.
+        let mut q = EventQueue::new();
+        let t = HORIZON as Cycle + 100;
+        q.push(t, 0); // overflow (window is [0, HORIZON))
+        q.push(200, 1); // ring
+        assert_eq!(q.pop(), Some((200, 1))); // base -> 200, t migrates
+        q.push(t, 2); // direct push into the same bucket
+        assert_eq!(q.pop(), Some((t, 0)));
+        assert_eq!(q.pop(), Some((t, 2)));
+    }
+
+    #[test]
+    fn ring_wraps_around_the_horizon() {
+        let mut q = EventQueue::new();
+        for i in 0..10u64 {
+            let t = i * (HORIZON as Cycle / 2 + 3);
+            q.push(t, i);
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
     #[should_panic(expected = "event scheduled in the past")]
     #[cfg(debug_assertions)]
     fn pushing_into_the_past_panics() {
@@ -238,6 +480,16 @@ mod tests {
         q.push(10, ());
         q.pop();
         q.push(5, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "delay overflow")]
+    #[cfg(debug_assertions)]
+    fn push_after_overflow_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.push(10, ());
+        q.pop();
+        q.push_after(Cycle::MAX, ());
     }
 
     #[test]
@@ -297,6 +549,30 @@ mod tests {
         }));
         if cfg!(debug_assertions) {
             assert!(r.is_err());
+        }
+        assert_eq!(auditor.borrow().total_violations(), 1);
+    }
+
+    #[cfg(feature = "audit")]
+    #[test]
+    fn push_after_overflow_reports_to_auditor() {
+        use crate::audit::{AuditHandle, ConservationAuditor};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let auditor = Rc::new(RefCell::new(ConservationAuditor::new()));
+        let mut q = EventQueue::new();
+        q.set_auditor(AuditHandle::of(&auditor));
+        q.push(10, ());
+        q.pop();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            q.push_after(Cycle::MAX, ());
+        }));
+        if cfg!(debug_assertions) {
+            assert!(r.is_err());
+        } else {
+            // Release builds clamp and keep going; the event still delivers.
+            assert_eq!(q.pop(), Some((Cycle::MAX, ())));
         }
         assert_eq!(auditor.borrow().total_violations(), 1);
     }

@@ -5,7 +5,11 @@
 //! This crate is the foundation of the HDPAT reproduction. It provides:
 //!
 //! * [`EventQueue`] — a generic, deterministic discrete-event queue ordered by
-//!   `(cycle, sequence number)`.
+//!   `(cycle, sequence number)`, implemented as a two-level calendar queue
+//!   (DESIGN.md §11).
+//! * [`HashIndex`] — a deterministic open-addressing map from `u64` keys with
+//!   a fixed seed, the sanctioned replacement for entropy-seeded std hash
+//!   collections on simulator hot paths (lint rule d6).
 //! * [`ServerPool`] — an analytic model of `k` identical servers with FIFO
 //!   admission, used for bandwidth-style resources (HBM channels, walker
 //!   pools when fine-grained queue introspection is not needed).
@@ -37,6 +41,7 @@
 #[cfg(feature = "audit")]
 pub mod audit;
 pub mod event;
+pub mod index;
 pub mod pool;
 pub mod rng;
 pub mod server;
@@ -46,6 +51,7 @@ pub mod time;
 pub mod trace;
 
 pub use event::EventQueue;
+pub use index::HashIndex;
 pub use rng::SimRng;
 pub use server::ServerPool;
 pub use time::Cycle;

@@ -1,8 +1,7 @@
 //! Reuse-distance measurement over a request stream.
 
-use std::collections::{BTreeMap, HashMap};
-
 use super::LogHistogram;
+use crate::index::HashIndex;
 
 /// Measures, for a stream of keyed requests, the number of *other* requests
 /// between two occurrences of the same key — the reuse distance of
@@ -24,10 +23,11 @@ use super::LogHistogram;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct ReuseTracker {
-    last_seen: HashMap<u64, u64>,
-    // BTreeMap, not HashMap: iterated by the histogram accessors, and hash
-    // order is nondeterministic (lint rule d1). `last_seen` is keyed-only.
-    counts: BTreeMap<u64, u64>,
+    // A seeded HashIndex, never iterated (lint rules d1/d6).
+    last_seen: HashIndex<u64>,
+    // Seeded HashIndex too: every aggregation over it (histogram sums,
+    // repeat fraction) is order-free, so no sorted traversal is needed.
+    counts: HashIndex<u64>,
     position: u64,
     reuse: LogHistogram,
 }
@@ -45,13 +45,13 @@ impl ReuseTracker {
             // Requests strictly between the two occurrences.
             self.reuse.record(self.position - prev - 1);
         }
-        *self.counts.entry(key).or_insert(0) += 1;
+        *self.counts.get_or_insert_with(key, || 0) += 1;
         self.position += 1;
     }
 
     /// Number of times `key` has been touched.
     pub fn occurrences(&self, key: u64) -> u64 {
-        self.counts.get(&key).copied().unwrap_or(0)
+        self.counts.get(key).copied().unwrap_or(0)
     }
 
     /// Histogram of reuse distances over all repeated keys.
@@ -62,11 +62,10 @@ impl ReuseTracker {
     /// Histogram of per-key occurrence counts (Fig 6's distribution of
     /// translation counts).
     pub fn count_histogram(&self) -> LogHistogram {
-        let mut h = LogHistogram::new();
-        for &c in self.counts.values() {
+        self.counts.fold_values(LogHistogram::new(), |mut h, &c| {
             h.record(c);
-        }
-        h
+            h
+        })
     }
 
     /// Number of distinct keys seen.
@@ -84,7 +83,9 @@ impl ReuseTracker {
         if self.counts.is_empty() {
             return 0.0;
         }
-        let repeated = self.counts.values().filter(|&&c| c > 1).count();
+        let repeated = self
+            .counts
+            .fold_values(0usize, |n, &c| if c > 1 { n + 1 } else { n });
         repeated as f64 / self.counts.len() as f64
     }
 }

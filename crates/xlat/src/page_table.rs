@@ -1,6 +1,6 @@
 //! Page tables with access-count tracking.
 
-use std::collections::BTreeMap;
+use wsg_sim::HashIndex;
 
 use crate::addr::{Pfn, Vpn};
 
@@ -42,9 +42,10 @@ const COUNTER_MAX: u32 = (1 << PTE_COUNTER_BITS) - 1;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct PageTable {
-    // BTreeMap, not HashMap: `iter()` is public, and hash iteration order is
-    // nondeterministic (lint rule d1).
-    entries: BTreeMap<Vpn, Pte>,
+    // A seeded HashIndex (DESIGN.md §11), not a std HashMap: layout is a
+    // pure function of the operation history, and `iter()` sorts on demand
+    // so the public traversal order stays ascending-VPN (lint rules d1/d6).
+    entries: HashIndex<Pte>,
 }
 
 impl PageTable {
@@ -53,10 +54,18 @@ impl PageTable {
         Self::default()
     }
 
+    /// Creates an empty page table pre-sized for `pages` mappings, so the
+    /// bulk load at simulation construction does not rehash.
+    pub fn with_capacity(pages: usize) -> Self {
+        Self {
+            entries: HashIndex::with_capacity(pages),
+        }
+    }
+
     /// Installs (or replaces) a mapping. Returns the previous PTE, if any.
     pub fn map(&mut self, vpn: Vpn, pfn: Pfn, home_gpm: u32) -> Option<Pte> {
         self.entries.insert(
-            vpn,
+            vpn.0,
             Pte {
                 pfn,
                 home_gpm,
@@ -68,23 +77,23 @@ impl PageTable {
     /// Removes a mapping (memory free — the only TLB-shootdown trigger the
     /// paper considers, and one it deems negligible).
     pub fn unmap(&mut self, vpn: Vpn) -> Option<Pte> {
-        self.entries.remove(&vpn)
+        self.entries.remove(vpn.0)
     }
 
     /// Looks up a mapping without touching the access counter.
     pub fn translate(&self, vpn: Vpn) -> Option<Pte> {
-        self.entries.get(&vpn).copied()
+        self.entries.get(vpn.0).copied()
     }
 
     /// Whether `vpn` is mapped.
     pub fn contains(&self, vpn: Vpn) -> bool {
-        self.entries.contains_key(&vpn)
+        self.entries.contains_key(vpn.0)
     }
 
     /// Looks up a mapping and increments its spare-bit access counter
     /// (saturating). Returns the PTE state *after* the increment.
     pub fn translate_counted(&mut self, vpn: Vpn) -> Option<Pte> {
-        let e = self.entries.get_mut(&vpn)?;
+        let e = self.entries.get_mut(vpn.0)?;
         e.access_count = (e.access_count + 1).min(COUNTER_MAX);
         Some(*e)
     }
@@ -100,8 +109,8 @@ impl PageTable {
     }
 
     /// Iterates over all mappings in ascending VPN order.
-    pub fn iter(&self) -> impl Iterator<Item = (&Vpn, &Pte)> {
-        self.entries.iter()
+    pub fn iter(&self) -> impl Iterator<Item = (Vpn, &Pte)> {
+        self.entries.iter_sorted().map(|(k, v)| (Vpn(k), v))
     }
 }
 

@@ -1,8 +1,11 @@
 //! The IOMMU-side redirection table (§IV-F).
 
-use std::collections::{BTreeMap, VecDeque};
+use wsg_sim::HashIndex;
 
 use crate::addr::Vpn;
+
+/// Sentinel arena index for "no neighbour" in the intrusive LRU list.
+const NIL: usize = usize::MAX;
 
 /// The lightweight redirection table HDPAT places at the IOMMU.
 ///
@@ -16,7 +19,11 @@ use crate::addr::Vpn;
 /// * free of MSHRs — a missing entry never blocks the request, it simply
 ///   falls through to the PW-queue, preserving concurrency.
 ///
-/// Eviction is LRU (Table I). Capacity is fixed at construction.
+/// Eviction is LRU (Table I), tracked by a doubly-linked recency list
+/// threaded through a slab arena and indexed by a seeded [`HashIndex`]
+/// (DESIGN.md §11): touch, insert and evict are all O(1) with no stale
+/// bookkeeping, replacing the stamp-deque compaction scheme this table
+/// previously used. Capacity is fixed at construction.
 ///
 /// # Example
 ///
@@ -34,11 +41,17 @@ use crate::addr::Vpn;
 #[derive(Debug, Clone)]
 pub struct RedirectionTable {
     capacity: usize,
-    // BTreeMap, not HashMap: keeps any future iteration over live entries
-    // deterministically ordered (lint rule D1).
-    entries: BTreeMap<Vpn, Slot>,
-    order: VecDeque<(Vpn, u64)>,
-    stamp: u64,
+    /// VPN → arena slot of its live node.
+    index: HashIndex<usize>,
+    /// Slab of LRU nodes; slots recycle through `free`, so the arena never
+    /// outgrows `capacity` live + freed nodes.
+    arena: Vec<Node>,
+    /// Recycled arena slots.
+    free: Vec<usize>,
+    /// Most-recently-used node, or `NIL` when empty.
+    head: usize,
+    /// Least-recently-used node, or `NIL` when empty.
+    tail: usize,
     hits: u64,
     misses: u64,
     #[cfg(feature = "audit")]
@@ -52,9 +65,11 @@ pub struct RedirectionTable {
 }
 
 #[derive(Debug, Clone, Copy)]
-struct Slot {
+struct Node {
+    vpn: Vpn,
     gpm: u32,
-    stamp: u64,
+    prev: usize,
+    next: usize,
 }
 
 impl RedirectionTable {
@@ -67,9 +82,11 @@ impl RedirectionTable {
         assert!(capacity > 0, "capacity must be positive");
         Self {
             capacity,
-            entries: BTreeMap::new(),
-            order: VecDeque::new(),
-            stamp: 0,
+            index: HashIndex::with_capacity(capacity),
+            arena: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
             hits: 0,
             misses: 0,
             #[cfg(feature = "audit")]
@@ -111,7 +128,7 @@ impl RedirectionTable {
         if let Some(a) = &self.auditor {
             let site =
                 wsg_sim::audit::Site::new(wsg_sim::audit::SiteKind::Redirection, self.audit_site);
-            a.with(|au| au.on_fill(site, self.entries.len(), self.capacity));
+            a.with(|au| au.on_fill(site, self.index.len(), self.capacity));
         }
     }
 
@@ -120,54 +137,83 @@ impl RedirectionTable {
         if let Some(a) = &self.auditor {
             let site =
                 wsg_sim::audit::Site::new(wsg_sim::audit::SiteKind::Redirection, self.audit_site);
-            a.with(|au| au.on_evict(site, self.entries.len()));
+            a.with(|au| au.on_evict(site, self.index.len()));
         }
     }
 
+    /// Detaches node `i` from the recency list (it keeps its arena slot).
+    fn unlink(&mut self, i: usize) {
+        let Node { prev, next, .. } = self.arena[i];
+        match prev {
+            NIL => self.head = next,
+            p => self.arena[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.arena[n].prev = prev,
+        }
+    }
+
+    /// Attaches node `i` at the MRU end of the recency list.
+    fn push_front(&mut self, i: usize) {
+        self.arena[i].prev = NIL;
+        self.arena[i].next = self.head;
+        match self.head {
+            NIL => self.tail = i,
+            h => self.arena[h].prev = i,
+        }
+        self.head = i;
+    }
+
+    /// Refreshes (or creates) the entry for `vpn` at the MRU position.
     fn touch(&mut self, vpn: Vpn, gpm: u32) {
-        self.stamp += 1;
-        let prior = self.entries.insert(
+        if let Some(&i) = self.index.get(vpn.0) {
+            self.arena[i].gpm = gpm;
+            if self.head != i {
+                self.unlink(i);
+                self.push_front(i);
+            }
+            return;
+        }
+        let node = Node {
             vpn,
-            Slot {
-                gpm,
-                stamp: self.stamp,
-            },
-        );
-        self.order.push_back((vpn, self.stamp));
-        // Every refresh leaves a stale `(vpn, stamp)` record behind; without
-        // compaction a hot VPN grows `order` linearly with hits. Rebuilding
-        // from the live entries whenever the deque exceeds 2× capacity keeps
-        // it O(capacity) at amortized O(1) per touch.
-        if self.order.len() > 2 * self.capacity {
-            let entries = &self.entries;
-            self.order
-                .retain(|&(vpn, stamp)| entries.get(&vpn).is_some_and(|s| s.stamp == stamp));
-        }
-        let _created = prior.is_none();
+            gpm,
+            prev: NIL,
+            next: NIL,
+        };
+        let i = match self.free.pop() {
+            Some(slot) => {
+                self.arena[slot] = node;
+                slot
+            }
+            None => {
+                self.arena.push(node);
+                self.arena.len() - 1
+            }
+        };
+        self.index.insert(vpn.0, i);
+        self.push_front(i);
         #[cfg(feature = "audit")]
-        if _created {
-            self.audit_fill();
-        }
+        self.audit_fill();
     }
 
+    /// Removes the least-recently-used entry.
     fn evict_lru(&mut self) {
-        while let Some((vpn, stamp)) = self.order.pop_front() {
-            if let Some(slot) = self.entries.get(&vpn) {
-                if slot.stamp == stamp {
-                    self.entries.remove(&vpn);
-                    #[cfg(feature = "audit")]
-                    self.audit_evict();
-                    return;
-                }
-            }
-            // Stale order record (entry refreshed or already removed); skip.
+        let i = self.tail;
+        if i == NIL {
+            return;
         }
+        self.unlink(i);
+        self.index.remove(self.arena[i].vpn.0);
+        self.free.push(i);
+        #[cfg(feature = "audit")]
+        self.audit_evict();
     }
 
     /// Records that `gpm` now holds the translation for `vpn`, evicting the
     /// LRU entry if the table is full.
     pub fn insert(&mut self, vpn: Vpn, gpm: u32) {
-        if !self.entries.contains_key(&vpn) && self.entries.len() >= self.capacity {
+        if !self.index.contains_key(vpn.0) && self.index.len() >= self.capacity {
             self.evict_lru();
         }
         self.touch(vpn, gpm);
@@ -178,7 +224,7 @@ impl RedirectionTable {
     /// Looks up `vpn`, refreshing its LRU position on hit. Returns the
     /// holder GPM.
     pub fn lookup(&mut self, vpn: Vpn) -> Option<u32> {
-        match self.entries.get(&vpn).map(|s| s.gpm) {
+        match self.index.get(vpn.0).map(|&i| self.arena[i].gpm) {
             Some(gpm) => {
                 self.hits += 1;
                 self.touch(vpn, gpm);
@@ -197,28 +243,32 @@ impl RedirectionTable {
 
     /// Checks presence without updating LRU or statistics.
     pub fn probe(&self, vpn: Vpn) -> Option<u32> {
-        self.entries.get(&vpn).map(|s| s.gpm)
+        self.index.get(vpn.0).map(|&i| self.arena[i].gpm)
     }
 
     /// Removes `vpn` (e.g. when the holder evicted the PTE); returns whether
     /// it was present.
     pub fn remove(&mut self, vpn: Vpn) -> bool {
-        let removed = self.entries.remove(&vpn).is_some();
-        #[cfg(feature = "audit")]
-        if removed {
-            self.audit_evict();
+        match self.index.remove(vpn.0) {
+            Some(i) => {
+                self.unlink(i);
+                self.free.push(i);
+                #[cfg(feature = "audit")]
+                self.audit_evict();
+                true
+            }
+            None => false,
         }
-        removed
     }
 
     /// Current number of entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.index.len()
     }
 
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.index.is_empty()
     }
 
     /// Entry capacity.
@@ -292,37 +342,38 @@ mod tests {
     }
 
     #[test]
-    fn stale_order_records_are_skipped() {
+    fn hot_entry_refreshes_do_not_disturb_eviction() {
         let mut rt = RedirectionTable::new(2);
         rt.insert(Vpn(1), 1);
-        // Refresh VPN 1 many times, leaving stale order records.
+        // Refresh VPN 1 many times; the recency list must stay consistent.
         for _ in 0..100 {
             rt.lookup(Vpn(1));
         }
         rt.insert(Vpn(2), 2);
-        rt.insert(Vpn(3), 3); // must evict the true LRU (VPN 1 or 2, not panic)
+        rt.insert(Vpn(3), 3); // must evict the true LRU (VPN 1, then 2 was newer)
         assert_eq!(rt.len(), 2);
         assert_eq!(rt.probe(Vpn(3)), Some(3));
     }
 
     #[test]
-    fn order_stays_bounded_under_repeated_hits() {
+    fn storage_stays_bounded_under_repeated_hits() {
         let mut rt = RedirectionTable::new(4);
         for i in 0..4 {
             rt.insert(Vpn(i), i as u32);
         }
-        // A hot VPN: every hit refreshes the LRU position, which used to
-        // append a fresh order record without ever reclaiming the stale one.
+        // A hot VPN: every hit refreshes the LRU position in place; the
+        // arena must not grow with hits (the old stamp-deque scheme grew
+        // linearly until compaction).
         for _ in 0..10_000 {
             rt.lookup(Vpn(0));
         }
         assert!(
-            rt.order.len() <= 2 * rt.capacity(),
-            "order grew to {} records for a {}-entry table",
-            rt.order.len(),
+            rt.arena.len() <= rt.capacity(),
+            "arena grew to {} nodes for a {}-entry table",
+            rt.arena.len(),
             rt.capacity()
         );
-        // LRU semantics survive compaction: VPN 0 is the most recent.
+        // LRU semantics survive the refreshes: VPN 0 is the most recent.
         rt.insert(Vpn(9), 9);
         assert_eq!(rt.probe(Vpn(0)), Some(0));
         assert_eq!(rt.probe(Vpn(1)), None);
@@ -337,5 +388,24 @@ mod tests {
         rt.insert(Vpn(3), 3); // evicts VPN 1
         assert_eq!(rt.probe(Vpn(1)), None);
         assert_eq!(rt.probe(Vpn(2)), Some(2));
+    }
+
+    #[test]
+    fn remove_then_reinsert_recycles_arena_slots() {
+        let mut rt = RedirectionTable::new(3);
+        for round in 0..50u64 {
+            for i in 0..3 {
+                rt.insert(Vpn(round * 3 + i), i as u32);
+            }
+            for i in 0..3 {
+                assert!(rt.remove(Vpn(round * 3 + i)));
+            }
+        }
+        assert!(rt.is_empty());
+        assert!(
+            rt.arena.len() <= rt.capacity(),
+            "freed slots must recycle, arena has {}",
+            rt.arena.len()
+        );
     }
 }

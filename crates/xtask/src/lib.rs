@@ -1,6 +1,6 @@
 //! Determinism lint pass for the HDPAT workspace (`cargo run -p xtask -- lint`).
 //!
-//! Five rules, documented in DESIGN.md under "Determinism & audit policy":
+//! Six rules, documented in DESIGN.md under "Determinism & audit policy":
 //!
 //! * `map-iter` (d1) — no iteration over `HashMap`/`HashSet` in library code.
 //!   Hash iteration order depends on `RandomState`, so any model behaviour or
@@ -25,6 +25,13 @@
 //!   the audit/trace features load-bearing instead of purely observational
 //!   (DESIGN.md §10). Function signatures are exempt — attach methods take
 //!   the handle by value before storing it optionally.
+//! * `default-hash` (d6) — no `std::collections::HashMap`/`HashSet` at all in
+//!   simulator-crate library code. Even without iteration (which d1 catches),
+//!   the default `RandomState` hasher seeds from process entropy, so capacity
+//!   growth, probe order, and any future refactor that starts iterating are
+//!   all nondeterminism hazards. The sanctioned replacement is the seeded
+//!   `wsg_sim::HashIndex` (`crates/sim/src/index.rs`, the one exempt file) or
+//!   a BTree collection; see DESIGN.md §11.
 //!
 //! Any site can opt out with `// lint:allow(<rule>)` on the same line or in
 //! the comment block immediately above; rules are named by slug (`map-iter`)
@@ -37,7 +44,7 @@ use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-/// The five determinism rules.
+/// The six determinism rules.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// d1: iteration over a hash-ordered collection.
@@ -50,6 +57,8 @@ pub enum Rule {
     Unwrap,
     /// d5: an observability handle stored directly instead of `Option<...>`.
     HookPattern,
+    /// d6: an entropy-seeded `HashMap`/`HashSet` in simulator-crate code.
+    DefaultHash,
 }
 
 impl Rule {
@@ -61,10 +70,11 @@ impl Rule {
             Rule::FloatCycle => "float-cycle",
             Rule::Unwrap => "unwrap",
             Rule::HookPattern => "hook-pattern",
+            Rule::DefaultHash => "default-hash",
         }
     }
 
-    /// Short code (d1..d5), also accepted inside `lint:allow(...)`.
+    /// Short code (d1..d6), also accepted inside `lint:allow(...)`.
     pub fn code(self) -> &'static str {
         match self {
             Rule::MapIter => "d1",
@@ -72,6 +82,7 @@ impl Rule {
             Rule::FloatCycle => "d3",
             Rule::Unwrap => "d4",
             Rule::HookPattern => "d5",
+            Rule::DefaultHash => "d6",
         }
     }
 
@@ -83,6 +94,7 @@ impl Rule {
             "float-cycle" | "d3" => Some(Rule::FloatCycle),
             "unwrap" | "d4" => Some(Rule::Unwrap),
             "hook-pattern" | "d5" => Some(Rule::HookPattern),
+            "default-hash" | "d6" => Some(Rule::DefaultHash),
             _ => None,
         }
     }
@@ -118,6 +130,7 @@ pub struct RuleSet {
     pub float_cycle: bool,
     pub unwrap: bool,
     pub hook_pattern: bool,
+    pub default_hash: bool,
 }
 
 impl RuleSet {
@@ -128,6 +141,7 @@ impl RuleSet {
             float_cycle: true,
             unwrap: true,
             hook_pattern: true,
+            default_hash: true,
         }
     }
 
@@ -686,6 +700,26 @@ fn check_hook_pattern(path: &str, lineno: usize, code: &str, diags: &mut Vec<Dia
     }
 }
 
+/// The entropy-seeded std hash collections that d6 bans from simulator code.
+const DEFAULT_HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+
+fn check_default_hash(path: &str, lineno: usize, code: &str, diags: &mut Vec<Diagnostic>) {
+    for ty in DEFAULT_HASH_TYPES {
+        if !ident_occurrences(code, ty).is_empty() {
+            diags.push(Diagnostic {
+                path: path.to_string(),
+                line: lineno,
+                rule: Rule::DefaultHash,
+                message: format!(
+                    "`{ty}` seeds its hasher from process entropy (RandomState); use the \
+                     deterministic wsg_sim::HashIndex or a BTree collection, or annotate \
+                     lint:allow(default-hash)"
+                ),
+            });
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Entry points.
 // ---------------------------------------------------------------------------
@@ -741,6 +775,9 @@ pub fn lint_source(path: &str, source: &str, rules: RuleSet) -> Vec<Diagnostic> 
         if rules.hook_pattern && !allowed(Rule::HookPattern) {
             check_hook_pattern(path, lineno, &line.code, &mut diags);
         }
+        if rules.default_hash && !allowed(Rule::DefaultHash) {
+            check_default_hash(path, lineno, &line.code, &mut diags);
+        }
     }
     diags
 }
@@ -749,10 +786,14 @@ pub fn lint_source(path: &str, source: &str, rules: RuleSet) -> Vec<Diagnostic> 
 ///
 /// * Library code (`src/`) of every crate: `map-iter`, `wallclock`,
 ///   `float-cycle`; plus `unwrap` for the five model crates
-///   (sim, noc, xlat, mem, gpu).
+///   (sim, noc, xlat, mem, gpu), and `default-hash` for the simulator crates
+///   (the five model crates, `core`, `workloads`, and the facade) — the
+///   `bench` CLI/report code runs host-side and may hash freely.
 /// * `crates/sim/src/rng.rs` (the sanctioned entropy boundary) and
 ///   `crates/sim/src/pool.rs` (the sanctioned thread-spawning site for
-///   deterministic sweeps) are exempt from `wallclock`.
+///   deterministic sweeps) are exempt from `wallclock`;
+///   `crates/sim/src/index.rs` (the seeded deterministic hash index that
+///   replaces the std types) is exempt from `default-hash`.
 /// * Examples: `wallclock` + `float-cycle` (they drive the model but may
 ///   legitimately format host output).
 /// * Tests and benches: no rules — assertions may iterate maps freely.
@@ -776,9 +817,19 @@ pub fn classify(rel: &Path) -> RuleSet {
                         float_cycle: true,
                         unwrap: matches!(*krate, "sim" | "noc" | "xlat" | "mem" | "gpu"),
                         hook_pattern: true,
+                        default_hash: matches!(
+                            *krate,
+                            "sim" | "noc" | "xlat" | "mem" | "gpu" | "core" | "workloads"
+                        ),
                     };
                     if *krate == "sim" && (rest == ["rng.rs"] || rest == ["pool.rs"]) {
                         rules.wallclock = false;
+                    }
+                    if *krate == "sim" && rest == ["index.rs"] {
+                        // The seeded replacement itself: its docs discuss the
+                        // std types, and it is the one sanctioned home for
+                        // open-addressing hash code.
+                        rules.default_hash = false;
                     }
                     rules
                 }
@@ -795,6 +846,7 @@ pub fn classify(rel: &Path) -> RuleSet {
             wallclock: true,
             float_cycle: true,
             hook_pattern: true,
+            default_hash: true,
             ..RuleSet::none()
         },
         ["examples", ..] => RuleSet {
@@ -942,9 +994,13 @@ mod tests {
     fn map_iteration_is_flagged() {
         let src = "struct S { links: HashMap<u32, u32> }\nfn f(s: &S) { for (k, v) in s.links.iter() {} }\nfn g(s: &S) -> Option<&u32> { s.links.get(&1) }\n";
         let diags = lint_source("t.rs", src, RuleSet::all());
-        assert_eq!(diags.len(), 1);
-        assert_eq!(diags[0].line, 2);
-        assert_eq!(diags[0].rule, Rule::MapIter);
+        let map_iter: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == Rule::MapIter).collect();
+        assert_eq!(map_iter.len(), 1);
+        assert_eq!(map_iter[0].line, 2);
+        // The declaration line itself is a d6 hit, not a d1 hit.
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == Rule::DefaultHash && d.line == 1));
     }
 
     #[test]
@@ -1015,19 +1071,55 @@ mod tests {
     fn classify_scopes_rules_by_path() {
         let lib = classify(Path::new("crates/sim/src/event.rs"));
         assert!(lib.map_iter && lib.wallclock && lib.float_cycle && lib.unwrap);
+        assert!(lib.default_hash);
         let rng = classify(Path::new("crates/sim/src/rng.rs"));
         assert!(!rng.wallclock && rng.map_iter);
         let pool = classify(Path::new("crates/sim/src/pool.rs"));
         assert!(!pool.wallclock && pool.map_iter && pool.unwrap);
         let core = classify(Path::new("crates/core/src/sim/mod.rs"));
-        assert!(core.map_iter && !core.unwrap);
+        assert!(core.map_iter && !core.unwrap && core.default_hash);
         assert!(classify(Path::new("crates/xtask/src/lib.rs")).is_empty());
         assert!(classify(Path::new("crates/sim/tests/t.rs")).is_empty());
         assert!(classify(Path::new("tests/invariants.rs")).is_empty());
         let ex = classify(Path::new("examples/ablation_sweep.rs"));
         assert!(ex.wallclock && !ex.unwrap);
         let facade = classify(Path::new("src/lib.rs"));
-        assert!(facade.map_iter && !facade.unwrap);
+        assert!(facade.map_iter && !facade.unwrap && facade.default_hash);
+    }
+
+    #[test]
+    fn default_hash_scope_and_exemption() {
+        // The seeded index is the one sanctioned hash file.
+        let index = classify(Path::new("crates/sim/src/index.rs"));
+        assert!(!index.default_hash && index.map_iter && index.unwrap);
+        // Host-side bench/report code may hash freely.
+        let bench = classify(Path::new("crates/bench/src/bin/hdpat-sim.rs"));
+        assert!(!bench.default_hash && bench.map_iter);
+    }
+
+    #[test]
+    fn default_hash_flags_types_without_iteration() {
+        let all = RuleSet::all();
+        let bad = lint_source("t.rs", "use std::collections::HashMap;\n", all);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, Rule::DefaultHash);
+        let set = lint_source("t.rs", "let s = std::collections::HashSet::new();\n", all);
+        assert!(set.iter().any(|d| d.rule == Rule::DefaultHash));
+        for ok in [
+            "let m = BTreeMap::new();\n",
+            "let ix = wsg_sim::HashIndex::new();\n",
+            "// HashMap discussed in a comment only\n",
+            "let s = \"HashMap\";\n",
+            "let x = my_hash_map();\n",
+            "let m = std::collections::HashMap::new(); // lint:allow(d6)\n",
+        ] {
+            assert!(
+                lint_source("t.rs", ok, all)
+                    .iter()
+                    .all(|d| d.rule != Rule::DefaultHash),
+                "flagged: {ok}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,40 @@
+//! Lint fixture: rule d6 — entropy-seeded std hash collections in simulator
+//! code. Every `HashMap`/`HashSet` mention in code position must be flagged,
+//! even without iteration (which is d1's job); comments, strings, test code,
+//! and allow-annotated sites must pass.
+
+use std::collections::HashMap;
+
+/// Remote-miss tracking keyed by VPN — the type alone is the hazard: its
+/// capacity growth and probe order depend on the process-entropy seed.
+pub struct MissFile {
+    pub waiters: HashMap<u64, Vec<u32>>,
+}
+
+pub fn distinct(keys: &[u64]) -> usize {
+    let mut seen = std::collections::HashSet::new();
+    for &k in keys {
+        seen.insert(k);
+    }
+    seen.len()
+}
+
+/// A deterministic look-alike must not be flagged: `HashIndex` is seeded.
+pub fn sanctioned_index_mention() -> &'static str {
+    "route hot-path state through wsg_sim::HashIndex instead"
+}
+
+pub fn escape_hatch() -> usize {
+    let m: std::collections::HashMap<u64, u64> = Default::default(); // lint:allow(default-hash)
+    m.len()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_hash_freely() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(1u64, 2u64);
+        assert_eq!(m.len(), 1);
+    }
+}

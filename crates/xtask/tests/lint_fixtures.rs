@@ -43,7 +43,11 @@ fn d1_fixture_reports_each_seeded_violation() {
         ],
         "diagnostics: {diags:#?}"
     );
-    assert!(diags.iter().all(|d| d.rule == Rule::MapIter));
+    // The remaining diagnostics are d6 hits on the same declarations — d1
+    // itself must not fire anywhere else.
+    assert!(diags
+        .iter()
+        .all(|d| matches!(d.rule, Rule::MapIter | Rule::DefaultHash)));
 }
 
 #[test]
@@ -126,6 +130,29 @@ fn d5_fixture_reports_each_seeded_violation() {
 }
 
 #[test]
+fn d6_fixture_reports_each_seeded_violation() {
+    let src = fixture("d6_default_hash.rs");
+    let diags = lint_source("d6_default_hash.rs", &src, RuleSet::all());
+    let default_hash: Vec<usize> = diags
+        .iter()
+        .filter(|d| d.rule == Rule::DefaultHash)
+        .map(|d| d.line)
+        .collect();
+    assert_eq!(
+        default_hash,
+        vec![
+            line_of(&src, "use std::collections::HashMap;"),
+            line_of(&src, "pub waiters: HashMap<u64, Vec<u32>>,"),
+            line_of(&src, "let mut seen = std::collections::HashSet::new();"),
+        ],
+        "diagnostics: {diags:#?}"
+    );
+    // d1 must not double-fire on the same declarations, and the comment,
+    // string, allow, and test-module mentions must all pass.
+    assert_eq!(diags.len(), default_hash.len(), "diagnostics: {diags:#?}");
+}
+
+#[test]
 fn clean_fixture_is_clean() {
     let src = fixture("clean.rs");
     let diags = lint_source("clean.rs", &src, RuleSet::all());
@@ -140,6 +167,7 @@ fn cli_exits_nonzero_with_file_line_diagnostics_on_seeded_fixtures() {
         "d3_float_cycle.rs",
         "d4_unwrap.rs",
         "d5_hook_pattern.rs",
+        "d6_default_hash.rs",
     ] {
         let path = fixture_path(name);
         let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
