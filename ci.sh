@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # CI gate for the HDPAT reproduction. Ordered cheapest-first so fast failures
-# come fast: formatting, clippy (plain and with the audit/trace features), the
-# determinism lint pass (DESIGN.md, "Determinism & audit policy"), rustdoc
-# (warnings denied) + doctests, then the tier-1 build + tests, the full
-# workspace suite, the trace determinism gate (DESIGN.md §10), the
+# come fast: formatting, clippy (plain and with the audit/trace/telemetry
+# features), the determinism lint pass (DESIGN.md, "Determinism & audit
+# policy"), rustdoc (warnings denied) + doctests, then the tier-1 build +
+# tests, the full workspace suite, the trace determinism gate (DESIGN.md §10),
+# the telemetry determinism gates (DESIGN.md §12: observational parity plus
+# timeline/heatmap artifacts byte-identical across --jobs), the
 # EXPERIMENTS.md drift gate (DESIGN.md §9), and the perf-trajectory gate
 # (DESIGN.md §11): fig14 must stay byte-identical to the pre-PR-4 golden run
 # while the hot-loop rework keeps its measured speedup on record.
@@ -21,6 +23,9 @@ cargo clippy -p hdpat-wafer --all-targets --features audit -q -- -D warnings
 
 echo "== cargo clippy (trace feature, -D warnings)"
 cargo clippy -p hdpat-wafer --all-targets --features trace -q -- -D warnings
+
+echo "== cargo clippy (telemetry feature, -D warnings)"
+cargo clippy -p hdpat-wafer --all-targets --features telemetry -q -- -D warnings
 
 echo "== determinism lint (cargo run -p xtask -- lint)"
 cargo run -p xtask -q -- lint
@@ -41,6 +46,9 @@ cargo test --workspace -q
 echo "== trace determinism gate (tests/trace_determinism.rs)"
 cargo test --features trace --test trace_determinism -q
 
+echo "== telemetry determinism gate (tests/telemetry_determinism.rs)"
+cargo test --features telemetry --test telemetry_determinism -q
+
 echo "== trace on/off run parity (hdpat-sim run output byte-identical)"
 mkdir -p target/ci
 cargo build --release -q -p wsg-bench
@@ -48,7 +56,32 @@ cargo build --release -q -p wsg-bench
 cargo build --release -q --features trace -p wsg-bench
 ./target/release/hdpat-sim run KM hdpat --scale unit --seed 7 > target/ci/run_traced.txt
 cmp target/ci/run_plain.txt target/ci/run_traced.txt
-# Leave the default (trace-off) binary in place for the drift gate below.
+
+echo "== telemetry on/off run parity (hdpat-sim run output byte-identical)"
+cargo build --release -q --features telemetry -p wsg-bench
+./target/release/hdpat-sim run KM hdpat --scale unit --seed 7 > target/ci/run_telemetry.txt
+cmp target/ci/run_plain.txt target/ci/run_telemetry.txt
+
+echo "== telemetry artifacts: 3 benchmarks x 2 policies, --jobs 1 vs --jobs 4"
+for b in SPMV KM RELU; do
+  for p in naive hdpat; do
+    ./target/release/hdpat-sim timeline "$b" --policy "$p" --scale unit \
+        --jobs 1 --out "target/ci/tl_${b}_${p}_j1.csv" 2> /dev/null
+    ./target/release/hdpat-sim timeline "$b" --policy "$p" --scale unit \
+        --jobs 4 --out "target/ci/tl_${b}_${p}_j4.csv" 2> /dev/null
+    cmp "target/ci/tl_${b}_${p}_j1.csv" "target/ci/tl_${b}_${p}_j4.csv"
+    # Non-empty means more than the CSV header line.
+    test "$(wc -l < "target/ci/tl_${b}_${p}_j1.csv")" -gt 1
+    ./target/release/hdpat-sim heatmap "$b" --policy "$p" --scale unit \
+        --jobs 1 --out "target/ci/hm_${b}_${p}_j1.csv" 2> /dev/null
+    ./target/release/hdpat-sim heatmap "$b" --policy "$p" --scale unit \
+        --jobs 4 --out "target/ci/hm_${b}_${p}_j4.csv" 2> /dev/null
+    cmp "target/ci/hm_${b}_${p}_j1.csv" "target/ci/hm_${b}_${p}_j4.csv"
+    test "$(wc -l < "target/ci/hm_${b}_${p}_j1.csv")" -gt 1
+  done
+done
+
+# Leave the default (feature-off) binary in place for the drift gate below.
 cargo build --release -q -p wsg-bench
 
 echo "== EXPERIMENTS.md drift gate (regen-experiments --check)"

@@ -10,6 +10,9 @@
 //! hdpat-sim trace SPMV                    # workload-trace statistics
 //! hdpat-sim trace SPMV --out t.json       # request-lifecycle trace (needs
 //!                                         # the `trace` cargo feature)
+//! hdpat-sim timeline SPMV --out t.csv     # epoch-sampled counter timeline
+//!                                         # (needs the `telemetry` feature)
+//! hdpat-sim heatmap SPMV --out h.csv      # per-tile activity heatmap
 //! hdpat-sim regen-experiments             # rewrite EXPERIMENTS.md tables
 //! hdpat-sim regen-experiments --check     # CI doc drift gate
 //! ```
@@ -18,7 +21,9 @@
 //! Simulation points are deduplicated through a per-invocation run cache and
 //! executed across the workers; `--no-cache` disables the deduplication.
 //! Output is byte-identical for every `--jobs` value, including `--jobs 1`
-//! (the serial path), and with or without the cache.
+//! (the serial path), and with or without the cache. `--progress` adds a
+//! live completed/total + events/sec + ETA line on stderr during sweeps;
+//! stdout stays byte-identical.
 
 use hdpat::experiments::{run, RunConfig, SweepCtx};
 use hdpat::policy::{HdpatConfig, PolicyKind};
@@ -79,7 +84,7 @@ fn parse_scale(s: &str) -> Option<Scale> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  hdpat-sim list\n  hdpat-sim run <BENCH> <POLICY> [--scale unit|bench|full] [--seed N]\n  hdpat-sim compare <BENCH> [--scale ...] [--jobs N] [--no-cache]\n  hdpat-sim figure <figNN|tabN|all> [--scale ...] [--jobs N] [--no-cache] [--perf-out FILE]\n  hdpat-sim trace <BENCH> [--scale ...] [--seed N] [--out FILE] [--policy P]\n  hdpat-sim regen-experiments [--scale ...] [--jobs N] [--check] [--path FILE]"
+        "usage:\n  hdpat-sim list\n  hdpat-sim run <BENCH> <POLICY> [--scale unit|bench|full] [--seed N]\n  hdpat-sim compare <BENCH> [--scale ...] [--jobs N] [--no-cache] [--progress]\n  hdpat-sim figure <figNN|tabN|all> [--scale ...] [--jobs N] [--no-cache] [--progress] [--perf-out FILE]\n  hdpat-sim trace <BENCH> [--scale ...] [--seed N] [--out FILE] [--policy P]\n  hdpat-sim timeline <BENCH> --out FILE [--interval N] [--format csv|json|perfetto] [--policy P] [--scale ...] [--seed N]\n  hdpat-sim heatmap <BENCH> --out FILE [--interval N] [--policy P] [--scale ...] [--seed N]\n  hdpat-sim regen-experiments [--scale ...] [--jobs N] [--check] [--path FILE]"
     );
     std::process::exit(2);
 }
@@ -110,6 +115,13 @@ fn main() {
         SweepCtx::without_cache(jobs)
     } else {
         SweepCtx::new(jobs)
+    };
+    // `--progress` reports live sweep progress on stderr; the deterministic
+    // stdout report is unaffected.
+    let ctx = if args.iter().any(|a| a == "--progress") {
+        ctx.with_progress()
+    } else {
+        ctx
     };
 
     match cmd.as_str() {
@@ -156,6 +168,31 @@ fn main() {
                     cmd_trace_run(b, p, scale, seed, &out);
                 }
                 None => cmd_trace(b, scale, seed),
+            }
+        }
+        "timeline" | "heatmap" => {
+            let b = args
+                .get(1)
+                .filter(|s| !s.starts_with("--"))
+                .cloned()
+                .or_else(|| flag(&args, "--benchmark"))
+                .as_deref()
+                .and_then(parse_benchmark)
+                .unwrap_or_else(|| usage());
+            let p = flag(&args, "--policy")
+                .map(|s| parse_policy(&s).unwrap_or_else(|| usage()))
+                .unwrap_or_else(PolicyKind::hdpat);
+            // One telemetry epoch per engine utilization window by default,
+            // so timelines line up with the sampled-occupancy series.
+            let interval: u64 = flag(&args, "--interval")
+                .map(|s| s.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| usage()))
+                .unwrap_or(10_000);
+            let out = flag(&args, "--out").unwrap_or_else(|| usage());
+            if cmd == "timeline" {
+                let format = flag(&args, "--format").unwrap_or_else(|| "csv".into());
+                cmd_timeline(b, p, scale, seed, interval, &out, &format);
+            } else {
+                cmd_heatmap(b, p, scale, seed, interval, &out);
             }
         }
         "regen-experiments" => {
@@ -331,6 +368,120 @@ fn cmd_trace_run(_b: BenchmarkId, _p: PolicyKind, _scale: Scale, _seed: u64, _ou
     eprintln!(
         "trace --out needs the `trace` feature; rebuild with \
          `cargo run --release --features trace --bin hdpat-sim -- trace ...`"
+    );
+    std::process::exit(2);
+}
+
+/// Runs one telemetry-instrumented simulation and writes the epoch-sampled
+/// counter timeline to `out`. `--format csv` (default) is the long-form
+/// `name,site,tile_x,tile_y,t,value` table; `json` is the structured
+/// registry dump; `perfetto` is a Chrome trace-event document with one
+/// `"ph":"C"` counter track per registered series — and, when the `trace`
+/// feature is also compiled in, the request-lifecycle spans merged onto the
+/// same simulated clock.
+#[cfg(feature = "telemetry")]
+fn cmd_timeline(
+    b: BenchmarkId,
+    p: PolicyKind,
+    scale: Scale,
+    seed: u64,
+    interval: u64,
+    out: &str,
+    format: &str,
+) {
+    let cfg = RunConfig::new(b, scale, p).with_seed(seed);
+    let (metrics, body) = match format {
+        "csv" | "json" => {
+            let (m, sink) = hdpat::experiments::run_telemetry(&cfg, interval);
+            let body = if format == "csv" {
+                sink.to_csv()
+            } else {
+                sink.to_json()
+            };
+            (m, body)
+        }
+        "perfetto" => perfetto_timeline(&cfg, interval),
+        _ => {
+            eprintln!("timeline: unknown format `{format}`; use csv, json, or perfetto");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = std::fs::write(out, &body) {
+        eprintln!("timeline: cannot write {out}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!(
+        "[timeline] {b} under {p} (seed {seed}): {} cycles sampled every {interval} -> {out}",
+        metrics.total_cycles
+    );
+}
+
+/// With both observability features the Perfetto document carries lifecycle
+/// spans and counter tracks on one shared clock.
+#[cfg(all(feature = "telemetry", feature = "trace"))]
+fn perfetto_timeline(cfg: &RunConfig, interval: u64) -> (hdpat::metrics::Metrics, String) {
+    let (m, tel, trc) = hdpat::experiments::run_telemetry_traced(cfg, interval);
+    (m, tel.merge_chrome_json(&trc.to_chrome_json()))
+}
+
+/// Telemetry-only builds still get a loadable document, just without spans.
+#[cfg(all(feature = "telemetry", not(feature = "trace")))]
+fn perfetto_timeline(cfg: &RunConfig, interval: u64) -> (hdpat::metrics::Metrics, String) {
+    let (m, tel) = hdpat::experiments::run_telemetry(cfg, interval);
+    (m, tel.to_perfetto_json())
+}
+
+/// Runs one telemetry-instrumented simulation and writes the per-tile
+/// activity heatmap (`metric,x,y,value` CSV, whole-run totals) to `out`.
+#[cfg(feature = "telemetry")]
+fn cmd_heatmap(b: BenchmarkId, p: PolicyKind, scale: Scale, seed: u64, interval: u64, out: &str) {
+    let cfg = RunConfig::new(b, scale, p).with_seed(seed);
+    let (metrics, sink) = hdpat::experiments::run_telemetry(&cfg, interval);
+    let Some(hm) = sink.heatmap() else {
+        eprintln!("heatmap: simulation registered no spatial grid");
+        std::process::exit(2);
+    };
+    if let Err(e) = std::fs::write(out, hm.to_csv()) {
+        eprintln!("heatmap: cannot write {out}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!(
+        "[heatmap] {b} under {p} (seed {seed}): {}x{} tiles over {} cycles -> {out}",
+        hm.width, hm.height, metrics.total_cycles
+    );
+}
+
+/// Without the feature there is no telemetry infrastructure; fail loudly.
+#[cfg(not(feature = "telemetry"))]
+fn cmd_timeline(
+    _b: BenchmarkId,
+    _p: PolicyKind,
+    _scale: Scale,
+    _seed: u64,
+    _interval: u64,
+    _out: &str,
+    _format: &str,
+) {
+    eprintln!(
+        "timeline needs the `telemetry` feature; rebuild with \
+         `cargo run --release --features telemetry --bin hdpat-sim -- timeline ...`"
+    );
+    std::process::exit(2);
+}
+
+/// Without the feature there is no telemetry infrastructure; fail loudly.
+#[cfg(not(feature = "telemetry"))]
+fn cmd_heatmap(
+    _b: BenchmarkId,
+    _p: PolicyKind,
+    _scale: Scale,
+    _seed: u64,
+    _interval: u64,
+    _out: &str,
+) {
+    eprintln!(
+        "heatmap needs the `telemetry` feature; rebuild with \
+         `cargo run --release --features telemetry --bin hdpat-sim -- heatmap ...`"
     );
     std::process::exit(2);
 }

@@ -174,6 +174,73 @@ pub fn run_traced(cfg: &RunConfig) -> (Metrics, wsg_sim::trace::TraceSink) {
     (metrics, sink)
 }
 
+/// Runs one experiment point like [`run`], with the telemetry flight
+/// recorder attached and sampling every `sample_interval` cycles. Returns
+/// the metrics together with the filled registry, ready for the CSV /
+/// JSON / Perfetto-counter and heatmap exports.
+///
+/// Telemetry is purely observational: the metrics' deterministic
+/// serialization is byte-identical to a plain [`run`] of the same point,
+/// and the sink's exports are byte-identical across hosts and `--jobs`
+/// values (`tests/telemetry_determinism.rs`).
+#[cfg(feature = "telemetry")]
+pub fn run_telemetry(
+    cfg: &RunConfig,
+    sample_interval: wsg_sim::Cycle,
+) -> (Metrics, wsg_sim::telemetry::TelemetrySink) {
+    let mut sim = Simulation::new(
+        cfg.system.clone(),
+        cfg.policy,
+        cfg.benchmark,
+        cfg.scale,
+        cfg.seed,
+    );
+    let sink = wsg_sim::telemetry::TelemetrySink::shared(sample_interval);
+    sim.set_telemetry(&sink);
+    // `run` consumes the simulation, dropping the engine's sink handles, so
+    // the Rc unwraps cleanly; the clone fallback is defensive only.
+    let metrics = sim.run();
+    let sink = std::rc::Rc::try_unwrap(sink)
+        .map(|cell| cell.into_inner())
+        .unwrap_or_else(|rc| rc.borrow().clone());
+    (metrics, sink)
+}
+
+/// Runs one experiment point with both the request-lifecycle tracer and the
+/// telemetry flight recorder attached, so span events and counter tracks
+/// share one simulated clock. Feed both sinks to
+/// [`wsg_sim::telemetry::TelemetrySink::merge_chrome_json`] for a single
+/// Perfetto document.
+#[cfg(all(feature = "telemetry", feature = "trace"))]
+pub fn run_telemetry_traced(
+    cfg: &RunConfig,
+    sample_interval: wsg_sim::Cycle,
+) -> (
+    Metrics,
+    wsg_sim::telemetry::TelemetrySink,
+    wsg_sim::trace::TraceSink,
+) {
+    let mut sim = Simulation::new(
+        cfg.system.clone(),
+        cfg.policy,
+        cfg.benchmark,
+        cfg.scale,
+        cfg.seed,
+    );
+    let tel = wsg_sim::telemetry::TelemetrySink::shared(sample_interval);
+    sim.set_telemetry(&tel);
+    let trc = wsg_sim::trace::TraceSink::shared();
+    sim.set_tracer(&trc);
+    let metrics = sim.run();
+    let tel = std::rc::Rc::try_unwrap(tel)
+        .map(|cell| cell.into_inner())
+        .unwrap_or_else(|rc| rc.borrow().clone());
+    let trc = std::rc::Rc::try_unwrap(trc)
+        .map(|cell| cell.into_inner())
+        .unwrap_or_else(|rc| rc.borrow().clone());
+    (metrics, tel, trc)
+}
+
 /// Keyed in-memory cache of completed runs: [`RunConfig::fingerprint`] →
 /// [`Metrics`].
 ///
@@ -248,6 +315,19 @@ pub struct SweepCtx {
     hits: AtomicU64,
     misses: AtomicU64,
     events: AtomicU64,
+    progress: Option<Progress>,
+}
+
+/// Live progress state for [`SweepCtx::with_progress`]: completed/total
+/// runs plus the context start time for events-per-second and ETA. Written
+/// only to stderr — deterministic outputs never see it.
+#[derive(Debug)]
+struct Progress {
+    total: AtomicU64,
+    done: AtomicU64,
+    // lint:allow(wallclock): progress display only; the reading is printed
+    // to stderr and never feeds back into the model or any artifact.
+    started: std::time::Instant,
 }
 
 impl SweepCtx {
@@ -260,6 +340,59 @@ impl SweepCtx {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             events: AtomicU64::new(0),
+            progress: None,
+        }
+    }
+
+    /// Enables the live progress reporter: every completed simulation
+    /// updates a `completed/total runs, events/sec, ETA` line on stderr.
+    /// Reporting is cosmetic — results and every written artifact are
+    /// byte-identical with and without it.
+    pub fn with_progress(mut self) -> Self {
+        self.progress = Some(Progress {
+            total: AtomicU64::new(0),
+            done: AtomicU64::new(0),
+            // lint:allow(wallclock): progress display only (see Progress).
+            started: std::time::Instant::now(),
+        });
+        self
+    }
+
+    /// One completed run: bump the counter and redraw the stderr line.
+    fn report_progress(&self) {
+        let Some(p) = &self.progress else { return };
+        let done = p.done.fetch_add(1, Ordering::Relaxed) + 1;
+        let total = p.total.load(Ordering::Relaxed).max(done);
+        let events = self.events.load(Ordering::Relaxed);
+        // lint:allow(wallclock): progress display only (see Progress).
+        let secs = p.started.elapsed().as_secs_f64();
+        let rate = if secs > 0.0 {
+            events as f64 / secs
+        } else {
+            0.0
+        };
+        let eta = if total > done {
+            secs / done as f64 * (total - done) as f64
+        } else {
+            0.0
+        };
+        eprint!(
+            "\r[sweep] {done}/{total} runs  {:.1}M events  {:.2}M ev/s  ETA {eta:.0}s ",
+            events as f64 / 1e6,
+            rate / 1e6,
+        );
+        let _ = std::io::Write::flush(&mut std::io::stderr());
+    }
+
+    /// Announces `n` upcoming runs to the reporter and returns whether it
+    /// is enabled.
+    fn announce_runs(&self, n: usize) -> bool {
+        match &self.progress {
+            Some(p) => {
+                p.total.fetch_add(n as u64, Ordering::Relaxed);
+                true
+            }
+            None => false,
         }
     }
 
@@ -323,10 +456,19 @@ impl SweepCtx {
     pub fn sweep(&self, cfgs: &[RunConfig]) -> Vec<Arc<Metrics>> {
         let Some(cache) = &self.cache else {
             self.misses.fetch_add(cfgs.len() as u64, Ordering::Relaxed);
-            let out =
-                wsg_sim::pool::run_indexed(self.jobs, cfgs.len(), |i| Arc::new(run(&cfgs[i])));
-            for m in &out {
-                self.events.fetch_add(m.sim_events, Ordering::Relaxed);
+            let reporting = self.announce_runs(cfgs.len());
+            let out = wsg_sim::pool::run_indexed_with(
+                self.jobs,
+                cfgs.len(),
+                |i| {
+                    let m = Arc::new(run(&cfgs[i]));
+                    self.events.fetch_add(m.sim_events, Ordering::Relaxed);
+                    m
+                },
+                |_| self.report_progress(),
+            );
+            if reporting && !cfgs.is_empty() {
+                eprintln!();
             }
             return out;
         };
@@ -342,11 +484,21 @@ impl SweepCtx {
         self.hits
             .fetch_add((cfgs.len() - todo.len()) as u64, Ordering::Relaxed);
         self.misses.fetch_add(todo.len() as u64, Ordering::Relaxed);
-        let fresh =
-            wsg_sim::pool::run_indexed(self.jobs, todo.len(), |j| Arc::new(run(&cfgs[todo[j]])));
+        let reporting = self.announce_runs(todo.len());
+        let fresh = wsg_sim::pool::run_indexed_with(
+            self.jobs,
+            todo.len(),
+            |j| {
+                let m = Arc::new(run(&cfgs[todo[j]]));
+                self.events.fetch_add(m.sim_events, Ordering::Relaxed);
+                m
+            },
+            |_| self.report_progress(),
+        );
+        if reporting && !todo.is_empty() {
+            eprintln!();
+        }
         for (j, &i) in todo.iter().enumerate() {
-            self.events
-                .fetch_add(fresh[j].sim_events, Ordering::Relaxed);
             cache.insert(keys[i].clone(), fresh[j].clone());
         }
         keys.iter()

@@ -365,6 +365,66 @@ mod tests {
         assert!((m.prefetch_accuracy() - 0.65).abs() < 1e-12);
     }
 
+    /// `stage_latency_string` is the only rendered view of trace-fed stage
+    /// stats, so its exact shape (line per stage, declaration order of the
+    /// sorted vector, integer fields) is pinned here.
+    #[cfg(feature = "trace")]
+    mod stage_latency {
+        use super::super::*;
+        use wsg_sim::trace::StageStats;
+
+        #[test]
+        fn empty_stage_latency_renders_as_empty_string() {
+            let m = Metrics::new(1, 100);
+            assert_eq!(m.stage_latency_string(), "");
+        }
+
+        #[test]
+        fn single_stage_line_pins_the_exact_format() {
+            let mut m = Metrics::new(1, 100);
+            m.stage_latency = vec![(
+                "walk".to_string(),
+                StageStats::from_durations(vec![4, 2, 6]),
+            )];
+            assert_eq!(
+                m.stage_latency_string(),
+                "walk: count=3 sum=12 p50=4 p95=6 p99=6 min=2 max=6\n"
+            );
+        }
+
+        #[test]
+        fn stages_render_one_line_each_in_vector_order() {
+            let mut m = Metrics::new(1, 100);
+            m.stage_latency = vec![
+                ("issue".to_string(), StageStats::from_durations(vec![1])),
+                ("walk".to_string(), StageStats::from_durations(vec![2, 2])),
+            ];
+            let s = m.stage_latency_string();
+            let lines: Vec<&str> = s.lines().collect();
+            assert_eq!(lines.len(), 2);
+            assert!(lines[0].starts_with("issue: count=1 "));
+            assert!(lines[1].starts_with("walk: count=2 "));
+        }
+
+        #[test]
+        fn single_sample_stage_collapses_every_percentile() {
+            let st = StageStats::from_durations(vec![42]);
+            assert_eq!((st.p50, st.p95, st.p99), (42, 42, 42));
+            assert_eq!((st.min, st.max, st.count, st.sum), (42, 42, 1, 42));
+        }
+
+        #[test]
+        fn tie_heavy_stage_percentiles_sit_on_the_mode() {
+            // Nine 5s and one 1: every nearest-rank percentile above p10
+            // lands on the repeated value.
+            let mut d = vec![5u64; 9];
+            d.push(1);
+            let st = StageStats::from_durations(d);
+            assert_eq!((st.p50, st.p95, st.p99), (5, 5, 5));
+            assert_eq!((st.min, st.max), (1, 5));
+        }
+    }
+
     #[test]
     fn resolution_labels_match_breakdown() {
         let mut m = Metrics::new(1, 100);

@@ -201,6 +201,17 @@ pub struct Simulation {
     /// with [`Simulation::set_tracer`], absent by default.
     #[cfg(feature = "trace")]
     pub(crate) tracer: Option<wsg_sim::trace::TraceHandle>,
+    /// Telemetry flight-recorder handle (`telemetry` feature only);
+    /// attached with [`Simulation::set_telemetry`], absent by default.
+    #[cfg(feature = "telemetry")]
+    pub(crate) telemetry: Option<wsg_sim::telemetry::TelemetryHandle>,
+    /// Simulated time of the next telemetry epoch boundary; `dispatch`
+    /// publishes and samples when event time reaches it.
+    #[cfg(feature = "telemetry")]
+    pub(crate) telemetry_next: Cycle,
+    /// First id of the engine-level telemetry counters.
+    #[cfg(feature = "telemetry")]
+    pub(crate) telemetry_base: usize,
 }
 
 impl Simulation {
@@ -353,6 +364,12 @@ impl Simulation {
             )),
             #[cfg(feature = "trace")]
             tracer: None,
+            #[cfg(feature = "telemetry")]
+            telemetry: None,
+            #[cfg(feature = "telemetry")]
+            telemetry_next: 0,
+            #[cfg(feature = "telemetry")]
+            telemetry_base: 0,
         };
 
         // Attach the auditor to every structure before the first event, so
@@ -423,7 +440,7 @@ impl Simulation {
     /// numbering: at least 64 (the historical stride, kept so existing
     /// configurations number identically) and wide enough that a preset with
     /// more than 64 CUs per GPM cannot alias a neighbouring GPM's sites.
-    #[cfg(any(feature = "audit", feature = "trace"))]
+    #[cfg(any(feature = "audit", feature = "trace", feature = "telemetry"))]
     fn cu_site_stride(&self) -> u64 {
         self.gpms
             .iter()
@@ -477,6 +494,96 @@ impl Simulation {
             mshr.set_tracer(handle.clone(), iommu_base + 3);
         }
         self.tracer = Some(handle);
+    }
+
+    /// Attaches the telemetry flight recorder to the engine and every
+    /// model structure, using the audit/trace site-id numbering (see
+    /// [`Simulation::set_tracer`]). GPM-local structures are tagged with
+    /// their wafer tile and IOMMU structures with the CPU tile, so the
+    /// recorder can render spatial heatmaps; per-CU L1 TLBs are *not*
+    /// attached — the per-GPM L2s already capture the spatial picture at a
+    /// fraction of the artifact size.
+    ///
+    /// Attach before [`Simulation::run`]; telemetry is purely
+    /// observational and never changes metrics
+    /// (`tests/telemetry_determinism.rs`).
+    #[cfg(feature = "telemetry")]
+    pub fn set_telemetry(
+        &mut self,
+        sink: &std::rc::Rc<std::cell::RefCell<wsg_sim::telemetry::TelemetrySink>>,
+    ) {
+        use wsg_sim::telemetry::{CounterKind, TelemetryHandle};
+        let handle = TelemetryHandle::of(sink);
+        self.mesh.set_telemetry(&handle);
+        let g_total = self.gpms.len() as u64;
+        let cu_stride = self.cu_site_stride();
+        let tiles: Vec<(u16, u16)> = (0..g_total as u32)
+            .map(|id| {
+                let c = self.cfg.layout.coord_of(id);
+                (c.x, c.y)
+            })
+            .collect();
+        for (g, gpm) in self.gpms.iter_mut().enumerate() {
+            let tile = Some(tiles[g]);
+            let g = g as u64;
+            gpm.l2_tlb.set_telemetry(&handle, g * 8, tile);
+            gpm.gmmu_cache.set_telemetry(&handle, g * 8 + 1, tile);
+            gpm.walkers.set_telemetry(&handle, g * 8 + 2, tile);
+            gpm.cuckoo.set_telemetry(&handle, g * 8 + 3, tile);
+            gpm.hbm.set_telemetry(&handle, g * 8 + 4, tile);
+        }
+        let cpu = self.cfg.layout.cpu();
+        let cpu_tile = Some((cpu.x, cpu.y));
+        let iommu_base = g_total * 8 + g_total * cu_stride;
+        self.iommu
+            .walkers
+            .set_telemetry(&handle, iommu_base, cpu_tile);
+        self.iommu
+            .redirection
+            .set_telemetry(&handle, iommu_base + 1, cpu_tile);
+        if let Some(tlb) = &mut self.iommu.tlb {
+            tlb.set_telemetry(&handle, iommu_base + 2, cpu_tile);
+        }
+        if let Some(mshr) = &mut self.iommu.tlb_mshr {
+            mshr.set_telemetry(&handle, iommu_base + 3, cpu_tile);
+        }
+        self.telemetry_base = handle.with(|t| {
+            let base = t.register("iommu.pre_queue", iommu_base, cpu_tile, CounterKind::Gauge);
+            t.register("engine.ops_completed", 0, None, CounterKind::Counter);
+            base
+        });
+        self.telemetry_next = handle.with(|t| t.next_sample_at());
+        self.telemetry = Some(handle);
+    }
+
+    /// Publishes every attached structure's current counters into the
+    /// telemetry registry. Called at each epoch boundary and once at the
+    /// end of the run, never per event.
+    #[cfg(feature = "telemetry")]
+    fn publish_telemetry_all(&self) {
+        self.mesh.publish_telemetry();
+        for gpm in &self.gpms {
+            gpm.l2_tlb.publish_telemetry();
+            gpm.gmmu_cache.publish_telemetry();
+            gpm.walkers.publish_telemetry();
+            gpm.cuckoo.publish_telemetry();
+            gpm.hbm.publish_telemetry();
+        }
+        self.iommu.walkers.publish_telemetry();
+        self.iommu.redirection.publish_telemetry();
+        if let Some(tlb) = &self.iommu.tlb {
+            tlb.publish_telemetry();
+        }
+        if let Some(mshr) = &self.iommu.tlb_mshr {
+            mshr.publish_telemetry();
+        }
+        if let Some(tel) = &self.telemetry {
+            let base = self.telemetry_base;
+            tel.with(|t| {
+                t.set(base, self.iommu.pre_queue.len() as u64);
+                t.set(base + 1, self.metrics.ops_completed);
+            });
+        }
     }
 
     /// Enables the streak-based page-migration extension (see
@@ -568,6 +675,14 @@ impl Simulation {
                 self.auditor.borrow().violations()
             );
         }
+        // Close the telemetry recording at the last event time: sample any
+        // remaining whole epochs plus the trailing partial one.
+        #[cfg(feature = "telemetry")]
+        if let Some(tel) = self.telemetry.clone() {
+            self.publish_telemetry_all();
+            let end = self.queue.now();
+            tel.with(|s| s.finalize(end));
+        }
         self.metrics.total_cycles = self.metrics.gpm_finish.iter().copied().max().unwrap_or(0);
         self.metrics.sim_events = self.queue.total_popped();
         self.metrics.host_wall_nanos = wall_start.elapsed().as_nanos() as u64;
@@ -612,6 +727,20 @@ impl Simulation {
             let target: u32 = std::env::var("WSG_TRACE_REQ").unwrap().parse().unwrap();
             if Self::event_req(&ev) == Some(target) {
                 eprintln!("TRACE t={t} {ev:?}");
+            }
+        }
+        // Sample telemetry epochs lazily off the event stream rather than
+        // via scheduled events: the queue's sequence numbers and popped
+        // count stay exactly as in a telemetry-off run, and state cannot
+        // change between events, so sampling at the first event past an
+        // epoch boundary observes the same values an end-of-epoch probe
+        // would have.
+        #[cfg(feature = "telemetry")]
+        if self.telemetry.is_some() && t >= self.telemetry_next {
+            self.publish_telemetry_all();
+            if let Some(tel) = self.telemetry.clone() {
+                tel.with(|s| s.sample_up_to(t));
+                self.telemetry_next = tel.with(|s| s.next_sample_at());
             }
         }
         // Stamp the (cycle, request) context so leaf-structure hooks can

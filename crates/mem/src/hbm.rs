@@ -67,6 +67,10 @@ pub struct Hbm {
     tracer: Option<wsg_sim::trace::TraceHandle>,
     #[cfg(feature = "trace")]
     trace_site: u64,
+    #[cfg(feature = "telemetry")]
+    telemetry: Option<wsg_sim::telemetry::TelemetryHandle>,
+    #[cfg(feature = "telemetry")]
+    telemetry_base: usize,
 }
 
 impl Hbm {
@@ -86,6 +90,10 @@ impl Hbm {
             tracer: None,
             #[cfg(feature = "trace")]
             trace_site: 0,
+            #[cfg(feature = "telemetry")]
+            telemetry: None,
+            #[cfg(feature = "telemetry")]
+            telemetry_base: 0,
         }
     }
 
@@ -95,6 +103,39 @@ impl Hbm {
     pub fn set_tracer(&mut self, tracer: wsg_sim::trace::TraceHandle, site: u64) {
         self.tracer = Some(tracer);
         self.trace_site = site;
+    }
+
+    /// Attaches the telemetry flight recorder, registering this stack's
+    /// traffic metrics under instance id `site` (optionally tagged with a
+    /// wafer tile for heatmap exports).
+    #[cfg(feature = "telemetry")]
+    pub fn set_telemetry(
+        &mut self,
+        telemetry: &wsg_sim::telemetry::TelemetryHandle,
+        site: u64,
+        tile: Option<(u16, u16)>,
+    ) {
+        use wsg_sim::telemetry::CounterKind::Counter;
+        self.telemetry_base = telemetry.with(|t| {
+            let base = t.register("hbm.accesses", site, tile, Counter);
+            t.register("hbm.bytes", site, tile, Counter);
+            base
+        });
+        self.telemetry = Some(telemetry.clone());
+    }
+
+    /// Publishes current cumulative traffic counters into the attached
+    /// recorder (a no-op without one). The engine calls this at each epoch
+    /// boundary.
+    #[cfg(feature = "telemetry")]
+    pub fn publish_telemetry(&self) {
+        if let Some(tel) = &self.telemetry {
+            let base = self.telemetry_base;
+            tel.with(|t| {
+                t.set(base, self.accesses);
+                t.set(base + 1, self.bytes_served);
+            });
+        }
     }
 
     /// The configuration.

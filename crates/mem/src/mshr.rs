@@ -43,6 +43,10 @@ pub struct Mshr<W> {
     tracer: Option<wsg_sim::trace::TraceHandle>,
     #[cfg(feature = "trace")]
     trace_site: u64,
+    #[cfg(feature = "telemetry")]
+    telemetry: Option<wsg_sim::telemetry::TelemetryHandle>,
+    #[cfg(feature = "telemetry")]
+    telemetry_base: usize,
 }
 
 impl<W> Mshr<W> {
@@ -77,6 +81,10 @@ impl<W> Mshr<W> {
             tracer: None,
             #[cfg(feature = "trace")]
             trace_site: 0,
+            #[cfg(feature = "telemetry")]
+            telemetry: None,
+            #[cfg(feature = "telemetry")]
+            telemetry_base: 0,
         }
     }
 
@@ -86,6 +94,40 @@ impl<W> Mshr<W> {
     pub fn set_tracer(&mut self, tracer: wsg_sim::trace::TraceHandle, site: u64) {
         self.tracer = Some(tracer);
         self.trace_site = site;
+    }
+
+    /// Attaches the telemetry flight recorder, registering this MSHR
+    /// file's merge/stall/occupancy metrics under instance id `site`
+    /// (optionally tagged with a wafer tile for heatmap exports).
+    #[cfg(feature = "telemetry")]
+    pub fn set_telemetry(
+        &mut self,
+        telemetry: &wsg_sim::telemetry::TelemetryHandle,
+        site: u64,
+        tile: Option<(u16, u16)>,
+    ) {
+        use wsg_sim::telemetry::CounterKind::{Counter, Gauge};
+        self.telemetry_base = telemetry.with(|t| {
+            let base = t.register("mshr.merges", site, tile, Counter);
+            t.register("mshr.stalls", site, tile, Counter);
+            t.register("mshr.occupancy", site, tile, Gauge);
+            base
+        });
+        self.telemetry = Some(telemetry.clone());
+    }
+
+    /// Publishes current cumulative counters into the attached recorder (a
+    /// no-op without one). The engine calls this at each epoch boundary.
+    #[cfg(feature = "telemetry")]
+    pub fn publish_telemetry(&self) {
+        if let Some(tel) = &self.telemetry {
+            let base = self.telemetry_base;
+            tel.with(|t| {
+                t.set(base, self.merges());
+                t.set(base + 1, self.stalls());
+                t.set(base + 2, self.occupancy() as u64);
+            });
+        }
     }
 
     #[cfg(feature = "trace")]

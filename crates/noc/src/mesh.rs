@@ -85,6 +85,10 @@ pub struct Mesh {
     auditor: Option<wsg_sim::audit::AuditHandle>,
     #[cfg(feature = "trace")]
     tracer: Option<wsg_sim::trace::TraceHandle>,
+    #[cfg(feature = "telemetry")]
+    telemetry: Option<wsg_sim::telemetry::TelemetryHandle>,
+    #[cfg(feature = "telemetry")]
+    telemetry_base: usize,
 }
 
 /// Encodes a directional link's endpoints into one trace site id (same
@@ -126,6 +130,10 @@ impl Mesh {
             auditor: None,
             #[cfg(feature = "trace")]
             tracer: None,
+            #[cfg(feature = "telemetry")]
+            telemetry: None,
+            #[cfg(feature = "telemetry")]
+            telemetry_base: 0,
         }
     }
 
@@ -139,6 +147,51 @@ impl Mesh {
     #[cfg(feature = "trace")]
     pub fn set_tracer(&mut self, tracer: wsg_sim::trace::TraceHandle) {
         self.tracer = Some(tracer);
+    }
+
+    /// Attaches the telemetry flight recorder, announcing the mesh grid
+    /// and registering two tile-tagged counters per tile — bytes injected
+    /// on and busy cycles of the tile's outgoing links — so link
+    /// utilization can be rendered both as a timeline and as a wafer
+    /// heatmap.
+    #[cfg(feature = "telemetry")]
+    pub fn set_telemetry(&mut self, telemetry: &wsg_sim::telemetry::TelemetryHandle) {
+        use wsg_sim::telemetry::CounterKind::Counter;
+        self.telemetry_base = telemetry.with(|t| {
+            t.set_grid(self.width, self.height);
+            let mut base = 0;
+            for y in 0..self.height {
+                for x in 0..self.width {
+                    let tile = y as u64 * self.width as u64 + x as u64;
+                    let id = t.register("mesh.link_bytes", tile, Some((x, y)), Counter);
+                    t.register("mesh.link_busy", tile, Some((x, y)), Counter);
+                    if tile == 0 {
+                        base = id;
+                    }
+                }
+            }
+            base
+        });
+        self.telemetry = Some(telemetry.clone());
+    }
+
+    /// Publishes per-tile cumulative link traffic into the attached
+    /// recorder (a no-op without one). The engine calls this at each epoch
+    /// boundary.
+    #[cfg(feature = "telemetry")]
+    pub fn publish_telemetry(&self) {
+        if let Some(tel) = &self.telemetry {
+            let base = self.telemetry_base;
+            tel.with(|t| {
+                for tile in 0..self.width as usize * self.height as usize {
+                    let out = &self.links[tile * 4..tile * 4 + 4];
+                    let bytes: u64 = out.iter().map(|l| l.bytes).sum();
+                    let busy: u64 = out.iter().map(|l| l.busy_cycles).sum();
+                    t.set(base + tile * 2, bytes);
+                    t.set(base + tile * 2 + 1, busy);
+                }
+            });
+        }
     }
 
     /// Mesh width in tiles.

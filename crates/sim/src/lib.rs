@@ -46,6 +46,8 @@ pub mod pool;
 pub mod rng;
 pub mod server;
 pub mod stats;
+#[cfg(feature = "telemetry")]
+pub mod telemetry;
 pub mod time;
 #[cfg(feature = "trace")]
 pub mod trace;

@@ -27,7 +27,9 @@
 //! assert_eq!(squares, pool::run_indexed(1, 8, |i| i * i));
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// The default worker count: the host's available parallelism, or 1 when it
@@ -49,29 +51,68 @@ pub fn default_jobs() -> usize {
 ///
 /// # Panics
 ///
-/// Propagates the first panic raised by `f` after all workers have joined
-/// (the behaviour of [`std::thread::scope`]).
+/// Propagates the first panic raised by `f`. A panicking job aborts the
+/// pool promptly: the other workers stop at their next job boundary
+/// instead of draining the remaining indices, so a failure in run 2 of a
+/// 500-run sweep does not surface minutes later.
 pub fn run_indexed<T, F>(jobs: usize, n: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_indexed_with(jobs, n, f, |_| {})
+}
+
+/// [`run_indexed`] with a completion observer: `on_done(i)` runs after job
+/// `i` finishes (on the worker thread that ran it, in completion — not
+/// index — order). The observer exists for live progress reporting; it must
+/// not influence results.
+pub fn run_indexed_with<T, F, O>(jobs: usize, n: usize, f: F, on_done: O) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    O: Fn(usize) + Sync,
+{
     if jobs <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        return (0..n)
+            .map(|i| {
+                let r = f(i);
+                on_done(i);
+                r
+            })
+            .collect();
     }
     let next = AtomicUsize::new(0);
+    let aborted = AtomicBool::new(false);
+    let first_panic: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
     let merged: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
     std::thread::scope(|scope| {
         let workers: Vec<_> = (0..jobs.min(n))
             .map(|_| {
                 scope.spawn(|| {
                     let mut local: Vec<(usize, T)> = Vec::new();
-                    loop {
+                    while !aborted.load(Ordering::Relaxed) {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        local.push((i, f(i)));
+                        // Catch the payload here rather than letting it
+                        // unwind the worker, so the abort flag is raised the
+                        // moment the panic happens and the other workers cut
+                        // their job loops short.
+                        match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                            Ok(r) => {
+                                local.push((i, r));
+                                on_done(i);
+                            }
+                            Err(payload) => {
+                                aborted.store(true, Ordering::Relaxed);
+                                if let Ok(mut slot) = first_panic.lock() {
+                                    slot.get_or_insert(payload);
+                                }
+                                break;
+                            }
+                        }
                     }
                     // A poisoned mutex means another worker panicked while
                     // merging; that panic is about to be propagated below,
@@ -83,17 +124,24 @@ where
             })
             .collect();
         // Join every worker before re-raising, so the scope never has to
-        // auto-join a panicked thread (which would mask the payload).
-        let mut first_panic = None;
+        // auto-join a panicked thread (which would mask the payload). Only
+        // an observer panic can reach join() now; keep its payload too.
         for worker in workers {
             if let Err(payload) = worker.join() {
-                first_panic.get_or_insert(payload);
+                aborted.store(true, Ordering::Relaxed);
+                if let Ok(mut slot) = first_panic.lock() {
+                    slot.get_or_insert(payload);
+                }
             }
         }
-        if let Some(payload) = first_panic {
-            std::panic::resume_unwind(payload);
-        }
     });
+    let payload = match first_panic.into_inner() {
+        Ok(slot) => slot,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
     let mut pairs = match merged.into_inner() {
         Ok(pairs) => pairs,
         Err(poisoned) => poisoned.into_inner(),
@@ -158,5 +206,52 @@ mod tests {
             }
             i
         });
+    }
+
+    #[test]
+    fn worker_panic_aborts_remaining_jobs_promptly() {
+        use std::sync::atomic::AtomicUsize;
+        // Job 0 panics immediately; every other job takes ~2 ms. Without
+        // the abort flag the surviving worker would drain all remaining
+        // indices before the panic resurfaces; with it, only the handful of
+        // jobs already in flight run to completion.
+        let executed = AtomicUsize::new(0);
+        let n = 256;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_indexed(2, n, |i| {
+                if i == 0 {
+                    panic!("early failure");
+                }
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                executed.fetch_add(1, Ordering::Relaxed);
+                i
+            })
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "early failure");
+        assert!(
+            executed.load(Ordering::Relaxed) < n / 2,
+            "pool drained {} of {n} jobs after a panic",
+            executed.load(Ordering::Relaxed)
+        );
+    }
+
+    #[test]
+    fn observer_sees_every_completed_job() {
+        use std::sync::atomic::AtomicUsize;
+        for jobs in [1, 4] {
+            let done = AtomicUsize::new(0);
+            let out = run_indexed_with(
+                jobs,
+                50,
+                |i| i * 2,
+                |_| {
+                    done.fetch_add(1, Ordering::Relaxed);
+                },
+            );
+            assert_eq!(out.len(), 50);
+            assert_eq!(done.load(Ordering::Relaxed), 50);
+        }
     }
 }

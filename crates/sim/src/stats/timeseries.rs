@@ -35,6 +35,8 @@ pub struct Window {
     pub count: u64,
     /// Sum of sample values in the window.
     pub sum: u64,
+    /// Minimum sample value in the window (0 if empty).
+    pub min: u64,
     /// Maximum sample value in the window (0 if empty).
     pub max: u64,
 }
@@ -56,21 +58,38 @@ impl TimeSeries {
     /// Records a sample `value` observed at time `now`.
     pub fn record(&mut self, now: Cycle, value: u64) {
         let idx = (now / self.window) as usize;
-        if idx >= self.windows.len() {
-            let from = self.windows.len();
-            for i in from..=idx {
-                self.windows.push(Window {
-                    start: i as Cycle * self.window,
-                    count: 0,
-                    sum: 0,
-                    max: 0,
-                });
-            }
-        }
+        self.extend_through(idx);
         let w = &mut self.windows[idx];
+        w.min = if w.count == 0 {
+            value
+        } else {
+            w.min.min(value)
+        };
         w.count += 1;
         w.sum += value;
         w.max = w.max.max(value);
+    }
+
+    /// Appends empty windows so the series covers every window up to and
+    /// including the one containing `end` — giving all series of a run a
+    /// uniform x-axis regardless of when their last sample landed (timeline
+    /// CSV exports rely on this). A no-op when the series already reaches
+    /// that far.
+    pub fn pad_to(&mut self, end: Cycle) {
+        self.extend_through((end / self.window) as usize);
+    }
+
+    fn extend_through(&mut self, idx: usize) {
+        let from = self.windows.len();
+        for i in from..=idx {
+            self.windows.push(Window {
+                start: i as Cycle * self.window,
+                count: 0,
+                sum: 0,
+                min: 0,
+                max: 0,
+            });
+        }
     }
 
     /// Window width in cycles.
@@ -163,5 +182,49 @@ mod tests {
         let ts = TimeSeries::new(10);
         assert_eq!(ts.peak(), 0);
         assert_eq!(ts.mean_count_per_window(), 0.0);
+    }
+
+    #[test]
+    fn min_tracks_smallest_sample_per_window() {
+        let mut ts = TimeSeries::new(10);
+        ts.record(0, 7);
+        ts.record(1, 3);
+        ts.record(2, 5);
+        ts.record(15, 9);
+        let w: Vec<_> = ts.windows().cloned().collect();
+        assert_eq!((w[0].min, w[0].max), (3, 7));
+        assert_eq!((w[1].min, w[1].max), (9, 9));
+    }
+
+    #[test]
+    fn min_of_empty_window_is_zero() {
+        let mut ts = TimeSeries::new(10);
+        ts.record(25, 4);
+        let w: Vec<_> = ts.windows().cloned().collect();
+        assert_eq!(w[0].min, 0);
+        assert_eq!(w[1].min, 0);
+        assert_eq!(w[2].min, 4);
+    }
+
+    #[test]
+    fn pad_to_extends_with_empty_windows() {
+        let mut ts = TimeSeries::new(10);
+        ts.record(5, 1);
+        ts.pad_to(39);
+        let w: Vec<_> = ts.windows().cloned().collect();
+        assert_eq!(w.len(), 4);
+        assert_eq!(w[3].start, 30);
+        assert_eq!((w[3].count, w[3].sum, w[3].min, w[3].max), (0, 0, 0, 0));
+        assert_eq!(ts.total_count(), 1);
+    }
+
+    #[test]
+    fn pad_to_is_a_noop_when_already_covered() {
+        let mut ts = TimeSeries::new(10);
+        ts.record(35, 2);
+        let before: Vec<_> = ts.windows().cloned().collect();
+        ts.pad_to(12);
+        let after: Vec<_> = ts.windows().cloned().collect();
+        assert_eq!(before, after);
     }
 }

@@ -346,6 +346,37 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_percentiles_all_collapse_to_it() {
+        let s = StageStats::from_durations(vec![42]);
+        assert_eq!((s.count, s.sum, s.min, s.max), (1, 42, 42, 42));
+        assert_eq!((s.p50, s.p95, s.p99), (42, 42, 42));
+        assert_eq!(s.mean(), 42.0);
+    }
+
+    #[test]
+    fn tie_heavy_distribution_percentiles() {
+        // One fast outlier among nine identical values: nearest-rank p50,
+        // p95 and p99 must all land on the tie, never interpolate.
+        let mut d = vec![5; 9];
+        d.push(1);
+        let s = StageStats::from_durations(d);
+        assert_eq!((s.count, s.min, s.max), (10, 1, 5));
+        assert_eq!((s.p50, s.p95, s.p99), (5, 5, 5));
+        // All-identical samples: every statistic is that value.
+        let s = StageStats::from_durations(vec![7; 100]);
+        assert_eq!((s.min, s.p50, s.p95, s.p99, s.max), (7, 7, 7, 7, 7));
+    }
+
+    #[test]
+    fn low_percentile_rank_clamps_to_first_sample() {
+        // rank = ceil(len * pct / 100) clamped to >= 1: with two samples a
+        // 1st percentile still selects the smallest.
+        assert_eq!(percentile(&[3, 9], 1), 3);
+        assert_eq!(percentile(&[3, 9], 50), 3);
+        assert_eq!(percentile(&[3, 9], 51), 9);
+    }
+
+    #[test]
     fn chrome_json_has_both_phases_and_balanced_structure() {
         let mut s = TraceSink::new();
         s.set_context(10, 1);

@@ -48,6 +48,10 @@ pub struct CuckooFilter {
     tracer: Option<wsg_sim::trace::TraceHandle>,
     #[cfg(feature = "trace")]
     trace_site: u64,
+    #[cfg(feature = "telemetry")]
+    telemetry: Option<wsg_sim::telemetry::TelemetryHandle>,
+    #[cfg(feature = "telemetry")]
+    telemetry_base: usize,
 }
 
 impl CuckooFilter {
@@ -70,6 +74,10 @@ impl CuckooFilter {
             tracer: None,
             #[cfg(feature = "trace")]
             trace_site: 0,
+            #[cfg(feature = "telemetry")]
+            telemetry: None,
+            #[cfg(feature = "telemetry")]
+            telemetry_base: 0,
         }
     }
 
@@ -79,6 +87,39 @@ impl CuckooFilter {
     pub fn set_tracer(&mut self, tracer: wsg_sim::trace::TraceHandle, site: u64) {
         self.tracer = Some(tracer);
         self.trace_site = site;
+    }
+
+    /// Attaches the telemetry flight recorder, registering this filter's
+    /// occupancy and relocation metrics under instance id `site`
+    /// (optionally tagged with a wafer tile for heatmap exports).
+    #[cfg(feature = "telemetry")]
+    pub fn set_telemetry(
+        &mut self,
+        telemetry: &wsg_sim::telemetry::TelemetryHandle,
+        site: u64,
+        tile: Option<(u16, u16)>,
+    ) {
+        use wsg_sim::telemetry::CounterKind::{Counter, Gauge};
+        self.telemetry_base = telemetry.with(|t| {
+            let base = t.register("cuckoo.occupancy", site, tile, Gauge);
+            t.register("cuckoo.kicks", site, tile, Counter);
+            base
+        });
+        self.telemetry = Some(telemetry.clone());
+    }
+
+    /// Publishes current occupancy and cumulative kick counts into the
+    /// attached recorder (a no-op without one). The engine calls this at
+    /// each epoch boundary.
+    #[cfg(feature = "telemetry")]
+    pub fn publish_telemetry(&self) {
+        if let Some(tel) = &self.telemetry {
+            let base = self.telemetry_base;
+            tel.with(|t| {
+                t.set(base, self.len as u64);
+                t.set(base + 1, self.kicks);
+            });
+        }
     }
 
     fn fingerprint(key: u64) -> Fingerprint {

@@ -62,6 +62,10 @@ pub struct RedirectionTable {
     tracer: Option<wsg_sim::trace::TraceHandle>,
     #[cfg(feature = "trace")]
     trace_site: u64,
+    #[cfg(feature = "telemetry")]
+    telemetry: Option<wsg_sim::telemetry::TelemetryHandle>,
+    #[cfg(feature = "telemetry")]
+    telemetry_base: usize,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -97,6 +101,10 @@ impl RedirectionTable {
             tracer: None,
             #[cfg(feature = "trace")]
             trace_site: 0,
+            #[cfg(feature = "telemetry")]
+            telemetry: None,
+            #[cfg(feature = "telemetry")]
+            telemetry_base: 0,
         }
     }
 
@@ -114,6 +122,40 @@ impl RedirectionTable {
     pub fn set_tracer(&mut self, tracer: wsg_sim::trace::TraceHandle, site: u64) {
         self.tracer = Some(tracer);
         self.trace_site = site;
+    }
+
+    /// Attaches the telemetry flight recorder, registering this table's
+    /// lookup and occupancy metrics under instance id `site` (optionally
+    /// tagged with a wafer tile for heatmap exports).
+    #[cfg(feature = "telemetry")]
+    pub fn set_telemetry(
+        &mut self,
+        telemetry: &wsg_sim::telemetry::TelemetryHandle,
+        site: u64,
+        tile: Option<(u16, u16)>,
+    ) {
+        use wsg_sim::telemetry::CounterKind::{Counter, Gauge};
+        self.telemetry_base = telemetry.with(|t| {
+            let base = t.register("redir.hits", site, tile, Counter);
+            t.register("redir.misses", site, tile, Counter);
+            t.register("redir.occupancy", site, tile, Gauge);
+            base
+        });
+        self.telemetry = Some(telemetry.clone());
+    }
+
+    /// Publishes current cumulative counters into the attached recorder (a
+    /// no-op without one). The engine calls this at each epoch boundary.
+    #[cfg(feature = "telemetry")]
+    pub fn publish_telemetry(&self) {
+        if let Some(tel) = &self.telemetry {
+            let base = self.telemetry_base;
+            tel.with(|t| {
+                t.set(base, self.hits());
+                t.set(base + 1, self.misses());
+                t.set(base + 2, self.len() as u64);
+            });
+        }
     }
 
     #[cfg(feature = "trace")]

@@ -59,6 +59,10 @@ pub struct WalkerPool<T> {
     tracer: Option<wsg_sim::trace::TraceHandle>,
     #[cfg(feature = "trace")]
     trace_site: u64,
+    #[cfg(feature = "telemetry")]
+    telemetry: Option<wsg_sim::telemetry::TelemetryHandle>,
+    #[cfg(feature = "telemetry")]
+    telemetry_base: usize,
 }
 
 impl<T> WalkerPool<T> {
@@ -87,6 +91,10 @@ impl<T> WalkerPool<T> {
             tracer: None,
             #[cfg(feature = "trace")]
             trace_site: 0,
+            #[cfg(feature = "telemetry")]
+            telemetry: None,
+            #[cfg(feature = "telemetry")]
+            telemetry_base: 0,
         }
     }
 
@@ -104,6 +112,45 @@ impl<T> WalkerPool<T> {
     pub fn set_tracer(&mut self, tracer: wsg_sim::trace::TraceHandle, site: u64) {
         self.tracer = Some(tracer);
         self.trace_site = site;
+    }
+
+    /// Attaches the telemetry flight recorder, registering this pool's
+    /// load and throughput metrics under instance id `site` (optionally
+    /// tagged with a wafer tile for heatmap exports).
+    #[cfg(feature = "telemetry")]
+    pub fn set_telemetry(
+        &mut self,
+        telemetry: &wsg_sim::telemetry::TelemetryHandle,
+        site: u64,
+        tile: Option<(u16, u16)>,
+    ) {
+        use wsg_sim::telemetry::CounterKind::{Counter, Gauge};
+        self.telemetry_base = telemetry.with(|t| {
+            let base = t.register("walkers.busy", site, tile, Gauge);
+            t.register("walkers.queue", site, tile, Gauge);
+            t.register("walkers.started", site, tile, Counter);
+            t.register("walkers.coalesced", site, tile, Counter);
+            t.register("walkers.rejected", site, tile, Counter);
+            base
+        });
+        self.telemetry = Some(telemetry.clone());
+    }
+
+    /// Publishes current load and cumulative counters into the attached
+    /// recorder (a no-op without one). The engine calls this at each epoch
+    /// boundary.
+    #[cfg(feature = "telemetry")]
+    pub fn publish_telemetry(&self) {
+        if let Some(tel) = &self.telemetry {
+            let base = self.telemetry_base;
+            tel.with(|t| {
+                t.set(base, self.busy as u64);
+                t.set(base + 1, self.queue.len() as u64);
+                t.set(base + 2, self.started);
+                t.set(base + 3, self.coalesced);
+                t.set(base + 4, self.rejected);
+            });
+        }
     }
 
     #[cfg(feature = "trace")]

@@ -649,9 +649,9 @@ fn check_unwrap(path: &str, lineno: usize, code: &str, diags: &mut Vec<Diagnosti
     }
 }
 
-/// The optional-handle hooks that d5 guards. Both follow the same pattern:
+/// The optional-handle hooks that d5 guards. All follow the same pattern:
 /// a structure stores `Option<Handle>` and gains the hook via `set_*`.
-const HOOK_HANDLES: [&str; 2] = ["AuditHandle", "TraceHandle"];
+const HOOK_HANDLES: [&str; 3] = ["AuditHandle", "TraceHandle", "TelemetryHandle"];
 
 fn check_hook_pattern(path: &str, lineno: usize, code: &str, diags: &mut Vec<Diagnostic>) {
     // Whole-line exemption for signatures: attach methods legitimately take
@@ -1095,6 +1095,12 @@ mod tests {
         // Host-side bench/report code may hash freely.
         let bench = classify(Path::new("crates/bench/src/bin/hdpat-sim.rs"));
         assert!(!bench.default_hash && bench.map_iter);
+        // The telemetry flight recorder earns no exemption: its registry and
+        // series live in plain Vecs, so the default-hash ban (and the full
+        // model-crate rule set) stays in force there.
+        let telemetry = classify(Path::new("crates/sim/src/telemetry.rs"));
+        assert!(telemetry.default_hash && telemetry.unwrap && telemetry.hook_pattern);
+        assert_eq!(telemetry, RuleSet::all());
     }
 
     #[test]

@@ -5,8 +5,10 @@
 pub struct Probe {
     tracer: TraceHandle,                  // VIOLATION: hook-pattern
     auditor: wsg_sim::audit::AuditHandle, // VIOLATION: hook-pattern
+    telemetry: wsg_sim::telemetry::TelemetryHandle, // VIOLATION: hook-pattern
     ok_tracer: Option<TraceHandle>,       // fine: optional handle
     ok_auditor: Option<wsg_sim::audit::AuditHandle>, // fine: optional handle
+    ok_telemetry: Option<TelemetryHandle>, // fine: optional handle
 }
 
 impl Probe {
@@ -15,7 +17,13 @@ impl Probe {
         self.ok_tracer = Some(tracer);
     }
 
+    pub fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
+        // fine above: attach signatures may take the handle by value.
+        self.ok_telemetry = Some(telemetry);
+    }
+
     pub fn attach(&mut self, sink: &Sink) {
         self.ok_tracer = Some(TraceHandle::of(sink)); // fine: path expression
+        self.ok_telemetry = Some(TelemetryHandle::of(sink)); // fine: path expression
     }
 }

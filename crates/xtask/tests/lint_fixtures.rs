@@ -121,6 +121,7 @@ fn d5_fixture_reports_each_seeded_violation() {
         vec![
             line_of(&src, "tracer: TraceHandle,"),
             line_of(&src, "auditor: wsg_sim::audit::AuditHandle,"),
+            line_of(&src, "telemetry: wsg_sim::telemetry::TelemetryHandle,"),
         ],
         "diagnostics: {diags:#?}"
     );
