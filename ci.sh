@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # CI gate for the HDPAT reproduction. Ordered cheapest-first so fast failures
-# come fast: formatting, clippy (plain and with the audit/trace/telemetry
-# features), the determinism lint pass (DESIGN.md, "Determinism & audit
-# policy"), rustdoc (warnings denied) + doctests, then the tier-1 build +
+# come fast: formatting, clippy (plain, each of the audit/trace/telemetry
+# features, and all three combined), the determinism/shard-safety lint pass
+# with its JSON artifact plus the shard-safety report drift gate (DESIGN.md
+# §8.1/§13), rustdoc (warnings denied) + doctests, then the tier-1 build +
 # tests, the full workspace suite, the trace determinism gate (DESIGN.md §10),
 # the telemetry determinism gates (DESIGN.md §12: observational parity plus
 # timeline/heatmap artifacts byte-identical across --jobs), the
@@ -27,8 +28,17 @@ cargo clippy -p hdpat-wafer --all-targets --features trace -q -- -D warnings
 echo "== cargo clippy (telemetry feature, -D warnings)"
 cargo clippy -p hdpat-wafer --all-targets --features telemetry -q -- -D warnings
 
-echo "== determinism lint (cargo run -p xtask -- lint)"
-cargo run -p xtask -q -- lint
+echo "== cargo clippy (audit+trace+telemetry combined, -D warnings)"
+cargo clippy -p hdpat-wafer --all-targets --features audit,trace,telemetry -q -- -D warnings
+
+echo "== determinism/shard-safety lint (cargo run -p xtask -- lint --json)"
+mkdir -p target/ci
+cargo run -p xtask -q -- lint --json > target/ci/lint.json
+# The JSON artifact must agree with the exit status: zero diagnostics.
+grep -q '"violations": 0,' target/ci/lint.json
+
+echo "== shard-safety report drift gate (xtask analyze --check)"
+cargo run -p xtask -q -- analyze --check
 
 echo "== rustdoc (workspace, -D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q

@@ -489,9 +489,9 @@ fn cmd_heatmap(
 type FigureFn<'a> = Box<dyn Fn() -> Table + 'a>;
 
 fn cmd_figure(ctx: &SweepCtx, name: &str, scale: Scale, perf_out: Option<&str>) {
-    // Host-side throughput measurement for the `--perf-out` artifact; the
-    // deterministic figure text on stdout never depends on it.
-    // lint:allow(wallclock)
+    // lint:allow(wallclock): host-side throughput measurement for the
+    // `--perf-out` artifact; the deterministic figure text on stdout never
+    // depends on it.
     let wall_start = std::time::Instant::now();
     let all: Vec<(&str, FigureFn)> = vec![
         ("fig02", Box::new(|| figures::fig02_headroom(ctx, scale))),

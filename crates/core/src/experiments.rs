@@ -168,6 +168,8 @@ pub fn run_traced(cfg: &RunConfig) -> (Metrics, wsg_sim::trace::TraceSink) {
     // `run` consumes the simulation, dropping the engine's sink handles, so
     // the Rc unwraps cleanly; the clone fallback is defensive only.
     let metrics = sim.run();
+    // lint:allow(shared-mut): harness-boundary unwrap of the sink handle;
+    // the Rc never outlives this function and never crosses into the model.
     let sink = std::rc::Rc::try_unwrap(sink)
         .map(|cell| cell.into_inner())
         .unwrap_or_else(|rc| rc.borrow().clone());
@@ -200,6 +202,8 @@ pub fn run_telemetry(
     // `run` consumes the simulation, dropping the engine's sink handles, so
     // the Rc unwraps cleanly; the clone fallback is defensive only.
     let metrics = sim.run();
+    // lint:allow(shared-mut): harness-boundary unwrap of the sink handle;
+    // the Rc never outlives this function and never crosses into the model.
     let sink = std::rc::Rc::try_unwrap(sink)
         .map(|cell| cell.into_inner())
         .unwrap_or_else(|rc| rc.borrow().clone());
@@ -232,9 +236,12 @@ pub fn run_telemetry_traced(
     let trc = wsg_sim::trace::TraceSink::shared();
     sim.set_tracer(&trc);
     let metrics = sim.run();
+    // lint:allow(shared-mut): harness-boundary unwrap of the sink handles;
+    // the Rcs never outlive this function and never cross into the model.
     let tel = std::rc::Rc::try_unwrap(tel)
         .map(|cell| cell.into_inner())
         .unwrap_or_else(|rc| rc.borrow().clone());
+    // lint:allow(shared-mut): harness-boundary unwrap (see above).
     let trc = std::rc::Rc::try_unwrap(trc)
         .map(|cell| cell.into_inner())
         .unwrap_or_else(|rc| rc.borrow().clone());
@@ -325,8 +332,8 @@ pub struct SweepCtx {
 struct Progress {
     total: AtomicU64,
     done: AtomicU64,
-    // lint:allow(wallclock): progress display only; the reading is printed
-    // to stderr and never feeds back into the model or any artifact.
+    // Progress display only; the reading is printed to stderr and never
+    // feeds back into the model or any artifact.
     started: std::time::Instant,
 }
 
@@ -364,7 +371,6 @@ impl SweepCtx {
         let done = p.done.fetch_add(1, Ordering::Relaxed) + 1;
         let total = p.total.load(Ordering::Relaxed).max(done);
         let events = self.events.load(Ordering::Relaxed);
-        // lint:allow(wallclock): progress display only (see Progress).
         let secs = p.started.elapsed().as_secs_f64();
         let rate = if secs > 0.0 {
             events as f64 / secs

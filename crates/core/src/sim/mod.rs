@@ -173,45 +173,48 @@ pub(crate) enum Event {
 /// call [`Simulation::run`].
 #[derive(Debug)]
 pub struct Simulation {
-    pub(crate) cfg: SystemConfig,
-    pub(crate) policy: PolicyKind,
-    pub(crate) space: AddressSpace,
-    pub(crate) queue: EventQueue<Event>,
-    pub(crate) mesh: Mesh,
-    pub(crate) gpms: Vec<GpmState>,
-    pub(crate) iommu: IommuState,
-    pub(crate) reqs: Vec<Request>,
-    pub(crate) metrics: Metrics,
-    pub(crate) concentric: Option<ConcentricMap>,
+    pub(crate) cfg: SystemConfig,        // shard: wafer-global, frozen
+    pub(crate) policy: PolicyKind,       // shard: wafer-global, frozen
+    pub(crate) space: AddressSpace,      // shard: wafer-global, frozen
+    pub(crate) queue: EventQueue<Event>, // shard: wafer-global
+    pub(crate) mesh: Mesh,               // shard: wafer-global
+    pub(crate) gpms: Vec<GpmState>,      // shard: gpm-local
+    pub(crate) iommu: IommuState,        // shard: wafer-global
+    pub(crate) reqs: Vec<Request>,       // shard: wafer-global
+    pub(crate) metrics: Metrics,         // shard: wafer-global
+    pub(crate) concentric: Option<ConcentricMap>, // shard: wafer-global, frozen
     /// Per-GPM serial probe chains, precomputed per policy.
-    pub(crate) chains: Vec<Vec<u32>>,
-    pub(crate) last_iommu_vpn: Option<Vpn>,
+    pub(crate) chains: Vec<Vec<u32>>, // shard: wafer-global, frozen
+    pub(crate) last_iommu_vpn: Option<Vpn>, // shard: wafer-global
     /// Optional page-migration extension (see [`crate::migration`]).
-    pub(crate) migration: Option<MigrationConfig>,
+    pub(crate) migration: Option<MigrationConfig>, // shard: wafer-global, frozen
     /// Dynamic home overrides for migrated pages (checked before the static
     /// block placement).
-    pub(crate) home_override: HashIndex<u32>,
+    pub(crate) home_override: HashIndex<u32>, // shard: wafer-global
     /// Per-page (last remote consumer, consecutive-access streak).
-    pub(crate) access_streak: HashIndex<(u32, u32)>,
+    pub(crate) access_streak: HashIndex<(u32, u32)>, // shard: wafer-global
     /// The runtime invariant auditor observing the queue, mesh, and every
     /// translation structure (`audit` feature only).
     #[cfg(feature = "audit")]
+    // shard: wafer-global
+    // lint:allow(shared-mut): the auditor is a sanctioned sink (DESIGN.md
+    // §13); the engine root handle shares it with every audited structure.
     pub(crate) auditor: std::rc::Rc<std::cell::RefCell<wsg_sim::audit::ConservationAuditor>>,
     /// Request-lifecycle trace sink handle (`trace` feature only); attached
     /// with [`Simulation::set_tracer`], absent by default.
     #[cfg(feature = "trace")]
-    pub(crate) tracer: Option<wsg_sim::trace::TraceHandle>,
+    pub(crate) tracer: Option<wsg_sim::trace::TraceHandle>, // shard: wafer-global
     /// Telemetry flight-recorder handle (`telemetry` feature only);
     /// attached with [`Simulation::set_telemetry`], absent by default.
     #[cfg(feature = "telemetry")]
-    pub(crate) telemetry: Option<wsg_sim::telemetry::TelemetryHandle>,
+    pub(crate) telemetry: Option<wsg_sim::telemetry::TelemetryHandle>, // shard: wafer-global
     /// Simulated time of the next telemetry epoch boundary; `dispatch`
     /// publishes and samples when event time reaches it.
     #[cfg(feature = "telemetry")]
-    pub(crate) telemetry_next: Cycle,
+    pub(crate) telemetry_next: Cycle, // shard: wafer-global
     /// First id of the engine-level telemetry counters.
     #[cfg(feature = "telemetry")]
-    pub(crate) telemetry_base: usize,
+    pub(crate) telemetry_base: usize, // shard: wafer-global
 }
 
 impl Simulation {
@@ -359,6 +362,8 @@ impl Simulation {
             home_override: HashIndex::new(),
             access_streak: HashIndex::new(),
             #[cfg(feature = "audit")]
+            // lint:allow(shared-mut): constructing the sanctioned audit
+            // sink root (see the `auditor` field).
             auditor: std::rc::Rc::new(std::cell::RefCell::new(
                 wsg_sim::audit::ConservationAuditor::new(),
             )),
@@ -378,6 +383,9 @@ impl Simulation {
         {
             use wsg_sim::audit::AuditHandle;
             let handle = AuditHandle::of(&sim.auditor);
+            // lint:allow(site-registry): the event queue is audit-only by
+            // design — trace spans and telemetry counters model component
+            // occupancy, not scheduler bookkeeping.
             sim.queue.set_auditor(handle.clone());
             sim.mesh.set_auditor(handle.clone());
             // Site ids: GPM-local structures get gpm*8+slot; per-CU L1 TLBs
@@ -394,6 +402,10 @@ impl Simulation {
                 gpm.walkers.set_auditor(handle.clone(), g * 8 + 2);
                 for (c, cu) in gpm.cus.iter_mut().enumerate() {
                     cu.l1_tlb
+                        // lint:allow(site-registry): per-CU L1 TLBs audit and
+                        // trace but are deliberately not telemetry-attached —
+                        // the per-GPM L2s capture the spatial picture at a
+                        // fraction of the artifact size (see `set_telemetry`).
                         .set_auditor(handle.clone(), g_total * 8 + g * cu_stride + c as u64);
                 }
             }
@@ -463,6 +475,8 @@ impl Simulation {
     #[cfg(feature = "trace")]
     pub fn set_tracer(
         &mut self,
+        // lint:allow(shared-mut): the sanctioned sink handle type at the
+        // attach boundary (DESIGN.md §13).
         sink: &std::rc::Rc<std::cell::RefCell<wsg_sim::trace::TraceSink>>,
     ) {
         use wsg_sim::trace::TraceHandle;
@@ -475,8 +489,11 @@ impl Simulation {
             gpm.l2_tlb.set_tracer(handle.clone(), g * 8);
             gpm.gmmu_cache.set_tracer(handle.clone(), g * 8 + 1);
             gpm.walkers.set_tracer(handle.clone(), g * 8 + 2);
-            gpm.cuckoo.set_tracer(handle.clone(), g * 8 + 3);
-            gpm.hbm.set_tracer(handle.clone(), g * 8 + 4);
+            // The cuckoo filter and HBM have no audit occupancy mirror
+            // (conservation is audited on the structures they front), so
+            // they register with the trace and telemetry sinks only.
+            gpm.cuckoo.set_tracer(handle.clone(), g * 8 + 3); // lint:allow(site-registry): see above.
+            gpm.hbm.set_tracer(handle.clone(), g * 8 + 4); // lint:allow(site-registry): see above.
             for (c, cu) in gpm.cus.iter_mut().enumerate() {
                 cu.l1_tlb
                     .set_tracer(handle.clone(), g_total * 8 + g * cu_stride + c as u64);
@@ -491,6 +508,8 @@ impl Simulation {
             tlb.set_tracer(handle.clone(), iommu_base + 2);
         }
         if let Some(mshr) = &mut self.iommu.tlb_mshr {
+            // lint:allow(site-registry): MSHR occupancy is audited via its
+            // owning TLB; the MSHR itself traces and samples only.
             mshr.set_tracer(handle.clone(), iommu_base + 3);
         }
         self.tracer = Some(handle);
@@ -510,6 +529,8 @@ impl Simulation {
     #[cfg(feature = "telemetry")]
     pub fn set_telemetry(
         &mut self,
+        // lint:allow(shared-mut): the sanctioned sink handle type at the
+        // attach boundary (DESIGN.md §13).
         sink: &std::rc::Rc<std::cell::RefCell<wsg_sim::telemetry::TelemetrySink>>,
     ) {
         use wsg_sim::telemetry::{CounterKind, TelemetryHandle};

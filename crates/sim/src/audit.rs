@@ -19,6 +19,9 @@
 //! carry no cost (not even a branch — the hook fields themselves are
 //! feature-gated out).
 
+// lint:allow-module(shared-mut): this sink is the sanctioned shared-state
+// boundary — handles are Rc<RefCell<..>> by design (DESIGN.md §13), and
+// model structures only ever hold the Option<AuditHandle> defined here.
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;

@@ -54,6 +54,9 @@
 //! assert!(sink.to_csv().contains("tlb.hits"));
 //! ```
 
+// lint:allow-module(shared-mut): this sink is the sanctioned shared-state
+// boundary — handles are Rc<RefCell<..>> by design (DESIGN.md §13), and
+// model structures only ever hold the Option<TelemetryHandle> defined here.
 use std::cell::RefCell;
 use std::fmt::Write as _;
 use std::rc::Rc;

@@ -36,6 +36,9 @@
 //! assert!(sink.to_chrome_json().contains("\"name\":\"remote\""));
 //! ```
 
+// lint:allow-module(shared-mut): this sink is the sanctioned shared-state
+// boundary — handles are Rc<RefCell<..>> by design (DESIGN.md §13), and
+// model structures only ever hold the Option<TraceHandle> defined here.
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;

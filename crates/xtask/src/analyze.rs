@@ -1,0 +1,519 @@
+//! `xtask analyze` — the shard-safety report.
+//!
+//! ROADMAP item 1 (intra-run parallel sharding with byte-identical output)
+//! and item 3 (removing `Rc<RefCell>` from the dispatch path) both reduce to
+//! one question: which engine state is tile-local, which is GPM-local, and
+//! which is wafer-global? This pass answers it statically and keeps the
+//! answer fresh in CI:
+//!
+//! * Every field of the four engine state structs in
+//!   `crates/core/src/sim/mod.rs` (`CuSlot`, `GpmState`, `IommuState`,
+//!   `Simulation`) is classified **tile-local** (one CU touches it),
+//!   **GPM-local** (one GPM's handlers touch it), or **wafer-global**
+//!   (any handler may touch it — the sharding worklist).
+//! * `CuSlot` defaults to tile-local, `GpmState` to GPM-local, and
+//!   `IommuState` to wafer-global (the IOMMU is a wafer-shared resource);
+//!   `Simulation` fields must each carry an explicit annotation.
+//! * A field overrides its default with `// shard: <class>` on its line or
+//!   in the comment block directly above; `, frozen` marks state that is
+//!   written only during construction and therefore safe to share read-only
+//!   across shards.
+//! * Any unsuppressed-or-not d7 (`shared-mut`) hit on a field forces it
+//!   wafer-global: shared interior mutability is reachable from anywhere by
+//!   construction. An annotation claiming otherwise is an error.
+//!
+//! The markdown rendering is spliced into DESIGN.md §13 between
+//! `<!-- shard-safety:begin -->` / `<!-- shard-safety:end -->` markers;
+//! `xtask analyze --check` (in ci.sh) fails when the committed report no
+//! longer matches the source.
+
+use std::fmt;
+use std::path::Path;
+
+use crate::scope::ItemKind;
+use crate::{analyze_file, classify, json_string, FileAnalysis, Rule};
+
+/// The file the engine state structs live in.
+pub const ENGINE_FILE: &str = "crates/core/src/sim/mod.rs";
+
+/// Region markers for the committed report in DESIGN.md.
+pub const BEGIN_MARKER: &str = "<!-- shard-safety:begin -->";
+pub const END_MARKER: &str = "<!-- shard-safety:end -->";
+
+/// Concurrency reach of one piece of engine state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardClass {
+    TileLocal,
+    GpmLocal,
+    WaferGlobal,
+}
+
+impl ShardClass {
+    pub fn name(self) -> &'static str {
+        match self {
+            ShardClass::TileLocal => "tile-local",
+            ShardClass::GpmLocal => "gpm-local",
+            ShardClass::WaferGlobal => "wafer-global",
+        }
+    }
+
+    fn parse(token: &str) -> Option<ShardClass> {
+        match token {
+            "tile-local" => Some(ShardClass::TileLocal),
+            "gpm-local" => Some(ShardClass::GpmLocal),
+            "wafer-global" => Some(ShardClass::WaferGlobal),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ShardClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One classified struct field.
+#[derive(Clone, Debug)]
+pub struct FieldInfo {
+    pub name: String,
+    /// 1-based line of the declaration.
+    pub line: usize,
+    pub class: ShardClass,
+    /// Written only during construction; shareable read-only.
+    pub frozen: bool,
+    /// A d7 hit on the declaration forced wafer-global.
+    pub forced_by_d7: bool,
+}
+
+/// One engine struct and its classified fields.
+#[derive(Clone, Debug)]
+pub struct StructReport {
+    pub name: String,
+    /// The class a field gets without an annotation; `None` means every
+    /// field must be annotated explicitly.
+    pub default: Option<ShardClass>,
+    pub fields: Vec<FieldInfo>,
+}
+
+/// The whole shard-safety report.
+#[derive(Clone, Debug, Default)]
+pub struct ShardReport {
+    pub structs: Vec<StructReport>,
+}
+
+/// The four engine structs and their default classes.
+const TARGETS: [(&str, Option<ShardClass>); 4] = [
+    ("CuSlot", Some(ShardClass::TileLocal)),
+    ("GpmState", Some(ShardClass::GpmLocal)),
+    ("IommuState", Some(ShardClass::WaferGlobal)),
+    ("Simulation", None),
+];
+
+/// Parses a `// shard: <class>[, frozen]` pragma anywhere in `raw`.
+fn parse_annotation(raw: &str) -> Option<Result<(ShardClass, bool), String>> {
+    let at = raw.find("// shard:")?;
+    let rest = raw[at + "// shard:".len()..].trim();
+    let mut parts = rest.split(',').map(str::trim);
+    let class_token = parts.next().unwrap_or_default();
+    // The class token ends at the first whitespace so prose may follow.
+    let class_token = class_token.split_whitespace().next().unwrap_or_default();
+    let Some(class) = ShardClass::parse(class_token) else {
+        return Some(Err(format!(
+            "unknown shard class `{class_token}`; expected tile-local, gpm-local, \
+             or wafer-global"
+        )));
+    };
+    let frozen = parts.any(|p| p.split_whitespace().next() == Some("frozen"));
+    Some(Ok((class, frozen)))
+}
+
+/// Classifies the engine file. Returns the report plus human-readable
+/// classification errors (missing/invalid annotations, d7 conflicts).
+pub fn analyze_source(path: &str, source: &str) -> (ShardReport, Vec<String>) {
+    let rules = classify(Path::new(path));
+    let file = analyze_file(path, source, rules);
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let mut report = ShardReport::default();
+    let mut errors = Vec::new();
+
+    for (target, default) in TARGETS {
+        let Some(span) = file
+            .pre
+            .items
+            .iter()
+            .find(|s| s.kind == ItemKind::Struct && s.path == target)
+        else {
+            errors.push(format!("{path}: struct `{target}` not found"));
+            continue;
+        };
+        let mut fields = Vec::new();
+        for idx in span.start_line..span.end_line.saturating_sub(1) {
+            let line = &file.pre.lines[idx];
+            if line.depth != span.body_depth || line.paren != 0 || line.test_code {
+                continue;
+            }
+            let Some(name) = field_name(&line.code) else {
+                continue;
+            };
+            let lineno = idx + 1;
+            let forced_by_d7 = file
+                .raw_diags
+                .iter()
+                .any(|d| d.rule == Rule::SharedMut && d.line == lineno);
+            let mut bad_annotation = false;
+            let (class, frozen) = match annotation_for(&file, &raw_lines, idx) {
+                Some(Ok((class, frozen))) => (Some(class), frozen),
+                Some(Err(e)) => {
+                    errors.push(format!("{path}:{lineno}: field `{target}.{name}`: {e}"));
+                    bad_annotation = true;
+                    (None, false)
+                }
+                None => (default, false),
+            };
+            let Some(mut class) = class else {
+                if !bad_annotation {
+                    errors.push(format!(
+                        "{path}:{lineno}: field `{target}.{name}` needs an explicit \
+                         `// shard: <class>` annotation ({target} has no default class)"
+                    ));
+                }
+                continue;
+            };
+            if forced_by_d7 && class != ShardClass::WaferGlobal {
+                errors.push(format!(
+                    "{path}:{lineno}: field `{target}.{name}` is annotated {class} but a \
+                     shared-mut (d7) hit on its declaration forces wafer-global"
+                ));
+                class = ShardClass::WaferGlobal;
+            }
+            fields.push(FieldInfo {
+                name,
+                line: lineno,
+                class,
+                frozen,
+                forced_by_d7,
+            });
+        }
+        if fields.is_empty() {
+            errors.push(format!("{path}: struct `{target}` has no parseable fields"));
+        }
+        report.structs.push(StructReport {
+            name: target.to_string(),
+            default,
+            fields,
+        });
+    }
+    (report, errors)
+}
+
+/// Runs the analysis against the workspace on disk.
+pub fn analyze_workspace(root: &Path) -> (ShardReport, Vec<String>) {
+    let path = root.join(ENGINE_FILE);
+    match std::fs::read_to_string(&path) {
+        Ok(source) => analyze_source(ENGINE_FILE, &source),
+        Err(e) => (
+            ShardReport::default(),
+            vec![format!("{}: {e}", path.display())],
+        ),
+    }
+}
+
+/// Finds the `// shard:` annotation for the field on 0-based line `idx`:
+/// same raw line, or the comment block (stripped-empty lines) directly above.
+fn annotation_for(
+    file: &FileAnalysis,
+    raw_lines: &[&str],
+    idx: usize,
+) -> Option<Result<(ShardClass, bool), String>> {
+    if let Some(a) = parse_annotation(raw_lines[idx]) {
+        return Some(a);
+    }
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        // A preceding code line ends the comment block — a trailing annotation
+        // there belongs to that line's field, not this one.
+        if !file.pre.lines[j].code.trim().is_empty() {
+            return None;
+        }
+        if let Some(a) = parse_annotation(raw_lines[j]) {
+            return Some(a);
+        }
+    }
+    None
+}
+
+/// Parses `pub(crate) name: Type,` into `name`; `None` for non-field lines
+/// (attributes, braces, comments).
+fn field_name(code: &str) -> Option<String> {
+    let mut rest = code.trim_start();
+    if rest.starts_with('#') {
+        return None;
+    }
+    if let Some(after) = rest.strip_prefix("pub") {
+        // `pub`, `pub(crate)`, `pub(super)`, ... — but only when `pub` is a
+        // whole word.
+        let after = after.trim_start();
+        if let Some(body) = after.strip_prefix('(') {
+            let close = body.find(')')?;
+            rest = body[close + 1..].trim_start();
+        } else if after.len() < rest.len() {
+            rest = after;
+        } else {
+            return None; // `pub` glued to something else — not a field
+        }
+    }
+    let bytes = rest.as_bytes();
+    let mut end = 0;
+    while end < bytes.len() && crate::scope::is_ident_byte(bytes[end]) {
+        end += 1;
+    }
+    if end == 0 {
+        return None;
+    }
+    let name = &rest[..end];
+    let tail = rest[end..].trim_start();
+    // A field is `name: Type` — reject paths (`::`) and non-colon lines.
+    if tail.starts_with(':') && !tail.starts_with("::") {
+        Some(name.to_string())
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rendering.
+// ---------------------------------------------------------------------------
+
+/// Markdown rendering — the text committed between the DESIGN.md markers.
+pub fn markdown(report: &ShardReport) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Generated by `cargo run -p xtask -- analyze --write`; checked by \
+         `xtask analyze --check` in ci.sh.\n",
+    );
+    for s in &report.structs {
+        out.push_str(&format!("\n**`{}`**", s.name));
+        match s.default {
+            Some(d) => out.push_str(&format!(" (default {d})")),
+            None => out.push_str(" (explicit annotations required)"),
+        }
+        out.push_str(":\n\n| Field | Class | Notes |\n|---|---|---|\n");
+        for f in &s.fields {
+            let mut notes = Vec::new();
+            if f.frozen {
+                notes.push("frozen after construction");
+            }
+            if f.forced_by_d7 {
+                notes.push("forced by d7 shared-mut hit");
+            }
+            out.push_str(&format!(
+                "| `{}` | {} | {} |\n",
+                f.name,
+                f.class,
+                notes.join("; ")
+            ));
+        }
+    }
+    let worklist: Vec<&FieldInfo> = report
+        .structs
+        .iter()
+        .filter(|s| s.name == "Simulation")
+        .flat_map(|s| s.fields.iter())
+        .filter(|f| f.class == ShardClass::WaferGlobal && !f.frozen)
+        .collect();
+    out.push_str(
+        "\n**Sharding worklist** — mutable wafer-global engine state; every entry \
+         must become shard-owned, message-passed, or lock-protected before \
+         ROADMAP item 1 lands:\n\n",
+    );
+    for f in &worklist {
+        out.push_str(&format!("- `Simulation::{}`\n", f.name));
+    }
+    out
+}
+
+/// JSON rendering (`xtask analyze --json`).
+pub fn to_json(report: &ShardReport, errors: &[String]) -> String {
+    let mut out = String::from("{\n  \"structs\": [");
+    for (i, s) in report.structs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"name\": {}, \"default\": {}, \"fields\": [",
+            json_string(&s.name),
+            match s.default {
+                Some(d) => json_string(d.name()),
+                None => "null".to_string(),
+            }
+        ));
+        for (j, f) in s.fields.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n      {{\"name\": {}, \"line\": {}, \"class\": {}, \"frozen\": {}, \
+                 \"forced_by_d7\": {}}}",
+                json_string(&f.name),
+                f.line,
+                json_string(f.class.name()),
+                f.frozen,
+                f.forced_by_d7,
+            ));
+        }
+        if !s.fields.is_empty() {
+            out.push_str("\n    ");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n  ],\n  \"errors\": [");
+    for (i, e) in errors.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&json_string(e));
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Splices the rendered report into `design` between the markers. Returns
+/// `None` when the markers are missing.
+pub fn splice(design: &str, rendered: &str) -> Option<String> {
+    let begin = design.find(BEGIN_MARKER)?;
+    let end = design.find(END_MARKER)?;
+    if end < begin {
+        return None;
+    }
+    let mut out = String::with_capacity(design.len() + rendered.len());
+    out.push_str(&design[..begin + BEGIN_MARKER.len()]);
+    out.push('\n');
+    out.push_str(rendered);
+    out.push_str(&design[end..]);
+    Some(out)
+}
+
+/// The committed text between the markers, for `--check`.
+pub fn committed_region(design: &str) -> Option<&str> {
+    let begin = design.find(BEGIN_MARKER)? + BEGIN_MARKER.len();
+    let end = design.find(END_MARKER)?;
+    design.get(begin..end).map(|s| s.trim_start_matches('\n'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ENGINE: &str = "\
+pub(crate) struct CuSlot {
+    pub pipeline: CuPipeline,
+    pub l1_tlb: Tlb,
+}
+
+pub(crate) struct GpmState {
+    pub cus: Vec<CuSlot>,
+    pub l2_tlb: Tlb,
+    // shard: wafer-global
+    pub remote_mshr: HashIndex<Vec<ReqId>>,
+}
+
+pub(crate) struct IommuState {
+    pub walkers: WalkerPool<ReqId>,
+}
+
+pub struct Simulation {
+    pub(crate) cfg: SystemConfig, // shard: wafer-global, frozen
+    pub(crate) queue: EventQueue<Event>, // shard: wafer-global
+    pub(crate) gpms: Vec<GpmState>, // shard: gpm-local
+}
+";
+
+    #[test]
+    fn defaults_annotations_and_worklist() {
+        let (report, errors) = analyze_source(ENGINE_FILE, ENGINE);
+        assert!(errors.is_empty(), "errors: {errors:#?}");
+        let by_name = |s: &str| {
+            report
+                .structs
+                .iter()
+                .find(|r| r.name == s)
+                .expect("struct present")
+                .clone()
+        };
+        let cu = by_name("CuSlot");
+        assert!(cu.fields.iter().all(|f| f.class == ShardClass::TileLocal));
+        let gpm = by_name("GpmState");
+        let mshr = gpm.fields.iter().find(|f| f.name == "remote_mshr").unwrap();
+        assert_eq!(mshr.class, ShardClass::WaferGlobal);
+        assert!(gpm
+            .fields
+            .iter()
+            .filter(|f| f.name != "remote_mshr")
+            .all(|f| f.class == ShardClass::GpmLocal));
+        let sim = by_name("Simulation");
+        let cfg = sim.fields.iter().find(|f| f.name == "cfg").unwrap();
+        assert!(cfg.frozen && cfg.class == ShardClass::WaferGlobal);
+        let md = markdown(&report);
+        assert!(md.contains("- `Simulation::queue`"));
+        assert!(
+            !md.contains("- `Simulation::cfg`"),
+            "frozen excluded:\n{md}"
+        );
+        assert!(!md.contains("- `Simulation::gpms`"));
+    }
+
+    #[test]
+    fn missing_simulation_annotation_is_an_error() {
+        let src = ENGINE.replace(" // shard: wafer-global\n", "\n");
+        let (_, errors) = analyze_source(ENGINE_FILE, &src);
+        assert!(
+            errors.iter().any(|e| e.contains("Simulation.queue")),
+            "errors: {errors:#?}"
+        );
+    }
+
+    #[test]
+    fn d7_hit_forces_wafer_global() {
+        let src = ENGINE.replace(
+            "pub(crate) queue: EventQueue<Event>, // shard: wafer-global",
+            "pub(crate) auditor: std::rc::Rc<std::cell::RefCell<Auditor>>, // shard: gpm-local",
+        );
+        let (report, errors) = analyze_source(ENGINE_FILE, &src);
+        assert!(
+            errors.iter().any(|e| e.contains("forces wafer-global")),
+            "errors: {errors:#?}"
+        );
+        let sim = report
+            .structs
+            .iter()
+            .find(|s| s.name == "Simulation")
+            .unwrap();
+        let auditor = sim.fields.iter().find(|f| f.name == "auditor").unwrap();
+        assert_eq!(auditor.class, ShardClass::WaferGlobal);
+        assert!(auditor.forced_by_d7);
+    }
+
+    #[test]
+    fn splice_and_check_round_trip() {
+        let design =
+            format!("# Doc\n\nbefore\n\n{BEGIN_MARKER}\nold text\n{END_MARKER}\n\nafter\n");
+        let (report, _) = analyze_source(ENGINE_FILE, ENGINE);
+        let rendered = markdown(&report);
+        let spliced = splice(&design, &rendered).expect("markers present");
+        assert!(spliced.contains(&rendered));
+        assert!(spliced.contains("before") && spliced.contains("after"));
+        assert_eq!(committed_region(&spliced), Some(rendered.as_str()));
+        assert!(splice("no markers", &rendered).is_none());
+    }
+
+    #[test]
+    fn json_is_emitted() {
+        let (report, errors) = analyze_source(ENGINE_FILE, ENGINE);
+        let json = to_json(&report, &errors);
+        assert!(json.contains("\"name\": \"Simulation\""));
+        assert!(json.contains("\"class\": \"wafer-global\""));
+        assert!(json.contains("\"errors\": []"));
+    }
+}

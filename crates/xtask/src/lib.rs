@@ -1,6 +1,9 @@
-//! Determinism lint pass for the HDPAT workspace (`cargo run -p xtask -- lint`).
+//! Determinism and shard-safety lint pass for the HDPAT workspace
+//! (`cargo run -p xtask -- lint`), plus the `xtask analyze` shard-safety
+//! report (see [`analyze`]).
 //!
-//! Six rules, documented in DESIGN.md under "Determinism & audit policy":
+//! Ten rules, documented in DESIGN.md §13 ("Static analysis &
+//! shard-safety"):
 //!
 //! * `map-iter` (d1) — no iteration over `HashMap`/`HashSet` in library code.
 //!   Hash iteration order depends on `RandomState`, so any model behaviour or
@@ -32,11 +35,36 @@
 //!   all nondeterminism hazards. The sanctioned replacement is the seeded
 //!   `wsg_sim::HashIndex` (`crates/sim/src/index.rs`, the one exempt file) or
 //!   a BTree collection; see DESIGN.md §11.
+//! * `shared-mut` (d7) — no shared interior mutability (`Rc<RefCell<..>>`,
+//!   `Cell<..>`, `static mut`, `thread_local!`) in simulator-crate library
+//!   code. Every such site is state that two shards could reach at once —
+//!   the exact worklist for ROADMAP items 1 (parallel sharding) and 3
+//!   (removing `Rc<RefCell>` from dispatch). The sanctioned homes are the
+//!   audit/trace/telemetry sinks in `crates/sim` (module-scoped allows) and
+//!   the engine hook fields that hold them in `crates/core/src/sim/mod.rs`.
+//! * `site-registry` (d8) — audit/trace/telemetry site-id registrations are
+//!   statically collected and model-checked: site expressions are evaluated
+//!   under small and large wafer configurations, and the pass fails on id
+//!   collisions (the PR 4 fig21 L1-TLB class, previously only caught at
+//!   runtime) or on a component registering with one observability sink but
+//!   not the others. See [`registry`].
+//! * `stale-allow` (d9) — every `lint:allow` must still suppress at least
+//!   one hit of its rule and carry a `: justification` suffix; a stale or
+//!   bare allow is itself an error, so the allowlist can never rot. d9
+//!   diagnostics cannot themselves be allowed.
+//! * `det-string` (d10) — code inside `Metrics::to_deterministic_string`
+//!   must not read host-side fields (`host_wall_nanos`, `sim_events`, or
+//!   anything wall/host-named): the deterministic contract string feeds
+//!   run-parity gates, so a wall-clock value there would break byte-identical
+//!   reruns by construction.
 //!
-//! Any site can opt out with `// lint:allow(<rule>)` on the same line or in
-//! the comment block immediately above; rules are named by slug (`map-iter`)
-//! or code (`d1`). The linter strips comments and string literals and skips
-//! `#[cfg(test)]` regions, but it is a line scanner, not a parser — it trades
+//! Any site can opt out with `// lint:allow(<rule>): <justification>` on the
+//! same line or in the comment block immediately above, or for a whole scope
+//! with `// lint:allow-module(<rule>): <justification>` (covering to the end
+//! of the enclosing braces; the whole file at top level). Rules are named by
+//! slug (`map-iter`) or code (`d1`). The linter strips comments and string
+//! literals, tracks brace/item scope (see [`scope`]), and skips
+//! `#[cfg(test)]` regions, but it is a scanner, not a parser — it trades
 //! completeness for having zero dependencies.
 
 use std::collections::BTreeSet;
@@ -44,7 +72,13 @@ use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-/// The six determinism rules.
+pub mod analyze;
+pub mod registry;
+pub mod scope;
+
+use scope::PreSource;
+
+/// The ten determinism/shard-safety rules.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// d1: iteration over a hash-ordered collection.
@@ -59,9 +93,31 @@ pub enum Rule {
     HookPattern,
     /// d6: an entropy-seeded `HashMap`/`HashSet` in simulator-crate code.
     DefaultHash,
+    /// d7: shared interior mutability outside the sanctioned sinks.
+    SharedMut,
+    /// d8: an observability site-id collision or sink-coverage gap.
+    SiteRegistry,
+    /// d9: a `lint:allow` that no longer fires, or lacks a justification.
+    StaleAllow,
+    /// d10: a host-side field read inside `to_deterministic_string`.
+    DetString,
 }
 
 impl Rule {
+    /// Every rule, in code order.
+    pub const ALL: [Rule; 10] = [
+        Rule::MapIter,
+        Rule::Wallclock,
+        Rule::FloatCycle,
+        Rule::Unwrap,
+        Rule::HookPattern,
+        Rule::DefaultHash,
+        Rule::SharedMut,
+        Rule::SiteRegistry,
+        Rule::StaleAllow,
+        Rule::DetString,
+    ];
+
     /// Human-readable slug used in diagnostics and `lint:allow(...)`.
     pub fn name(self) -> &'static str {
         match self {
@@ -71,10 +127,14 @@ impl Rule {
             Rule::Unwrap => "unwrap",
             Rule::HookPattern => "hook-pattern",
             Rule::DefaultHash => "default-hash",
+            Rule::SharedMut => "shared-mut",
+            Rule::SiteRegistry => "site-registry",
+            Rule::StaleAllow => "stale-allow",
+            Rule::DetString => "det-string",
         }
     }
 
-    /// Short code (d1..d6), also accepted inside `lint:allow(...)`.
+    /// Short code (d1..d10), also accepted inside `lint:allow(...)`.
     pub fn code(self) -> &'static str {
         match self {
             Rule::MapIter => "d1",
@@ -83,30 +143,31 @@ impl Rule {
             Rule::Unwrap => "d4",
             Rule::HookPattern => "d5",
             Rule::DefaultHash => "d6",
+            Rule::SharedMut => "d7",
+            Rule::SiteRegistry => "d8",
+            Rule::StaleAllow => "d9",
+            Rule::DetString => "d10",
         }
     }
 
     /// Parses either the slug or the code; unknown tokens yield `None`.
     pub fn parse(token: &str) -> Option<Rule> {
-        match token {
-            "map-iter" | "d1" => Some(Rule::MapIter),
-            "wallclock" | "d2" => Some(Rule::Wallclock),
-            "float-cycle" | "d3" => Some(Rule::FloatCycle),
-            "unwrap" | "d4" => Some(Rule::Unwrap),
-            "hook-pattern" | "d5" => Some(Rule::HookPattern),
-            "default-hash" | "d6" => Some(Rule::DefaultHash),
-            _ => None,
-        }
+        Rule::ALL
+            .into_iter()
+            .find(|r| r.name() == token || r.code() == token)
     }
 }
 
-/// One lint finding, formatted as `path:line: [rule] message`.
+/// One lint finding, formatted as `path:line: [rule] message (in item)`.
 #[derive(Clone, Debug)]
 pub struct Diagnostic {
     pub path: String,
     pub line: usize,
     pub rule: Rule,
     pub message: String,
+    /// `::`-joined enclosing item path (`Simulation::set_tracer`), empty at
+    /// top level or when unknown.
+    pub item: String,
 }
 
 impl fmt::Display for Diagnostic {
@@ -118,7 +179,11 @@ impl fmt::Display for Diagnostic {
             self.line,
             self.rule.name(),
             self.message
-        )
+        )?;
+        if !self.item.is_empty() {
+            write!(f, " (in {})", self.item)?;
+        }
+        Ok(())
     }
 }
 
@@ -131,6 +196,10 @@ pub struct RuleSet {
     pub unwrap: bool,
     pub hook_pattern: bool,
     pub default_hash: bool,
+    pub shared_mut: bool,
+    pub site_registry: bool,
+    pub stale_allow: bool,
+    pub det_string: bool,
 }
 
 impl RuleSet {
@@ -142,6 +211,10 @@ impl RuleSet {
             unwrap: true,
             hook_pattern: true,
             default_hash: true,
+            shared_mut: true,
+            site_registry: true,
+            stale_allow: true,
+            det_string: true,
         }
     }
 
@@ -151,6 +224,21 @@ impl RuleSet {
 
     pub fn is_empty(&self) -> bool {
         *self == RuleSet::none()
+    }
+
+    pub fn contains(&self, rule: Rule) -> bool {
+        match rule {
+            Rule::MapIter => self.map_iter,
+            Rule::Wallclock => self.wallclock,
+            Rule::FloatCycle => self.float_cycle,
+            Rule::Unwrap => self.unwrap,
+            Rule::HookPattern => self.hook_pattern,
+            Rule::DefaultHash => self.default_hash,
+            Rule::SharedMut => self.shared_mut,
+            Rule::SiteRegistry => self.site_registry,
+            Rule::StaleAllow => self.stale_allow,
+            Rule::DetString => self.det_string,
+        }
     }
 }
 
@@ -162,282 +250,59 @@ pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
 }
 
-// ---------------------------------------------------------------------------
-// Source preprocessing: comment/string stripping, cfg(test) regions, allows.
-// ---------------------------------------------------------------------------
-
-#[derive(Debug)]
-struct PreLine {
-    /// Line content with comments removed and string/char literal contents
-    /// blanked out (each skipped byte becomes a space, so token boundaries
-    /// survive but no literal text can trigger a rule).
-    code: String,
-    /// Rules named by `lint:allow(...)` anywhere on the raw line.
-    allows: Vec<Rule>,
-    /// True inside a `#[cfg(test)]` item: no rules apply.
-    test_code: bool,
-}
-
-#[derive(Clone, Copy)]
-enum ScanState {
-    Normal,
-    /// Nested block comment depth.
-    Block(u32),
-    Str,
-    /// Raw string, closing delimiter is `"` followed by this many `#`.
-    RawStr(u8),
-}
-
-fn parse_allows(raw: &str) -> Vec<Rule> {
-    let mut out = Vec::new();
-    let mut rest = raw;
-    while let Some(i) = rest.find("lint:allow(") {
-        rest = &rest[i + "lint:allow(".len()..];
-        let Some(end) = rest.find(')') else { break };
-        for token in rest[..end].split(',') {
-            if let Some(rule) = Rule::parse(token.trim()) {
-                out.push(rule);
+impl Report {
+    /// Machine-readable form consumed by ci.sh (`xtask lint --json`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"violations\": {},\n", self.diagnostics.len()));
+        out.push_str("  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
             }
+            out.push_str(&format!(
+                "\n    {{\"path\": {}, \"line\": {}, \"rule\": {}, \"code\": {}, \
+                 \"item\": {}, \"message\": {}}}",
+                json_string(&d.path),
+                d.line,
+                json_string(d.rule.name()),
+                json_string(d.rule.code()),
+                json_string(&d.item),
+                json_string(&d.message),
+            ));
         }
-        rest = &rest[end..];
+        if !self.diagnostics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
     }
+}
+
+/// Minimal JSON string escaping (the report contains no exotic text).
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
     out
-}
-
-fn is_ident_byte(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
-
-/// Strips one line according to the carried scanner state, returning the
-/// blanked code text and the state at end of line.
-fn strip_line(raw: &str, mut state: ScanState) -> (String, ScanState) {
-    let bytes = raw.as_bytes();
-    let len = bytes.len();
-    let mut code = Vec::with_capacity(len);
-    let mut i = 0;
-    while i < len {
-        match state {
-            ScanState::Block(depth) => {
-                if bytes[i] == b'/' && i + 1 < len && bytes[i + 1] == b'*' {
-                    state = ScanState::Block(depth + 1);
-                    i += 2;
-                } else if bytes[i] == b'*' && i + 1 < len && bytes[i + 1] == b'/' {
-                    state = if depth == 1 {
-                        ScanState::Normal
-                    } else {
-                        ScanState::Block(depth - 1)
-                    };
-                    i += 2;
-                } else {
-                    i += 1;
-                }
-                code.push(b' ');
-            }
-            ScanState::Str => {
-                if bytes[i] == b'\\' {
-                    i += 2;
-                    code.push(b' ');
-                } else if bytes[i] == b'"' {
-                    state = ScanState::Normal;
-                    i += 1;
-                    code.push(b' ');
-                } else {
-                    i += 1;
-                    code.push(b' ');
-                }
-            }
-            ScanState::RawStr(hashes) => {
-                if bytes[i] == b'"' {
-                    let h = hashes as usize;
-                    if i + h < len
-                        && bytes[i + 1..].len() >= h
-                        && bytes[i + 1..i + 1 + h].iter().all(|&b| b == b'#')
-                    {
-                        state = ScanState::Normal;
-                        i += 1 + h;
-                        code.push(b' ');
-                        continue;
-                    }
-                }
-                i += 1;
-                code.push(b' ');
-            }
-            ScanState::Normal => {
-                let b = bytes[i];
-                let prev_is_ident = i > 0 && is_ident_byte(bytes[i - 1]);
-                if b == b'/' && i + 1 < len && bytes[i + 1] == b'/' {
-                    // Line comment: rest of the line is gone.
-                    break;
-                } else if b == b'/' && i + 1 < len && bytes[i + 1] == b'*' {
-                    state = ScanState::Block(1);
-                    i += 2;
-                    code.push(b' ');
-                } else if b == b'"' {
-                    state = ScanState::Str;
-                    i += 1;
-                    code.push(b' ');
-                } else if (b == b'r' || b == b'b') && !prev_is_ident {
-                    // Possible raw/byte string prefix: r", r#", br", br#".
-                    let mut j = i + 1;
-                    if b == b'b' && j < len && bytes[j] == b'r' {
-                        j += 1;
-                    } else if b == b'b' {
-                        // b"..." or b'.' fall through to plain handling below.
-                        j = i + 1;
-                        if j < len && bytes[j] == b'"' {
-                            state = ScanState::Str;
-                            i = j + 1;
-                            code.push(b' ');
-                            code.push(b' ');
-                            continue;
-                        }
-                        code.push(b);
-                        i += 1;
-                        continue;
-                    }
-                    let mut hashes = 0u8;
-                    while j < len && bytes[j] == b'#' {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    if b == b'r' && hashes == 0 && j == i + 1 && (j >= len || bytes[j] != b'"') {
-                        // Just the identifier letter `r`.
-                        code.push(b);
-                        i += 1;
-                        continue;
-                    }
-                    if j < len && bytes[j] == b'"' {
-                        state = ScanState::RawStr(hashes);
-                        code.extend(std::iter::repeat_n(b' ', j - i + 1));
-                        i = j + 1;
-                    } else {
-                        code.push(b);
-                        i += 1;
-                    }
-                } else if b == b'\'' {
-                    // Char literal vs lifetime.
-                    if i + 1 < len && bytes[i + 1] == b'\\' {
-                        let mut j = i + 3; // skip the escaped byte
-                        while j < len && bytes[j] != b'\'' {
-                            j += 1;
-                        }
-                        code.extend(std::iter::repeat_n(b' ', j.min(len - 1) - i + 1));
-                        i = j + 1;
-                    } else if i + 2 < len && bytes[i + 2] == b'\'' && bytes[i + 1] != b'\'' {
-                        code.push(b' ');
-                        code.push(b' ');
-                        code.push(b' ');
-                        i += 3;
-                    } else {
-                        // Lifetime tick: drop the tick, keep the name.
-                        code.push(b' ');
-                        i += 1;
-                    }
-                } else {
-                    code.push(b);
-                    i += 1;
-                }
-            }
-        }
-    }
-    (String::from_utf8_lossy(&code).into_owned(), state)
-}
-
-fn preprocess(source: &str) -> Vec<PreLine> {
-    let mut out = Vec::new();
-    let mut state = ScanState::Normal;
-    for raw in source.lines() {
-        let allows = parse_allows(raw);
-        let (code, next) = strip_line(raw, state);
-        state = next;
-        out.push(PreLine {
-            code,
-            allows,
-            test_code: false,
-        });
-    }
-    mark_test_regions(&mut out);
-    out
-}
-
-/// Marks every line belonging to a `#[cfg(test)]` item (attribute line
-/// through the matching close brace) as test code.
-fn mark_test_regions(lines: &mut [PreLine]) {
-    let mut pending_attr = false;
-    let mut depth: i64 = 0;
-    let mut in_region = false;
-    for line in lines.iter_mut() {
-        if in_region {
-            line.test_code = true;
-            depth += brace_delta(&line.code);
-            if depth <= 0 {
-                in_region = false;
-            }
-            continue;
-        }
-        if line.code.contains("#[cfg(test)]") || line.code.contains("#[cfg(all(test") {
-            pending_attr = true;
-            line.test_code = true;
-            continue;
-        }
-        if pending_attr {
-            line.test_code = true;
-            if line.code.contains('{') {
-                pending_attr = false;
-                depth = brace_delta(&line.code);
-                in_region = depth > 0;
-            }
-        }
-    }
-}
-
-fn brace_delta(code: &str) -> i64 {
-    let mut d = 0i64;
-    for b in code.bytes() {
-        match b {
-            b'{' => d += 1,
-            b'}' => d -= 1,
-            _ => {}
-        }
-    }
-    d
 }
 
 // ---------------------------------------------------------------------------
 // Rule checks.
 // ---------------------------------------------------------------------------
 
-/// Every occurrence of `needle` in `hay` that stands alone as an identifier.
-fn ident_occurrences(hay: &str, needle: &str) -> Vec<usize> {
-    let bytes = hay.as_bytes();
-    let mut out = Vec::new();
-    let mut start = 0;
-    while let Some(pos) = hay[start..].find(needle) {
-        let i = start + pos;
-        let before_ok = i == 0 || !is_ident_byte(bytes[i - 1]);
-        let end = i + needle.len();
-        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
-        if before_ok && after_ok {
-            out.push(i);
-        }
-        start = i + needle.len();
-    }
-    out
-}
-
-/// Reads the identifier that ends at byte `end` (exclusive), if any.
-fn ident_ending_at(code: &str, end: usize) -> Option<&str> {
-    let bytes = code.as_bytes();
-    let mut start = end;
-    while start > 0 && is_ident_byte(bytes[start - 1]) {
-        start -= 1;
-    }
-    if start == end {
-        None
-    } else {
-        Some(&code[start..end])
-    }
-}
+use scope::{ident_ending_at, ident_occurrences, is_ident_byte};
 
 /// Collects identifiers declared with a `HashMap`/`HashSet` type or
 /// initialised from one (`x: HashMap<..>`, `let x = HashMap::new()`).
@@ -555,15 +420,15 @@ fn check_map_iter(
                 }
             }
             if flagged {
-                diags.push(Diagnostic {
-                    path: path.to_string(),
-                    line: lineno,
-                    rule: Rule::MapIter,
-                    message: format!(
+                diags.push(diag(
+                    path,
+                    lineno,
+                    Rule::MapIter,
+                    format!(
                         "iteration over hash-ordered collection `{ident}`; use BTreeMap/BTreeSet, \
                          sort the keys first, or annotate lint:allow(map-iter)"
                     ),
-                });
+                ));
                 break;
             }
         }
@@ -584,16 +449,16 @@ const WALLCLOCK_PATTERNS: [(&str, &str); 8] = [
 fn check_wallclock(path: &str, lineno: usize, code: &str, diags: &mut Vec<Diagnostic>) {
     for (pat, what) in WALLCLOCK_PATTERNS {
         if code.contains(pat) {
-            diags.push(Diagnostic {
-                path: path.to_string(),
-                line: lineno,
-                rule: Rule::Wallclock,
-                message: format!(
+            diags.push(diag(
+                path,
+                lineno,
+                Rule::Wallclock,
+                format!(
                     "{what} `{pat}` in model code; route randomness through the seeded \
                      SimRng, threads through wsg_sim::pool, or annotate \
                      lint:allow(wallclock)"
                 ),
-            });
+            ));
         }
     }
 }
@@ -621,14 +486,14 @@ fn check_float_cycle(path: &str, lineno: usize, code: &str, diags: &mut Vec<Diag
             || code.contains(".powf(")
             || has_float_literal(code);
         if floaty {
-            diags.push(Diagnostic {
-                path: path.to_string(),
-                line: lineno,
-                rule: Rule::FloatCycle,
-                message: "floating-point expression cast into Cycle; keep cycle math in \
-                          integers (div_ceil etc.) or annotate lint:allow(float-cycle)"
+            diags.push(diag(
+                path,
+                lineno,
+                Rule::FloatCycle,
+                "floating-point expression cast into Cycle; keep cycle math in \
+                 integers (div_ceil etc.) or annotate lint:allow(float-cycle)"
                     .to_string(),
-            });
+            ));
         }
     }
 }
@@ -636,15 +501,15 @@ fn check_float_cycle(path: &str, lineno: usize, code: &str, diags: &mut Vec<Diag
 fn check_unwrap(path: &str, lineno: usize, code: &str, diags: &mut Vec<Diagnostic>) {
     for pat in [".unwrap()", ".expect("] {
         if code.contains(pat) {
-            diags.push(Diagnostic {
-                path: path.to_string(),
-                line: lineno,
-                rule: Rule::Unwrap,
-                message: format!(
+            diags.push(diag(
+                path,
+                lineno,
+                Rule::Unwrap,
+                format!(
                     "`{pat}..` in model-crate library code; return an error, handle the None \
                      case, or annotate lint:allow(unwrap)"
                 ),
-            });
+            ));
         }
     }
 }
@@ -685,16 +550,16 @@ fn check_hook_pattern(path: &str, lineno: usize, code: &str, diags: &mut Vec<Dia
             if j == 0 || bytes[j - 1] != b':' || (j >= 2 && bytes[j - 2] == b':') {
                 continue;
             }
-            diags.push(Diagnostic {
-                path: path.to_string(),
-                line: lineno,
-                rule: Rule::HookPattern,
-                message: format!(
+            diags.push(diag(
+                path,
+                lineno,
+                Rule::HookPattern,
+                format!(
                     "`{needle}` stored directly; observability hooks must stay optional \
                      (`Option<{needle}>` plus a set_* attach method, like the audit \
                      pattern) or annotate lint:allow(hook-pattern)"
                 ),
-            });
+            ));
             break;
         }
     }
@@ -706,18 +571,322 @@ const DEFAULT_HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
 fn check_default_hash(path: &str, lineno: usize, code: &str, diags: &mut Vec<Diagnostic>) {
     for ty in DEFAULT_HASH_TYPES {
         if !ident_occurrences(code, ty).is_empty() {
-            diags.push(Diagnostic {
-                path: path.to_string(),
-                line: lineno,
-                rule: Rule::DefaultHash,
-                message: format!(
+            diags.push(diag(
+                path,
+                lineno,
+                Rule::DefaultHash,
+                format!(
                     "`{ty}` seeds its hasher from process entropy (RandomState); use the \
                      deterministic wsg_sim::HashIndex or a BTree collection, or annotate \
                      lint:allow(default-hash)"
                 ),
-            });
+            ));
         }
     }
+}
+
+/// d7: shared interior mutability that a future shard boundary cannot cross.
+fn check_shared_mut(path: &str, lineno: usize, code: &str, diags: &mut Vec<Diagnostic>) {
+    let refcell = !ident_occurrences(code, "RefCell").is_empty();
+    let rc = !ident_occurrences(code, "Rc").is_empty();
+    if refcell {
+        let what = if rc { "Rc<RefCell<..>>" } else { "RefCell" };
+        diags.push(diag(
+            path,
+            lineno,
+            Rule::SharedMut,
+            format!(
+                "`{what}` shared interior mutability in simulator code; a shard boundary \
+                 cannot cross it (ROADMAP items 1/3) — use plain indices or owned state, \
+                 or annotate lint:allow(shared-mut)"
+            ),
+        ));
+    } else if rc {
+        diags.push(diag(
+            path,
+            lineno,
+            Rule::SharedMut,
+            "`Rc` shared ownership in simulator code; shared state is a shard hazard \
+             (ROADMAP items 1/3) — use plain indices or owned state, or annotate \
+             lint:allow(shared-mut)"
+                .to_string(),
+        ));
+    }
+    // `Cell<..>` (but not RefCell/UnsafeCell/OnceCell, matched as whole
+    // idents above or ignored here).
+    if !ident_occurrences(code, "Cell").is_empty() {
+        diags.push(diag(
+            path,
+            lineno,
+            Rule::SharedMut,
+            "`Cell` interior mutability in simulator code; a shard boundary cannot \
+             cross it — use owned state, or annotate lint:allow(shared-mut)"
+                .to_string(),
+        ));
+    }
+    if code.contains("static mut") {
+        diags.push(diag(
+            path,
+            lineno,
+            Rule::SharedMut,
+            "`static mut` global state in simulator code; globals break sharding and \
+             determinism — thread state through the engine, or annotate \
+             lint:allow(shared-mut)"
+                .to_string(),
+        ));
+    }
+    if !ident_occurrences(code, "thread_local").is_empty() {
+        diags.push(diag(
+            path,
+            lineno,
+            Rule::SharedMut,
+            "`thread_local!` state in simulator code; per-thread state makes results \
+             depend on the thread a shard runs on — thread state through the engine, \
+             or annotate lint:allow(shared-mut)"
+                .to_string(),
+        ));
+    }
+}
+
+/// Field names banned from the deterministic contract string (d10): anything
+/// host-side or wall-clock derived.
+fn det_string_banned(field: &str) -> bool {
+    field == "sim_events" || field.starts_with("host_") || field.contains("wall")
+}
+
+/// d10: inside `to_deterministic_string`, no `self.<host-side field>` reads.
+fn check_det_string(
+    path: &str,
+    lineno: usize,
+    code: &str,
+    item: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if !(item == "to_deterministic_string" || item.ends_with("::to_deterministic_string")) {
+        return;
+    }
+    let mut start = 0;
+    while let Some(pos) = code[start..].find("self.") {
+        let at = start + pos + "self.".len();
+        let bytes = code.as_bytes();
+        let mut end = at;
+        while end < bytes.len() && is_ident_byte(bytes[end]) {
+            end += 1;
+        }
+        let field = &code[at..end];
+        if det_string_banned(field) {
+            diags.push(diag(
+                path,
+                lineno,
+                Rule::DetString,
+                format!(
+                    "`self.{field}` read inside to_deterministic_string; host-side and \
+                     wall-clock fields stay outside the deterministic contract \
+                     (run-parity gates compare this string byte-for-byte)"
+                ),
+            ));
+        }
+        start = end.max(at);
+    }
+}
+
+fn diag(path: &str, line: usize, rule: Rule, message: String) -> Diagnostic {
+    Diagnostic {
+        path: path.to_string(),
+        line,
+        rule,
+        message,
+        item: String::new(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-file analysis and cross-file finalization.
+// ---------------------------------------------------------------------------
+
+/// One analysed file: preprocessed source, raw (pre-suppression) hits, and
+/// per-allow usage tracking. Produced by [`analyze_file`], consumed by
+/// [`finalize`].
+pub struct FileAnalysis {
+    pub path: String,
+    pub pre: PreSource,
+    pub rules: RuleSet,
+    /// Rule hits before allow suppression.
+    pub raw_diags: Vec<Diagnostic>,
+}
+
+/// Runs every per-line check on one source text. d8 (cross-line, possibly
+/// cross-file) and d9 (needs suppression results) run later in [`finalize`].
+pub fn analyze_file(path: &str, source: &str, rules: RuleSet) -> FileAnalysis {
+    let pre = scope::preprocess(source);
+    let mut map_idents = BTreeSet::new();
+    if rules.map_iter {
+        for line in &pre.lines {
+            if !line.test_code {
+                collect_map_idents(&line.code, &mut map_idents);
+            }
+        }
+    }
+    let mut raw = Vec::new();
+    for (idx, line) in pre.lines.iter().enumerate() {
+        if line.test_code || line.code.trim().is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let before = raw.len();
+        if rules.map_iter {
+            check_map_iter(path, lineno, &line.code, &map_idents, &mut raw);
+        }
+        if rules.wallclock {
+            check_wallclock(path, lineno, &line.code, &mut raw);
+        }
+        if rules.float_cycle {
+            check_float_cycle(path, lineno, &line.code, &mut raw);
+        }
+        if rules.unwrap {
+            check_unwrap(path, lineno, &line.code, &mut raw);
+        }
+        if rules.hook_pattern {
+            check_hook_pattern(path, lineno, &line.code, &mut raw);
+        }
+        if rules.default_hash {
+            check_default_hash(path, lineno, &line.code, &mut raw);
+        }
+        if rules.shared_mut {
+            check_shared_mut(path, lineno, &line.code, &mut raw);
+        }
+        if rules.det_string {
+            check_det_string(path, lineno, &line.code, pre.item_at(lineno), &mut raw);
+        }
+        let item = pre.item_at(lineno);
+        if !item.is_empty() {
+            let item = item.to_string();
+            for d in &mut raw[before..] {
+                d.item = item.clone();
+            }
+        }
+    }
+    FileAnalysis {
+        path: path.to_string(),
+        pre,
+        rules,
+        raw_diags: raw,
+    }
+}
+
+impl FileAnalysis {
+    /// Index of the allow covering `(rule, line)`, if any: same line, the
+    /// comment block immediately above, or an enclosing module-scoped allow.
+    fn covering_allow(&self, rule: Rule, line: usize) -> Option<usize> {
+        let idx = line - 1;
+        let lines = &self.pre.lines;
+        // Same line.
+        for &ai in &lines[idx].allow_ids {
+            if self.pre.allows[ai].rule == rule && !self.pre.allows[ai].module_scoped {
+                return Some(ai);
+            }
+        }
+        // Comment block (code-empty lines) directly above.
+        let mut j = idx;
+        while j > 0 {
+            j -= 1;
+            for &ai in &lines[j].allow_ids {
+                if self.pre.allows[ai].rule == rule && !self.pre.allows[ai].module_scoped {
+                    return Some(ai);
+                }
+            }
+            if !lines[j].code.trim().is_empty() {
+                break;
+            }
+        }
+        // Module-scoped allows covering this line.
+        self.pre
+            .allows
+            .iter()
+            .position(|a| a.module_scoped && a.rule == rule && a.line <= line && line <= a.end_line)
+    }
+}
+
+/// Applies allow suppression and the d9 stale-allow audit across a set of
+/// analysed files, plus any cross-file diagnostics (d8) routed to the file
+/// that owns their line. Returns the surviving diagnostics sorted by
+/// (path, line, rule).
+pub fn finalize(files: Vec<FileAnalysis>, cross: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in files {
+        let mut used = vec![false; file.pre.allows.len()];
+        let mut diags: Vec<Diagnostic> = file.raw_diags.clone();
+        diags.extend(cross.iter().filter(|d| d.path == file.path).cloned());
+        diags.retain(|d| match file.covering_allow(d.rule, d.line) {
+            Some(ai) => {
+                used[ai] = true;
+                false
+            }
+            None => true,
+        });
+        if file.rules.stale_allow {
+            for (ai, allow) in file.pre.allows.iter().enumerate() {
+                let scope_word = if allow.module_scoped {
+                    "lint:allow-module"
+                } else {
+                    "lint:allow"
+                };
+                let item = file.pre.item_at(allow.line).to_string();
+                if !file.rules.contains(allow.rule) {
+                    diags.push(Diagnostic {
+                        path: file.path.clone(),
+                        line: allow.line,
+                        rule: Rule::StaleAllow,
+                        message: format!(
+                            "stale {scope_word}({}): rule {} is not active for this file; \
+                             remove the allow",
+                            allow.rule.name(),
+                            allow.rule.code(),
+                        ),
+                        item,
+                    });
+                } else if !used[ai] {
+                    diags.push(Diagnostic {
+                        path: file.path.clone(),
+                        line: allow.line,
+                        rule: Rule::StaleAllow,
+                        message: format!(
+                            "stale {scope_word}({}): the rule no longer fires on the lines \
+                             it covers; remove the allow",
+                            allow.rule.name(),
+                        ),
+                        item,
+                    });
+                } else if !allow.justified {
+                    diags.push(Diagnostic {
+                        path: file.path.clone(),
+                        line: allow.line,
+                        rule: Rule::StaleAllow,
+                        message: format!(
+                            "{scope_word}({}) without a justification; append \
+                             `: <why this site is sound>`",
+                            allow.rule.name(),
+                        ),
+                        item,
+                    });
+                }
+            }
+        }
+        out.extend(diags);
+    }
+    // Cross diagnostics pointing at files that were not analysed (should not
+    // happen, but never drop a finding silently).
+    // (Files were consumed above; `cross` entries matching no file path were
+    // cloned into none of them.)
+    out.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule, a.message.as_str()).cmp(&(
+            b.path.as_str(),
+            b.line,
+            b.rule,
+            b.message.as_str(),
+        ))
+    });
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -725,70 +894,25 @@ fn check_default_hash(path: &str, lineno: usize, code: &str, diags: &mut Vec<Dia
 // ---------------------------------------------------------------------------
 
 /// Lints one source text under the given rule set. `path` is used verbatim in
-/// diagnostics.
+/// diagnostics. d8 runs against this file's registrations alone.
 pub fn lint_source(path: &str, source: &str, rules: RuleSet) -> Vec<Diagnostic> {
-    let lines = preprocess(source);
-    let mut map_idents = BTreeSet::new();
-    if rules.map_iter {
-        for line in &lines {
-            if !line.test_code {
-                collect_map_idents(&line.code, &mut map_idents);
-            }
-        }
-    }
-    let mut diags = Vec::new();
-    for (idx, line) in lines.iter().enumerate() {
-        if line.test_code || line.code.trim().is_empty() {
-            continue;
-        }
-        let lineno = idx + 1;
-        let allowed = |rule: Rule| {
-            if line.allows.contains(&rule) {
-                return true;
-            }
-            // Walk up through the comment block (code-empty lines) directly
-            // above this line; an allow anywhere in it applies here.
-            let mut j = idx;
-            while j > 0 {
-                j -= 1;
-                if lines[j].allows.contains(&rule) {
-                    return true;
-                }
-                if !lines[j].code.trim().is_empty() {
-                    break;
-                }
-            }
-            false
-        };
-        if rules.map_iter && !allowed(Rule::MapIter) {
-            check_map_iter(path, lineno, &line.code, &map_idents, &mut diags);
-        }
-        if rules.wallclock && !allowed(Rule::Wallclock) {
-            check_wallclock(path, lineno, &line.code, &mut diags);
-        }
-        if rules.float_cycle && !allowed(Rule::FloatCycle) {
-            check_float_cycle(path, lineno, &line.code, &mut diags);
-        }
-        if rules.unwrap && !allowed(Rule::Unwrap) {
-            check_unwrap(path, lineno, &line.code, &mut diags);
-        }
-        if rules.hook_pattern && !allowed(Rule::HookPattern) {
-            check_hook_pattern(path, lineno, &line.code, &mut diags);
-        }
-        if rules.default_hash && !allowed(Rule::DefaultHash) {
-            check_default_hash(path, lineno, &line.code, &mut diags);
-        }
-    }
-    diags
+    let file = analyze_file(path, source, rules);
+    let cross = if rules.site_registry {
+        registry::check(&registry::collect(&file))
+    } else {
+        Vec::new()
+    };
+    finalize(vec![file], cross)
 }
 
 /// Decides which rules apply to a workspace-relative path.
 ///
 /// * Library code (`src/`) of every crate: `map-iter`, `wallclock`,
 ///   `float-cycle`; plus `unwrap` for the five model crates
-///   (sim, noc, xlat, mem, gpu), and `default-hash` for the simulator crates
-///   (the five model crates, `core`, `workloads`, and the facade) — the
-///   `bench` CLI/report code runs host-side and may hash freely.
+///   (sim, noc, xlat, mem, gpu), and `default-hash`, `shared-mut`,
+///   `site-registry`, and `det-string` for the simulator crates (the five
+///   model crates, `core`, `workloads`, and the facade) — the `bench`
+///   CLI/report code runs host-side and may hash/share freely.
 /// * `crates/sim/src/rng.rs` (the sanctioned entropy boundary) and
 ///   `crates/sim/src/pool.rs` (the sanctioned thread-spawning site for
 ///   deterministic sweeps) are exempt from `wallclock`;
@@ -796,6 +920,7 @@ pub fn lint_source(path: &str, source: &str, rules: RuleSet) -> Vec<Diagnostic> 
 ///   replaces the std types) is exempt from `default-hash`.
 /// * Examples: `wallclock` + `float-cycle` (they drive the model but may
 ///   legitimately format host output).
+/// * `stale-allow` is active wherever any other rule is.
 /// * Tests and benches: no rules — assertions may iterate maps freely.
 /// * Vendored tooling (`crates/xtask`, `crates/proptest`, `crates/criterion`)
 ///   is not model code and is skipped entirely.
@@ -811,16 +936,21 @@ pub fn classify(rel: &Path) -> RuleSet {
             }
             match *section {
                 "src" => {
+                    let simulator = matches!(
+                        *krate,
+                        "sim" | "noc" | "xlat" | "mem" | "gpu" | "core" | "workloads"
+                    );
                     let mut rules = RuleSet {
                         map_iter: true,
                         wallclock: true,
                         float_cycle: true,
                         unwrap: matches!(*krate, "sim" | "noc" | "xlat" | "mem" | "gpu"),
                         hook_pattern: true,
-                        default_hash: matches!(
-                            *krate,
-                            "sim" | "noc" | "xlat" | "mem" | "gpu" | "core" | "workloads"
-                        ),
+                        default_hash: simulator,
+                        shared_mut: simulator,
+                        site_registry: simulator,
+                        stale_allow: true,
+                        det_string: simulator,
                     };
                     if *krate == "sim" && (rest == ["rng.rs"] || rest == ["pool.rs"]) {
                         rules.wallclock = false;
@@ -836,6 +966,7 @@ pub fn classify(rel: &Path) -> RuleSet {
                 "examples" => RuleSet {
                     wallclock: true,
                     float_cycle: true,
+                    stale_allow: true,
                     ..RuleSet::none()
                 },
                 _ => RuleSet::none(),
@@ -847,11 +978,16 @@ pub fn classify(rel: &Path) -> RuleSet {
             float_cycle: true,
             hook_pattern: true,
             default_hash: true,
+            shared_mut: true,
+            site_registry: true,
+            stale_allow: true,
+            det_string: true,
             ..RuleSet::none()
         },
         ["examples", ..] => RuleSet {
             wallclock: true,
             float_cycle: true,
+            stale_allow: true,
             ..RuleSet::none()
         },
         _ => RuleSet::none(),
@@ -879,12 +1015,14 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
 }
 
 /// Lints the whole workspace rooted at `root`, classifying each file by its
-/// relative path. File order (and thus diagnostic order) is deterministic.
+/// relative path. Site-id registrations (d8) are merged across files before
+/// checking. File order (and thus diagnostic order) is deterministic.
 pub fn lint_workspace(root: &Path) -> Report {
+    let mut paths = Vec::new();
+    collect_rs_files(root, &mut paths);
     let mut files = Vec::new();
-    collect_rs_files(root, &mut files);
     let mut report = Report::default();
-    for file in files {
+    for file in paths {
         let rel = file.strip_prefix(root).unwrap_or(&file);
         let rules = classify(rel);
         if rules.is_empty() {
@@ -894,34 +1032,45 @@ pub fn lint_workspace(root: &Path) -> Report {
             continue;
         };
         report.files_scanned += 1;
-        report
-            .diagnostics
-            .extend(lint_source(&rel.display().to_string(), &source, rules));
+        files.push(analyze_file(&rel.display().to_string(), &source, rules));
     }
+    let mut regs = Vec::new();
+    for file in &files {
+        if file.rules.site_registry {
+            regs.extend(registry::collect(file));
+        }
+    }
+    report.diagnostics = finalize(files, registry::check(&regs));
     report
 }
 
 /// Lints an explicit file or directory with every rule enabled — used for
 /// fixtures and ad-hoc checks (`cargo run -p xtask -- lint path/to/file.rs`).
 pub fn lint_path(path: &Path) -> Report {
-    let mut files = Vec::new();
+    let mut paths = Vec::new();
     if path.is_dir() {
-        collect_rs_files(path, &mut files);
+        collect_rs_files(path, &mut paths);
     } else {
-        files.push(path.to_path_buf());
+        paths.push(path.to_path_buf());
     }
     let mut report = Report::default();
-    for file in files {
+    let mut files = Vec::new();
+    for file in paths {
         let Ok(source) = fs::read_to_string(&file) else {
             continue;
         };
         report.files_scanned += 1;
-        report.diagnostics.extend(lint_source(
+        files.push(analyze_file(
             &file.display().to_string(),
             &source,
             RuleSet::all(),
         ));
     }
+    let mut regs = Vec::new();
+    for file in &files {
+        regs.extend(registry::collect(file));
+    }
+    report.diagnostics = finalize(files, registry::check(&regs));
     report
 }
 
@@ -930,53 +1079,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn strings_and_comments_are_stripped() {
-        let lines = preprocess(
-            "let x = \"Instant::now\"; // Instant::now in comment\nlet y = 1; /* thread_rng */ let z = 2;\n",
-        );
-        assert!(!lines[0].code.contains("Instant"));
-        assert!(!lines[1].code.contains("thread_rng"));
-        assert!(lines[1].code.contains("let z"));
-    }
-
-    #[test]
-    fn block_comments_span_lines() {
-        let lines = preprocess("a/*\nthread_rng\n*/b\n");
-        assert!(lines[0].code.contains('a'));
-        assert!(!lines[1].code.contains("thread_rng"));
-        assert!(lines[2].code.contains('b'));
-    }
-
-    #[test]
-    fn raw_strings_are_stripped() {
-        let lines = preprocess("let x = r#\"rand::random\"#; let ok = 1;\n");
-        assert!(!lines[0].code.contains("rand::random"));
-        assert!(lines[0].code.contains("let ok"));
-    }
-
-    #[test]
-    fn char_literals_and_lifetimes() {
-        let lines = preprocess("fn f<'a>(c: char) -> bool { c == '\"' }\n");
-        // The double-quote char literal must not open a string.
-        assert!(lines[0].code.contains("bool"));
-    }
-
-    #[test]
-    fn allows_are_parsed() {
-        assert_eq!(
-            parse_allows("// lint:allow(map-iter, d4)"),
-            vec![Rule::MapIter, Rule::Unwrap]
-        );
-        assert_eq!(parse_allows("no allow here"), vec![]);
-    }
-
-    #[test]
     fn cfg_test_region_is_skipped() {
         let src = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { x.unwrap(); }\n}\npub fn h() { y.unwrap(); }\n";
         let diags = lint_source("t.rs", src, RuleSet::all());
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].line, 6);
         assert_eq!(diags[0].rule, Rule::Unwrap);
+        assert_eq!(diags[0].item, "h");
     }
 
     #[test]
@@ -997,6 +1106,7 @@ mod tests {
         let map_iter: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == Rule::MapIter).collect();
         assert_eq!(map_iter.len(), 1);
         assert_eq!(map_iter[0].line, 2);
+        assert_eq!(map_iter[0].item, "f");
         // The declaration line itself is a d6 hit, not a d1 hit.
         assert!(diags
             .iter()
@@ -1013,9 +1123,9 @@ mod tests {
 
     #[test]
     fn allow_on_same_or_previous_line() {
-        let src = "fn f() { t.unwrap() } // lint:allow(unwrap)\n// lint:allow(d4)\nfn g() { t.unwrap() }\nfn h() { t.unwrap() }\n";
+        let src = "fn f() { t.unwrap() } // lint:allow(unwrap): fixture.\n// lint:allow(d4): fixture.\nfn g() { t.unwrap() }\nfn h() { t.unwrap() }\n";
         let diags = lint_source("t.rs", src, RuleSet::all());
-        assert_eq!(diags.len(), 1);
+        assert_eq!(diags.len(), 1, "diags: {diags:#?}");
         assert_eq!(diags[0].line, 4);
     }
 
@@ -1025,6 +1135,45 @@ mod tests {
         let diags = lint_source("t.rs", src, RuleSet::all());
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].line, 4);
+    }
+
+    #[test]
+    fn module_allow_covers_whole_scope() {
+        let src = "mod hot {\n    // lint:allow-module(unwrap): audited panic-free inputs.\n    fn f() { t.unwrap() }\n    fn g() { t.unwrap() }\n}\nfn h() { t.unwrap() }\n";
+        let diags = lint_source("t.rs", src, RuleSet::all());
+        assert_eq!(diags.len(), 1, "diags: {diags:#?}");
+        assert_eq!(diags[0].line, 6);
+    }
+
+    #[test]
+    fn stale_allow_is_flagged() {
+        let src = "// lint:allow(unwrap): nothing below unwraps anymore.\nfn f() -> u32 { 1 }\n";
+        let diags = lint_source("t.rs", src, RuleSet::all());
+        assert_eq!(diags.len(), 1, "diags: {diags:#?}");
+        assert_eq!(diags[0].rule, Rule::StaleAllow);
+        assert_eq!(diags[0].line, 1);
+    }
+
+    #[test]
+    fn unjustified_allow_is_flagged() {
+        let src = "fn f() { t.unwrap() } // lint:allow(unwrap)\n";
+        let diags = lint_source("t.rs", src, RuleSet::all());
+        assert_eq!(diags.len(), 1, "diags: {diags:#?}");
+        assert_eq!(diags[0].rule, Rule::StaleAllow);
+        assert!(diags[0].message.contains("justification"));
+    }
+
+    #[test]
+    fn stale_allow_cannot_be_allowed() {
+        // An allow for d9 itself never suppresses a d9 diagnostic (and is
+        // reported stale in turn).
+        let src = "// lint:allow(stale-allow): try to silence the auditor.\n// lint:allow(unwrap): stale.\nfn f() -> u32 { 1 }\n";
+        let diags = lint_source("t.rs", src, RuleSet::all());
+        assert!(
+            diags.iter().all(|d| d.rule == Rule::StaleAllow),
+            "diags: {diags:#?}"
+        );
+        assert_eq!(diags.len(), 2, "diags: {diags:#?}");
     }
 
     #[test]
@@ -1061,30 +1210,90 @@ mod tests {
             "    pub fn set_tracer(&mut self, tracer: TraceHandle) {\n",
             "        let h = TraceHandle::of(sink);\n",
             "use wsg_sim::trace::TraceHandle;\n",
+            // The sink's own storage line is fine for d5 (it IS the shared
+            // handle) — d7 flags it instead.
             "pub struct TraceHandle(Rc<RefCell<TraceSink>>);\n",
         ] {
-            assert!(lint_source("t.rs", ok, all).is_empty(), "flagged: {ok}");
+            assert!(
+                lint_source("t.rs", ok, all)
+                    .iter()
+                    .all(|d| d.rule != Rule::HookPattern),
+                "flagged: {ok}"
+            );
         }
+    }
+
+    #[test]
+    fn shared_mut_flags_each_pattern() {
+        let all = RuleSet::all();
+        for (src, frag) in [
+            (
+                "pub struct H(std::rc::Rc<std::cell::RefCell<Sink>>);\n",
+                "Rc<RefCell<..>>",
+            ),
+            ("    inner: RefCell<State>,\n", "RefCell"),
+            ("    count: Cell<u64>,\n", "Cell"),
+            ("static mut COUNTER: u64 = 0;\n", "static mut"),
+            ("thread_local! { static TLS: u32 = 0; }\n", "thread_local"),
+        ] {
+            let diags = lint_source("t.rs", src, all);
+            assert!(
+                diags
+                    .iter()
+                    .any(|d| d.rule == Rule::SharedMut && d.message.contains(frag)),
+                "missing {frag} hit in: {diags:#?}"
+            );
+        }
+        for ok in [
+            "    slot: OnceCell<u32>,\n",
+            "let rc = compute_rc(x);\n",
+            "// Rc<RefCell<..>> discussed in a comment\n",
+            "    arc: Arc<u64>,\n",
+        ] {
+            assert!(
+                lint_source("t.rs", ok, all)
+                    .iter()
+                    .all(|d| d.rule != Rule::SharedMut),
+                "flagged: {ok}"
+            );
+        }
+    }
+
+    #[test]
+    fn det_string_flags_host_fields_only_inside_the_contract_fn() {
+        let all = RuleSet::all();
+        let bad = "impl Metrics {\n    pub fn to_deterministic_string(&self) -> String {\n        format!(\"{} {}\", self.total_cycles, self.host_wall_nanos)\n    }\n}\n";
+        let diags = lint_source("t.rs", bad, all);
+        assert_eq!(diags.len(), 1, "diags: {diags:#?}");
+        assert_eq!(diags[0].rule, Rule::DetString);
+        assert_eq!(diags[0].line, 3);
+        assert_eq!(diags[0].item, "Metrics::to_deterministic_string");
+        let sim_events = bad.replace("host_wall_nanos", "sim_events");
+        assert_eq!(lint_source("t.rs", &sim_events, all).len(), 1);
+        // The same read outside the contract fn is fine.
+        let ok = "impl Metrics {\n    pub fn host_summary(&self) -> u64 {\n        self.host_wall_nanos\n    }\n}\n";
+        assert!(lint_source("t.rs", ok, all).is_empty());
     }
 
     #[test]
     fn classify_scopes_rules_by_path() {
         let lib = classify(Path::new("crates/sim/src/event.rs"));
         assert!(lib.map_iter && lib.wallclock && lib.float_cycle && lib.unwrap);
-        assert!(lib.default_hash);
+        assert!(lib.default_hash && lib.shared_mut && lib.site_registry && lib.det_string);
+        assert!(lib.stale_allow);
         let rng = classify(Path::new("crates/sim/src/rng.rs"));
-        assert!(!rng.wallclock && rng.map_iter);
+        assert!(!rng.wallclock && rng.map_iter && rng.shared_mut);
         let pool = classify(Path::new("crates/sim/src/pool.rs"));
         assert!(!pool.wallclock && pool.map_iter && pool.unwrap);
         let core = classify(Path::new("crates/core/src/sim/mod.rs"));
-        assert!(core.map_iter && !core.unwrap && core.default_hash);
+        assert!(core.map_iter && !core.unwrap && core.default_hash && core.shared_mut);
         assert!(classify(Path::new("crates/xtask/src/lib.rs")).is_empty());
         assert!(classify(Path::new("crates/sim/tests/t.rs")).is_empty());
         assert!(classify(Path::new("tests/invariants.rs")).is_empty());
         let ex = classify(Path::new("examples/ablation_sweep.rs"));
-        assert!(ex.wallclock && !ex.unwrap);
+        assert!(ex.wallclock && !ex.unwrap && ex.stale_allow && !ex.shared_mut);
         let facade = classify(Path::new("src/lib.rs"));
-        assert!(facade.map_iter && !facade.unwrap && facade.default_hash);
+        assert!(facade.map_iter && !facade.unwrap && facade.default_hash && facade.shared_mut);
     }
 
     #[test]
@@ -1092,12 +1301,12 @@ mod tests {
         // The seeded index is the one sanctioned hash file.
         let index = classify(Path::new("crates/sim/src/index.rs"));
         assert!(!index.default_hash && index.map_iter && index.unwrap);
-        // Host-side bench/report code may hash freely.
+        // Host-side bench/report code may hash and share freely.
         let bench = classify(Path::new("crates/bench/src/bin/hdpat-sim.rs"));
-        assert!(!bench.default_hash && bench.map_iter);
-        // The telemetry flight recorder earns no exemption: its registry and
-        // series live in plain Vecs, so the default-hash ban (and the full
-        // model-crate rule set) stays in force there.
+        assert!(!bench.default_hash && bench.map_iter && !bench.shared_mut);
+        // The telemetry flight recorder earns no exemption in classify: its
+        // shared-handle internals carry an explicit module-scoped allow in
+        // the source instead.
         let telemetry = classify(Path::new("crates/sim/src/telemetry.rs"));
         assert!(telemetry.default_hash && telemetry.unwrap && telemetry.hook_pattern);
         assert_eq!(telemetry, RuleSet::all());
@@ -1117,7 +1326,7 @@ mod tests {
             "// HashMap discussed in a comment only\n",
             "let s = \"HashMap\";\n",
             "let x = my_hash_map();\n",
-            "let m = std::collections::HashMap::new(); // lint:allow(d6)\n",
+            "let m = std::collections::HashMap::new(); // lint:allow(d6): fixture.\n",
         ] {
             assert!(
                 lint_source("t.rs", ok, all)
@@ -1129,13 +1338,53 @@ mod tests {
     }
 
     #[test]
+    fn rule_parse_round_trips() {
+        for rule in Rule::ALL {
+            assert_eq!(Rule::parse(rule.name()), Some(rule));
+            assert_eq!(Rule::parse(rule.code()), Some(rule));
+        }
+        assert_eq!(Rule::parse("d11"), None);
+    }
+
+    #[test]
     fn diagnostic_display_format() {
         let d = Diagnostic {
             path: "crates/sim/src/event.rs".into(),
             line: 42,
             rule: Rule::MapIter,
             message: "msg".into(),
+            item: String::new(),
         };
         assert_eq!(d.to_string(), "crates/sim/src/event.rs:42: [map-iter] msg");
+        let with_item = Diagnostic {
+            item: "EventQueue::push".into(),
+            ..d
+        };
+        assert_eq!(
+            with_item.to_string(),
+            "crates/sim/src/event.rs:42: [map-iter] msg (in EventQueue::push)"
+        );
+    }
+
+    #[test]
+    fn report_json_is_well_formed() {
+        let report = Report {
+            files_scanned: 2,
+            diagnostics: vec![Diagnostic {
+                path: "a.rs".into(),
+                line: 7,
+                rule: Rule::SharedMut,
+                message: "a \"quoted\" message".into(),
+                item: "S::f".into(),
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"files_scanned\": 2"));
+        assert!(json.contains("\"violations\": 1"));
+        assert!(json.contains("\"rule\": \"shared-mut\""));
+        assert!(json.contains("\"code\": \"d7\""));
+        assert!(json.contains("\\\"quoted\\\""));
+        let empty = Report::default().to_json();
+        assert!(empty.contains("\"diagnostics\": []"));
     }
 }

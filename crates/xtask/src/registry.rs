@@ -1,0 +1,762 @@
+//! Rule d8 (`site-registry`): static model of the audit/trace/telemetry
+//! site-id space.
+//!
+//! The engine assembly (`crates/core/src/sim/mod.rs`) registers every model
+//! structure with each observability sink under a numeric site id, using one
+//! shared numbering scheme (GPM-local structures at `gpm*8 + slot`, per-CU
+//! L1 TLBs above `G*8` with a per-GPM stride, IOMMU structures at the top).
+//! PR 4's fig21 bug was exactly a flaw in that arithmetic: a fixed stride of
+//! 64 made neighbouring GPMs share L1-TLB site ids once a preset exceeded
+//! 64 CUs per GPM, and the collision surfaced only as a runtime audit
+//! divergence. This pass catches the whole class at lint time:
+//!
+//! 1. every `.set_auditor(..)` / `.set_tracer(..)` / `.set_telemetry(..)`
+//!    call is collected from the stripped source (multi-line receivers and
+//!    argument lists included),
+//! 2. each site-id expression is evaluated symbolically over two wafer
+//!    model configurations — a small one (4 GPMs × 4 CUs) and a wide one
+//!    (4 GPMs × 76 CUs, the MI300-style preset that triggered fig21),
+//! 3. the pass fails on: an unknown variable in a site expression, a
+//!    **self-collision** (one registration mapping two different `(g, c)`
+//!    instances to the same id), a **cross-registration collision** (two
+//!    components sharing an id within the audit or trace sink), a
+//!    **cross-sink mismatch** (one component registered under different id
+//!    sets in different sinks), and a **coverage gap** (a component
+//!    registered with one active sink but not the others — suppressible
+//!    with a justified `lint:allow(site-registry)` for deliberate
+//!    asymmetries like the telemetry pass skipping per-CU L1 TLBs).
+//!
+//! The expression language is the small arithmetic subset the engine
+//! actually uses: integer literals, `+ - * /`, parentheses, `as <ty>` casts
+//! (ignored), and the variables `g` (GPM index), `c` (CU index), `g_total`,
+//! `cu_stride`, and `iommu_base`. Telemetry registrations are exempt from
+//! the cross-registration collision check only: telemetry site ids double as
+//! metadata tags (`t.register(..)` reuses them deliberately), but they still
+//! participate in self-collision, mismatch, and coverage checks.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::scope::is_ident_byte;
+use crate::{Diagnostic, FileAnalysis, Rule};
+
+/// The three observability sinks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Sink {
+    Audit,
+    Trace,
+    Telemetry,
+}
+
+impl Sink {
+    pub fn name(self) -> &'static str {
+        match self {
+            Sink::Audit => "audit",
+            Sink::Trace => "trace",
+            Sink::Telemetry => "telemetry",
+        }
+    }
+
+    fn method(self) -> &'static str {
+        match self {
+            Sink::Audit => ".set_auditor",
+            Sink::Trace => ".set_tracer",
+            Sink::Telemetry => ".set_telemetry",
+        }
+    }
+}
+
+/// One collected registration call.
+#[derive(Clone, Debug)]
+pub struct Registration {
+    pub path: String,
+    /// 1-based line of the `.set_*` token.
+    pub line: usize,
+    /// Enclosing item path at that line.
+    pub item: String,
+    pub sink: Sink,
+    /// Normalized receiver (`gpm.l2_tlb`, `iommu.walkers`, `queue`): the
+    /// leading `self.` / `sim.` segment is dropped. Engine-level attaches
+    /// (`sim.set_tracer(&sink)`, whose receiver normalizes to nothing) are
+    /// not registrations and are skipped at collection time.
+    pub component: String,
+    /// Site-id expression text (second argument), absent for siteless
+    /// engine/mesh/queue attaches.
+    pub site: Option<String>,
+}
+
+// ---------------------------------------------------------------------------
+// Collection.
+// ---------------------------------------------------------------------------
+
+/// Collects every registration in one analysed file. Test-code lines are
+/// excluded (unit tests may wire sinks however they like).
+pub fn collect(file: &FileAnalysis) -> Vec<Registration> {
+    // Join the stripped lines, blanking test regions, so multi-line
+    // receivers/argument lists parse naturally.
+    let mut buf = String::new();
+    let mut line_starts = Vec::with_capacity(file.pre.lines.len());
+    for line in &file.pre.lines {
+        line_starts.push(buf.len());
+        if !line.test_code {
+            buf.push_str(&line.code);
+        }
+        buf.push('\n');
+    }
+    let line_of = |pos: usize| match line_starts.binary_search(&pos) {
+        Ok(i) => i + 1,
+        Err(i) => i, // i is the insertion point; the line index is i-1 → 1-based i
+    };
+
+    let mut regs = Vec::new();
+    for sink in [Sink::Audit, Sink::Trace, Sink::Telemetry] {
+        let method = sink.method();
+        let bytes = buf.as_bytes();
+        let mut start = 0;
+        while let Some(pos) = buf[start..].find(method) {
+            let at = start + pos;
+            start = at + method.len();
+            // Must be a call: the name is followed (modulo whitespace) by `(`.
+            let mut open = at + method.len();
+            while open < bytes.len() && bytes[open].is_ascii_whitespace() {
+                open += 1;
+            }
+            if open >= bytes.len() || bytes[open] != b'(' {
+                continue;
+            }
+            let lineno = line_of(at);
+            let component = match receiver_before(&buf, at) {
+                Some(c) => c,
+                None => continue, // engine-level attach or unparseable
+            };
+            let site = second_argument(&buf, open);
+            let item = file.pre.item_at(lineno).to_string();
+            regs.push(Registration {
+                path: file.path.clone(),
+                line: lineno,
+                item,
+                sink,
+                component,
+                site,
+            });
+        }
+    }
+    regs.sort_by_key(|a| (a.line, a.sink));
+    regs
+}
+
+/// Walks the dotted receiver chain backwards from the `.` at `dot` and
+/// normalizes it (drop a leading `self`/`sim`). Returns `None` when nothing
+/// remains (engine-level attach) or no receiver parses.
+fn receiver_before(buf: &str, dot: usize) -> Option<String> {
+    let bytes = buf.as_bytes();
+    let mut segments: Vec<String> = Vec::new();
+    let mut i = dot;
+    loop {
+        while i > 0 && bytes[i - 1].is_ascii_whitespace() {
+            i -= 1;
+        }
+        let end = i;
+        while i > 0 && is_ident_byte(bytes[i - 1]) {
+            i -= 1;
+        }
+        if i == end {
+            break;
+        }
+        segments.push(buf[i..end].to_string());
+        while i > 0 && bytes[i - 1].is_ascii_whitespace() {
+            i -= 1;
+        }
+        if i > 0 && bytes[i - 1] == b'.' {
+            i -= 1;
+        } else {
+            break;
+        }
+    }
+    segments.reverse();
+    if let Some(first) = segments.first() {
+        if first == "self" || first == "sim" {
+            segments.remove(0);
+        }
+    }
+    if segments.is_empty() {
+        None
+    } else {
+        Some(segments.join("."))
+    }
+}
+
+/// Extracts the second top-level argument of the call whose `(` is at
+/// `open`, as trimmed text; `None` for single-argument (siteless) calls.
+fn second_argument(buf: &str, open: usize) -> Option<String> {
+    let bytes = buf.as_bytes();
+    let mut depth = 0i32;
+    let mut args: Vec<String> = Vec::new();
+    let mut cur = String::new();
+    let mut i = open;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'(' | b'[' => {
+                depth += 1;
+                if depth > 1 {
+                    cur.push(b as char);
+                }
+            }
+            b')' | b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    args.push(cur);
+                    break;
+                }
+                cur.push(b as char);
+            }
+            b',' if depth == 1 => {
+                args.push(std::mem::take(&mut cur));
+            }
+            _ => {
+                if depth >= 1 {
+                    cur.push(b as char);
+                }
+            }
+        }
+        i += 1;
+    }
+    args.get(1)
+        .map(|a| a.split_whitespace().collect::<Vec<_>>().join(" "))
+}
+
+// ---------------------------------------------------------------------------
+// The site-expression evaluator.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Num(i128),
+    Ident(String),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    LParen,
+    RParen,
+}
+
+fn tokenize(expr: &str) -> Result<Vec<Tok>, String> {
+    let bytes = expr.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b.is_ascii_whitespace() {
+            i += 1;
+        } else if b.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let text: String = expr[start..i].chars().filter(|&c| c != '_').collect();
+            out.push(Tok::Num(text.parse().map_err(|_| {
+                format!("unparseable integer `{}`", &expr[start..i])
+            })?));
+        } else if is_ident_byte(b) {
+            let start = i;
+            while i < bytes.len() && is_ident_byte(bytes[i]) {
+                i += 1;
+            }
+            out.push(Tok::Ident(expr[start..i].to_string()));
+        } else {
+            out.push(match b {
+                b'+' => Tok::Plus,
+                b'-' => Tok::Minus,
+                b'*' => Tok::Star,
+                b'/' => Tok::Slash,
+                b'(' => Tok::LParen,
+                b')' => Tok::RParen,
+                other => return Err(format!("unsupported token `{}`", other as char)),
+            });
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+    env: &'a BTreeMap<&'a str, i128>,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn expr(&mut self) -> Result<i128, String> {
+        let mut v = self.term()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Plus) => {
+                    self.pos += 1;
+                    v += self.term()?;
+                }
+                Some(Tok::Minus) => {
+                    self.pos += 1;
+                    v -= self.term()?;
+                }
+                _ => return Ok(v),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<i128, String> {
+        let mut v = self.atom()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Star) => {
+                    self.pos += 1;
+                    v *= self.atom()?;
+                }
+                Some(Tok::Slash) => {
+                    self.pos += 1;
+                    let d = self.atom()?;
+                    if d == 0 {
+                        return Err("division by zero".to_string());
+                    }
+                    v /= d;
+                }
+                _ => return Ok(v),
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<i128, String> {
+        let v = match self.peek().cloned() {
+            Some(Tok::Num(n)) => {
+                self.pos += 1;
+                n
+            }
+            Some(Tok::Ident(name)) => {
+                self.pos += 1;
+                *self
+                    .env
+                    .get(name.as_str())
+                    .ok_or_else(|| format!("unknown variable `{name}`"))?
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let v = self.expr()?;
+                if self.peek() != Some(&Tok::RParen) {
+                    return Err("unbalanced parentheses".to_string());
+                }
+                self.pos += 1;
+                v
+            }
+            Some(Tok::Minus) => {
+                self.pos += 1;
+                -self.atom()?
+            }
+            other => return Err(format!("unexpected token {other:?}")),
+        };
+        // Skip `as <ty>` casts: the numbering model is width-agnostic.
+        while let Some(Tok::Ident(name)) = self.peek() {
+            if name == "as" {
+                self.pos += 1;
+                if let Some(Tok::Ident(_)) = self.peek() {
+                    self.pos += 1;
+                } else {
+                    return Err("dangling `as` cast".to_string());
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(v)
+    }
+}
+
+fn eval(toks: &[Tok], env: &BTreeMap<&str, i128>) -> Result<i128, String> {
+    let mut p = Parser { toks, pos: 0, env };
+    let v = p.expr()?;
+    if p.pos != toks.len() {
+        return Err("trailing tokens in site expression".to_string());
+    }
+    Ok(v)
+}
+
+fn expr_idents(toks: &[Tok]) -> BTreeSet<&str> {
+    let mut out = BTreeSet::new();
+    let mut skip_next = false; // the type ident after an `as` cast
+    for t in toks {
+        if let Tok::Ident(name) = t {
+            if skip_next {
+                skip_next = false;
+            } else if name == "as" {
+                skip_next = true;
+            } else {
+                out.insert(name.as_str());
+            }
+        } else {
+            skip_next = false;
+        }
+    }
+    out
+}
+
+/// One wafer model configuration the site space is checked under.
+#[derive(Clone, Copy, Debug)]
+pub struct ModelEnv {
+    pub gpms: i128,
+    pub cus: i128,
+}
+
+/// The two configurations: the default small wafer and the wide-CU preset
+/// (more CUs per GPM than the historical 64-site stride) that exposed the
+/// fig21 collision.
+pub const MODEL_ENVS: [ModelEnv; 2] = [ModelEnv { gpms: 4, cus: 4 }, ModelEnv { gpms: 4, cus: 76 }];
+
+impl ModelEnv {
+    fn base_env(&self) -> BTreeMap<&'static str, i128> {
+        let cu_stride = self.cus.max(64);
+        let iommu_base = self.gpms * 8 + self.gpms * cu_stride;
+        BTreeMap::from([
+            ("g_total", self.gpms),
+            ("cu_stride", cu_stride),
+            ("iommu_base", iommu_base),
+        ])
+    }
+
+    fn describe(&self) -> String {
+        format!("{} GPMs x {} CUs", self.gpms, self.cus)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checks.
+// ---------------------------------------------------------------------------
+
+fn d8(reg: &Registration, message: String) -> Diagnostic {
+    Diagnostic {
+        path: reg.path.clone(),
+        line: reg.line,
+        rule: Rule::SiteRegistry,
+        message,
+        item: reg.item.clone(),
+    }
+}
+
+/// Runs every d8 check over a merged registration set.
+pub fn check(regs: &[Registration]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if regs.is_empty() {
+        return diags;
+    }
+
+    // Evaluate each sited registration under both model envs, recording the
+    // id set and which (g, c) produced each id.
+    struct Evaluated<'a> {
+        reg: &'a Registration,
+        /// Per-env: id -> first (g, c) that produced it.
+        values: Vec<BTreeMap<i128, (i128, i128)>>,
+        evaluable: bool,
+    }
+    let mut evaluated: Vec<Evaluated> = Vec::new();
+    for reg in regs {
+        let Some(site) = &reg.site else {
+            evaluated.push(Evaluated {
+                reg,
+                values: vec![BTreeMap::new(); MODEL_ENVS.len()],
+                evaluable: false,
+            });
+            continue;
+        };
+        let toks = match tokenize(site) {
+            Ok(t) => t,
+            Err(e) => {
+                diags.push(d8(reg, format!("site expression `{site}`: {e}")));
+                continue;
+            }
+        };
+        let idents = expr_idents(&toks);
+        let uses_g = idents.contains("g");
+        let uses_c = idents.contains("c");
+        let known: BTreeSet<&str> = ["g", "c", "g_total", "cu_stride", "iommu_base"]
+            .into_iter()
+            .collect();
+        let unknown: Vec<&str> = idents.difference(&known).copied().collect();
+        if !unknown.is_empty() {
+            diags.push(d8(
+                reg,
+                format!(
+                    "site expression `{site}` references unknown variable{} {}; the site-id \
+                     model knows g, c, g_total, cu_stride, iommu_base",
+                    if unknown.len() == 1 { "" } else { "s" },
+                    unknown
+                        .iter()
+                        .map(|u| format!("`{u}`"))
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                ),
+            ));
+            continue;
+        }
+        let mut values = Vec::with_capacity(MODEL_ENVS.len());
+        let mut self_collided = false;
+        for model in MODEL_ENVS {
+            let mut env = model.base_env();
+            let mut ids: BTreeMap<i128, (i128, i128)> = BTreeMap::new();
+            let g_range = if uses_g { model.gpms } else { 1 };
+            let c_range = if uses_c { model.cus } else { 1 };
+            'grid: for g in 0..g_range {
+                for c in 0..c_range {
+                    env.insert("g", g);
+                    env.insert("c", c);
+                    let v = match eval(&toks, &env) {
+                        Ok(v) => v,
+                        Err(e) => {
+                            diags.push(d8(reg, format!("site expression `{site}`: {e}")));
+                            break 'grid;
+                        }
+                    };
+                    if let Some(&(pg, pc)) = ids.get(&v) {
+                        if !self_collided {
+                            self_collided = true;
+                            diags.push(d8(
+                                reg,
+                                format!(
+                                    "site-id collision within `{}` {}: `{site}` maps \
+                                     (g={pg}, c={pc}) and (g={g}, c={c}) both to id {v} \
+                                     under {} — the fig21 class; widen the stride",
+                                    reg.component,
+                                    reg.sink.name(),
+                                    model.describe(),
+                                ),
+                            ));
+                        }
+                    } else {
+                        ids.insert(v, (g, c));
+                    }
+                }
+            }
+            values.push(ids);
+        }
+        evaluated.push(Evaluated {
+            reg,
+            values,
+            evaluable: true,
+        });
+    }
+
+    // Cross-registration collisions within the audit and trace sinks (the
+    // occupancy-mirror streams, where an id names exactly one structure).
+    for sink in [Sink::Audit, Sink::Trace] {
+        let mut reported: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for (ei, model) in MODEL_ENVS.iter().enumerate() {
+            let mut owner: BTreeMap<i128, &Registration> = BTreeMap::new();
+            for ev in evaluated.iter().filter(|e| e.reg.sink == sink) {
+                for &id in ev.values[ei].keys() {
+                    match owner.get(&id) {
+                        Some(prev) if prev.component != ev.reg.component => {
+                            if reported.insert((prev.line, ev.reg.line)) {
+                                diags.push(d8(
+                                    ev.reg,
+                                    format!(
+                                        "site-id collision in the {} sink: `{}` and `{}` \
+                                         (line {}) both claim id {id} under {}",
+                                        sink.name(),
+                                        ev.reg.component,
+                                        prev.component,
+                                        prev.line,
+                                        model.describe(),
+                                    ),
+                                ));
+                            }
+                        }
+                        Some(_) => {}
+                        None => {
+                            owner.insert(id, ev.reg);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Cross-sink id-set consistency: one component, one numbering.
+    let mut by_component: BTreeMap<&str, Vec<&Evaluated>> = BTreeMap::new();
+    for ev in &evaluated {
+        by_component
+            .entry(ev.reg.component.as_str())
+            .or_default()
+            .push(ev);
+    }
+    for evs in by_component.values() {
+        let sited: Vec<&&Evaluated> = evs
+            .iter()
+            .filter(|e| e.evaluable && e.reg.site.is_some())
+            .collect();
+        for pair in sited.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            for (ei, model) in MODEL_ENVS.iter().enumerate() {
+                let ka: BTreeSet<&i128> = a.values[ei].keys().collect();
+                let kb: BTreeSet<&i128> = b.values[ei].keys().collect();
+                if ka != kb {
+                    diags.push(d8(
+                        b.reg,
+                        format!(
+                            "`{}` registers different site-id sets with {} (line {}) and \
+                             {} (line {}) under {}; one component, one numbering",
+                            b.reg.component,
+                            a.reg.sink.name(),
+                            a.reg.line,
+                            b.reg.sink.name(),
+                            b.reg.line,
+                            model.describe(),
+                        ),
+                    ));
+                    break; // one mismatch diagnostic per sink pair
+                }
+            }
+        }
+    }
+
+    // Coverage parity: a component visible to one active sink should be
+    // visible to all of them, unless explicitly allowed.
+    let active: BTreeSet<Sink> = regs.iter().map(|r| r.sink).collect();
+    if active.len() > 1 {
+        for evs in by_component.values() {
+            let present: BTreeSet<Sink> = evs.iter().map(|e| e.reg.sink).collect();
+            let missing: Vec<&str> = active.difference(&present).map(|s| s.name()).collect();
+            if missing.is_empty() {
+                continue;
+            }
+            let first = evs
+                .iter()
+                .map(|e| e.reg)
+                .min_by_key(|r| (r.path.as_str(), r.line))
+                .expect("component has at least one registration");
+            let has: Vec<&str> = present.iter().map(|s| s.name()).collect();
+            diags.push(d8(
+                first,
+                format!(
+                    "`{}` registers with {} but not {}; register the component with every \
+                     active sink or annotate lint:allow(site-registry)",
+                    first.component,
+                    has.join("/"),
+                    missing.join("/"),
+                ),
+            ));
+        }
+    }
+
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze_file, RuleSet};
+
+    fn regs_of(src: &str) -> Vec<Registration> {
+        collect(&analyze_file("t.rs", src, RuleSet::all()))
+    }
+
+    #[test]
+    fn collection_normalizes_receivers_and_args() {
+        let src = "fn wire() {\n    sim.queue.set_auditor(h.clone());\n    gpm.l2_tlb.set_auditor(h.clone(), g * 8);\n    cu.l1_tlb\n        .set_auditor(h.clone(), g_total * 8 + g * cu_stride + c as u64);\n    self.iommu\n        .redirection\n        .set_tracer(h.clone(), iommu_base + 1);\n    sim.set_tracer(&sink);\n}\n";
+        let regs = regs_of(src);
+        let summary: Vec<(usize, &str, Sink, Option<&str>)> = regs
+            .iter()
+            .map(|r| (r.line, r.component.as_str(), r.sink, r.site.as_deref()))
+            .collect();
+        assert_eq!(
+            summary,
+            vec![
+                (2, "queue", Sink::Audit, None),
+                (3, "gpm.l2_tlb", Sink::Audit, Some("g * 8")),
+                (
+                    5,
+                    "cu.l1_tlb",
+                    Sink::Audit,
+                    Some("g_total * 8 + g * cu_stride + c as u64")
+                ),
+                (8, "iommu.redirection", Sink::Trace, Some("iommu_base + 1")),
+            ],
+            "regs: {regs:#?}"
+        );
+    }
+
+    #[test]
+    fn method_definitions_and_test_code_are_not_registrations() {
+        let src = "impl S {\n    pub fn set_auditor(&mut self, h: AuditHandle, site: u64) {\n        self.site = site;\n    }\n}\n#[cfg(test)]\nmod tests {\n    fn wire() {\n        q.set_auditor(h.clone(), 7);\n    }\n}\n";
+        assert!(regs_of(src).is_empty());
+    }
+
+    #[test]
+    fn evaluator_handles_the_engine_grammar() {
+        let env = BTreeMap::from([("g", 3i128), ("c", 75), ("g_total", 4), ("cu_stride", 76)]);
+        for (expr, want) in [
+            ("g * 8", 24),
+            ("g * 8 + 1", 25),
+            ("g_total * 8 + g * cu_stride + c as u64", 32 + 3 * 76 + 75),
+            ("(g + 1) * 2 - 4 / 2", 6),
+            ("7", 7),
+        ] {
+            let toks = tokenize(expr).expect("tokenizes");
+            assert_eq!(eval(&toks, &env), Ok(want), "expr: {expr}");
+        }
+        let toks = tokenize("nonsense + 1").expect("tokenizes");
+        assert!(eval(&toks, &env).is_err());
+    }
+
+    #[test]
+    fn fixed_stride_self_collision_is_the_fig21_class() {
+        // The exact pre-PR4 arithmetic: a fixed 64 stride under the 76-CU
+        // preset maps (g=1, c=0) and (g=0, c=64) to the same id.
+        let src = "fn wire() {\n    cu.l1_tlb.set_auditor(h.clone(), g_total * 8 + g * 64 + c as u64);\n}\n";
+        let diags = check(&regs_of(src));
+        assert_eq!(diags.len(), 1, "diags: {diags:#?}");
+        assert!(
+            diags[0].message.contains("fig21"),
+            "got: {}",
+            diags[0].message
+        );
+        assert!(diags[0].message.contains("76 CUs"));
+        // The widened stride is collision-free under both configurations.
+        let fixed = src.replace("g * 64", "g * cu_stride");
+        assert!(check(&regs_of(&fixed)).is_empty());
+    }
+
+    #[test]
+    fn cross_registration_collisions_are_flagged_per_sink() {
+        let src = "fn wire() {\n    gpm.l2_tlb.set_auditor(h.clone(), g * 8);\n    gpm.walkers.set_auditor(h.clone(), g * 8);\n}\n";
+        let diags = check(&regs_of(src));
+        assert_eq!(diags.len(), 1, "diags: {diags:#?}");
+        assert!(diags[0].message.contains("collision in the audit sink"));
+        // Distinct slots are fine.
+        let ok = src.replace(
+            "walkers.set_auditor(h.clone(), g * 8)",
+            "walkers.set_auditor(h.clone(), g * 8 + 2)",
+        );
+        assert!(check(&regs_of(&ok)).is_empty());
+    }
+
+    #[test]
+    fn cross_sink_mismatch_and_parity_are_flagged() {
+        // l2_tlb numbers differently in trace than audit; cuckoo only traces.
+        let src = "fn wire() {\n    gpm.l2_tlb.set_auditor(h.clone(), g * 8);\n    gpm.l2_tlb.set_tracer(h.clone(), g * 8 + 1);\n    gpm.cuckoo.set_tracer(h.clone(), g * 8 + 3);\n}\n";
+        let diags = check(&regs_of(src));
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("different site-id sets")),
+            "diags: {diags:#?}"
+        );
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("registers with trace but not audit")
+                    && d.message.contains("`gpm.cuckoo`")),
+            "diags: {diags:#?}"
+        );
+    }
+}

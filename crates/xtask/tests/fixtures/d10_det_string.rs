@@ -1,0 +1,30 @@
+//! Lint fixture: rule d10 — the deterministic contract string must not read
+//! host-side fields. `self.sim_events` and `self.host_wall_nanos` inside
+//! `to_deterministic_string` must fire; the same reads outside the contract
+//! function, reads of simulated fields inside it, and the allow-annotated
+//! read must all pass.
+
+pub struct Metrics {
+    pub sim_cycles: u64,
+    pub sim_events: u64,
+    pub host_wall_nanos: u64,
+    pub l1_hits: u64,
+}
+
+impl Metrics {
+    pub fn to_deterministic_string(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("cycles={}\n", self.sim_cycles));
+        out.push_str(&format!("l1_hits={}\n", self.l1_hits));
+        out.push_str(&format!("events={}\n", self.sim_events));
+        out.push_str(&format!("wall_ns={}\n", self.host_wall_nanos));
+        // lint:allow(det-string): fixture exercise of the escape hatch.
+        out.push_str(&format!("events_again={}\n", self.sim_events));
+        out
+    }
+
+    /// Host-side reads outside the contract function are fine.
+    pub fn host_summary(&self) -> String {
+        format!("{} events in {} ns", self.sim_events, self.host_wall_nanos)
+    }
+}

@@ -1,0 +1,47 @@
+//! Lint fixture: rule d7 — shared interior mutability in simulator code.
+//! Each pattern class must fire exactly once: `Rc<RefCell<..>>`, a bare
+//! `Rc`, a bare `Cell`, `static mut`, and `thread_local!`. Prose mentions,
+//! string literals, allow-annotated sites, and test code must all pass.
+
+/// The canonical hazard: one heap cell mutable from every holder.
+pub struct SharedScoreboard {
+    pub slots: std::rc::Rc<std::cell::RefCell<Vec<u64>>>,
+}
+
+/// Shared ownership alone is already a shard hazard.
+pub fn pin(board: &std::rc::Rc<Vec<u64>>) -> usize {
+    board.len()
+}
+
+/// Interior mutability without the Rc is still cross-shard poison.
+pub struct Credits {
+    pub available: std::cell::Cell<u32>,
+}
+
+pub static mut GLOBAL_EPOCH: u64 = 0;
+
+thread_local! {
+    static SCRATCH: Vec<u8> = Vec::new();
+}
+
+/// Prose mentions of "RefCell" here in the comment, or "Rc<RefCell<..>>"
+/// inside a string literal, must not fire.
+pub fn doc_only() -> &'static str {
+    "replace Rc<RefCell<..>> with owned state"
+}
+
+/// A justified allow suppresses the hit.
+pub struct Sanctioned {
+    // lint:allow(shared-mut): fixture exercise of the sanctioned-sink shape.
+    pub handle: std::rc::Rc<std::cell::RefCell<u64>>,
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_share_freely() {
+        let cell = std::rc::Rc::new(std::cell::RefCell::new(0u64));
+        *cell.borrow_mut() += 1;
+        assert_eq!(*cell.borrow(), 1);
+    }
+}

@@ -1,0 +1,45 @@
+//! Lint fixture: rule d8 — audit/trace/telemetry site-id registry conflicts.
+//! Seeded hazards, each of which must fire once per sink it afflicts:
+//!
+//! * `gpm.walkers` reuses `gpm.gmmu_cache`'s id expression (`g * 8 + 1`) —
+//!   a cross-registration collision in both the audit and trace streams.
+//! * `cu.l1_tlb` uses the fixed 64 stride (`g_total * 8 + g * 64 + c`) that
+//!   self-collides at 76 CUs per GPM — the fig21 regression class.
+//! * `gpm.hbm`'s expression references `hbm_base`, which the site-id model
+//!   does not know.
+//! * `gpm.cuckoo` registers with trace but never with audit — a coverage
+//!   parity gap.
+//!
+//! `queue` (siteless, both sinks) and `gpm.l2_tlb` (same id both sinks)
+//! must pass.
+
+pub fn attach_auditor(sim: &mut Engine, audit: AuditHandle) {
+    let g_total = sim.gpms.len() as u64;
+    sim.queue.set_auditor(audit.clone());
+    for (g, gpm) in sim.gpms.iter_mut().enumerate() {
+        let g = g as u64;
+        gpm.l2_tlb.set_auditor(audit.clone(), g * 8);
+        gpm.gmmu_cache.set_auditor(audit.clone(), g * 8 + 1);
+        gpm.walkers.set_auditor(audit.clone(), g * 8 + 1);
+        gpm.hbm.set_auditor(audit.clone(), hbm_base + g);
+        for (c, cu) in gpm.cus.iter_mut().enumerate() {
+            cu.l1_tlb.set_auditor(audit.clone(), g_total * 8 + g * 64 + c as u64);
+        }
+    }
+}
+
+pub fn attach_tracer(sim: &mut Engine, trace: TraceHandle) {
+    let g_total = sim.gpms.len() as u64;
+    sim.queue.set_tracer(trace.clone());
+    for (g, gpm) in sim.gpms.iter_mut().enumerate() {
+        let g = g as u64;
+        gpm.l2_tlb.set_tracer(trace.clone(), g * 8);
+        gpm.gmmu_cache.set_tracer(trace.clone(), g * 8 + 1);
+        gpm.walkers.set_tracer(trace.clone(), g * 8 + 1);
+        gpm.hbm.set_tracer(trace.clone(), hbm_base + g);
+        gpm.cuckoo.set_tracer(trace.clone(), g * 8 + 3);
+        for (c, cu) in gpm.cus.iter_mut().enumerate() {
+            cu.l1_tlb.set_tracer(trace.clone(), g_total * 8 + g * 64 + c as u64);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Lint fixture: rule d9 — allow-pragma hygiene. A stale line allow, a
+//! stale module allow, and a used-but-unjustified allow must each fire;
+//! the used-and-justified allow must pass silently.
+
+// lint:allow-module(float-cycle): nothing in this module touches floats.
+pub struct Sampler {
+    pub period: u64,
+}
+
+impl Sampler {
+    /// The allow below covers a line the rule no longer fires on.
+    pub fn stale_site(&self) -> u64 {
+        // lint:allow(wallclock): leftover from a removed Instant::now call.
+        self.period * 2
+    }
+
+    /// Suppression works, but the pragma carries no `: <why>` suffix.
+    pub fn unjustified_site(&self) -> std::time::Instant {
+        std::time::Instant::now() // lint:allow(wallclock)
+    }
+
+    /// The well-formed case: used and justified.
+    pub fn sanctioned_site(&self) -> std::time::Instant {
+        // lint:allow(wallclock): fixture exercise of the justified form.
+        std::time::Instant::now()
+    }
+}

@@ -1,0 +1,97 @@
+//! Property test pinning the scope tracker against a brute-force model.
+//!
+//! Token soup is assembled from atomic fragments whose effect on brace and
+//! paren depth is known by construction: code brackets count, brackets
+//! hidden inside string/char literals and comments do not, and newlines —
+//! bare, inside a line comment, or inside a multi-line block comment —
+//! start a new line at the current depth. The tracker's per-line
+//! start-of-line state must match the model exactly.
+
+use proptest::prelude::*;
+use xtask::scope::preprocess;
+
+/// (text, counts): fragments whose brackets are code (`counts`) vs hidden
+/// inside literals or comments. Line comments carry their own newline.
+const TOKENS: &[(&str, bool)] = &[
+    ("{", true),
+    ("}", true),
+    ("(", true),
+    (")", true),
+    ("[", true),
+    ("]", true),
+    ("x", true),
+    ("fn f", true),
+    ("mod m", true),
+    ("struct S", true),
+    ("impl T for S", true),
+    ("'a", true),
+    ("\n", true),
+    ("\"{]) // }\"", false),
+    ("r#\"} not code { \"#", false),
+    ("'{'", false),
+    ("')'", false),
+    ("/* {{ )) \" */", false),
+    ("/* [[\n{{ */", false),
+    ("// {(\" soup\n", false),
+];
+
+/// Renders the soup and the expected (brace, paren+bracket) state at the
+/// start of every line.
+fn materialize(choices: &[usize]) -> (String, Vec<(i64, i64)>) {
+    let mut src = String::new();
+    let mut starts = vec![(0i64, 0i64)];
+    let (mut brace, mut paren) = (0i64, 0i64);
+    for &c in choices {
+        let (text, counts) = TOKENS[c % TOKENS.len()];
+        for ch in text.chars() {
+            if ch == '\n' {
+                starts.push((brace, paren));
+            } else if counts {
+                match ch {
+                    '{' => brace += 1,
+                    '}' => brace -= 1,
+                    '(' | '[' => paren += 1,
+                    ')' | ']' => paren -= 1,
+                    _ => {}
+                }
+            }
+        }
+        src.push_str(text);
+        src.push(' ');
+    }
+    (src, starts)
+}
+
+proptest! {
+    /// Start-of-line brace and paren depth match the brute-force counter on
+    /// arbitrary token soup.
+    #[test]
+    fn scope_tracker_matches_brute_force_depths(
+        choices in proptest::collection::vec(0usize..TOKENS.len(), 0..400)
+    ) {
+        let (src, starts) = materialize(&choices);
+        let pre = preprocess(&src);
+        prop_assert!(pre.lines.len() <= starts.len(), "line count drifted");
+        for (i, line) in pre.lines.iter().enumerate() {
+            let (brace, paren) = starts[i];
+            prop_assert_eq!(
+                (line.depth, line.paren),
+                (brace, paren),
+                "line {} of soup:\n{}",
+                i + 1,
+                src
+            );
+        }
+        // Structural invariants of the item spans on any input.
+        // Unbalanced closers may drive depth negative before an item opens,
+        // so body_depth carries no lower bound here.
+        for span in &pre.items {
+            prop_assert!(span.start_line >= 1);
+            prop_assert!(
+                span.end_line == 0 || span.end_line >= span.start_line,
+                "span {:?} closed before it opened",
+                span
+            );
+        }
+    }
+}
