@@ -7,9 +7,13 @@
 # tests, the full workspace suite, the trace determinism gate (DESIGN.md §10),
 # the telemetry determinism gates (DESIGN.md §12: observational parity plus
 # timeline/heatmap artifacts byte-identical across --jobs), the
-# EXPERIMENTS.md drift gate (DESIGN.md §9), and the perf-trajectory gate
-# (DESIGN.md §11): fig14 must stay byte-identical to the pre-PR-4 golden run
-# while the hot-loop rework keeps its measured speedup on record.
+# EXPERIMENTS.md and PROTOCOL.md drift gates (DESIGN.md §9, §14), the serve
+# lane (DESIGN.md §14: batch and socket replays of the fig14 request mix must
+# digest byte-identically, with the warm pass answered entirely from the
+# persistent run cache, plus cross-process cache reuse by `figure fig14`),
+# and the perf-trajectory gate (DESIGN.md §11): fig14 must stay
+# byte-identical to the pre-PR-4 golden run while the hot-loop rework keeps
+# its measured speedup on record.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -96,6 +100,41 @@ cargo build --release -q -p wsg-bench
 
 echo "== EXPERIMENTS.md drift gate (regen-experiments --check)"
 cargo run --release -q -p wsg-bench --bin hdpat-sim -- regen-experiments --scale bench --check
+
+echo "== PROTOCOL.md drift gate (regen-protocol --check)"
+./target/release/hdpat-sim regen-protocol --check
+
+echo "== serve lane: batch vs socket replay over the persistent cache (DESIGN.md §14)"
+rm -rf target/ci/servecache target/ci/hdpat-ci.sock
+./target/release/hdpat-sim emit-mix fig14 --scale unit --out target/ci/fig14_mix.ndjson
+# Cold in-process replay: populates the content-addressed store and writes
+# the reference digest.
+./target/release/hdpat-sim replay target/ci/fig14_mix.ndjson \
+    --cache-dir target/ci/servecache --jobs 4 \
+    --out target/ci/replay_batch.txt --stats-out target/ci/replay_batch_stats.json
+# Warm replay through a real daemon on the same store; --shutdown drains and
+# stops it over the protocol.
+./target/release/hdpat-sim serve --socket target/ci/hdpat-ci.sock --jobs 4 \
+    --cache-dir target/ci/servecache 2> target/ci/serve.log &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2> /dev/null || true' EXIT
+for _ in $(seq 1 100); do [ -S target/ci/hdpat-ci.sock ] && break; sleep 0.1; done
+./target/release/hdpat-sim replay target/ci/fig14_mix.ndjson \
+    --socket target/ci/hdpat-ci.sock --shutdown \
+    --out target/ci/replay_socket.txt --stats-out target/ci/replay_socket_stats.json
+wait "$SERVE_PID"
+# The digest must not depend on transport or cache state...
+cmp target/ci/replay_batch.txt target/ci/replay_socket.txt
+# ...and the warm run must be answered entirely from the persistent store.
+grep -q '"disk": 70' target/ci/replay_socket_stats.json
+grep -q '"simulated": 0' target/ci/replay_socket_stats.json
+
+echo "== cross-process run-cache reuse (figure fig14 from the daemon's store)"
+./target/release/hdpat-sim figure fig14 --scale unit > target/ci/fig14_unit_ref.txt
+./target/release/hdpat-sim figure fig14 --scale unit --cache-dir target/ci/servecache \
+    > target/ci/fig14_unit_cached.txt 2> target/ci/fig14_unit_cached.log
+cmp target/ci/fig14_unit_ref.txt target/ci/fig14_unit_cached.txt
+grep -q '0 simulation(s) executed, 0 cache hit(s), 70 disk hit(s)' target/ci/fig14_unit_cached.log
 
 echo "== perf-trajectory gate (fig14 vs pre-PR-4 golden, perf artifact)"
 ./target/release/hdpat-sim figure fig14 --scale bench \

@@ -15,6 +15,10 @@
 //! hdpat-sim heatmap SPMV --out h.csv      # per-tile activity heatmap
 //! hdpat-sim regen-experiments             # rewrite EXPERIMENTS.md tables
 //! hdpat-sim regen-experiments --check     # CI doc drift gate
+//! hdpat-sim serve --socket /tmp/h.sock    # simulation daemon (PROTOCOL.md)
+//! hdpat-sim emit-mix fig14 --out mix.ndj  # record the fig14 request mix
+//! hdpat-sim replay mix.ndj --out ref.txt  # replay a mix (batch or --socket)
+//! hdpat-sim regen-protocol --check        # PROTOCOL.md doc drift gate
 //! ```
 //!
 //! `--jobs N` sets the sweep worker count (default: available parallelism).
@@ -24,41 +28,21 @@
 //! (the serial path), and with or without the cache. `--progress` adds a
 //! live completed/total + events/sec + ETA line on stderr during sweeps;
 //! stdout stays byte-identical.
+//!
+//! `--cache-dir DIR` attaches the persistent content-addressed run cache
+//! (DESIGN.md §14) to sweeps, `serve`, and `replay`, so identical
+//! configurations are answered from disk across processes; `--cache-budget
+//! N` caps the store at N bytes with LRU eviction. stdout stays
+//! byte-identical with or without the disk cache.
 
-use hdpat::experiments::{run, RunConfig, SweepCtx};
-use hdpat::policy::{HdpatConfig, PolicyKind};
+use std::path::{Path, PathBuf};
+
+use hdpat::experiments::{run, DiskCache, RunConfig, SweepCtx};
+use hdpat::policy::PolicyKind;
+use hdpat::serve::{Daemon, DaemonConfig};
 use wsg_bench::report::{emit, Table};
-use wsg_bench::{figures, regen};
+use wsg_bench::{figures, regen, serving};
 use wsg_workloads::{BenchmarkId, Scale};
-
-fn policies() -> Vec<(&'static str, PolicyKind)> {
-    vec![
-        ("naive", PolicyKind::Naive),
-        ("route", PolicyKind::RouteCache { caching_layers: 2 }),
-        ("concentric", PolicyKind::Concentric { caching_layers: 2 }),
-        ("distributed", PolicyKind::Distributed),
-        ("transfw", PolicyKind::TransFw),
-        ("valkyrie", PolicyKind::Valkyrie),
-        ("barre", PolicyKind::Barre),
-        (
-            "cluster",
-            PolicyKind::Hdpat(HdpatConfig::peer_caching_only()),
-        ),
-        (
-            "redir",
-            PolicyKind::Hdpat(HdpatConfig::with_redirection_only()),
-        ),
-        (
-            "prefetch",
-            PolicyKind::Hdpat(HdpatConfig::with_prefetch_only()),
-        ),
-        (
-            "hdpat-tlb",
-            PolicyKind::Hdpat(HdpatConfig::with_iommu_tlb()),
-        ),
-        ("hdpat", PolicyKind::hdpat()),
-    ]
-}
 
 fn parse_benchmark(s: &str) -> Option<BenchmarkId> {
     BenchmarkId::all()
@@ -67,10 +51,7 @@ fn parse_benchmark(s: &str) -> Option<BenchmarkId> {
 }
 
 fn parse_policy(s: &str) -> Option<PolicyKind> {
-    policies()
-        .into_iter()
-        .find(|(n, _)| n.eq_ignore_ascii_case(s))
-        .map(|(_, p)| p)
+    PolicyKind::from_token(s)
 }
 
 fn parse_scale(s: &str) -> Option<Scale> {
@@ -84,7 +65,7 @@ fn parse_scale(s: &str) -> Option<Scale> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  hdpat-sim list\n  hdpat-sim run <BENCH> <POLICY> [--scale unit|bench|full] [--seed N]\n  hdpat-sim compare <BENCH> [--scale ...] [--jobs N] [--no-cache] [--progress]\n  hdpat-sim figure <figNN|tabN|all> [--scale ...] [--jobs N] [--no-cache] [--progress] [--perf-out FILE]\n  hdpat-sim trace <BENCH> [--scale ...] [--seed N] [--out FILE] [--policy P]\n  hdpat-sim timeline <BENCH> --out FILE [--interval N] [--format csv|json|perfetto] [--policy P] [--scale ...] [--seed N]\n  hdpat-sim heatmap <BENCH> --out FILE [--interval N] [--policy P] [--scale ...] [--seed N]\n  hdpat-sim regen-experiments [--scale ...] [--jobs N] [--check] [--path FILE]"
+        "usage:\n  hdpat-sim list\n  hdpat-sim run <BENCH> <POLICY> [--scale unit|bench|full] [--seed N]\n  hdpat-sim compare <BENCH> [--scale ...] [--jobs N] [--no-cache] [--progress]\n  hdpat-sim figure <figNN|tabN|all> [--scale ...] [--jobs N] [--no-cache] [--progress] [--perf-out FILE]\n  hdpat-sim trace <BENCH> [--scale ...] [--seed N] [--out FILE] [--policy P]\n  hdpat-sim timeline <BENCH> --out FILE [--interval N] [--format csv|json|perfetto] [--policy P] [--scale ...] [--seed N]\n  hdpat-sim heatmap <BENCH> --out FILE [--interval N] [--policy P] [--scale ...] [--seed N]\n  hdpat-sim regen-experiments [--scale ...] [--jobs N] [--check] [--path FILE]\n  hdpat-sim serve (--socket PATH | --stdio) [--jobs N] [--cache-dir DIR] [--cache-budget BYTES]\n  hdpat-sim replay <MIX> [--socket PATH] [--shutdown] [--out FILE] [--stats-out FILE] [--jobs N] [--cache-dir DIR] [--cache-budget BYTES]\n  hdpat-sim emit-mix fig14 [--scale ...] [--seed N] [--out FILE]\n  hdpat-sim regen-protocol [--check] [--path FILE]\n\nsweep commands also accept --cache-dir DIR [--cache-budget BYTES] for the\npersistent cross-process run cache (DESIGN.md \u{a7}14)."
     );
     std::process::exit(2);
 }
@@ -122,6 +103,22 @@ fn main() {
         ctx.with_progress()
     } else {
         ctx
+    };
+    // `--cache-dir` attaches the persistent content-addressed run cache so
+    // repeated invocations answer from disk; like `--jobs` it never changes
+    // a byte of stdout.
+    let cache_dir = flag(&args, "--cache-dir").map(PathBuf::from);
+    let cache_budget: Option<u64> =
+        flag(&args, "--cache-budget").map(|s| s.parse().unwrap_or_else(|_| usage()));
+    let ctx = match &cache_dir {
+        Some(dir) => match DiskCache::open(dir, cache_budget) {
+            Ok(disk) => ctx.with_disk_cache(disk),
+            Err(e) => {
+                eprintln!("cannot open run cache {}: {e}", dir.display());
+                std::process::exit(2);
+            }
+        },
+        None => ctx,
     };
 
     match cmd.as_str() {
@@ -202,6 +199,46 @@ fn main() {
             });
             cmd_regen_experiments(&ctx, scale, &path, check);
         }
+        "serve" => {
+            let config = DaemonConfig {
+                jobs,
+                cache_dir,
+                cache_budget,
+            };
+            let socket = flag(&args, "--socket");
+            let stdio = args.iter().any(|a| a == "--stdio");
+            cmd_serve(config, socket, stdio);
+        }
+        "replay" => {
+            let mix_path = args
+                .get(1)
+                .filter(|s| !s.starts_with("--"))
+                .unwrap_or_else(|| usage());
+            let config = DaemonConfig {
+                jobs,
+                cache_dir,
+                cache_budget,
+            };
+            cmd_replay(
+                mix_path,
+                flag(&args, "--socket").as_deref(),
+                args.iter().any(|a| a == "--shutdown"),
+                flag(&args, "--out").as_deref(),
+                flag(&args, "--stats-out").as_deref(),
+                config,
+            );
+        }
+        "emit-mix" => {
+            let name = args.get(1).cloned().unwrap_or_else(|| usage());
+            cmd_emit_mix(&name, scale, seed, flag(&args, "--out").as_deref());
+        }
+        "regen-protocol" => {
+            let check = args.iter().any(|a| a == "--check");
+            let path = flag(&args, "--path").unwrap_or_else(|| {
+                concat!(env!("CARGO_MANIFEST_DIR"), "/../../PROTOCOL.md").into()
+            });
+            cmd_regen_protocol(&path, check);
+        }
         _ => usage(),
     }
 }
@@ -218,7 +255,7 @@ fn cmd_list() {
     }
     emit("Benchmarks", "Table II workloads.", &t);
     let mut t = Table::new(vec!["policy", "description"]);
-    for (n, p) in policies() {
+    for (n, p) in PolicyKind::catalog() {
         t.row(vec![n.to_string(), p.name().to_string()]);
     }
     emit(
@@ -257,7 +294,7 @@ fn cmd_run(b: BenchmarkId, p: PolicyKind, scale: Scale, seed: u64) {
 }
 
 fn cmd_compare(ctx: &SweepCtx, b: BenchmarkId, scale: Scale, seed: u64) {
-    let points: Vec<RunConfig> = policies()
+    let points: Vec<RunConfig> = PolicyKind::catalog()
         .into_iter()
         .map(|(_, p)| RunConfig::new(b, scale, p).with_seed(seed))
         .collect();
@@ -270,7 +307,7 @@ fn cmd_compare(ctx: &SweepCtx, b: BenchmarkId, scale: Scale, seed: u64) {
         "iommu-walks",
         "offload",
     ]);
-    for ((n, _), m) in policies().into_iter().zip(&results) {
+    for ((n, _), m) in PolicyKind::catalog().into_iter().zip(&results) {
         t.row(vec![
             n.to_string(),
             m.total_cycles.to_string(),
@@ -486,6 +523,21 @@ fn cmd_heatmap(
     std::process::exit(2);
 }
 
+/// The end-of-sweep stderr accounting line. The disk-hit clause appears
+/// only when `--cache-dir` attached a persistent cache, so the line is
+/// unchanged for existing invocations.
+fn sweep_summary(ctx: &SweepCtx) -> String {
+    let (hits, misses) = ctx.cache_stats();
+    let disk = match ctx.disk_cache() {
+        Some(_) => format!(", {} disk hit(s)", ctx.disk_hits()),
+        None => String::new(),
+    };
+    format!(
+        "[sweep] {misses} simulation(s) executed, {hits} cache hit(s){disk}, {} worker(s)",
+        ctx.jobs()
+    )
+}
+
 type FigureFn<'a> = Box<dyn Fn() -> Table + 'a>;
 
 fn cmd_figure(ctx: &SweepCtx, name: &str, scale: Scale, perf_out: Option<&str>) {
@@ -554,12 +606,7 @@ fn cmd_figure(ctx: &SweepCtx, name: &str, scale: Scale, perf_out: Option<&str>) 
         std::process::exit(2);
     }
     let (hits, misses) = ctx.cache_stats();
-    eprintln!(
-        "[sweep] {} simulation(s) executed, {} cache hit(s), {} worker(s)",
-        misses,
-        hits,
-        ctx.jobs()
-    );
+    eprintln!("{}", sweep_summary(ctx));
     if let Some(path) = perf_out {
         let wall_seconds = wall_start.elapsed().as_secs_f64();
         let total_events = ctx.events_executed();
@@ -598,13 +645,7 @@ fn cmd_regen_experiments(ctx: &SweepCtx, scale: Scale, path: &str, check: bool) 
             std::process::exit(2);
         }
     };
-    let (hits, misses) = ctx.cache_stats();
-    eprintln!(
-        "[sweep] {} simulation(s) executed, {} cache hit(s), {} worker(s)",
-        misses,
-        hits,
-        ctx.jobs()
-    );
+    eprintln!("{}", sweep_summary(ctx));
     if check {
         if fresh == doc {
             println!("regen-experiments --check: {path} is up to date");
@@ -622,5 +663,167 @@ fn cmd_regen_experiments(ctx: &SweepCtx, scale: Scale, path: &str, check: bool) 
         std::process::exit(2);
     } else {
         println!("regen-experiments: rewrote measured tables in {path}");
+    }
+}
+
+/// Runs the simulation daemon until a client sends `{"op":"shutdown"}`.
+/// `--socket PATH` listens on a Unix socket; `--stdio` serves one
+/// connection over stdin/stdout (scripting and tests).
+fn cmd_serve(config: DaemonConfig, socket: Option<String>, stdio: bool) {
+    let daemon = match Daemon::new(config) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("serve: cannot start daemon: {e}");
+            std::process::exit(2);
+        }
+    };
+    if stdio {
+        eprintln!(
+            "[serve] reading requests from stdin, {} worker(s)",
+            daemon.jobs()
+        );
+        daemon.serve_connection(std::io::stdin().lock(), std::io::stdout());
+    } else {
+        let Some(path) = socket else { usage() };
+        eprintln!("[serve] listening on {path}, {} worker(s)", daemon.jobs());
+        if let Err(e) = daemon.serve_unix(Path::new(&path)) {
+            eprintln!("serve: {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    daemon.join();
+    eprintln!("[serve] drained, exiting");
+}
+
+/// Replays a recorded request mix — in-process by default (boots a daemon,
+/// streams the mix through one connection), or against a running daemon
+/// with `--socket`. Writes the deterministic response digest to `--out`
+/// (stdout otherwise) and hit-rate/latency statistics to `--stats-out`.
+fn cmd_replay(
+    mix_path: &str,
+    socket: Option<&str>,
+    shutdown: bool,
+    out: Option<&str>,
+    stats_out: Option<&str>,
+    config: DaemonConfig,
+) {
+    let mix = match std::fs::read_to_string(mix_path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("replay: cannot read {mix_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    // lint:allow(wallclock): host-side latency measurement for the
+    // `--stats-out` artifact; the deterministic digest never depends on it.
+    let wall_start = std::time::Instant::now();
+    let lines = match socket {
+        Some(path) => replay_over_socket(&mix, path, shutdown),
+        None => serving::replay_batch(&mix, config),
+    };
+    let lines = match lines {
+        Ok(lines) => lines,
+        Err(e) => {
+            eprintln!("replay: {e}");
+            std::process::exit(2);
+        }
+    };
+    let wall_seconds = wall_start.elapsed().as_secs_f64();
+    let (artifact, stats) = serving::digest(&lines);
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &artifact) {
+                eprintln!("replay: cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+        None => print!("{artifact}"),
+    }
+    if let Some(path) = stats_out {
+        if let Err(e) = std::fs::write(path, stats.to_json(wall_seconds)) {
+            eprintln!("replay: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    eprintln!(
+        "[replay] {} result(s) in {:.2}s: {} simulated, {} memory, {} disk; {} error(s)",
+        stats.results, wall_seconds, stats.simulated, stats.memory, stats.disk, stats.errors
+    );
+}
+
+#[cfg(unix)]
+fn replay_over_socket(mix: &str, path: &str, shutdown: bool) -> std::io::Result<Vec<String>> {
+    serving::replay_socket(mix, Path::new(path), shutdown)
+}
+
+#[cfg(not(unix))]
+fn replay_over_socket(_mix: &str, _path: &str, _shutdown: bool) -> std::io::Result<Vec<String>> {
+    Err(std::io::Error::new(
+        std::io::ErrorKind::Unsupported,
+        "replay --socket needs Unix domain sockets; use batch mode",
+    ))
+}
+
+/// Writes a recorded request mix (newline-delimited `submit` requests) for
+/// `hdpat-sim replay`. `fig14` is the full overall-speedup sweep: every
+/// Table II benchmark under the baseline and the four headline policies.
+fn cmd_emit_mix(name: &str, scale: Scale, seed: u64, out: Option<&str>) {
+    let mix = match name {
+        "fig14" => serving::fig14_mix(scale, seed),
+        _ => {
+            eprintln!("emit-mix: unknown mix `{name}`; try fig14");
+            std::process::exit(2);
+        }
+    };
+    let requests = mix.lines().count();
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &mix) {
+                eprintln!("emit-mix: cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!("[emit-mix] {requests} request(s) -> {path}");
+        }
+        None => print!("{mix}"),
+    }
+}
+
+/// Regenerates the worked protocol examples in PROTOCOL.md from the actual
+/// wire builders (`hdpat::serve::proto::protocol_examples`), so the
+/// documented lines can never drift from what the daemon emits. `--check`
+/// is the CI drift gate.
+fn cmd_regen_protocol(path: &str, check: bool) {
+    let doc = match std::fs::read_to_string(path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("regen-protocol: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let body = hdpat::serve::proto::protocol_examples();
+    let fresh = match regen::splice(&doc, "protocol-examples", &body) {
+        Ok(fresh) => fresh,
+        Err(e) => {
+            eprintln!("regen-protocol: {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    if check {
+        if fresh == doc {
+            println!("regen-protocol --check: {path} is up to date");
+        } else {
+            eprintln!(
+                "regen-protocol --check: protocol examples in {path} are stale; \
+                 run `hdpat-sim regen-protocol` and commit the result"
+            );
+            std::process::exit(1);
+        }
+    } else if fresh == doc {
+        println!("regen-protocol: {path} already up to date");
+    } else if let Err(e) = std::fs::write(path, &fresh) {
+        eprintln!("regen-protocol: cannot write {path}: {e}");
+        std::process::exit(2);
+    } else {
+        println!("regen-protocol: rewrote protocol examples in {path}");
     }
 }

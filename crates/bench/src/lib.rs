@@ -17,6 +17,7 @@
 pub mod figures;
 pub mod regen;
 pub mod report;
+pub mod serving;
 
 use hdpat::experiments::SweepCtx;
 use wsg_workloads::Scale;

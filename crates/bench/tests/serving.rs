@@ -1,0 +1,126 @@
+//! Shape tests for the serving client library: mix generation, the replay
+//! digest, and persistent-cache attribution across daemon instances.
+
+use wsg_bench::serving;
+use wsg_sim::pool::default_jobs;
+
+use hdpat::serve::json::Json;
+use hdpat::serve::DaemonConfig;
+use wsg_workloads::Scale;
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("hdpat-serving-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The fig14 mix is one submit line per figure point, ids q0001…q0070, and
+/// every line parses as a valid request.
+#[test]
+fn fig14_mix_is_the_full_figure_point_set() {
+    let mix = serving::fig14_mix(Scale::Unit, 42);
+    let lines: Vec<&str> = mix.lines().collect();
+    assert_eq!(lines.len(), 70, "14 benchmarks x 5 policies");
+    for (i, line) in lines.iter().enumerate() {
+        let v = Json::parse(line).expect("mix line is valid JSON");
+        assert_eq!(v.get("op").and_then(Json::as_str), Some("submit"));
+        assert_eq!(
+            v.get("id").and_then(Json::as_str),
+            Some(format!("q{:04}", i + 1).as_str())
+        );
+        hdpat::serve::Request::parse(line).expect("mix line parses as a request");
+    }
+}
+
+/// The mix resolves to exactly the fig14 sweep configurations, so a disk
+/// cache populated by serving the mix is hit by `figure fig14` and vice
+/// versa. Guards the policy-token <-> PolicyKind agreement.
+#[test]
+fn fig14_mix_fingerprints_match_the_figure_sweep() {
+    let configs = serving::fig14_configs(Scale::Unit, 42);
+    assert_eq!(configs.len(), 70);
+    let mix = serving::fig14_mix(Scale::Unit, 42);
+    for (line, cfg) in mix.lines().zip(&configs) {
+        let req = hdpat::serve::Request::parse(line).unwrap();
+        match req {
+            hdpat::serve::Request::Submit(s) => {
+                assert_eq!(s.run_config().fingerprint(), cfg.fingerprint());
+            }
+            other => panic!("expected submit, got {other:?}"),
+        }
+    }
+    // All 70 points are distinct cache entries.
+    let fps: std::collections::BTreeSet<String> = configs.iter().map(|c| c.fingerprint()).collect();
+    assert_eq!(fps.len(), 70);
+}
+
+/// Batch replay against a fresh disk cache simulates everything; a second
+/// replay by a *new* daemon over the same directory answers entirely from
+/// disk, and the deterministic digest is byte-identical.
+#[test]
+fn replay_twice_hits_disk_and_digests_identically() {
+    let dir = tmpdir("replay-twice");
+    let mix: String = serving::fig14_mix(Scale::Unit, 42)
+        .lines()
+        .take(6)
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let config = DaemonConfig {
+        jobs: default_jobs().min(4),
+        cache_dir: Some(dir.clone()),
+        cache_budget: None,
+    };
+    let first = serving::replay_batch(&mix, config.clone()).unwrap();
+    let (digest1, stats1) = serving::digest(&first);
+    assert_eq!(stats1.results, 6);
+    assert_eq!(stats1.simulated, 6, "cold cache simulates everything");
+    assert_eq!(stats1.errors, 0);
+
+    let second = serving::replay_batch(&mix, config).unwrap();
+    let (digest2, stats2) = serving::digest(&second);
+    assert_eq!(stats2.results, 6);
+    assert_eq!(stats2.disk, 6, "warm cache answers everything from disk");
+    assert_eq!(stats2.simulated, 0);
+    assert_eq!(digest1, digest2, "digest is independent of the source");
+    assert!(digest1.contains("=== q0001 "));
+    assert!(digest1.contains("total_cycles: "));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The digest separates deterministic payload from attribution side-band:
+/// progress and control lines never land in the artifact.
+#[test]
+fn digest_skips_side_band_lines() {
+    let lines = vec![
+        r#"{"type":"progress","id":"a","state":"started"}"#.to_string(),
+        r#"{"type":"error","id":"a","code":"unknown-policy","message":"no"}"#.to_string(),
+        r#"{"type":"status","queued":0,"running":0,"completed":1,"clients":1}"#.to_string(),
+        r#"{"type":"shutdown-ack","drained":0}"#.to_string(),
+    ];
+    let (artifact, stats) = serving::digest(&lines);
+    assert_eq!(artifact, "=== a error unknown-policy\n");
+    assert_eq!(stats.errors, 1);
+    assert_eq!(stats.results, 0);
+}
+
+/// The stats JSON renders every counter and is parseable by the bundled
+/// JSON parser (what the CI lane greps came from a machine-readable doc).
+#[test]
+fn stats_json_is_valid_and_complete() {
+    let stats = serving::ReplayStats {
+        results: 70,
+        errors: 1,
+        simulated: 50,
+        memory: 5,
+        disk: 15,
+    };
+    let doc = stats.to_json(2.5);
+    let v = Json::parse(doc.trim()).expect("stats JSON parses");
+    assert_eq!(v.get("results").and_then(Json::as_u64), Some(70));
+    let sources = v.get("sources").expect("sources object");
+    assert_eq!(sources.get("disk").and_then(Json::as_u64), Some(15));
+    assert_eq!(sources.get("memory").and_then(Json::as_u64), Some(5));
+    assert_eq!(sources.get("simulated").and_then(Json::as_u64), Some(50));
+}

@@ -1,7 +1,15 @@
 //! Experiment runners used by the examples, tests, and the figure benches:
 //! the one-call [`run`] plus the deterministic parallel sweep API
 //! ([`SweepCtx`], [`RunCache`]) that deduplicates and fans independent
-//! points across worker threads without changing a single output byte.
+//! points across worker threads without changing a single output byte, and
+//! the persistent [`DiskCache`] that carries completed runs across
+//! processes (the store behind `hdpat-sim serve`).
+
+mod diskcache;
+mod fingerprint;
+
+pub use diskcache::{DiskCache, DiskCacheStats};
+pub use fingerprint::FINGERPRINT_VERSION;
 
 use wsg_gpu::SystemConfig;
 use wsg_workloads::{BenchmarkId, Scale};
@@ -110,16 +118,17 @@ impl RunConfig {
     /// if and only if their fingerprints are equal, no matter how they were
     /// constructed (`new` + `with_system` vs hand-assembled fields).
     ///
-    /// The fingerprint is the `Debug` rendering of every field. All config
-    /// types are plain data with derived `Debug`, so the rendering is a
-    /// total, deterministic function of the field values — including `f64`
-    /// parameters, which Rust formats with shortest-roundtrip precision.
-    /// [`RunCache`] uses it as the cache key.
+    /// The fingerprint is an explicitly versioned, hand-rendered enumeration
+    /// of every semantically meaningful field, prefixed with
+    /// [`FINGERPRINT_VERSION`] (see DESIGN.md §14 for the full stability
+    /// contract and why the old `Debug`-format key was replaced). Every
+    /// config struct is fully destructured in the renderer, so adding a
+    /// field anywhere is a compile error until its rendering — and a version
+    /// bump — are decided. [`RunCache`] uses the fingerprint as the
+    /// in-memory key and [`DiskCache`] as the persistent content address, so
+    /// identical requests hit across processes, restarts, and machines.
     pub fn fingerprint(&self) -> String {
-        format!(
-            "{:?}|{:?}|{:?}|{:?}|seed={}",
-            self.system, self.policy, self.benchmark, self.scale, self.seed
-        )
+        fingerprint::fingerprint(self)
     }
 }
 
@@ -318,8 +327,10 @@ impl RunCache {
 #[derive(Debug)]
 pub struct SweepCtx {
     cache: Option<RunCache>,
+    disk: Option<DiskCache>,
     jobs: usize,
     hits: AtomicU64,
+    disk_hits: AtomicU64,
     misses: AtomicU64,
     events: AtomicU64,
     progress: Option<Progress>,
@@ -343,12 +354,33 @@ impl SweepCtx {
     pub fn new(jobs: usize) -> Self {
         Self {
             cache: Some(RunCache::new()),
+            disk: None,
             jobs: jobs.max(1),
             hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             events: AtomicU64::new(0),
             progress: None,
         }
+    }
+
+    /// Attaches a persistent [`DiskCache`]: sweep points missing from the
+    /// in-memory cache are probed on disk before being scheduled, and every
+    /// freshly simulated point is written back. Purely an optimization —
+    /// results are byte-identical with and without the disk cache
+    /// (`tests/sweep_determinism.rs`), only wall-clock time changes.
+    ///
+    /// The disk probe sits behind the in-memory cache, so it only applies to
+    /// contexts with caching enabled ([`SweepCtx::new`]); attaching it to a
+    /// [`SweepCtx::without_cache`] context is a no-op by construction.
+    pub fn with_disk_cache(mut self, disk: DiskCache) -> Self {
+        self.disk = Some(disk);
+        self
+    }
+
+    /// The attached disk cache, if any — for hit-rate reporting.
+    pub fn disk_cache(&self) -> Option<&DiskCache> {
+        self.disk.as_ref()
     }
 
     /// Enables the live progress reporter: every completed simulation
@@ -429,11 +461,19 @@ impl SweepCtx {
     }
 
     /// `(cache hits, simulations executed)` across the context's lifetime.
+    /// Disk-cache hits are counted separately ([`SweepCtx::disk_hits`]) —
+    /// they are neither an in-memory hit nor an executed simulation.
     pub fn cache_stats(&self) -> (u64, u64) {
         (
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// Sweep points resolved from the attached disk cache (always 0 when no
+    /// disk cache is attached).
+    pub fn disk_hits(&self) -> u64 {
+        self.disk_hits.load(Ordering::Relaxed)
     }
 
     /// Total simulator events delivered by runs this context actually
@@ -479,16 +519,28 @@ impl SweepCtx {
             return out;
         };
         let keys: Vec<String> = cfgs.iter().map(RunConfig::fingerprint).collect();
-        // Unique uncached points, in first-occurrence order.
+        // Unique uncached points, in first-occurrence order. Each unique
+        // point missing from memory is probed on disk before it is scheduled
+        // — a disk hit is promoted into the in-memory cache (so duplicates
+        // of it downstream count as ordinary hits) and never simulated.
         let mut pending = BTreeSet::new();
         let mut todo: Vec<usize> = Vec::new();
+        let mut from_disk: u64 = 0;
         for (i, key) in keys.iter().enumerate() {
             if cache.get(key).is_none() && pending.insert(key.as_str()) {
-                todo.push(i);
+                if let Some(m) = self.disk.as_ref().and_then(|d| d.get(key)) {
+                    cache.insert(key.clone(), Arc::new(m));
+                    from_disk += 1;
+                } else {
+                    todo.push(i);
+                }
             }
         }
-        self.hits
-            .fetch_add((cfgs.len() - todo.len()) as u64, Ordering::Relaxed);
+        self.disk_hits.fetch_add(from_disk, Ordering::Relaxed);
+        self.hits.fetch_add(
+            cfgs.len() as u64 - todo.len() as u64 - from_disk,
+            Ordering::Relaxed,
+        );
         self.misses.fetch_add(todo.len() as u64, Ordering::Relaxed);
         let reporting = self.announce_runs(todo.len());
         let fresh = wsg_sim::pool::run_indexed_with(
@@ -506,6 +558,9 @@ impl SweepCtx {
         }
         for (j, &i) in todo.iter().enumerate() {
             cache.insert(keys[i].clone(), fresh[j].clone());
+            if let Some(disk) = &self.disk {
+                disk.insert(&keys[i], &fresh[j]);
+            }
         }
         keys.iter()
             .map(|key| match cache.get(key) {
@@ -610,6 +665,32 @@ mod tests {
                 .collect();
             assert_eq!(got, reference, "jobs={} diverged", ctx.jobs());
         }
+    }
+
+    #[test]
+    fn sweep_resolves_from_disk_across_contexts() {
+        let dir =
+            std::env::temp_dir().join(format!("hdpat-sweep-disk-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = RunConfig::new(BenchmarkId::Relu, Scale::Unit, PolicyKind::Naive);
+
+        // First context: cold disk, the point is simulated and written back.
+        let warm = SweepCtx::serial().with_disk_cache(DiskCache::open(&dir, None).unwrap());
+        let first = warm.run(&cfg);
+        assert_eq!(warm.cache_stats(), (0, 1));
+        assert_eq!(warm.disk_hits(), 0);
+
+        // Second context (fresh memory cache, same directory): served from
+        // disk, nothing simulated, bytes identical.
+        let cold = SweepCtx::serial().with_disk_cache(DiskCache::open(&dir, None).unwrap());
+        let out = cold.sweep(&[cfg.clone(), cfg.clone()]);
+        assert_eq!(cold.cache_stats(), (1, 0), "no simulation on the reload");
+        assert_eq!(cold.disk_hits(), 1);
+        assert_eq!(
+            out[0].to_deterministic_string(),
+            first.to_deterministic_string()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

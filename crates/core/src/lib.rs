@@ -47,6 +47,7 @@ pub mod layers;
 pub mod metrics;
 pub mod migration;
 pub mod policy;
+pub mod serve;
 pub mod sim;
 
 pub use experiments::{run, RunConfig};

@@ -124,6 +124,47 @@ impl PolicyKind {
         PolicyKind::Hdpat(HdpatConfig::paper_default())
     }
 
+    /// The named policy catalog shared by the CLI and the serve protocol:
+    /// every selectable policy with its stable lowercase token. The tokens
+    /// are part of the wire format (PROTOCOL.md) — never rename one, only
+    /// add.
+    pub fn catalog() -> Vec<(&'static str, PolicyKind)> {
+        vec![
+            ("naive", PolicyKind::Naive),
+            ("route", PolicyKind::RouteCache { caching_layers: 2 }),
+            ("concentric", PolicyKind::Concentric { caching_layers: 2 }),
+            ("distributed", PolicyKind::Distributed),
+            ("transfw", PolicyKind::TransFw),
+            ("valkyrie", PolicyKind::Valkyrie),
+            ("barre", PolicyKind::Barre),
+            (
+                "cluster",
+                PolicyKind::Hdpat(HdpatConfig::peer_caching_only()),
+            ),
+            (
+                "redir",
+                PolicyKind::Hdpat(HdpatConfig::with_redirection_only()),
+            ),
+            (
+                "prefetch",
+                PolicyKind::Hdpat(HdpatConfig::with_prefetch_only()),
+            ),
+            (
+                "hdpat-tlb",
+                PolicyKind::Hdpat(HdpatConfig::with_iommu_tlb()),
+            ),
+            ("hdpat", PolicyKind::hdpat()),
+        ]
+    }
+
+    /// Looks a policy up by its catalog token (ASCII case-insensitive).
+    pub fn from_token(token: &str) -> Option<PolicyKind> {
+        Self::catalog()
+            .into_iter()
+            .find(|(t, _)| t.eq_ignore_ascii_case(token))
+            .map(|(_, p)| p)
+    }
+
     /// Short display name matching the paper's figure legends.
     pub fn name(&self) -> &'static str {
         match self {
@@ -211,6 +252,24 @@ mod tests {
         let before = sorted.len();
         sorted.dedup();
         assert_eq!(sorted.len(), before);
+    }
+
+    #[test]
+    fn catalog_tokens_are_distinct_and_resolvable() {
+        let catalog = PolicyKind::catalog();
+        let mut tokens: Vec<&str> = catalog.iter().map(|(t, _)| *t).collect();
+        let before = tokens.len();
+        tokens.sort_unstable();
+        tokens.dedup();
+        assert_eq!(tokens.len(), before, "duplicate catalog token");
+        for (token, policy) in &catalog {
+            assert_eq!(PolicyKind::from_token(token), Some(*policy));
+            assert_eq!(
+                PolicyKind::from_token(&token.to_ascii_uppercase()),
+                Some(*policy)
+            );
+        }
+        assert_eq!(PolicyKind::from_token("no-such-policy"), None);
     }
 
     #[test]

@@ -1,0 +1,21 @@
+//! Simulation-as-a-service: the `hdpat-sim serve` daemon and its
+//! newline-delimited JSON protocol.
+//!
+//! * [`daemon`] — the long-running service: per-client-fair priority
+//!   scheduling onto a [`wsg_sim::pool::TaskPool`], answers from the
+//!   in-memory and persistent run caches with source attribution, ordered
+//!   response delivery, progress streaming, graceful drain on shutdown.
+//! * [`proto`] — the wire format: request parsing/validation, response
+//!   builders, stable error codes, and the generated PROTOCOL.md examples.
+//! * [`json`] — the minimal hand-rolled JSON value type underneath (this
+//!   reproduction vendors no serde).
+//!
+//! See PROTOCOL.md for the client-facing specification and OPERATIONS.md
+//! for running the daemon.
+
+pub mod daemon;
+pub mod json;
+pub mod proto;
+
+pub use daemon::{Daemon, DaemonConfig};
+pub use proto::Request;

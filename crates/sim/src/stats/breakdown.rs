@@ -84,6 +84,42 @@ impl Breakdown {
         self.samples
     }
 
+    /// Component names in declaration order. Paired with [`Breakdown::raw_values`]
+    /// and [`Breakdown::samples`], this exposes the complete state for exact
+    /// serialization (the disk run cache round-trips breakdowns this way).
+    pub fn names(&self) -> &[&'static str] {
+        &self.names
+    }
+
+    /// Accumulated values in declaration order (parallel to
+    /// [`Breakdown::names`]).
+    pub fn raw_values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// Rebuilds a breakdown from previously captured state — the exact
+    /// inverse of reading [`Breakdown::names`], [`Breakdown::raw_values`] and
+    /// [`Breakdown::samples`]. The caller supplies the `'static` component
+    /// names (decoders know which breakdown they are restoring and verify the
+    /// serialized names against this table).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names` is empty or `values` has a different length.
+    pub fn from_parts(names: &[&'static str], values: Vec<u64>, samples: u64) -> Self {
+        assert!(!names.is_empty(), "breakdown needs at least one component");
+        assert_eq!(
+            names.len(),
+            values.len(),
+            "breakdown names/values length mismatch"
+        );
+        Self {
+            names: names.to_vec(),
+            values,
+            samples,
+        }
+    }
+
     /// Iterates `(name, value, share)` in declaration order.
     pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64, f64)> + '_ {
         let total = self.total();
@@ -144,6 +180,25 @@ mod tests {
         let b = Breakdown::new(&["x"]);
         assert_eq!(b.share("x"), 0.0);
         assert_eq!(b.total(), 0);
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let mut b = Breakdown::new(&["wait", "serve"]);
+        b.add("wait", 10);
+        b.add("serve", 3);
+        b.add("serve", 4);
+        let rebuilt = Breakdown::from_parts(b.names(), b.raw_values().to_vec(), b.samples());
+        assert_eq!(rebuilt.names(), b.names());
+        assert_eq!(rebuilt.raw_values(), b.raw_values());
+        assert_eq!(rebuilt.samples(), b.samples());
+        assert_eq!(format!("{rebuilt}"), format!("{b}"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_parts_length_mismatch_rejected() {
+        Breakdown::from_parts(&["a", "b"], vec![1], 1);
     }
 
     #[test]

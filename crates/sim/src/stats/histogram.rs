@@ -109,6 +109,51 @@ impl Histogram {
             .filter(|(_, &c)| c > 0)
             .map(move |(i, &c)| (i as u64 * self.bucket_width, c))
     }
+
+    /// Bucket width in value units.
+    pub fn bucket_width(&self) -> u64 {
+        self.bucket_width
+    }
+
+    /// All bucket counts in order, including empty buckets. Together with
+    /// [`Histogram::bucket_width`], [`Histogram::overflow`],
+    /// [`Histogram::count`], [`Histogram::raw_sum`] and [`Histogram::max`]
+    /// this exposes the complete state for exact serialization.
+    pub fn raw_buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Exact sum of all recorded samples (the un-averaged accumulator behind
+    /// [`Histogram::mean`]).
+    pub fn raw_sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Rebuilds a histogram from previously captured state — the exact
+    /// inverse of reading the raw accessors above.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is zero or `buckets` is empty.
+    pub fn from_parts(
+        bucket_width: u64,
+        buckets: Vec<u64>,
+        overflow: u64,
+        count: u64,
+        sum: u128,
+        max: u64,
+    ) -> Self {
+        assert!(bucket_width > 0, "bucket width must be positive");
+        assert!(!buckets.is_empty(), "need at least one bucket");
+        Self {
+            bucket_width,
+            buckets,
+            overflow,
+            count,
+            sum,
+            max,
+        }
+    }
 }
 
 /// A histogram with power-of-two buckets: bucket `i` covers `[2^i, 2^(i+1))`,
@@ -189,6 +234,31 @@ impl LogHistogram {
             .enumerate()
             .filter(|(_, &c)| c > 0)
             .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << i }, c))
+    }
+
+    /// All bucket counts in index order (bucket `i` covers `[2^i, 2^(i+1))`),
+    /// including empty buckets. Together with [`LogHistogram::count`],
+    /// [`LogHistogram::raw_sum`] and [`LogHistogram::max`] this exposes the
+    /// complete state for exact serialization.
+    pub fn raw_buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Exact sum of all recorded samples (the un-averaged accumulator behind
+    /// [`LogHistogram::mean`]).
+    pub fn raw_sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Rebuilds a log histogram from previously captured state — the exact
+    /// inverse of reading the raw accessors above.
+    pub fn from_parts(buckets: Vec<u64>, count: u64, sum: u128, max: u64) -> Self {
+        Self {
+            buckets,
+            count,
+            sum,
+            max,
+        }
     }
 
     /// Fraction of samples strictly greater than 1 — i.e. for per-VPN
@@ -286,6 +356,49 @@ mod tests {
         h.record(7);
         h.record(9);
         assert!((h.fraction_above_one() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_from_parts_round_trips() {
+        let mut h = Histogram::new(3, 4);
+        for v in [0, 2, 5, 11, 999] {
+            h.record(v);
+        }
+        let rebuilt = Histogram::from_parts(
+            h.bucket_width(),
+            h.raw_buckets().to_vec(),
+            h.overflow(),
+            h.count(),
+            h.raw_sum(),
+            h.max(),
+        );
+        assert_eq!(rebuilt.raw_buckets(), h.raw_buckets());
+        assert_eq!(rebuilt.overflow(), h.overflow());
+        assert_eq!(rebuilt.count(), h.count());
+        assert_eq!(rebuilt.mean().to_bits(), h.mean().to_bits());
+        assert_eq!(rebuilt.max(), h.max());
+        assert_eq!(
+            rebuilt.iter().collect::<Vec<_>>(),
+            h.iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn log_from_parts_round_trips() {
+        let mut h = LogHistogram::new();
+        for v in [0, 1, 6, 6, 1 << 40] {
+            h.record(v);
+        }
+        let rebuilt =
+            LogHistogram::from_parts(h.raw_buckets().to_vec(), h.count(), h.raw_sum(), h.max());
+        assert_eq!(rebuilt.raw_buckets(), h.raw_buckets());
+        assert_eq!(rebuilt.count(), h.count());
+        assert_eq!(rebuilt.mean().to_bits(), h.mean().to_bits());
+        assert_eq!(rebuilt.max(), h.max());
+        assert_eq!(
+            rebuilt.fraction_above_one().to_bits(),
+            h.fraction_above_one().to_bits()
+        );
     }
 
     #[test]

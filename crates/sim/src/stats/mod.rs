@@ -25,7 +25,7 @@ pub use breakdown::Breakdown;
 pub use histogram::{Histogram, LogHistogram};
 pub use reuse::ReuseTracker;
 pub use summary::Summary;
-pub use timeseries::TimeSeries;
+pub use timeseries::{TimeSeries, Window};
 
 /// Geometric mean of a sequence of positive values.
 ///

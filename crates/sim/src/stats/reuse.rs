@@ -78,6 +78,43 @@ impl ReuseTracker {
         self.position
     }
 
+    /// Per-key occurrence counts in ascending key order. Together with
+    /// [`ReuseTracker::total_touches`] and [`ReuseTracker::reuse_histogram`]
+    /// this exposes every aggregate the tracker reports, for exact
+    /// serialization by the disk run cache.
+    pub fn counts_sorted(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter_sorted().map(|(k, &v)| (k, v))
+    }
+
+    /// Rebuilds a tracker from previously captured state — the inverse of
+    /// reading [`ReuseTracker::counts_sorted`],
+    /// [`ReuseTracker::total_touches`] (as `position`) and
+    /// [`ReuseTracker::reuse_histogram`].
+    ///
+    /// The restored tracker is **read-only in spirit**: every aggregate
+    /// accessor (`occurrences`, `count_histogram`, `repeat_fraction`,
+    /// `distinct_keys`, `total_touches`, `reuse_histogram`) reports exactly
+    /// what the original did, but the last-seen positions are deliberately
+    /// not captured, so calling [`ReuseTracker::touch`] on a restored tracker
+    /// would record wrong reuse distances. Cached metrics are never touched
+    /// again, so the smaller encoding wins.
+    pub fn from_parts(
+        counts: impl IntoIterator<Item = (u64, u64)>,
+        position: u64,
+        reuse: LogHistogram,
+    ) -> Self {
+        let mut index = HashIndex::new();
+        for (k, v) in counts {
+            index.insert(k, v);
+        }
+        Self {
+            last_seen: HashIndex::new(),
+            counts: index,
+            position,
+            reuse,
+        }
+    }
+
     /// Fraction of keys touched more than once.
     pub fn repeat_fraction(&self) -> f64 {
         if self.counts.is_empty() {
@@ -150,6 +187,46 @@ mod tests {
         assert_eq!(h.count(), 2);
         // 1 key in bucket {1}, 1 key in bucket [8,16).
         assert_eq!(h.bucket_for(8), 3);
+    }
+
+    #[test]
+    fn from_parts_round_trips_aggregates() {
+        let mut t = ReuseTracker::new();
+        for k in [1, 2, 1, 3, 1, 2, 9] {
+            t.touch(k);
+        }
+        let reuse = t.reuse_histogram();
+        let rebuilt = ReuseTracker::from_parts(
+            t.counts_sorted(),
+            t.total_touches(),
+            LogHistogram::from_parts(
+                reuse.raw_buckets().to_vec(),
+                reuse.count(),
+                reuse.raw_sum(),
+                reuse.max(),
+            ),
+        );
+        assert_eq!(rebuilt.total_touches(), t.total_touches());
+        assert_eq!(rebuilt.distinct_keys(), t.distinct_keys());
+        for k in [1, 2, 3, 9, 42] {
+            assert_eq!(rebuilt.occurrences(k), t.occurrences(k));
+        }
+        assert_eq!(
+            rebuilt.repeat_fraction().to_bits(),
+            t.repeat_fraction().to_bits()
+        );
+        assert_eq!(
+            rebuilt.count_histogram().iter().collect::<Vec<_>>(),
+            t.count_histogram().iter().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            rebuilt.reuse_histogram().iter().collect::<Vec<_>>(),
+            t.reuse_histogram().iter().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            rebuilt.counts_sorted().collect::<Vec<_>>(),
+            t.counts_sorted().collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -72,6 +72,23 @@ impl Summary {
         (self.count > 0).then_some(self.max)
     }
 
+    /// Rebuilds a summary from previously captured state — the exact inverse
+    /// of reading [`Summary::count`], [`Summary::sum`], [`Summary::min`] and
+    /// [`Summary::max`]. With `count == 0` the `sum`/`min`/`max` arguments
+    /// are ignored and an empty summary is returned, matching the encoding
+    /// convention of writing zeros for an empty summary.
+    pub fn from_parts(count: u64, sum: f64, min: f64, max: f64) -> Self {
+        if count == 0 {
+            return Self::default();
+        }
+        Self {
+            count,
+            sum,
+            min,
+            max,
+        }
+    }
+
     /// Merges another summary into this one.
     pub fn merge(&mut self, other: &Summary) {
         if other.count == 0 {
@@ -124,6 +141,29 @@ mod tests {
         assert_eq!(a.mean(), 3.0);
         assert_eq!(a.min(), Some(1.0));
         assert_eq!(a.max(), Some(5.0));
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let mut s = Summary::new();
+        s.record(0.1);
+        s.record(-2.5);
+        s.record(7.25);
+        let rebuilt = Summary::from_parts(
+            s.count(),
+            s.sum(),
+            s.min().unwrap_or(0.0),
+            s.max().unwrap_or(0.0),
+        );
+        assert_eq!(rebuilt.count(), s.count());
+        assert_eq!(rebuilt.sum().to_bits(), s.sum().to_bits());
+        assert_eq!(rebuilt.min(), s.min());
+        assert_eq!(rebuilt.max(), s.max());
+
+        let empty = Summary::from_parts(0, 123.0, 4.0, 5.0);
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.min(), None);
+        assert_eq!(empty.mean(), 0.0);
     }
 
     #[test]

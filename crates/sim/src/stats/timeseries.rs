@@ -97,6 +97,26 @@ impl TimeSeries {
         self.window
     }
 
+    /// Rebuilds a time series from previously captured state — the exact
+    /// inverse of reading [`TimeSeries::window_width`] and
+    /// [`TimeSeries::windows`] (the `Window` fields are public).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or any window's `start` is not the
+    /// contiguous multiple of `window` its position implies.
+    pub fn from_parts(window: Cycle, windows: Vec<Window>) -> Self {
+        assert!(window > 0, "window width must be positive");
+        for (i, w) in windows.iter().enumerate() {
+            assert_eq!(
+                w.start,
+                i as Cycle * window,
+                "window {i} start is not contiguous"
+            );
+        }
+        Self { window, windows }
+    }
+
     /// Iterates over all windows from time 0 through the latest sample
     /// (including empty intermediate windows).
     pub fn windows(&self) -> impl Iterator<Item = &Window> {
@@ -216,6 +236,34 @@ mod tests {
         assert_eq!(w[3].start, 30);
         assert_eq!((w[3].count, w[3].sum, w[3].min, w[3].max), (0, 0, 0, 0));
         assert_eq!(ts.total_count(), 1);
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let mut ts = TimeSeries::new(10);
+        ts.record(5, 7);
+        ts.record(6, 2);
+        ts.record(35, 4);
+        let rebuilt = TimeSeries::from_parts(ts.window_width(), ts.windows().cloned().collect());
+        assert_eq!(rebuilt.window_width(), ts.window_width());
+        assert_eq!(
+            rebuilt.windows().collect::<Vec<_>>(),
+            ts.windows().collect::<Vec<_>>()
+        );
+        assert_eq!(rebuilt.peak(), ts.peak());
+    }
+
+    #[test]
+    #[should_panic(expected = "not contiguous")]
+    fn from_parts_rejects_gapped_windows() {
+        let w = Window {
+            start: 20,
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        };
+        TimeSeries::from_parts(10, vec![w]);
     }
 
     #[test]
