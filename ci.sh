@@ -63,6 +63,12 @@ cargo test --features trace --test trace_determinism -q
 echo "== telemetry determinism gate (tests/telemetry_determinism.rs)"
 cargo test --features telemetry --test telemetry_determinism -q
 
+echo "== sharded equivalence gate (tests/equivalence.rs, per feature set)"
+cargo test --release --test equivalence -q
+cargo test --release --features audit --test equivalence -q
+cargo test --release --features trace --test equivalence -q
+cargo test --release --features telemetry --test equivalence -q
+
 echo "== trace on/off run parity (hdpat-sim run output byte-identical)"
 mkdir -p target/ci
 cargo build --release -q -p wsg-bench
@@ -141,5 +147,21 @@ echo "== perf-trajectory gate (fig14 vs pre-PR-4 golden, perf artifact)"
     --perf-out target/ci/BENCH_PR4_fig14.json > target/ci/fig14.txt
 cmp tests/golden/fig14_bench.txt target/ci/fig14.txt
 cat target/ci/BENCH_PR4_fig14.json
+
+echo "== sharded-drive gate (fig14 --shards 4 byte-identical per feature set, DESIGN.md §15)"
+# The plain (feature-off) binary is still in place from the lanes above.
+./target/release/hdpat-sim figure fig14 --scale bench --no-cache --shards 4 \
+    --perf-out target/ci/BENCH_PR8.json > target/ci/fig14_shards4.txt
+cmp tests/golden/fig14_bench.txt target/ci/fig14_shards4.txt
+grep -q '"shards": 4' target/ci/BENCH_PR8.json
+cat target/ci/BENCH_PR8.json
+for feat in audit trace telemetry; do
+  cargo build --release -q -p wsg-bench --features "$feat"
+  ./target/release/hdpat-sim figure fig14 --scale bench --no-cache --shards 4 \
+      > "target/ci/fig14_shards4_${feat}.txt"
+  cmp tests/golden/fig14_bench.txt "target/ci/fig14_shards4_${feat}.txt"
+done
+# Leave the default binary in place again.
+cargo build --release -q -p wsg-bench
 
 echo "CI green."

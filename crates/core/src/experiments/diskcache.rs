@@ -265,8 +265,15 @@ impl DiskCache {
     }
 
     /// All `.run` entries with their sizes and access stamps, sorted oldest
-    /// stamp first (ties broken by file name for determinism). Entries with
-    /// a missing or unreadable stamp sort first — they are evicted first.
+    /// stamp first (ties broken by file name for determinism).
+    ///
+    /// An entry whose sidecar is missing or corrupt must NOT become the
+    /// automatic eviction victim: a crash between `write_atomic(entry)` and
+    /// the stamp refresh, or a stray deletion of the sidecar, would
+    /// otherwise pin the *newest* write as "oldest" and silently evict it
+    /// on the next insert. The fallback chain is sidecar stamp → entry-file
+    /// mtime → now, so an unstamped entry ranks by its actual write time
+    /// and a fully unreadable one ranks newest (never the silent victim).
     fn entries(&self) -> Vec<(PathBuf, u64, u128)> {
         let Ok(dir) = fs::read_dir(&self.dir) else {
             return Vec::new();
@@ -277,11 +284,12 @@ impl DiskCache {
                 if path.extension()? != "run" {
                     return None;
                 }
-                let size = fs::metadata(&path).ok()?.len();
+                let meta = fs::metadata(&path).ok()?;
+                let size = meta.len();
                 let stamp = fs::read_to_string(stamp_path(&path))
                     .ok()
                     .and_then(|s| s.trim().parse::<u128>().ok())
-                    .unwrap_or(0);
+                    .unwrap_or_else(|| fallback_stamp(&meta));
                 Some((path, size, stamp))
             })
             .collect();
@@ -310,6 +318,20 @@ impl DiskCache {
 
 fn stamp_path(entry: &Path) -> PathBuf {
     entry.with_extension("atime")
+}
+
+/// Eviction stamp for an entry without a usable `.atime` sidecar: the entry
+/// file's own mtime, and if even that is unreadable, "now" — so the entry
+/// sorts as the newest rather than the oldest.
+fn fallback_stamp(meta: &fs::Metadata) -> u128 {
+    // lint:allow(wallclock): same role as `touch` — harness-side LRU
+    // ordering only, never fed into simulation state or artifacts.
+    let now = std::time::SystemTime::now();
+    meta.modified()
+        .unwrap_or(now)
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(u128::MAX)
 }
 
 /// Validates and decodes one entry file. Every failure mode returns an
@@ -511,6 +533,84 @@ mod tests {
         assert!(budgeted.get("fp-mid").is_none());
         assert!(budgeted.get("fp-old").is_some());
         assert!(budgeted.get("fp-new").is_some());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_sidecar_does_not_mark_the_entry_as_eviction_victim() {
+        // Regression: a lost/corrupt `.atime` sidecar used to parse to
+        // stamp 0, making that entry sort "oldest" and become the silent
+        // victim of the next budget enforcement — even if it was the most
+        // recent write. The fallback is the entry file's mtime, so it must
+        // outlive a genuinely older, properly-stamped entry.
+        let dir = tmpdir("lost-sidecar");
+        let cache = DiskCache::open(&dir, None).unwrap();
+        cache.insert("fp-a", &sample_metrics(1));
+        let entry_bytes = fs::metadata(dir.join(format!("{}.run", fnv128_hex("fp-a"))))
+            .unwrap()
+            .len();
+        let budgeted = DiskCache::open(&dir, Some(entry_bytes * 2 + entry_bytes / 2)).unwrap();
+        let tick = || std::thread::sleep(std::time::Duration::from_millis(5));
+        tick();
+        budgeted.insert("fp-b", &sample_metrics(2));
+        // fp-b loses its sidecar (crash between entry write and stamp
+        // refresh, stray cleanup, ...).
+        fs::remove_file(dir.join(format!("{}.atime", fnv128_hex("fp-b")))).unwrap();
+        tick();
+        // Overflow the budget: the oldest entry by actual age is fp-a, and
+        // that is what must go — not the unstamped-but-newer fp-b.
+        budgeted.insert("fp-c", &sample_metrics(3));
+        assert!(budgeted.stats().evictions >= 1);
+        assert!(
+            budgeted.get("fp-a").is_none(),
+            "oldest entry must be evicted"
+        );
+        assert!(
+            budgeted.get("fp-b").is_some(),
+            "unstamped entry must survive"
+        );
+        assert!(budgeted.get("fp-c").is_some());
+        // A corrupt (unparseable) sidecar takes the same fallback path.
+        fs::write(
+            dir.join(format!("{}.atime", fnv128_hex("fp-b"))),
+            b"not-a-stamp\n",
+        )
+        .unwrap();
+        let entries = budgeted.entries();
+        let garbled = entries
+            .iter()
+            .find(|(p, _, _)| p.ends_with(format!("{}.run", fnv128_hex("fp-b"))))
+            .expect("entry listed");
+        assert!(
+            garbled.2 > 0,
+            "corrupt sidecar must not collapse to stamp 0"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn equal_stamps_evict_in_file_name_order() {
+        // Pin the deterministic tiebreak: when two entries carry the same
+        // stamp, the lexicographically smaller entry file name goes first.
+        let dir = tmpdir("stamp-tie");
+        let cache = DiskCache::open(&dir, None).unwrap();
+        cache.insert("fp-a", &sample_metrics(1));
+        cache.insert("fp-b", &sample_metrics(2));
+        for fp in ["fp-a", "fp-b"] {
+            fs::write(dir.join(format!("{}.atime", fnv128_hex(fp))), b"777\n").unwrap();
+        }
+        let entries = cache.entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].2, entries[1].2, "stamps must tie");
+        assert!(entries[0].0 < entries[1].0, "ties break by file name");
+        // One-entry budget: exactly the first-sorted (smaller-named) entry
+        // is evicted, regardless of insert order.
+        let victim = entries[0].0.clone();
+        let survivor = entries[1].0.clone();
+        let budgeted = DiskCache::open(&dir, Some(entries[1].1)).unwrap();
+        budgeted.enforce_budget();
+        assert!(!victim.exists(), "smaller-named tied entry must be evicted");
+        assert!(survivor.exists(), "larger-named tied entry must survive");
         fs::remove_dir_all(&dir).unwrap();
     }
 

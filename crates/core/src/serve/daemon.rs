@@ -85,6 +85,13 @@ struct Client {
     /// Ids submitted but not yet answered (duplicate detection + cancel
     /// lookup).
     live: BTreeSet<String>,
+    /// The connection died abruptly (reader error, not an orderly EOF).
+    /// No response can ever be delivered again: queued jobs are dropped at
+    /// disconnect and the entry lingers only while `inflight > 0`, so
+    /// running jobs can account against it before it is reaped.
+    gone: bool,
+    /// Jobs picked by a pool worker and not yet finished.
+    inflight: u64,
 }
 
 /// Scheduler state under the daemon's one mutex.
@@ -116,6 +123,16 @@ impl SchedState {
             .clients
             .iter()
             .filter_map(|(&cid, c)| {
+                // `abandon` clears a gone client's queue under this same
+                // lock, so the scheduler must never see one with work; the
+                // filter below is belt-and-braces for release builds.
+                debug_assert!(
+                    !c.gone || c.queue.is_empty(),
+                    "scheduler saw a disconnected client with queued jobs"
+                );
+                if c.gone {
+                    return None;
+                }
                 c.queue
                     .front()
                     .map(|job| {
@@ -136,6 +153,7 @@ impl SchedState {
             None => unreachable!("picked client vanished under the lock"),
         };
         client.last_scheduled = tick;
+        client.inflight += 1;
         let job = match client.queue.pop_front() {
             Some(j) => j,
             None => unreachable!("picked client's queue emptied under the lock"),
@@ -154,6 +172,13 @@ impl SchedState {
             return false;
         };
         client.live.remove(id);
+        if client.gone {
+            // Abrupt disconnect: the response has nowhere to go, and it
+            // must not sit in the reorder buffer forever (earlier seqs of
+            // a gone client will never release it). The result itself is
+            // already in the caches.
+            return false;
+        }
         client.ready.insert(seq, line);
         let mut moved = false;
         while let Some(line) = client.ready.remove(&client.next_release) {
@@ -162,6 +187,31 @@ impl SchedState {
             moved = true;
         }
         moved
+    }
+
+    /// [`SchedState::finish`] for a pool-executed job: accounts the
+    /// in-flight slot taken in [`SchedState::pick`] and reaps the client if
+    /// the disconnect teardown was waiting on this job.
+    fn finish_run(&mut self, cid: u64, seq: u64, id: &str, line: String) -> bool {
+        if let Some(c) = self.clients.get_mut(&cid) {
+            debug_assert!(c.inflight > 0, "finish_run without a matching pick");
+            c.inflight = c.inflight.saturating_sub(1);
+        }
+        let moved = self.finish(cid, seq, id, line);
+        self.reap(cid);
+        moved
+    }
+
+    /// Removes a gone client once its last in-flight job has finished —
+    /// the deferred half of [`Shared::abandon`].
+    fn reap(&mut self, cid: u64) {
+        if self
+            .clients
+            .get(&cid)
+            .is_some_and(|c| c.gone && c.inflight == 0)
+        {
+            self.clients.remove(&cid);
+        }
     }
 }
 
@@ -300,7 +350,7 @@ impl Shared {
             if st.shutting_down {
                 st.drained_runs += 1;
             }
-            st.finish(cid, job.seq, &submit.id, line);
+            st.finish_run(cid, job.seq, &submit.id, line);
         }
         self.drained.notify_all();
         self.flush_client(cid);
@@ -343,6 +393,8 @@ impl Shared {
                 outbox: VecDeque::new(),
                 flushing: false,
                 live: BTreeSet::new(),
+                gone: false,
+                inflight: 0,
             },
         );
         cid
@@ -367,6 +419,30 @@ impl Shared {
 
     fn unregister(&self, cid: u64) {
         lock(&self.state).clients.remove(&cid);
+    }
+
+    /// Tears down client `cid` after an abrupt connection error (the
+    /// counterpart of the orderly `drain_client` + `unregister` path).
+    /// Queued jobs are dropped before any worker wastes a slot on them,
+    /// buffered responses are discarded (the socket is dead), and the
+    /// entry itself is reaped — immediately if idle, otherwise by
+    /// [`SchedState::finish_run`] when the last in-flight job completes.
+    fn abandon(&self, cid: u64) {
+        {
+            let mut st = lock(&self.state);
+            let Some(c) = st.clients.get_mut(&cid) else {
+                return;
+            };
+            c.gone = true;
+            c.queue.clear();
+            c.ready.clear();
+            c.outbox.clear();
+            c.live.clear();
+            st.reap(cid);
+        }
+        // A shutdown drain may be blocked on this client's queued jobs or
+        // unflushed outbox, both of which just vanished.
+        self.drained.notify_all();
     }
 
     /// Handles one request line from client `cid`.
@@ -567,7 +643,13 @@ impl Shared {
                         break;
                     }
                 }
-                Err(_) => break,
+                Err(_) => {
+                    // Abrupt disconnect (reset, broken pipe, ...): unlike
+                    // the orderly EOF path below, nothing can be written
+                    // back, so don't wait for queued work — drop it.
+                    self.abandon(cid);
+                    return;
+                }
             }
         }
         self.drain_client(cid);
@@ -848,6 +930,85 @@ mod tests {
             Ok(d) => d.join(),
             Err(_) => unreachable!("client threads joined; no handles remain"),
         }
+    }
+
+    /// A connection that delivers its request bytes, then fails like a
+    /// reset socket — an abrupt error, not an orderly EOF.
+    struct AbruptRead {
+        inner: Cursor<Vec<u8>>,
+    }
+
+    impl std::io::Read for AbruptRead {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = self.inner.read(buf)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionReset,
+                    "peer reset the connection",
+                ));
+            }
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn abrupt_disconnect_drops_queued_work_and_reaps_the_client() {
+        // Regression: an abrupt reader error used to take the same path as
+        // an orderly EOF — `drain_client` blocked until every queued job
+        // had been *simulated*, each result parked forever in the reorder
+        // buffer of a client nobody would ever flush again. The disconnect
+        // path must instead drop queued jobs, let in-flight ones finish
+        // into the caches, and reap the client record.
+        let d = daemon(1);
+        let out = SharedBuf::default();
+        // Three distinct cache-missing runs on a one-worker pool: at most
+        // one can be in flight by the time the reader errors out.
+        let mix: String = (0..3)
+            .map(|i| {
+                format!(
+                    "{{\"op\":\"submit\",\"id\":\"gone-{i}\",\"benchmark\":\"RELU\",\
+                     \"policy\":\"naive\",\"scale\":\"unit\",\"seed\":{i},\"priority\":0}}\n"
+                )
+            })
+            .collect();
+        let reader = std::io::BufReader::new(AbruptRead {
+            inner: Cursor::new(mix.into_bytes()),
+        });
+        // Must return promptly (abandon), not after simulating all three.
+        d.serve_connection(reader, out.clone());
+        // The client record disappears as soon as its in-flight job (if
+        // any) completes; bounded poll so a regression fails, not hangs.
+        let mut tries = 0;
+        while !lock(&d.shared.state).clients.is_empty() {
+            tries += 1;
+            assert!(tries < 2000, "disconnected client was never reaped");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        {
+            let st = lock(&d.shared.state);
+            assert_eq!(st.queued(), 0, "queued jobs must die with the client");
+            assert_eq!(st.running, 0);
+        }
+        // At most the one in-flight run was simulated into the cache; the
+        // two queued ones were dropped (pre-fix: all three executed).
+        let (mem_entries, _) = d.cache_stats();
+        assert!(
+            mem_entries <= 1,
+            "doomed queued jobs were simulated: {mem_entries}"
+        );
+        assert!(
+            out.lines().len() <= 1,
+            "responses written after the disconnect: {:?}",
+            out.lines()
+        );
+        // The daemon stays healthy: a fresh, orderly client is served.
+        let out2 = SharedBuf::default();
+        let submit = r#"{"op":"submit","id":"z","benchmark":"RELU","policy":"naive","scale":"unit","priority":0}"#;
+        d.serve_connection(Cursor::new(submit), out2.clone());
+        let lines = out2.lines();
+        assert_eq!(lines.len(), 1, "{lines:?}");
+        assert_eq!(member(&lines[0], "id"), Json::Str("z".into()));
+        d.join();
     }
 
     #[test]

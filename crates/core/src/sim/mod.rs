@@ -11,9 +11,13 @@
 //!   proactive delivery and selective push.
 //! * `data` — the post-translation data access (caches, HBM, remote
 //!   cacheline fetches).
+//! * `shard` — the tile-group sharded drive with conservative lookahead
+//!   ([`Simulation::run_with_shards`], DESIGN.md §15); byte-identical to
+//!   the serial drive by construction.
 
 mod data;
 mod iommu;
+mod shard;
 mod translate;
 
 use std::collections::VecDeque;
@@ -39,6 +43,10 @@ pub(crate) const RETRY_BACKOFF: Cycle = 32;
 pub(crate) const PROBE_OVERHEAD: Cycle = 30;
 /// Aggregation window of the IOMMU time series.
 pub(crate) const TIME_WINDOW: Cycle = 10_000;
+/// Safety cap on the event count: blowing past it indicates a scheduling
+/// bug (an event storm), not a big workload. Checked by both the serial and
+/// the sharded drive in debug builds.
+pub(crate) const EVENT_CAP: u64 = 2_000_000_000;
 
 /// Index into the in-flight request table.
 pub(crate) type ReqId = u32;
@@ -638,7 +646,6 @@ impl Simulation {
     /// Panics if the event count explodes past a safety cap (indicating a
     /// scheduling bug rather than a big workload).
     pub fn run(mut self) -> Metrics {
-        const EVENT_CAP: u64 = 2_000_000_000;
         // lint:allow(wallclock): events-per-second accounting only; the
         // reading lands in `Metrics::host_wall_nanos`, which is excluded
         // from the deterministic serialization, and never feeds back into
@@ -648,6 +655,13 @@ impl Simulation {
             self.dispatch(t, ev);
             debug_assert!(self.queue.total_popped() < EVENT_CAP, "event explosion");
         }
+        self.finish(wall_start)
+    }
+
+    /// End-of-run checks and metrics finalization, shared verbatim between
+    /// [`Simulation::run`] and the sharded drive
+    /// ([`Simulation::run_with_shards`]) so the two paths cannot drift.
+    fn finish(mut self, wall_start: std::time::Instant) -> Metrics {
         // All CUs must have drained; anything else is a lost-wakeup bug.
         for (g, gpm) in self.gpms.iter().enumerate() {
             for (c, cu) in gpm.cus.iter().enumerate() {

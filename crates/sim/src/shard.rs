@@ -1,0 +1,640 @@
+//! Sharded event scheduling with conservative lookahead (DESIGN.md §15).
+//!
+//! This module is the substrate for partitioning one simulation's event
+//! population across *shards* (tile groups of the wafer) while preserving
+//! the serial engine's exact `(time, sequence)` delivery order:
+//!
+//! * [`ShardQueue`] — a per-shard calendar queue, structurally the same
+//!   ring-of-buckets design as [`crate::EventQueue`] but keyed by an
+//!   explicit *global* stamp instead of a per-queue insertion counter, so
+//!   entries arriving out of stamp order (mailbox flushes at window
+//!   barriers) still merge into the right delivery slot.
+//! * [`ShardSet`] — the lock-step window coordinator: it owns one
+//!   `ShardQueue` per shard plus per-destination mailboxes, advances all
+//!   shards through lookahead windows of fixed length, exchanges
+//!   cross-shard messages at window barriers, and delivers events in the
+//!   exact global `(time, stamp)` order.
+//!
+//! # The conservative-lookahead argument
+//!
+//! Let `L` be the minimum latency of any cross-shard message (for a wafer
+//! mesh: one link traversal plus the serialization floor — see
+//! `Mesh::min_transit_cycles` in `wsg-noc`). While the coordinator executes
+//! events inside the window `[W, W + L)`, any cross-shard message such an
+//! event emits departs at some `t >= W` and therefore arrives at
+//! `t + L >= W + L` — at or beyond the window end. Messages parked in
+//! mailboxes during the window can thus never be *due* inside it, so each
+//! shard can exhaust its own queue up to the window end without seeing its
+//! siblings' traffic; flushing mailboxes at the barrier is sufficient for
+//! correctness. [`ShardSet::route`] enforces the invariant at runtime and
+//! panics on any cross-shard message that would violate it.
+//!
+//! # Determinism
+//!
+//! Every event carries a global stamp assigned at routing time in execution
+//! order, so within any single timestamp the stamp order equals the serial
+//! engine's insertion-sequence order. [`ShardSet::next_event`] always returns the
+//! globally minimal `(time, stamp)` entry over all shard heads, which makes
+//! the merged delivery order — and therefore every downstream metric,
+//! audit, trace and telemetry artifact — byte-identical to serial
+//! execution by construction. `tests/equivalence.rs` pins this against
+//! [`crate::EventQueue`] under arbitrary interleavings.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::time::Cycle;
+
+/// Ring width of each shard's calendar; see [`crate::EventQueue`] for the
+/// power-of-two / multiple-of-64 constraints.
+const HORIZON: usize = 4096;
+/// Occupancy bitmap words — one bit per bucket.
+const WORDS: usize = HORIZON / 64;
+
+/// A far-future entry: `(time, stamp)`-ordered via an inverted `Ord` so a
+/// max-`BinaryHeap` pops the earliest first.
+#[derive(Debug)]
+struct Far<E> {
+    time: Cycle,
+    stamp: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Far<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.stamp == other.stamp
+    }
+}
+impl<E> Eq for Far<E> {}
+impl<E> PartialOrd for Far<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Far<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.stamp.cmp(&self.stamp))
+    }
+}
+
+/// One shard's calendar queue: a ring of per-cycle buckets (each kept in
+/// ascending stamp order) over `[base, base + HORIZON)`, with a
+/// `(time, stamp)`-sorted overflow heap beyond the horizon.
+///
+/// Unlike [`crate::EventQueue`], entries carry an externally assigned stamp
+/// and may be inserted out of stamp order (a window barrier flushes mailbox
+/// entries whose stamps predate later local pushes); a binary-search insert
+/// keeps each bucket sorted, degrading to an O(1) append in the common
+/// monotone case.
+#[derive(Debug)]
+pub struct ShardQueue<E> {
+    /// Per-cycle buckets, ascending by stamp; index `time % HORIZON`.
+    buckets: Vec<VecDeque<(u64, E)>>,
+    /// Occupancy bit per bucket.
+    words: [u64; WORDS],
+    /// Occupancy bit per `words` entry.
+    summary: u64,
+    /// Start of the ring window `[base, base + HORIZON)`. Monotone.
+    base: Cycle,
+    /// Entries resident in the ring.
+    ring_len: usize,
+    /// Entries at `time >= base + HORIZON`.
+    overflow: BinaryHeap<Far<E>>,
+}
+
+impl<E> Default for ShardQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> ShardQueue<E> {
+    /// Creates an empty shard queue with its window based at cycle 0.
+    pub fn new() -> Self {
+        let mut buckets = Vec::with_capacity(HORIZON);
+        buckets.resize_with(HORIZON, VecDeque::new);
+        Self {
+            buckets,
+            words: [0; WORDS],
+            summary: 0,
+            base: 0,
+            ring_len: 0,
+            overflow: BinaryHeap::new(),
+        }
+    }
+
+    fn set_bit(&mut self, idx: usize) {
+        self.words[idx / 64] |= 1u64 << (idx % 64);
+        self.summary |= 1u64 << (idx / 64);
+    }
+
+    fn clear_bit(&mut self, idx: usize) {
+        self.words[idx / 64] &= !(1u64 << (idx % 64));
+        if self.words[idx / 64] == 0 {
+            self.summary &= !(1u64 << (idx / 64));
+        }
+    }
+
+    /// First occupied bucket in cyclic scan order starting at `from` (the
+    /// window base slot). `None` iff the ring is empty.
+    fn next_occupied(&self, from: usize) -> Option<usize> {
+        let w0 = from / 64;
+        let high = self.words[w0] & (!0u64 << (from % 64));
+        if high != 0 {
+            return Some(w0 * 64 + high.trailing_zeros() as usize);
+        }
+        if self.summary == 0 {
+            return None;
+        }
+        let rot = self.summary.rotate_right(((w0 + 1) % WORDS) as u32);
+        if rot == 0 {
+            return None;
+        }
+        let w = (w0 + 1 + rot.trailing_zeros() as usize) % WORDS;
+        Some(w * 64 + self.words[w].trailing_zeros() as usize)
+    }
+
+    /// Absolute time of ring bucket `idx`, given the window base slot.
+    fn bucket_time(&self, idx: usize, from: usize) -> Cycle {
+        self.base + ((idx + HORIZON - from) % HORIZON) as Cycle
+    }
+
+    /// Advances the window base, migrating overflow entries that came
+    /// inside the window into their ring buckets.
+    fn advance_base(&mut self, to: Cycle) {
+        self.base = to;
+        while let Some(head) = self.overflow.peek() {
+            if head.time - self.base >= HORIZON as Cycle {
+                break;
+            }
+            let entry = match self.overflow.pop() {
+                Some(e) => e,
+                None => unreachable!("peeked entry vanished"),
+            };
+            self.insert_ring(entry.time, entry.stamp, entry.payload);
+        }
+    }
+
+    /// Inserts into the ring bucket for `time`, keeping the bucket sorted
+    /// by stamp. Caller guarantees `base <= time < base + HORIZON`.
+    fn insert_ring(&mut self, time: Cycle, stamp: u64, payload: E) {
+        let idx = (time % HORIZON as Cycle) as usize;
+        let bucket = &mut self.buckets[idx];
+        // Common case: stamps arrive in increasing order, so the insert
+        // point is the back and partition_point touches one element.
+        let at = bucket.partition_point(|(s, _)| *s < stamp);
+        bucket.insert(at, (stamp, payload));
+        self.set_bit(idx);
+        self.ring_len += 1;
+    }
+
+    /// Inserts `payload` with the given global `stamp` at absolute `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `time` is below the queue's base (the
+    /// coordinator never routes into a shard's past — cross-shard arrivals
+    /// land at or beyond the window end, local pushes at or beyond `now`).
+    pub fn push(&mut self, time: Cycle, stamp: u64, payload: E) {
+        debug_assert!(
+            time >= self.base,
+            "shard event routed into the past: {} < {}",
+            time,
+            self.base
+        );
+        if time >= self.base && time - self.base < HORIZON as Cycle {
+            self.insert_ring(time, stamp, payload);
+        } else {
+            self.overflow.push(Far {
+                time,
+                stamp,
+                payload,
+            });
+        }
+    }
+
+    /// The `(time, stamp)` of this shard's earliest entry, or `None` when
+    /// the shard is idle. Ring entries always precede overflow entries (the
+    /// overflow tier starts a full horizon past the base).
+    pub fn peek(&self) -> Option<(Cycle, u64)> {
+        if self.ring_len > 0 {
+            let from = (self.base % HORIZON as Cycle) as usize;
+            let idx = self.next_occupied(from)?;
+            let time = self.bucket_time(idx, from);
+            let stamp = self.buckets[idx].front().map(|(s, _)| *s)?;
+            return Some((time, stamp));
+        }
+        self.overflow.peek().map(|e| (e.time, e.stamp))
+    }
+
+    /// Removes and returns the earliest `(time, stamp, payload)` entry.
+    pub fn pop(&mut self) -> Option<(Cycle, u64, E)> {
+        if self.ring_len > 0 {
+            let from = (self.base % HORIZON as Cycle) as usize;
+            let idx = match self.next_occupied(from) {
+                Some(i) => i,
+                None => unreachable!("ring_len > 0 with an empty occupancy bitmap"),
+            };
+            let time = self.bucket_time(idx, from);
+            let (stamp, payload) = match self.buckets[idx].pop_front() {
+                Some(e) => e,
+                None => unreachable!("occupied bit over an empty bucket"),
+            };
+            if self.buckets[idx].is_empty() {
+                self.clear_bit(idx);
+            }
+            self.ring_len -= 1;
+            self.advance_base(time);
+            return Some((time, stamp, payload));
+        }
+        let e = self.overflow.pop()?;
+        self.advance_base(e.time);
+        Some((e.time, e.stamp, e.payload))
+    }
+
+    /// Number of entries currently pending.
+    pub fn len(&self) -> usize {
+        self.ring_len + self.overflow.len()
+    }
+
+    /// Whether no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Counters describing one sharded drive (all deterministic: they depend
+/// only on the event population, partition and lookahead, never on host
+/// state).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Lookahead windows crossed (barriers executed).
+    pub windows: u64,
+    /// Events delivered through the merge.
+    pub delivered: u64,
+    /// Events routed in (equals `delivered` after a drained run).
+    pub routed: u64,
+    /// Events that crossed a shard boundary (went through a mailbox).
+    pub cross: u64,
+}
+
+/// The lock-step lookahead coordinator over `n` shard queues.
+///
+/// The drive loop is: [`ShardSet::route`] the initial event population,
+/// then alternate [`ShardSet::next_event`] (deliver the globally earliest event)
+/// with routing whatever the delivered event's handler scheduled. `next`
+/// advances the lookahead window and flushes mailboxes at barriers
+/// internally; it returns `None` only when every queue and mailbox is
+/// empty.
+#[derive(Debug)]
+pub struct ShardSet<E> {
+    queues: Vec<ShardQueue<E>>,
+    /// Per-destination mailboxes holding cross-shard messages sent during
+    /// the current window, in ascending stamp order.
+    mailboxes: Vec<VecDeque<(Cycle, u64, E)>>,
+    /// Lookahead window length: the minimum cross-shard delivery latency.
+    lookahead: Cycle,
+    /// Exclusive end of the current window; 0 before the first barrier.
+    window_end: Cycle,
+    /// The shard whose event [`ShardSet::next_event`] last delivered; `None`
+    /// while seeding, when every routed event inserts directly.
+    current: Option<usize>,
+    /// Next global stamp.
+    stamp: u64,
+    stats: ShardStats,
+}
+
+impl<E> ShardSet<E> {
+    /// Creates a coordinator for `shards` shards with the given `lookahead`
+    /// window length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or `lookahead` is zero (a zero-length
+    /// window cannot make progress).
+    pub fn new(shards: usize, lookahead: Cycle) -> Self {
+        assert!(shards > 0, "at least one shard required");
+        assert!(lookahead > 0, "conservative lookahead must be positive");
+        let mut queues = Vec::with_capacity(shards);
+        queues.resize_with(shards, ShardQueue::new);
+        let mut mailboxes = Vec::with_capacity(shards);
+        mailboxes.resize_with(shards, VecDeque::new);
+        Self {
+            queues,
+            mailboxes,
+            lookahead,
+            window_end: 0,
+            current: None,
+            stamp: 0,
+            stats: ShardStats::default(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// The lookahead window length.
+    pub fn lookahead(&self) -> Cycle {
+        self.lookahead
+    }
+
+    /// Routes an event for shard `dest` at absolute `time`, assigning it
+    /// the next global stamp. While an event is being executed (after a
+    /// [`ShardSet::next_event`]), a route to any *other* shard is a cross-shard
+    /// message: it parks in `dest`'s mailbox until the window barrier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cross-shard message is due before the current window
+    /// ends — that violates the conservative-lookahead contract the window
+    /// length was derived from, and silently accepting it would let a
+    /// threaded drive diverge from serial order.
+    pub fn route(&mut self, dest: usize, time: Cycle, payload: E) {
+        let stamp = self.stamp;
+        self.stamp += 1;
+        self.stats.routed += 1;
+        match self.current {
+            Some(src) if src != dest => {
+                assert!(
+                    time >= self.window_end,
+                    "conservative lookahead violated: shard {src} sent an event to \
+                     shard {dest} due at {time}, inside the window ending at {} \
+                     (lookahead {})",
+                    self.window_end,
+                    self.lookahead
+                );
+                self.stats.cross += 1;
+                self.mailboxes[dest].push_back((time, stamp, payload));
+            }
+            _ => self.queues[dest].push(time, stamp, payload),
+        }
+    }
+
+    /// Flushes every mailbox into its destination queue (the window
+    /// barrier), then re-bases the window at the earliest pending event.
+    /// Returns `false` when nothing is pending anywhere.
+    fn barrier_advance(&mut self) -> bool {
+        for (dest, mailbox) in self.mailboxes.iter_mut().enumerate() {
+            while let Some((time, stamp, payload)) = mailbox.pop_front() {
+                self.queues[dest].push(time, stamp, payload);
+            }
+        }
+        let earliest = self
+            .queues
+            .iter()
+            .filter_map(|q| q.peek())
+            .map(|(t, _)| t)
+            .min();
+        match earliest {
+            Some(start) => {
+                // Empty windows are skipped entirely: the next window bases
+                // at the earliest pending event rather than stepping
+                // lookahead-by-lookahead through dead time.
+                self.window_end = start.saturating_add(self.lookahead);
+                self.stats.windows += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Delivers the globally earliest `(time, stamp)` event, advancing
+    /// lookahead windows (and flushing mailboxes at their barriers) as
+    /// needed. Returns `(time, payload, shard)`, or `None` when the whole
+    /// set has drained.
+    pub fn next_event(&mut self) -> Option<(Cycle, E, usize)> {
+        loop {
+            let mut best: Option<(Cycle, u64, usize)> = None;
+            for (s, q) in self.queues.iter().enumerate() {
+                if let Some((t, stamp)) = q.peek() {
+                    let better = match best {
+                        Some((bt, bs, _)) => (t, stamp) < (bt, bs),
+                        None => true,
+                    };
+                    if better {
+                        best = Some((t, stamp, s));
+                    }
+                }
+            }
+            if let Some((t, _, s)) = best {
+                if t < self.window_end {
+                    let (time, _stamp, payload) = match self.queues[s].pop() {
+                        Some(e) => e,
+                        None => unreachable!("peeked shard head vanished"),
+                    };
+                    self.current = Some(s);
+                    self.stats.delivered += 1;
+                    return Some((time, payload, s));
+                }
+            }
+            // Earliest event at or past the window end (or only mailbox
+            // traffic left): cross the barrier. Progress is guaranteed —
+            // after a successful advance the earliest event is strictly
+            // inside the new window (lookahead > 0).
+            if !self.barrier_advance() {
+                return None;
+            }
+        }
+    }
+
+    /// Drive counters; see [`ShardStats`].
+    pub fn stats(&self) -> ShardStats {
+        self.stats
+    }
+
+    /// End-of-drive conservation check: every routed event was delivered
+    /// and no queue or mailbox still holds entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics — in all build profiles — if anything is still pending.
+    pub fn drain_check(&self) {
+        assert_eq!(
+            self.stats.routed, self.stats.delivered,
+            "shard set not drained: {} routed vs {} delivered",
+            self.stats.routed, self.stats.delivered
+        );
+        assert!(
+            self.queues.iter().all(|q| q.is_empty()),
+            "shard queue not drained"
+        );
+        assert!(
+            self.mailboxes.iter().all(|m| m.is_empty()),
+            "shard mailbox not drained"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_queue_orders_by_time_then_stamp() {
+        let mut q = ShardQueue::new();
+        q.push(30, 5, "late");
+        q.push(10, 7, "early");
+        q.push(10, 2, "earlier-stamp");
+        assert_eq!(q.peek(), Some((10, 2)));
+        assert_eq!(q.pop(), Some((10, 2, "earlier-stamp")));
+        assert_eq!(q.pop(), Some((10, 7, "early")));
+        assert_eq!(q.pop(), Some((30, 5, "late")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn shard_queue_merges_out_of_order_stamps_in_one_bucket() {
+        // A barrier flush inserts a mailbox entry whose stamp predates a
+        // later local push to the same cycle; the bucket must stay sorted.
+        let mut q = ShardQueue::new();
+        q.push(50, 9, "local");
+        q.push(50, 3, "flushed");
+        q.push(50, 6, "between");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop())
+            .map(|(_, s, p)| (s, p))
+            .collect();
+        assert_eq!(order, vec![(3, "flushed"), (6, "between"), (9, "local")]);
+    }
+
+    #[test]
+    fn shard_queue_crosses_the_horizon() {
+        let mut q = ShardQueue::new();
+        let far = HORIZON as Cycle * 2 + 9;
+        q.push(far, 1, "far");
+        q.push(3, 2, "near");
+        q.push(far, 3, "far-2");
+        assert_eq!(q.pop(), Some((3, 2, "near")));
+        assert_eq!(q.pop(), Some((far, 1, "far")));
+        assert_eq!(q.pop(), Some((far, 3, "far-2")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn shard_queue_overflow_migration_respects_stamps() {
+        let mut q = ShardQueue::new();
+        let t = HORIZON as Cycle + 40;
+        q.push(t, 8, "overflow"); // beyond the initial window
+        q.push(100, 9, "near");
+        assert_eq!(q.pop(), Some((100, 9, "near"))); // base -> 100, t migrates
+        q.push(t, 2, "direct-earlier-stamp");
+        assert_eq!(q.pop(), Some((t, 2, "direct-earlier-stamp")));
+        assert_eq!(q.pop(), Some((t, 8, "overflow")));
+    }
+
+    #[test]
+    fn shard_set_merges_in_global_stamp_order() {
+        // Seed two shards with interleaved times; delivery must follow
+        // (time, stamp) globally, not per-shard.
+        let mut set = ShardSet::new(2, 16);
+        set.route(0, 5, "a");
+        set.route(1, 5, "b");
+        set.route(0, 1, "c");
+        set.route(1, 0, "d");
+        let mut got = Vec::new();
+        while let Some((t, p, _)) = set.next_event() {
+            got.push((t, p));
+        }
+        assert_eq!(got, vec![(0, "d"), (1, "c"), (5, "a"), (5, "b")]);
+        set.drain_check();
+    }
+
+    #[test]
+    fn cross_shard_messages_wait_for_the_barrier() {
+        let mut set = ShardSet::new(2, 10);
+        set.route(0, 0, "seed");
+        let (t, _, s) = set.next_event().unwrap();
+        assert_eq!((t, s), (0, 0));
+        // Executing shard 0's event: send shard 1 a message one lookahead
+        // out. It parks in the mailbox (stats.cross) and still delivers.
+        set.route(1, 10, "hop");
+        assert_eq!(set.stats().cross, 1);
+        let (t, p, s) = set.next_event().unwrap();
+        assert_eq!((t, p, s), (10, "hop", 1));
+        assert!(set.next_event().is_none());
+        set.drain_check();
+        assert!(set.stats().windows >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "conservative lookahead violated")]
+    fn lookahead_violation_panics() {
+        let mut set = ShardSet::new(2, 10);
+        set.route(0, 0, "seed");
+        let _ = set.next_event();
+        // Due *inside* the current window [0, 10): a protocol violation.
+        set.route(1, 5, "too-soon");
+    }
+
+    #[test]
+    fn intra_shard_messages_bypass_the_mailbox() {
+        let mut set = ShardSet::new(2, 10);
+        set.route(0, 0, 0u32);
+        let _ = set.next_event();
+        // Same-shard, same-cycle scheduling is the serial engine's bread
+        // and butter (retries, pre-queue promotion) and must stay legal.
+        set.route(0, 0, 1u32);
+        assert_eq!(set.stats().cross, 0);
+        assert_eq!(set.next_event().map(|(t, p, _)| (t, p)), Some((0, 1u32)));
+    }
+
+    #[test]
+    fn matches_event_queue_on_a_random_trace() {
+        // Replay one synthetic workload through a serial EventQueue and a
+        // 3-shard ShardSet; delivery sequences must be identical. Events
+        // spawn follow-ups the way engine handlers do: same-shard at any
+        // future time, cross-shard at >= one lookahead.
+        use crate::EventQueue;
+        const LOOKAHEAD: Cycle = 7;
+        let shard_of = |n: u32| (n % 3) as usize;
+        let step = |t: Cycle, n: u32| -> Vec<(Cycle, u32)> {
+            // A cheap deterministic pseudo-random expansion.
+            let h = (n as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ t;
+            let mut out = Vec::new();
+            if n < 200 {
+                let child = n * 2 + 1;
+                if shard_of(child) == shard_of(n) {
+                    out.push((t + (h % 5), child));
+                } else {
+                    out.push((t + LOOKAHEAD + (h % 5), child));
+                }
+                let child = n * 2 + 2;
+                if shard_of(child) == shard_of(n) {
+                    out.push((t + (h % 3), child));
+                } else {
+                    out.push((t + LOOKAHEAD + (h % 3), child));
+                }
+            }
+            out
+        };
+
+        let mut serial = EventQueue::new();
+        serial.push(0, 0u32);
+        let mut serial_order = Vec::new();
+        while let Some((t, n)) = serial.pop() {
+            serial_order.push((t, n));
+            for (ct, c) in step(t, n) {
+                serial.push(ct, c);
+            }
+        }
+
+        let mut set = ShardSet::new(3, LOOKAHEAD);
+        set.route(shard_of(0), 0, 0u32);
+        let mut sharded_order = Vec::new();
+        while let Some((t, n, _)) = set.next_event() {
+            sharded_order.push((t, n));
+            for (ct, c) in step(t, n) {
+                set.route(shard_of(c), ct, c);
+            }
+        }
+        set.drain_check();
+
+        assert_eq!(serial_order, sharded_order);
+        assert!(set.stats().cross > 0, "workload never crossed shards");
+        assert!(set.stats().windows > 1, "workload fit one window");
+    }
+}

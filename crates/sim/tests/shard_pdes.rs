@@ -1,0 +1,149 @@
+//! A toy *threaded* conservative-lookahead PDES built from the PR 8
+//! primitives: one worker thread per shard, each owning a [`ShardQueue`],
+//! exchanging cross-shard messages through mailboxes at
+//! [`ShardBarrier`]-synchronized window boundaries under
+//! [`run_sharded_workers`].
+//!
+//! The engine's sharded drive (`hdpat`) executes windows on one thread in
+//! merged order — the observability sinks are not `Send` — so this test is
+//! what keeps the *cross-thread* window/barrier/mailbox protocol honest:
+//! conservation (every injected and forwarded message is delivered exactly
+//! once), the lookahead bound (no message arrives inside the window it was
+//! sent in), and in-window delivery order per shard.
+
+use std::sync::Mutex;
+
+use wsg_sim::pool::{run_sharded_workers, ShardBarrier};
+use wsg_sim::shard::ShardQueue;
+
+const SHARDS: usize = 4;
+const LOOKAHEAD: u64 = 7;
+/// Messages seeded into each shard's queue at t = 0..SEEDS.
+const SEEDS: u64 = 24;
+/// Each delivery below this generation forwards one message to the next
+/// shard, due `LOOKAHEAD` after the end of the current window (the
+/// conservative bound a real mesh hop satisfies).
+const GENERATIONS: u32 = 5;
+
+#[derive(Clone, Copy)]
+struct Msg {
+    origin: usize,
+    generation: u32,
+}
+
+/// One shard's published outbound traffic: index `[dest]` holds
+/// `(due time, message)` pairs.
+type Mailboxes = Vec<Vec<(u64, Msg)>>;
+
+#[test]
+fn threaded_windows_conserve_messages_and_respect_lookahead() {
+    let mailboxes: Vec<Mutex<Mailboxes>> = (0..SHARDS)
+        .map(|_| Mutex::new(vec![Vec::new(); SHARDS]))
+        .collect();
+    let delivered: Vec<Mutex<Vec<(u64, usize, u32)>>> =
+        (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect();
+    let sent = Mutex::new(vec![0u64; SHARDS]);
+    // Per-shard "still has work" votes for distributed termination.
+    let active = Mutex::new(vec![true; SHARDS]);
+
+    run_sharded_workers(SHARDS, |me, barrier: &ShardBarrier| {
+        let mut queue: ShardQueue<Msg> = ShardQueue::new();
+        for t in 0..SEEDS {
+            queue.push(
+                t,
+                t,
+                Msg {
+                    origin: me,
+                    generation: 0,
+                },
+            );
+        }
+        let mut window_start = 0u64;
+        let mut stamp = SEEDS;
+        let mut outbound: Mailboxes = vec![Vec::new(); SHARDS];
+        let mut my_sent = 0u64;
+        loop {
+            let window_end = window_start + LOOKAHEAD;
+            // Drain this shard's window [window_start, window_end).
+            let mut last = window_start;
+            while queue.peek().is_some_and(|(t, _)| t < window_end) {
+                let (t, _stamp, msg) = match queue.pop() {
+                    Some(entry) => entry,
+                    None => unreachable!("peek said non-empty"),
+                };
+                assert!(t >= last, "shard {me} delivered out of order");
+                last = t;
+                delivered[me]
+                    .lock()
+                    .unwrap()
+                    .push((t, msg.origin, msg.generation));
+                if msg.generation < GENERATIONS {
+                    // Forward to the neighbour, due one lookahead past the
+                    // current window boundary: always legal conservatively.
+                    let dest = (me + 1) % SHARDS;
+                    outbound[dest].push((
+                        window_end + LOOKAHEAD - 1,
+                        Msg {
+                            origin: msg.origin,
+                            generation: msg.generation + 1,
+                        },
+                    ));
+                    my_sent += 1;
+                }
+            }
+            // Publish outbound traffic, then barrier: after it, every
+            // shard's window-N mail is visible to its destination.
+            {
+                let mut slots = mailboxes[me].lock().unwrap();
+                for (dest, mail) in outbound.iter_mut().enumerate() {
+                    slots[dest].append(mail);
+                }
+            }
+            barrier.wait().expect("no shard panics in this test");
+            // Collect mail addressed to us from every shard's mailboxes.
+            for sender in &mailboxes {
+                let mut slots = sender.lock().unwrap();
+                for (t, msg) in slots[me].drain(..) {
+                    assert!(
+                        t >= window_end,
+                        "lookahead violated: mail for t={t} inside window ending {window_end}"
+                    );
+                    queue.push(t, stamp, msg);
+                    stamp += 1;
+                }
+            }
+            // Distributed termination: publish this shard's vote, barrier,
+            // then read the frozen unanimous decision — every shard reads
+            // the same array (no one can write again without first passing
+            // the next barrier), so all break or none do.
+            active.lock().unwrap()[me] = !queue.is_empty();
+            barrier.wait().expect("no shard panics in this test");
+            if active.lock().unwrap().iter().all(|a| !a) {
+                break;
+            }
+            window_start = window_end;
+        }
+        sent.lock().unwrap()[me] = my_sent;
+    });
+
+    // Conservation: every seed plus every forward was delivered exactly once.
+    let total_sent: u64 = sent.lock().unwrap().iter().sum();
+    let total_delivered: usize = delivered.iter().map(|d| d.lock().unwrap().len()).sum();
+    assert_eq!(
+        total_delivered as u64,
+        SHARDS as u64 * SEEDS + total_sent,
+        "messages lost or duplicated across windows"
+    );
+    // Every origin chain ran to its final generation: each seed spawns
+    // exactly GENERATIONS forwards, one per hop.
+    assert_eq!(total_sent, SHARDS as u64 * SEEDS * GENERATIONS as u64);
+    // Each shard's delivery log is globally time-sorted (windows advance
+    // monotonically and each window drains in order).
+    for (shard, log) in delivered.iter().enumerate() {
+        let log = log.lock().unwrap();
+        assert!(
+            log.windows(2).all(|w| w[0].0 <= w[1].0),
+            "shard {shard} delivery log is not time-sorted"
+        );
+    }
+}
