@@ -11,11 +11,64 @@
 # lane (DESIGN.md §14: batch and socket replays of the fig14 request mix must
 # digest byte-identically, with the warm pass answered entirely from the
 # persistent run cache, plus cross-process cache reuse by `figure fig14`),
-# and the perf-trajectory gate (DESIGN.md §11): fig14 must stay
-# byte-identical to the pre-PR-4 golden run while the hot-loop rework keeps
-# its measured speedup on record.
+# and the perf-trajectory gate (DESIGN.md §11/§16): fig14 must stay
+# byte-identical to the pre-PR-4 golden run, and its measured serial events/s
+# must stay within 10% of the committed BENCH_PR9.json trajectory point.
+# `./ci.sh pgo` runs the opt-in profile-guided-optimization lane instead
+# (see below).
 set -euo pipefail
 cd "$(dirname "$0")"
+
+# Opt-in PGO lane (DESIGN.md §16): `./ci.sh pgo` builds the bench binary
+# with -Cprofile-generate, trains it on the fig14 bench sweep (golden-
+# checked, so the training run is also a correctness run), merges the raw
+# profiles with llvm-profdata, rebuilds with -Cprofile-use, and re-checks
+# the golden plus emits a perf artifact. It needs an llvm-profdata matching
+# the active rustc's LLVM (rustup's llvm-tools component, or
+# WSG_LLVM_PROFDATA=/path/to/llvm-profdata); an older system LLVM cannot
+# read the instrumented binary's .profraw format and fails the merge — the
+# lane diagnoses that instead of silently passing.
+if [[ "${1:-}" == "pgo" ]]; then
+  mkdir -p target/ci
+  profdata="${WSG_LLVM_PROFDATA:-}"
+  if [[ -z "$profdata" ]]; then
+    sysroot="$(rustc --print sysroot)"
+    for cand in "$sysroot"/lib/rustlib/*/bin/llvm-profdata; do
+      [[ -x "$cand" ]] && profdata="$cand" && break
+    done
+  fi
+  if [[ -z "$profdata" ]]; then
+    profdata="$(command -v llvm-profdata || true)"
+  fi
+  if [[ -z "$profdata" ]]; then
+    echo "pgo: no llvm-profdata found (install rustup's llvm-tools or set WSG_LLVM_PROFDATA)" >&2
+    exit 2
+  fi
+  echo "== pgo: instrumented build (-Cprofile-generate)"
+  profdir="$PWD/target/pgo-profiles"
+  rm -rf "$profdir"
+  RUSTFLAGS="-Cprofile-generate=$profdir" cargo build --release -q -p wsg-bench
+  echo "== pgo: training run (fig14 bench sweep, golden-checked)"
+  ./target/release/hdpat-sim figure fig14 --scale bench --no-cache \
+      > target/ci/fig14_pgo_train.txt
+  cmp tests/golden/fig14_bench.txt target/ci/fig14_pgo_train.txt
+  echo "== pgo: merging profiles with $profdata"
+  if ! "$profdata" merge -o "$profdir/merged.profdata" "$profdir"; then
+    echo "pgo: $profdata cannot read this rustc's .profraw format;" >&2
+    echo "pgo: use the llvm-profdata matching rustc's LLVM (rustup component add llvm-tools)" >&2
+    exit 2
+  fi
+  echo "== pgo: optimized rebuild (-Cprofile-use) + golden re-check"
+  RUSTFLAGS="-Cprofile-use=$profdir/merged.profdata" cargo build --release -q -p wsg-bench
+  ./target/release/hdpat-sim figure fig14 --scale bench --no-cache \
+      --perf-out target/ci/BENCH_PGO.json > target/ci/fig14_pgo.txt
+  cmp tests/golden/fig14_bench.txt target/ci/fig14_pgo.txt
+  cat target/ci/BENCH_PGO.json
+  # Leave the default (uninstrumented) binary in place.
+  cargo build --release -q -p wsg-bench
+  echo "PGO lane green."
+  exit 0
+fi
 
 echo "== cargo fmt --check"
 cargo fmt --all --check
@@ -142,19 +195,28 @@ echo "== cross-process run-cache reuse (figure fig14 from the daemon's store)"
 cmp target/ci/fig14_unit_ref.txt target/ci/fig14_unit_cached.txt
 grep -q '0 simulation(s) executed, 0 cache hit(s), 70 disk hit(s)' target/ci/fig14_unit_cached.log
 
-echo "== perf-trajectory gate (fig14 vs pre-PR-4 golden, perf artifact)"
-./target/release/hdpat-sim figure fig14 --scale bench \
-    --perf-out target/ci/BENCH_PR4_fig14.json > target/ci/fig14.txt
+echo "== perf-trajectory gate (fig14 vs pre-PR-4 golden, -10% events/s floor)"
+./target/release/hdpat-sim figure fig14 --scale bench --no-cache \
+    --perf-out target/ci/BENCH_PR9_serial.json > target/ci/fig14.txt
 cmp tests/golden/fig14_bench.txt target/ci/fig14.txt
-cat target/ci/BENCH_PR4_fig14.json
+grep -q '"schema": 2' target/ci/BENCH_PR9_serial.json
+cat target/ci/BENCH_PR9_serial.json
+# Regression gate: the fresh serial events/s must stay within 10% of the
+# committed trajectory point (BENCH_PR9.json `serial` block). Machine noise
+# on the bench sweep is ~±5%, so a 10% floor only trips on real regressions.
+fresh="$(sed -n 's/.*"events_per_sec": \([0-9]*\).*/\1/p' target/ci/BENCH_PR9_serial.json)"
+base="$(sed -n '/"serial"/,/}/s/.*"events_per_sec": \([0-9]*\).*/\1/p' BENCH_PR9.json)"
+floor=$((base * 9 / 10))
+echo "fig14 serial: ${fresh} events/s (committed ${base}, floor ${floor})"
+test "$fresh" -ge "$floor"
 
 echo "== sharded-drive gate (fig14 --shards 4 byte-identical per feature set, DESIGN.md §15)"
 # The plain (feature-off) binary is still in place from the lanes above.
 ./target/release/hdpat-sim figure fig14 --scale bench --no-cache --shards 4 \
-    --perf-out target/ci/BENCH_PR8.json > target/ci/fig14_shards4.txt
+    --perf-out target/ci/BENCH_PR9_sharded.json > target/ci/fig14_shards4.txt
 cmp tests/golden/fig14_bench.txt target/ci/fig14_shards4.txt
-grep -q '"shards": 4' target/ci/BENCH_PR8.json
-cat target/ci/BENCH_PR8.json
+grep -q '"shards": 4' target/ci/BENCH_PR9_sharded.json
+cat target/ci/BENCH_PR9_sharded.json
 for feat in audit trace telemetry; do
   cargo build --release -q -p wsg-bench --features "$feat"
   ./target/release/hdpat-sim figure fig14 --scale bench --no-cache --shards 4 \

@@ -139,6 +139,117 @@ fn bench_event_queue(c: &mut Criterion) {
     });
 }
 
+/// The SoA TLB's mask-guided set probe (DESIGN.md §16): full paper-L2 sets
+/// probed at every way position, plus the all-ways-scanned miss — the two
+/// shapes the contiguous tag-plane walk is built for.
+fn bench_tlb_soa_probe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tlb_soa");
+    let cfg = TlbConfig::paper_l2();
+    g.bench_function("set_probe_hit", |b| {
+        let mut t = Tlb::new(cfg);
+        // Fill one set completely: VPNs congruent mod `sets` land together.
+        for w in 0..cfg.ways as u64 {
+            t.fill(Vpn(w * cfg.sets as u64), Pfn(w), false);
+        }
+        let mut w = 0u64;
+        b.iter(|| {
+            w = (w + 1) % cfg.ways as u64;
+            black_box(t.probe(Vpn(w * cfg.sets as u64)));
+        });
+    });
+    g.bench_function("set_probe_miss_full_set", |b| {
+        let mut t = Tlb::new(cfg);
+        for w in 0..cfg.ways as u64 {
+            t.fill(Vpn(w * cfg.sets as u64), Pfn(w), false);
+        }
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 1;
+            // Same set, absent tag: the probe walks every valid way.
+            black_box(t.probe(Vpn((cfg.ways as u64 + v) * cfg.sets as u64)));
+        });
+    });
+    g.finish();
+}
+
+/// The batched engine loop's queue shape (DESIGN.md §16): the same standing
+/// population as `event_queue_ramp`, consumed a whole calendar bucket at a
+/// time with every drained event re-armed — `drain_bucket` amortizing the
+/// bitmap scan and clock advance over the bucket, vs the per-pop baseline
+/// above it.
+fn bench_event_queue_batch(c: &mut Criterion) {
+    c.bench_function("event_queue_batch_drain_ramp", |b| {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut rng = SimRng::seeded(42);
+        for i in 0..4096u64 {
+            q.push(rng.gen_range(0..512), i);
+        }
+        let mut bucket = Vec::new();
+        b.iter(|| {
+            bucket.clear();
+            let n = q.drain_bucket(&mut bucket);
+            assert!(n > 0, "standing population never drains");
+            let t = q.now();
+            for &p in &bucket {
+                let delay = if rng.chance(0.05) {
+                    8_192 + rng.gen_range(0..4_096)
+                } else {
+                    rng.gen_range(0..64)
+                };
+                q.push(t + delay.max(1), p);
+            }
+            black_box(n);
+        });
+    });
+}
+
+/// Index-based vs handle-based component dispatch: the same counter bump
+/// routed through a plain pre-sized slab (`Vec<Comp>` + usize index, the
+/// engine's layout after the PR-9 rework) and through per-component
+/// `Rc<RefCell<..>>` handles (the layout the rework removed from the hot
+/// path; still the right tool at the d7 observability-sink boundary).
+fn bench_dispatch_indexing(c: &mut Criterion) {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct Comp {
+        hits: u64,
+        stamp: u64,
+    }
+    const N: usize = 48;
+    let mut g = c.benchmark_group("dispatch");
+    g.bench_function("slab_index", |b| {
+        let mut comps: Vec<Comp> = (0..N).map(|_| Comp { hits: 0, stamp: 0 }).collect();
+        let mut i = 0usize;
+        let mut t = 0u64;
+        b.iter(|| {
+            i = (i + 17) % N;
+            t += 1;
+            let comp = &mut comps[i];
+            comp.hits += 1;
+            comp.stamp = t;
+            black_box(comp.hits);
+        });
+    });
+    g.bench_function("rc_refcell_handle", |b| {
+        let comps: Vec<Rc<RefCell<Comp>>> = (0..N)
+            .map(|_| Rc::new(RefCell::new(Comp { hits: 0, stamp: 0 })))
+            .collect();
+        let handles: Vec<Rc<RefCell<Comp>>> = comps.iter().map(Rc::clone).collect();
+        let mut i = 0usize;
+        let mut t = 0u64;
+        b.iter(|| {
+            i = (i + 17) % N;
+            t += 1;
+            let mut comp = handles[i].borrow_mut();
+            comp.hits += 1;
+            comp.stamp = t;
+            black_box(comp.hits);
+        });
+    });
+    g.finish();
+}
+
 fn bench_page_table(c: &mut Criterion) {
     let mut g = c.benchmark_group("page_table");
     g.bench_function("translate_hit", |b| {
@@ -198,6 +309,9 @@ criterion_group!(
     bench_redirection,
     bench_mesh,
     bench_event_queue,
+    bench_tlb_soa_probe,
+    bench_event_queue_batch,
+    bench_dispatch_indexing,
     bench_page_table,
     bench_workload_gen
 );

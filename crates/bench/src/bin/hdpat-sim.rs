@@ -631,11 +631,15 @@ fn cmd_figure(ctx: &SweepCtx, name: &str, scale: Scale, perf_out: Option<&str>) 
         } else {
             0.0
         };
+        // Perf-artifact schema v2 (DESIGN.md §16): a version stamp first,
+        // then the run identity (figure / jobs / shards) always present, so
+        // trajectory tooling never has to infer the drive shape from which
+        // keys happen to exist.
         let json = format!(
-            "{{\n  \"figure\": \"{name}\",\n  \"wall_seconds\": {wall_seconds:.3},\n  \
+            "{{\n  \"schema\": 2,\n  \"figure\": \"{name}\",\n  \"jobs\": {jobs},\n  \
+             \"shards\": {shards},\n  \"wall_seconds\": {wall_seconds:.3},\n  \
              \"total_events\": {total_events},\n  \"events_per_sec\": {events_per_sec:.0},\n  \
-             \"simulations\": {misses},\n  \"cache_hits\": {hits},\n  \"jobs\": {jobs},\n  \
-             \"shards\": {shards}\n}}\n",
+             \"simulations\": {misses},\n  \"cache_hits\": {hits}\n}}\n",
             jobs = ctx.jobs(),
             shards = ctx.shards()
         );

@@ -28,7 +28,7 @@ impl Simulation {
         {
             let slot = &mut self.gpms[gpm_id as usize].cus[cu as usize];
             if slot.l1_cache.lookup(line).is_hit() {
-                self.queue.push(t1, Event::DataDone { req });
+                self.schedule(t1, Event::DataDone { req });
                 return;
             }
         }
@@ -38,7 +38,7 @@ impl Simulation {
             let gpm = &mut self.gpms[gpm_id as usize];
             if gpm.l2_cache.lookup(line).is_hit() {
                 gpm.cus[cu as usize].l1_cache.fill(line);
-                self.queue.push(t2, Event::DataDone { req });
+                self.schedule(t2, Event::DataDone { req });
                 return;
             }
         }
@@ -52,7 +52,7 @@ impl Simulation {
             let done = gpm.hbm.access(t2, self.cfg.data_bytes);
             gpm.l2_cache.fill(line);
             gpm.cus[cu as usize].l1_cache.fill(line);
-            self.queue.push(done, Event::DataDone { req });
+            self.schedule(done, Event::DataDone { req });
         } else {
             // Remote cacheline fetch: request header to the home GPM.
             let from = self.gpm_coord(gpm_id);
@@ -78,7 +78,7 @@ impl Simulation {
                 d
             }
         };
-        self.queue.push(served, Event::DataReturn { req, home });
+        self.schedule(served, Event::DataReturn { req, home });
     }
 
     /// Records a remote data access for the migration extension and
@@ -184,6 +184,6 @@ impl Simulation {
         let gpm = &mut self.gpms[gpm_id as usize];
         gpm.l2_cache.fill(line);
         gpm.cus[cu as usize].l1_cache.fill(line);
-        self.queue.push(out.arrival, Event::DataDone { req });
+        self.schedule(out.arrival, Event::DataDone { req });
     }
 }

@@ -23,7 +23,7 @@ impl Simulation {
             // place in the TLB stall queue, pass its admission along so the
             // queue keeps draining.
             if let Some(w) = self.iommu.tlb_stalled.pop_front() {
-                self.queue.push(t, Event::IommuArrive { req: w });
+                self.schedule(t, Event::IommuArrive { req: w });
             }
             return;
         }
@@ -126,8 +126,7 @@ impl Simulation {
                 self.reqs[req as usize].pw_entered = Some(t);
                 self.reqs[req as usize].walk_started = Some(t);
                 self.note_walk_started(req);
-                self.queue
-                    .push(t + walk_latency, Event::IommuWalkDone { req });
+                self.schedule(t + walk_latency, Event::IommuWalkDone { req });
             }
             SubmitResult::Queued => {
                 self.reqs[req as usize].pw_entered = Some(t);
@@ -199,8 +198,7 @@ impl Simulation {
         if let Some(next) = self.iommu.walkers.finish() {
             self.reqs[next as usize].walk_started = Some(t);
             self.note_walk_started(next);
-            self.queue
-                .push(t + walk_latency, Event::IommuWalkDone { req: next });
+            self.schedule(t + walk_latency, Event::IommuWalkDone { req: next });
         }
         // Refill the PW-queue from the pre-queue buffer.
         while !self.iommu.pre_queue.is_empty() && !self.iommu.walkers.is_saturated() {
@@ -210,8 +208,7 @@ impl Simulation {
                 SubmitResult::Started => {
                     self.reqs[r as usize].walk_started = Some(t);
                     self.note_walk_started(r);
-                    self.queue
-                        .push(t + walk_latency, Event::IommuWalkDone { req: r });
+                    self.schedule(t + walk_latency, Event::IommuWalkDone { req: r });
                 }
                 SubmitResult::Queued => {}
                 SubmitResult::Rejected => unreachable!("checked saturation"),
@@ -243,16 +240,20 @@ impl Simulation {
         let revisit = matches!(self.policy, crate::policy::PolicyKind::Barre)
             || hd.is_some_and(|h| h.queue_revisit);
         if revisit {
-            let reqs = &self.reqs;
-            let same = self
-                .iommu
-                .walkers
-                .drain_matching(|r| reqs[*r as usize].vpn == vpn);
-            for r in same {
+            let mut same = std::mem::take(&mut self.walk_scratch);
+            {
+                let reqs = &self.reqs;
+                self.iommu
+                    .walkers
+                    .drain_matching_into(|r| reqs[*r as usize].vpn == vpn, &mut same);
+            }
+            for &r in &same {
                 self.metrics.iommu_coalesced += 1;
                 self.record_iommu_latency(t, r, false);
                 self.respond_from_iommu(t, r, pte.pfn, Resolution::Iommu);
             }
+            same.clear();
+            self.walk_scratch = same;
         }
 
         // Proactive delivery (§IV-G) and selective push (§IV-F).
@@ -314,7 +315,7 @@ impl Simulation {
             // The freed MSHR entry admits the stall-queue head (FIFO); it
             // proceeds straight to MSHR registration.
             if let Some(w) = self.iommu.tlb_stalled.pop_front() {
-                self.queue.push(t, Event::IommuArrive { req: w });
+                self.schedule(t, Event::IommuArrive { req: w });
             }
         }
 

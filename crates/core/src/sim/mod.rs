@@ -118,9 +118,6 @@ pub(crate) struct Request {
     pub iommu_arrived: Option<Cycle>,
     pub pw_entered: Option<Cycle>,
     pub walk_started: Option<Cycle>,
-    /// Remaining serial probe chain (route / concentric / distributed /
-    /// Valkyrie / Trans-FW policies).
-    pub chain: Vec<u32>,
     /// GPMs probed so far (filled with the PTE on response — the
     /// opportunistic caching of the route/concentric baselines).
     pub probed: Vec<u32>,
@@ -194,6 +191,18 @@ pub struct Simulation {
     /// Per-GPM serial probe chains, precomputed per policy.
     pub(crate) chains: Vec<Vec<u32>>, // shard: wafer-global, frozen
     pub(crate) last_iommu_vpn: Option<Vpn>, // shard: wafer-global
+    /// Sharded-drive routing state ([`shard::ShardRoute`]); `None` under
+    /// the serial drive. When present, [`Simulation::schedule`] routes
+    /// events straight into the shard queues instead of `queue`, skipping
+    /// the per-event outbox round-trip.
+    pub(crate) shard_route: Option<Box<shard::ShardRoute>>, // shard: wafer-global, drive infrastructure
+    /// Reusable buffer for walker-queue revisit drains, taken and returned
+    /// around each [`wsg_xlat::WalkerPool::drain_matching_into`] call so the
+    /// hot dispatch path never allocates for coalesced walks.
+    pub(crate) walk_scratch: Vec<ReqId>, // shard: wafer-global, drive infrastructure
+    /// `WSG_TRACE_REQ` debug hook, resolved once at construction so the
+    /// dispatch loop never touches the process environment per event.
+    pub(crate) trace_req: Option<ReqId>, // shard: wafer-global, frozen
     /// Optional page-migration extension (see [`crate::migration`]).
     pub(crate) migration: Option<MigrationConfig>, // shard: wafer-global, frozen
     /// Dynamic home overrides for migrated pages (checked before the static
@@ -366,6 +375,11 @@ impl Simulation {
             concentric,
             chains,
             last_iommu_vpn: None,
+            shard_route: None,
+            walk_scratch: Vec::new(),
+            trace_req: std::env::var("WSG_TRACE_REQ")
+                .ok()
+                .and_then(|v| v.parse().ok()),
             migration: None,
             home_override: HashIndex::new(),
             access_streak: HashIndex::new(),
@@ -651,17 +665,34 @@ impl Simulation {
         // from the deterministic serialization, and never feeds back into
         // the model.
         let wall_start = std::time::Instant::now();
-        while let Some((t, ev)) = self.queue.pop() {
-            self.dispatch(t, ev);
+        // Batched dispatch (DESIGN.md §16): drain one whole calendar bucket
+        // per iteration instead of popping per event, amortizing the queue's
+        // bitmap scan and clock bookkeeping. `drain_bucket` delivers the
+        // exact per-pop `(time, payload)` stream — handlers scheduling more
+        // work at `t` see it arrive in a later batch, just as later pops
+        // would have delivered it.
+        let mut batch: Vec<Event> = Vec::new();
+        loop {
+            if self.queue.drain_bucket(&mut batch) == 0 {
+                break;
+            }
+            let t = self.queue.now();
+            for ev in batch.drain(..) {
+                self.dispatch(t, ev);
+            }
             debug_assert!(self.queue.total_popped() < EVENT_CAP, "event explosion");
         }
-        self.finish(wall_start)
+        let events = self.queue.total_popped();
+        self.finish(wall_start, events)
     }
 
     /// End-of-run checks and metrics finalization, shared verbatim between
     /// [`Simulation::run`] and the sharded drive
     /// ([`Simulation::run_with_shards`]) so the two paths cannot drift.
-    fn finish(mut self, wall_start: std::time::Instant) -> Metrics {
+    /// `events` is the delivered event count — the engine queue's popped
+    /// total under the serial drive, the shard set's under the sharded one
+    /// (whose events never transit the engine queue).
+    fn finish(mut self, wall_start: std::time::Instant, events: u64) -> Metrics {
         // All CUs must have drained; anything else is a lost-wakeup bug.
         for (g, gpm) in self.gpms.iter().enumerate() {
             for (c, cu) in gpm.cus.iter().enumerate() {
@@ -719,7 +750,7 @@ impl Simulation {
             tel.with(|s| s.finalize(end));
         }
         self.metrics.total_cycles = self.metrics.gpm_finish.iter().copied().max().unwrap_or(0);
-        self.metrics.sim_events = self.queue.total_popped();
+        self.metrics.sim_events = events;
         self.metrics.host_wall_nanos = wall_start.elapsed().as_nanos() as u64;
         self.metrics.noc_bytes = self.mesh.total_bytes();
         self.metrics.noc_hop_bytes = self.mesh.total_hop_bytes();
@@ -758,8 +789,7 @@ impl Simulation {
     }
 
     fn dispatch(&mut self, t: Cycle, ev: Event) {
-        if std::env::var("WSG_TRACE_REQ").is_ok() {
-            let target: u32 = std::env::var("WSG_TRACE_REQ").unwrap().parse().unwrap();
+        if let Some(target) = self.trace_req {
             if Self::event_req(&ev) == Some(target) {
                 eprintln!("TRACE t={t} {ev:?}");
             }
@@ -813,11 +843,30 @@ impl Simulation {
         }
     }
 
+    /// Schedules `ev` to fire at absolute cycle `time` — into the engine
+    /// queue under the serial drive, or straight into the owning shard's
+    /// queue under the sharded drive. Every handler goes through this seam;
+    /// the direct routing keeps the sharded drive from paying a per-event
+    /// push/pop round-trip through an intermediate outbox. Routing in push
+    /// order assigns the same delivery order as the serial queue's
+    /// `(time, seq)` order: stamps only break ties *within* a timestamp,
+    /// and same-time pushes of one handler arrive in push order either way.
+    #[inline]
+    pub(crate) fn schedule(&mut self, time: Cycle, ev: Event) {
+        match &mut self.shard_route {
+            None => self.queue.push(time, ev),
+            Some(r) => {
+                let dest = r.map.shard_of(&self.reqs, &self.chains, &ev);
+                r.set.route(dest, time, ev);
+            }
+        }
+    }
+
     /// Sends `ev` as a packet of `bytes` from tile `from` to tile `to`,
     /// scheduling it at the mesh-computed arrival time.
     pub(crate) fn send(&mut self, from: Coord, to: Coord, bytes: u64, depart: Cycle, ev: Event) {
         let out = self.mesh.send(from, to, bytes, depart);
-        self.queue.push(out.arrival, ev);
+        self.schedule(out.arrival, ev);
     }
 
     /// The tile of GPM `id`.
@@ -856,14 +905,13 @@ impl Simulation {
             iommu_arrived: None,
             pw_entered: None,
             walk_started: None,
-            chain: Vec::new(),
             probed: Vec::new(),
             redirect_failed: false,
             resolved: false,
         });
         self.start_translation(issue_at, req);
         // Chain the next issue: gaps accumulate from this issue time.
-        self.queue.push(issue_at, Event::CuIssue { gpm, cu });
+        self.schedule(issue_at, Event::CuIssue { gpm, cu });
     }
 
     fn on_data_done(&mut self, t: Cycle, req: ReqId) {
@@ -875,6 +923,6 @@ impl Simulation {
         self.metrics.ops_completed += 1;
         let f = &mut self.metrics.gpm_finish[g as usize];
         *f = (*f).max(t);
-        self.queue.push(t, Event::CuIssue { gpm: g, cu: c });
+        self.schedule(t, Event::CuIssue { gpm: g, cu: c });
     }
 }

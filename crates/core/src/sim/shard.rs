@@ -24,7 +24,17 @@
 
 use wsg_sim::shard::ShardSet;
 
-use super::{Event, Simulation, EVENT_CAP};
+use super::{Event, Request, Simulation, EVENT_CAP};
+
+/// The sharded drive's routing state, installed into
+/// [`Simulation::shard_route`] for the duration of a sharded run so
+/// [`Simulation::schedule`] can route handler pushes straight into the
+/// owning shard's queue — no intermediate per-event outbox round-trip.
+#[derive(Debug)]
+pub(crate) struct ShardRoute {
+    pub(crate) set: ShardSet<Event>,
+    pub(crate) map: ShardMap,
+}
 
 /// Tile-group shard assignment for one wafer.
 #[derive(Debug)]
@@ -69,20 +79,22 @@ impl ShardMap {
     /// The shard an event executes on: the shard of the tile whose state
     /// its handler touches first (the event's delivery site). Request-
     /// addressed events route via fields that are frozen by the time the
-    /// event is scheduled (`Request::gpm` is set at issue, `Request::chain`
-    /// is assigned once before the first probe departs).
-    pub(crate) fn shard_of(&self, sim: &Simulation, ev: &Event) -> usize {
+    /// event is scheduled (`Request::gpm` is set at issue, `chains` is the
+    /// engine's frozen per-GPM probe-chain slab).
+    pub(crate) fn shard_of(&self, reqs: &[Request], chains: &[Vec<u32>], ev: &Event) -> usize {
         match *ev {
             Event::CuIssue { gpm, .. }
             | Event::GmmuWalkDone { gpm, .. }
             | Event::GmmuRetry { gpm, .. }
             | Event::PushArrive { gpm, .. } => self.gpm(gpm),
-            Event::ChainProbe { req, idx } => self.gpm(sim.reqs[req as usize].chain[idx]),
+            Event::ChainProbe { req, idx } => {
+                self.gpm(chains[reqs[req as usize].gpm as usize][idx])
+            }
             Event::ParallelProbe { target, .. } => self.gpm(target),
             Event::IommuArrive { .. } | Event::IommuWalkDone { .. } => self.iommu_shard,
             Event::RedirectArrive { holder, .. } => self.gpm(holder),
             Event::XlatResponse { req, .. } | Event::DataDone { req } => {
-                self.gpm(sim.reqs[req as usize].gpm)
+                self.gpm(reqs[req as usize].gpm)
             }
             Event::DataAtHome { home, .. } | Event::DataReturn { home, .. } => self.gpm(home),
         }
@@ -114,31 +126,69 @@ impl Simulation {
         let wall_start = std::time::Instant::now();
         let lookahead = self.mesh.min_transit_cycles();
         let map = ShardMap::new(&self, shards);
-        let mut set: ShardSet<Event> = ShardSet::new(map.shards(), lookahead);
+        // Direct drive: this coordinator is single-threaded, so cross-shard
+        // routes can insert straight into the owning queue — same delivered
+        // stream as the windowed protocol (see `ShardSet::new_direct`), no
+        // mailbox round-trip or barrier scans, lookahead still enforced.
+        let mut set: ShardSet<Event> = ShardSet::new_direct(map.shards(), lookahead);
         // Seed: move the initial event population (the per-CU issue kicks
         // scheduled by the constructor) out of the engine queue into the
-        // shard queues. From here on `self.queue` serves as the dispatch
-        // *outbox* — always drained empty between deliveries.
+        // shard queues. From here on the engine queue stays empty — with
+        // the routing state installed, `Simulation::schedule` forwards
+        // every handler push straight to its owning shard's queue, and the
+        // engine clock is only re-anchored per delivery batch so handlers
+        // (and the telemetry finalization) still read the serial `now`.
         while let Some((t, ev)) = self.queue.pop() {
-            let dest = map.shard_of(&self, &ev);
+            let dest = map.shard_of(&self.reqs, &self.chains, &ev);
             set.route(dest, t, ev);
         }
-        while let Some((t, ev, _shard)) = set.next_event() {
-            // Re-anchor the outbox clock at the delivery time so handlers
-            // (and the attached auditor) observe the same `now` as under
-            // serial execution.
+        self.shard_route = Some(Box::new(ShardRoute { set, map }));
+        // Batched delivery (DESIGN.md §16): each `next_batch` hands over
+        // every event due at the globally minimal timestamp, across all
+        // shards, merged into global stamp order — the engine's per-batch
+        // work amortizes over the whole timestamp. Each event's shard tag
+        // is declared back via `set_current` so `route` can classify its
+        // follow-ups; mid-batch routing is sound because every follow-up
+        // stamps after the whole batch (see `ShardSet::next_batch`).
+        let mut batch: Vec<(u32, Event)> = Vec::new();
+        loop {
+            let route = match &mut self.shard_route {
+                Some(r) => r,
+                None => unreachable!("sharded drive state installed above"),
+            };
+            let Some(t) = route.set.next_batch(&mut batch) else {
+                break;
+            };
             self.queue.set_now(t);
-            self.dispatch(t, ev);
-            while let Some((at, out)) = self.queue.pop() {
-                let dest = map.shard_of(&self, &out);
-                set.route(dest, at, out);
+            for (shard, ev) in batch.drain(..) {
+                match &mut self.shard_route {
+                    Some(r) => r.set.set_current(shard as usize),
+                    None => unreachable!("sharded drive state installed above"),
+                }
+                self.dispatch(t, ev);
             }
-            debug_assert!(self.queue.total_popped() < EVENT_CAP, "event explosion");
+            debug_assert!(
+                self.shard_route
+                    .as_ref()
+                    .is_none_or(|r| r.set.stats().delivered < EVENT_CAP),
+                "event explosion"
+            );
         }
+        let route = match self.shard_route.take() {
+            Some(r) => r,
+            None => unreachable!("sharded drive state installed above"),
+        };
         // Window-protocol conservation, on top of the usual engine checks
-        // in `finish()` (the outbox's own push/pop conservation included).
-        set.drain_check();
-        self.finish(wall_start)
+        // in `finish()`.
+        route.set.drain_check();
+        // Opt-in drive diagnostics on stderr (deterministic counters —
+        // windows, delivered, cross, batches — never host state); stdout
+        // and every artifact byte are unaffected.
+        if std::env::var_os("WSG_SHARD_STATS").is_some() {
+            eprintln!("[shard-stats] {:?}", route.set.stats());
+        }
+        let events = route.set.stats().delivered;
+        self.finish(wall_start, events)
     }
 }
 

@@ -69,13 +69,11 @@ impl Simulation {
         let gpm = &mut self.gpms[gpm_id as usize];
         match gpm.walkers.submit(req) {
             SubmitResult::Started => {
-                self.queue
-                    .push(t + walk_latency, Event::GmmuWalkDone { gpm: gpm_id, req });
+                self.schedule(t + walk_latency, Event::GmmuWalkDone { gpm: gpm_id, req });
             }
             SubmitResult::Queued => {}
             SubmitResult::Rejected => {
-                self.queue
-                    .push(t + RETRY_BACKOFF, Event::GmmuRetry { gpm: gpm_id, req });
+                self.schedule(t + RETRY_BACKOFF, Event::GmmuRetry { gpm: gpm_id, req });
             }
         }
     }
@@ -87,7 +85,7 @@ impl Simulation {
         let walk_latency = self.cfg.gpm.walk_latency;
         // Free the walker; a promoted queue head starts walking now.
         if let Some(next) = self.gpms[gpm_id as usize].walkers.finish() {
-            self.queue.push(
+            self.schedule(
                 t + walk_latency,
                 Event::GmmuWalkDone {
                     gpm: gpm_id,
@@ -101,15 +99,18 @@ impl Simulation {
         let pte = self.gpms[gpm_id as usize].page_table.translate(vpn);
         // A finishing walk satisfies identical queued walks too (the GMMU's
         // MSHRs merge same-VPN walks).
-        let dups = {
+        let mut dups = std::mem::take(&mut self.walk_scratch);
+        {
             let reqs = &self.reqs;
             self.gpms[gpm_id as usize]
                 .walkers
-                .drain_matching(|r| reqs[*r as usize].vpn == vpn)
-        };
-        for dup in dups {
+                .drain_matching_into(|r| reqs[*r as usize].vpn == vpn, &mut dups);
+        }
+        for &dup in &dups {
             self.finish_gmmu_walk(t, gpm_id, dup, vpn, pte);
         }
+        dups.clear();
+        self.walk_scratch = dups;
         let _ = requester;
         self.finish_gmmu_walk(t, gpm_id, req, vpn, pte);
     }
@@ -219,24 +220,28 @@ impl Simulation {
             | PolicyKind::Concentric { .. }
             | PolicyKind::Distributed
             | PolicyKind::Valkyrie => {
-                let chain = self.chains[gpm_id as usize].clone();
-                if chain.is_empty() {
-                    self.send(from, cpu, req_bytes, t, Event::IommuArrive { req });
-                } else {
-                    let to = self.gpm_coord(chain[0]);
-                    self.reqs[req as usize].chain = chain;
-                    self.send(from, to, req_bytes, t, Event::ChainProbe { req, idx: 0 });
+                // The chain lives in the frozen per-GPM `chains` slab; probes
+                // carry only `(req, idx)` and index back into it, so nothing
+                // is cloned into the request.
+                match self.chains[gpm_id as usize].first().copied() {
+                    None => self.send(from, cpu, req_bytes, t, Event::IommuArrive { req }),
+                    Some(first) => {
+                        let to = self.gpm_coord(first);
+                        self.send(from, to, req_bytes, t, Event::ChainProbe { req, idx: 0 });
+                    }
                 }
             }
             PolicyKind::Hdpat(_) => {
                 let map = self.concentric.as_ref().expect("HDPAT needs layer map");
                 let targets = map.aux_gpms(vpn); // innermost first
-                let mut seen = Vec::new();
-                for (i, target) in targets.into_iter().enumerate() {
-                    if seen.contains(&target) {
+                for i in 0..targets.len() {
+                    let target = targets[i];
+                    // Dedup against the already-probed prefix (layers can
+                    // collapse onto one GPM near the wafer edge) — the list
+                    // is Table-I small, so the scan needs no side set.
+                    if targets[..i].contains(&target) {
                         continue;
                     }
-                    seen.push(target);
                     let innermost = i == 0;
                     let to = self.gpm_coord(target);
                     self.send(
@@ -282,10 +287,11 @@ impl Simulation {
     /// A serial probe (route / concentric / distributed / Valkyrie /
     /// Trans-FW) arrives at `chain[idx]`.
     pub(crate) fn on_chain_probe(&mut self, t: Cycle, req: ReqId, idx: usize) {
-        let (vpn, requester, target) = {
+        let (vpn, requester) = {
             let r = &self.reqs[req as usize];
-            (r.vpn, r.gpm, r.chain[idx])
+            (r.vpn, r.gpm)
         };
+        let target = self.chains[requester as usize][idx];
         let (hit, mut lat) = self.probe_gpm(target, vpn);
         lat += PROBE_OVERHEAD;
         let resp_bytes = self.cfg.xlat_resp_bytes;
@@ -316,8 +322,8 @@ impl Simulation {
         self.reqs[req as usize].probed.push(target);
         let next = idx + 1;
         let from = self.gpm_coord(target);
-        if next < self.reqs[req as usize].chain.len() {
-            let to = self.gpm_coord(self.reqs[req as usize].chain[next]);
+        if let Some(next_gpm) = self.chains[requester as usize].get(next).copied() {
+            let to = self.gpm_coord(next_gpm);
             self.send(
                 from,
                 to,

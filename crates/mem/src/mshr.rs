@@ -1,7 +1,5 @@
 //! Miss-status holding registers.
 
-use wsg_sim::HashIndex;
-
 /// The outcome of registering a miss with an [`Mshr`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MshrOutcome {
@@ -20,6 +18,13 @@ pub enum MshrOutcome {
 ///
 /// `W` is the caller's waiter token (request id, CU id, …).
 ///
+/// The slot store is struct-of-arrays (DESIGN.md §16): block tags, live
+/// flags and waiter lists are parallel planes sized from the capacity at
+/// construction, and lookup is a linear scan over the contiguous tag
+/// plane — MSHR files are Table-I small (4–32 entries), so the scan beats
+/// any indexed structure and has no ordering surface at all (lint rules
+/// d1/d6: slot order is allocation order, deterministic).
+///
 /// # Example
 ///
 /// ```
@@ -34,9 +39,14 @@ pub enum MshrOutcome {
 pub struct Mshr<W> {
     capacity: usize,
     targets_per_entry: usize,
-    // Seeded deterministic index (DESIGN.md §11); never iterated, so no
-    // ordering surface exists (lint rules d1/d6).
-    entries: HashIndex<Vec<W>>,
+    /// Block tag per slot (stale when the slot is not live).
+    tags: Vec<u64>,
+    /// Live flag per slot.
+    live: Vec<bool>,
+    /// Waiters per slot, in registration order (primary first).
+    waiters: Vec<Vec<W>>,
+    /// Live slot count.
+    len: usize,
     stalls: u64,
     merges: u64,
     #[cfg(feature = "trace")]
@@ -74,7 +84,10 @@ impl<W> Mshr<W> {
         Self {
             capacity,
             targets_per_entry,
-            entries: HashIndex::with_capacity(capacity),
+            tags: vec![0; capacity],
+            live: vec![false; capacity],
+            waiters: std::iter::repeat_with(Vec::new).take(capacity).collect(),
+            len: 0,
             stalls: 0,
             merges: 0,
             #[cfg(feature = "trace")]
@@ -137,30 +150,43 @@ impl<W> Mshr<W> {
         }
     }
 
+    /// Slot currently holding `block`, if any — a scan over the tag plane.
+    #[inline]
+    fn find_slot(&self, block: u64) -> Option<usize> {
+        (0..self.capacity).find(|&i| self.live[i] && self.tags[i] == block)
+    }
+
     /// Registers a miss on `block` for `waiter`.
     pub fn register(&mut self, block: u64, waiter: W) -> MshrOutcome {
-        if let Some(waiters) = self.entries.get_mut(block) {
-            // `waiters` already includes the primary, so the entry is at its
-            // target bound exactly when `len() == targets_per_entry`.
-            if waiters.len() >= self.targets_per_entry {
+        if let Some(slot) = self.find_slot(block) {
+            // The waiter list already includes the primary, so the entry is
+            // at its target bound exactly when `len() == targets_per_entry`.
+            if self.waiters[slot].len() >= self.targets_per_entry {
                 self.stalls += 1;
                 #[cfg(feature = "trace")]
                 self.trace_event("mshr.full", block);
                 return MshrOutcome::Full;
             }
-            waiters.push(waiter);
+            self.waiters[slot].push(waiter);
             self.merges += 1;
             #[cfg(feature = "trace")]
             self.trace_event("mshr.secondary", block);
             return MshrOutcome::Secondary;
         }
-        if self.entries.len() >= self.capacity {
+        if self.len >= self.capacity {
             self.stalls += 1;
             #[cfg(feature = "trace")]
             self.trace_event("mshr.full", block);
             return MshrOutcome::Full;
         }
-        self.entries.insert(block, vec![waiter]);
+        let slot = match self.live.iter().position(|l| !l) {
+            Some(s) => s,
+            None => unreachable!("len < capacity with no free slot"),
+        };
+        self.tags[slot] = block;
+        self.live[slot] = true;
+        self.waiters[slot].push(waiter);
+        self.len += 1;
         #[cfg(feature = "trace")]
         self.trace_event("mshr.primary", block);
         MshrOutcome::Primary
@@ -170,22 +196,29 @@ impl<W> Mshr<W> {
     /// waiters in registration order. Returns an empty vector if the block
     /// had no entry.
     pub fn complete(&mut self, block: u64) -> Vec<W> {
-        self.entries.remove(block).unwrap_or_default()
+        match self.find_slot(block) {
+            Some(slot) => {
+                self.live[slot] = false;
+                self.len -= 1;
+                std::mem::take(&mut self.waiters[slot])
+            }
+            None => Vec::new(),
+        }
     }
 
     /// Whether a fill for `block` is outstanding.
     pub fn contains(&self, block: u64) -> bool {
-        self.entries.contains_key(block)
+        self.find_slot(block).is_some()
     }
 
     /// Number of occupied entries.
     pub fn occupancy(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// Whether all entries are occupied.
     pub fn is_full(&self) -> bool {
-        self.entries.len() >= self.capacity
+        self.len >= self.capacity
     }
 
     /// Entry capacity.

@@ -327,6 +327,96 @@ impl<E> EventQueue<E> {
         Some((time, payload))
     }
 
+    /// Removes every pending event of the earliest timestamp — one whole
+    /// calendar bucket — appending the payloads to `out` in delivery order
+    /// and advancing the clock to that timestamp. Returns the number of
+    /// events drained (0 iff the queue is empty; `out` is untouched then).
+    ///
+    /// This is the batched form of [`EventQueue::pop`]: a sequence of
+    /// `drain_bucket` calls delivers exactly the same `(time, payload)`
+    /// stream as a sequence of `pop` calls — including events pushed *between*
+    /// batches at the just-drained timestamp, which land in the (re-based)
+    /// ring bucket and come out in the next batch, after the current one,
+    /// exactly where their higher sequence numbers place them. The attached
+    /// auditor observes the same per-event `on_pop(prev, time)` arguments as
+    /// under per-pop delivery. Batching amortizes the occupancy-bitmap scan,
+    /// base advance and `now` update over the bucket.
+    ///
+    /// A bucket holds exactly one timestamp, so the batch never spans
+    /// cycles; handlers can treat [`EventQueue::now`] as constant across it.
+    pub fn drain_bucket(&mut self, out: &mut Vec<E>) -> usize {
+        let start = out.len();
+        let time = if let Some(head) = self.backlog.peek() {
+            // Release-mode past pushes: drain the equal-time run in heap
+            // (time, seq) order. Backlog times sit below `base`, so they
+            // always precede every ring and overflow entry.
+            let t = head.time;
+            while let Some(h) = self.backlog.peek() {
+                if h.time != t {
+                    break;
+                }
+                match self.backlog.pop() {
+                    Some(e) => out.push(e.payload),
+                    None => unreachable!("peeked entry vanished"),
+                }
+            }
+            t
+        } else if self.ring_len > 0 {
+            let from = (self.base % HORIZON as Cycle) as usize;
+            let idx = match self.next_occupied(from) {
+                Some(i) => i,
+                None => unreachable!("ring_len > 0 with an empty occupancy bitmap"),
+            };
+            let t = self.bucket_time(idx, from);
+            let n = self.buckets[idx].len();
+            out.extend(self.buckets[idx].drain(..));
+            self.clear_bit(idx);
+            self.ring_len -= n;
+            // Migrating after the drain is equivalent to the per-pop
+            // interleaving: an occupied ring bucket at `t` precludes
+            // overflow entries at `t` (overflow starts a full horizon past
+            // the base), so no migration can extend the current batch.
+            self.advance_base(t);
+            t
+        } else if let Some(e) = self.overflow.pop() {
+            let t = e.time;
+            out.push(e.payload);
+            // Same-time overflow siblings migrate into the ring bucket for
+            // `t` (in heap order, i.e. ascending seq — all above `e`'s) and
+            // belong to this batch. The bucket cannot hold anything else:
+            // the ring was empty, and a migrated time `t' > t` with
+            // `t' ≡ t (mod HORIZON)` would be a full horizon out, beyond
+            // the migration window.
+            self.advance_base(t);
+            let idx = (t % HORIZON as Cycle) as usize;
+            if self.words[idx / 64] & (1u64 << (idx % 64)) != 0 {
+                let n = self.buckets[idx].len();
+                out.extend(self.buckets[idx].drain(..));
+                self.clear_bit(idx);
+                self.ring_len -= n;
+            }
+            t
+        } else {
+            return 0;
+        };
+        let n = out.len() - start;
+        #[cfg(feature = "audit")]
+        if let Some(a) = &self.auditor {
+            // Per-event hook parity with `pop`: the first event advances the
+            // clock from the previous `now`, the rest observe `time == prev`.
+            a.with(|au| {
+                au.on_pop(self.now, time);
+                for _ in 1..n {
+                    au.on_pop(time, time);
+                }
+            });
+        }
+        debug_assert!(time >= self.now, "time ran backwards");
+        self.now = time;
+        self.popped += n as u64;
+        n
+    }
+
     /// The timestamp of the next event without removing it.
     pub fn peek_time(&self) -> Option<Cycle> {
         if let Some(e) = self.backlog.peek() {
@@ -578,6 +668,144 @@ mod tests {
         let mut q = EventQueue::new();
         q.push(1, ());
         q.drain_check();
+    }
+
+    #[test]
+    fn drain_bucket_takes_one_whole_timestamp() {
+        let mut q = EventQueue::new();
+        q.push(10, "a");
+        q.push(20, "c");
+        q.push(10, "b");
+        let mut out = Vec::new();
+        assert_eq!(q.drain_bucket(&mut out), 2);
+        assert_eq!(out, vec!["a", "b"]);
+        assert_eq!(q.now(), 10);
+        out.clear();
+        assert_eq!(q.drain_bucket(&mut out), 1);
+        assert_eq!(out, vec!["c"]);
+        assert_eq!(q.now(), 20);
+        out.clear();
+        assert_eq!(q.drain_bucket(&mut out), 0);
+        assert!(out.is_empty());
+        assert_eq!(q.drain_check(), (3, 3));
+    }
+
+    #[test]
+    fn drain_bucket_matches_pop_for_pop_delivery() {
+        // The same synthetic workload (each event spawns follow-ups, some at
+        // the current cycle) delivered per-pop and per-batch must produce an
+        // identical (time, payload) stream.
+        let step = |t: Cycle, n: u32| -> Vec<(Cycle, u32)> {
+            let h = (n as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ t;
+            if n < 300 {
+                // One same-cycle spawn (h % 3 == 0 often) and one spread out
+                // across ring and overflow distances.
+                vec![
+                    (t + (h % 3), n * 2 + 1),
+                    (t + (h % (3 * HORIZON as Cycle / 2)), n * 2 + 2),
+                ]
+            } else {
+                Vec::new()
+            }
+        };
+
+        let mut per_pop = EventQueue::new();
+        per_pop.push(0, 0u32);
+        let mut pop_order = Vec::new();
+        while let Some((t, n)) = per_pop.pop() {
+            pop_order.push((t, n));
+            for (ct, c) in step(t, n) {
+                per_pop.push(ct, c);
+            }
+        }
+
+        let mut batched = EventQueue::new();
+        batched.push(0, 0u32);
+        let mut batch_order = Vec::new();
+        let mut batch = Vec::new();
+        loop {
+            if batched.drain_bucket(&mut batch) == 0 {
+                break;
+            }
+            let t = batched.now();
+            for n in batch.drain(..) {
+                batch_order.push((t, n));
+                for (ct, c) in step(t, n) {
+                    batched.push(ct, c);
+                }
+            }
+        }
+
+        assert_eq!(pop_order, batch_order);
+        assert_eq!(per_pop.drain_check(), batched.drain_check());
+    }
+
+    #[test]
+    fn drain_bucket_pulls_same_time_overflow_siblings() {
+        // With the ring empty, popping an overflow head migrates its
+        // same-time siblings into the ring; the batch must include them.
+        let mut q = EventQueue::new();
+        let far = HORIZON as Cycle * 2 + 5;
+        q.push(far, 1);
+        q.push(far, 2);
+        q.push(far + 1, 3);
+        let mut out = Vec::new();
+        assert_eq!(q.drain_bucket(&mut out), 2);
+        assert_eq!(out, vec![1, 2]);
+        assert_eq!(q.now(), far);
+        out.clear();
+        assert_eq!(q.drain_bucket(&mut out), 1);
+        assert_eq!(out, vec![3]);
+    }
+
+    #[test]
+    fn pushes_at_the_drained_time_land_in_the_next_batch() {
+        let mut q = EventQueue::new();
+        q.push(7, 0);
+        q.push(7, 1);
+        let mut out = Vec::new();
+        assert_eq!(q.drain_bucket(&mut out), 2);
+        // A handler at t=7 schedules more work at t=7: higher sequence
+        // numbers put it after the drained batch, in its own bucket run.
+        q.push(7, 2);
+        q.push(7, 3);
+        q.push(8, 4);
+        out.clear();
+        assert_eq!(q.drain_bucket(&mut out), 2);
+        assert_eq!(out, vec![2, 3]);
+        assert_eq!(q.now(), 7);
+        out.clear();
+        assert_eq!(q.drain_bucket(&mut out), 1);
+        assert_eq!(out, vec![4]);
+    }
+
+    #[cfg(feature = "audit")]
+    #[test]
+    fn drain_bucket_reports_per_event_pops_to_the_auditor() {
+        use crate::audit::{Audit, AuditHandle};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Default)]
+        struct PopLog(Vec<(Cycle, Cycle)>);
+        impl Audit for PopLog {
+            fn on_pop(&mut self, prev: Cycle, time: Cycle) {
+                self.0.push((prev, time));
+            }
+        }
+
+        let log = Rc::new(RefCell::new(PopLog::default()));
+        let mut q = EventQueue::new();
+        q.set_auditor(AuditHandle::of(&log));
+        q.push(4, ());
+        q.push(9, ());
+        q.push(9, ());
+        let mut out = Vec::new();
+        q.drain_bucket(&mut out);
+        out.clear();
+        q.drain_bucket(&mut out);
+        // Exactly what three pops would have reported.
+        assert_eq!(log.borrow().0, vec![(0, 4), (4, 9), (9, 9)]);
     }
 
     #[cfg(feature = "audit")]

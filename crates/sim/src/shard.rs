@@ -9,11 +9,18 @@
 //!   explicit *global* stamp instead of a per-queue insertion counter, so
 //!   entries arriving out of stamp order (mailbox flushes at window
 //!   barriers) still merge into the right delivery slot.
-//! * [`ShardSet`] — the lock-step window coordinator: it owns one
-//!   `ShardQueue` per shard plus per-destination mailboxes, advances all
-//!   shards through lookahead windows of fixed length, exchanges
-//!   cross-shard messages at window barriers, and delivers events in the
-//!   exact global `(time, stamp)` order.
+//! * [`ShardSet`] — the merge coordinator: it owns one `ShardQueue` per
+//!   shard and delivers events in the exact global `(time, stamp)` order.
+//!   It runs in one of two modes. The *windowed* drive ([`ShardSet::new`])
+//!   is the full conservative-lookahead protocol — per-destination
+//!   mailboxes, fixed-length windows, cross-shard exchange only at window
+//!   barriers — exactly what a threaded drive needs for isolation
+//!   (`crate::pool::run_sharded_workers` exercises it cross-thread). The
+//!   *direct* drive ([`ShardSet::new_direct`]) is the single-threaded
+//!   coordinator's fast path: cross-shard routes insert straight into the
+//!   destination queue and no barrier ever runs, which provably delivers
+//!   the same stream (see [`ShardSet::new_direct`]) while still enforcing
+//!   the lookahead contract at runtime.
 //!
 //! # The conservative-lookahead argument
 //!
@@ -46,8 +53,12 @@ use std::collections::{BinaryHeap, VecDeque};
 use crate::time::Cycle;
 
 /// Ring width of each shard's calendar; see [`crate::EventQueue`] for the
-/// power-of-two / multiple-of-64 constraints.
-const HORIZON: usize = 4096;
+/// power-of-two / multiple-of-64 constraints. Narrower than the serial
+/// queue's ring: a [`ShardSet`] keeps one ring *per shard* hot at once, so
+/// a 4096-bucket ring measurably loses to 512 on fig14 (the bucket headers
+/// alone are 128 KiB/shard at 4096) while the overflow heap stays cheap at
+/// this width.
+const HORIZON: usize = 512;
 /// Occupancy bitmap words — one bit per bucket.
 const WORDS: usize = HORIZON / 64;
 
@@ -255,6 +266,125 @@ impl<E> ShardQueue<E> {
         Some((e.time, e.stamp, e.payload))
     }
 
+    /// Removes the earliest *run* of entries — all at one timestamp, in
+    /// ascending stamp order, stopping before `bound` (an exclusive
+    /// `(time, stamp)` ceiling, typically the best head among the *other*
+    /// shards of a [`ShardSet`]) — appending the payloads to `out`. Returns
+    /// `(time, count)`, or `None` when the queue is empty.
+    ///
+    /// This is the batched form of [`ShardQueue::pop`]: a single bitmap
+    /// scan and base advance serve the whole run, and every drained entry
+    /// is exactly what consecutive pops under the same bound would have
+    /// returned. The run never spans timestamps, so the caller can treat
+    /// the returned `time` as constant across the batch.
+    pub fn drain_run(
+        &mut self,
+        bound: Option<(Cycle, u64)>,
+        out: &mut Vec<E>,
+    ) -> Option<(Cycle, usize)> {
+        if self.ring_len > 0 {
+            let from = (self.base % HORIZON as Cycle) as usize;
+            let idx = match self.next_occupied(from) {
+                Some(i) => i,
+                None => unreachable!("ring_len > 0 with an empty occupancy bitmap"),
+            };
+            let time = self.bucket_time(idx, from);
+            let n = self.drain_bucket_run(idx, time, bound, out);
+            if n == 0 {
+                // The bound cuts before this queue's head: nothing to take.
+                return None;
+            }
+            self.advance_base(time);
+            return Some((time, n));
+        }
+        // Overflow head: pop it, then collect same-time siblings that the
+        // base advance migrates into its ring bucket. The bucket holds only
+        // time-`time` entries (the ring was empty, and a colliding slot
+        // `time' ≡ time (mod HORIZON)` with `time' > time` is a full
+        // horizon out, beyond the migration window).
+        let head_ok = match (self.overflow.peek(), bound) {
+            (Some(e), Some(b)) => (e.time, e.stamp) < b,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if !head_ok {
+            return None;
+        }
+        let e = match self.overflow.pop() {
+            Some(e) => e,
+            None => unreachable!("peeked entry vanished"),
+        };
+        let time = e.time;
+        out.push(e.payload);
+        self.advance_base(time);
+        let idx = (time % HORIZON as Cycle) as usize;
+        let mut n = 1;
+        if self.words[idx / 64] & (1u64 << (idx % 64)) != 0 {
+            n += self.drain_bucket_run(idx, time, bound, out);
+        }
+        Some((time, n))
+    }
+
+    /// Drains the `(time, stamp) < bound` prefix of bucket `idx` (all of it
+    /// when `bound` is `None` or at a later time) into `out`, maintaining
+    /// the occupancy bit and `ring_len`. Returns the count drained.
+    fn drain_bucket_run(
+        &mut self,
+        idx: usize,
+        time: Cycle,
+        bound: Option<(Cycle, u64)>,
+        out: &mut Vec<E>,
+    ) -> usize {
+        let bucket = &mut self.buckets[idx];
+        let n = match bound {
+            Some((bt, bs)) if bt == time => bucket.partition_point(|(s, _)| *s < bs),
+            Some((bt, _)) if bt < time => 0,
+            _ => bucket.len(),
+        };
+        out.extend(bucket.drain(..n).map(|(_, p)| p));
+        if self.buckets[idx].is_empty() {
+            self.clear_bit(idx);
+        }
+        self.ring_len -= n;
+        n
+    }
+
+    /// Drains every entry at exactly `time` — which must be this queue's
+    /// head time — appending `(stamp, tag, payload)` triples to `out` in
+    /// ascending stamp order and advancing the window base. Returns the
+    /// count drained. `tag` is threaded through untouched (the
+    /// [`ShardSet`] merge uses it to remember the source shard).
+    ///
+    /// The whole run lives in one tier: a ring head owns its bucket
+    /// exclusively (overflow entries sit at least a full horizon past the
+    /// base, so none share `time`), and an overflow head's same-time
+    /// siblings are adjacent in heap order.
+    pub fn drain_time(&mut self, time: Cycle, tag: u32, out: &mut Vec<(u64, u32, E)>) -> usize {
+        debug_assert_eq!(self.peek().map(|(t, _)| t), Some(time), "not the head time");
+        let start = out.len();
+        if self.ring_len > 0 {
+            let idx = (time % HORIZON as Cycle) as usize;
+            let bucket = &mut self.buckets[idx];
+            let n = bucket.len();
+            out.extend(bucket.drain(..).map(|(s, p)| (s, tag, p)));
+            self.clear_bit(idx);
+            self.ring_len -= n;
+        } else {
+            while let Some(head) = self.overflow.peek() {
+                if head.time != time {
+                    break;
+                }
+                let e = match self.overflow.pop() {
+                    Some(e) => e,
+                    None => unreachable!("peeked entry vanished"),
+                };
+                out.push((e.stamp, tag, e.payload));
+            }
+        }
+        self.advance_base(time);
+        out.len() - start
+    }
+
     /// Number of entries currently pending.
     pub fn len(&self) -> usize {
         self.ring_len + self.overflow.len()
@@ -271,14 +401,19 @@ impl<E> ShardQueue<E> {
 /// state).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ShardStats {
-    /// Lookahead windows crossed (barriers executed).
+    /// Lookahead windows crossed (barriers executed); stays 0 under the
+    /// direct drive, which needs no barriers.
     pub windows: u64,
     /// Events delivered through the merge.
     pub delivered: u64,
     /// Events routed in (equals `delivered` after a drained run).
     pub routed: u64,
-    /// Events that crossed a shard boundary (went through a mailbox).
+    /// Events that crossed a shard boundary (mailboxed under the windowed
+    /// drive, direct-inserted under the direct drive).
     pub cross: u64,
+    /// Batches handed out by [`ShardSet::next_batch`] (single-timestamp
+    /// runs; `delivered / batches` is the merge's amortization factor).
+    pub batches: u64,
 }
 
 /// The lock-step lookahead coordinator over `n` shard queues.
@@ -292,6 +427,10 @@ pub struct ShardStats {
 #[derive(Debug)]
 pub struct ShardSet<E> {
     queues: Vec<ShardQueue<E>>,
+    /// Cached copy of each queue's head `(time, stamp)`, kept in lock step
+    /// with every queue mutation so the per-delivery winner scan reads a
+    /// flat array instead of running one occupancy-bitmap scan per shard.
+    heads: Vec<Option<(Cycle, u64)>>,
     /// Per-destination mailboxes holding cross-shard messages sent during
     /// the current window, in ascending stamp order.
     mailboxes: Vec<VecDeque<(Cycle, u64, E)>>,
@@ -302,6 +441,16 @@ pub struct ShardSet<E> {
     /// The shard whose event [`ShardSet::next_event`] last delivered; `None`
     /// while seeding, when every routed event inserts directly.
     current: Option<usize>,
+    /// Timestamp of the most recent delivery (the executing event's time);
+    /// the direct drive's lookahead check anchors here.
+    now: Cycle,
+    /// Direct drive (see [`ShardSet::new_direct`]): cross-shard routes
+    /// insert straight into the destination queue instead of parking in a
+    /// mailbox, and delivery never waits on a window barrier.
+    direct: bool,
+    /// Reused merge buffer for [`ShardSet::next_batch`]: `(stamp, shard,
+    /// payload)` triples drained from every shard due at the batch time.
+    scratch: Vec<(u64, u32, E)>,
     /// Next global stamp.
     stamp: u64,
     stats: ShardStats,
@@ -324,13 +473,38 @@ impl<E> ShardSet<E> {
         mailboxes.resize_with(shards, VecDeque::new);
         Self {
             queues,
+            heads: vec![None; shards],
             mailboxes,
             lookahead,
             window_end: 0,
             current: None,
+            now: 0,
+            direct: false,
+            scratch: Vec::new(),
             stamp: 0,
             stats: ShardStats::default(),
         }
+    }
+
+    /// Creates a coordinator in *direct* mode: the single-threaded drive's
+    /// fast path. Cross-shard routes insert straight into the destination
+    /// queue (no mailbox) and delivery never waits on a window barrier.
+    ///
+    /// The delivered stream is identical to the windowed drive's: stamps
+    /// are assigned at [`ShardSet::route`] time in both modes, delivery
+    /// always takes the globally minimal `(time, stamp)` head, and a
+    /// mailboxed entry could never have been that minimum while hidden —
+    /// it is due at or past the window end, and the windowed drive only
+    /// delivers heads strictly inside the window. Skipping the park/flush
+    /// round-trip therefore changes no output byte; it only removes the
+    /// barrier machinery a threaded drive needs for isolation. The
+    /// conservative-lookahead contract is still enforced, in a strictly
+    /// stronger form: every cross-shard route must be due at least one
+    /// lookahead past the delivery in progress.
+    pub fn new_direct(shards: usize, lookahead: Cycle) -> Self {
+        let mut set = Self::new(shards, lookahead);
+        set.direct = true;
+        set
     }
 
     /// Number of shards.
@@ -360,36 +534,53 @@ impl<E> ShardSet<E> {
         self.stats.routed += 1;
         match self.current {
             Some(src) if src != dest => {
-                assert!(
-                    time >= self.window_end,
-                    "conservative lookahead violated: shard {src} sent an event to \
-                     shard {dest} due at {time}, inside the window ending at {} \
-                     (lookahead {})",
-                    self.window_end,
-                    self.lookahead
-                );
                 self.stats.cross += 1;
-                self.mailboxes[dest].push_back((time, stamp, payload));
+                if self.direct {
+                    assert!(
+                        time >= self.now.saturating_add(self.lookahead),
+                        "conservative lookahead violated: shard {src} sent an event \
+                         to shard {dest} due at {time} while executing cycle {} \
+                         (lookahead {})",
+                        self.now,
+                        self.lookahead
+                    );
+                    self.enqueue(dest, time, stamp, payload);
+                } else {
+                    assert!(
+                        time >= self.window_end,
+                        "conservative lookahead violated: shard {src} sent an event \
+                         to shard {dest} due at {time}, inside the window ending at \
+                         {} (lookahead {})",
+                        self.window_end,
+                        self.lookahead
+                    );
+                    self.mailboxes[dest].push_back((time, stamp, payload));
+                }
             }
-            _ => self.queues[dest].push(time, stamp, payload),
+            _ => self.enqueue(dest, time, stamp, payload),
         }
+    }
+
+    /// Queue insert plus head-cache maintenance — the one path by which
+    /// entries reach a shard queue.
+    #[inline]
+    fn enqueue(&mut self, dest: usize, time: Cycle, stamp: u64, payload: E) {
+        if self.heads[dest].is_none_or(|h| (time, stamp) < h) {
+            self.heads[dest] = Some((time, stamp));
+        }
+        self.queues[dest].push(time, stamp, payload);
     }
 
     /// Flushes every mailbox into its destination queue (the window
     /// barrier), then re-bases the window at the earliest pending event.
     /// Returns `false` when nothing is pending anywhere.
     fn barrier_advance(&mut self) -> bool {
-        for (dest, mailbox) in self.mailboxes.iter_mut().enumerate() {
-            while let Some((time, stamp, payload)) = mailbox.pop_front() {
-                self.queues[dest].push(time, stamp, payload);
+        for dest in 0..self.mailboxes.len() {
+            while let Some((time, stamp, payload)) = self.mailboxes[dest].pop_front() {
+                self.enqueue(dest, time, stamp, payload);
             }
         }
-        let earliest = self
-            .queues
-            .iter()
-            .filter_map(|q| q.peek())
-            .map(|(t, _)| t)
-            .min();
+        let earliest = self.heads.iter().flatten().map(|&(t, _)| t).min();
         match earliest {
             Some(start) => {
                 // Empty windows are skipped entirely: the next window bases
@@ -410,8 +601,8 @@ impl<E> ShardSet<E> {
     pub fn next_event(&mut self) -> Option<(Cycle, E, usize)> {
         loop {
             let mut best: Option<(Cycle, u64, usize)> = None;
-            for (s, q) in self.queues.iter().enumerate() {
-                if let Some((t, stamp)) = q.peek() {
+            for (s, head) in self.heads.iter().enumerate() {
+                if let Some((t, stamp)) = *head {
                     let better = match best {
                         Some((bt, bs, _)) => (t, stamp) < (bt, bs),
                         None => true,
@@ -422,15 +613,19 @@ impl<E> ShardSet<E> {
                 }
             }
             if let Some((t, _, s)) = best {
-                if t < self.window_end {
+                if self.direct || t < self.window_end {
                     let (time, _stamp, payload) = match self.queues[s].pop() {
                         Some(e) => e,
-                        None => unreachable!("peeked shard head vanished"),
+                        None => unreachable!("cached shard head vanished"),
                     };
+                    self.heads[s] = self.queues[s].peek();
                     self.current = Some(s);
+                    self.now = time;
                     self.stats.delivered += 1;
                     return Some((time, payload, s));
                 }
+            } else if self.direct {
+                return None;
             }
             // Earliest event at or past the window end (or only mailbox
             // traffic left): cross the barrier. Progress is guaranteed —
@@ -440,6 +635,89 @@ impl<E> ShardSet<E> {
                 return None;
             }
         }
+    }
+
+    /// Delivers the earliest *batch* of events: every entry due at the
+    /// globally minimal timestamp, across all shards, merged into global
+    /// stamp order. Appends `(shard, payload)` pairs to `out` in delivery
+    /// order and returns the batch timestamp, or `None` when the whole set
+    /// has drained. Windows advance and mailboxes flush at barriers
+    /// internally, exactly as in [`ShardSet::next_event`].
+    ///
+    /// A sequence of `next_batch` calls delivers the same event stream as
+    /// a sequence of `next_event` calls, provided the caller (a) calls
+    /// [`ShardSet::set_current`] with each event's shard tag before
+    /// executing it — `next_batch` cannot track the executing shard across
+    /// a multi-shard batch the way `next_event` does — and (b) routes each
+    /// event's follow-ups before consuming the next *batch*. Mid-batch
+    /// routing cannot reach inside the already-cut batch: every route
+    /// carries a fresh global stamp above every drained entry's, so a
+    /// same-time follow-up sorts after the whole batch (it is delivered by
+    /// a later `next_batch` at the same timestamp, exactly where per-event
+    /// delivery would place it), and a cross-shard route is due at least
+    /// one lookahead later anyway. The k-way head scan, per-queue
+    /// bookkeeping, window checks and the engine's own per-batch work are
+    /// amortized over the entire timestamp instead of a single shard's
+    /// run.
+    pub fn next_batch(&mut self, out: &mut Vec<(u32, E)>) -> Option<Cycle> {
+        loop {
+            // Globally minimal head time and the number of shards due then.
+            let mut t_min: Option<Cycle> = None;
+            let mut due = 0usize;
+            for head in &self.heads {
+                if let Some((t, _)) = *head {
+                    match t_min {
+                        Some(m) if t > m => {}
+                        Some(m) if t == m => due += 1,
+                        _ => {
+                            t_min = Some(t);
+                            due = 1;
+                        }
+                    }
+                }
+            }
+            if let Some(t) = t_min {
+                if self.direct || t < self.window_end {
+                    let mut n = 0usize;
+                    let mut remaining = due;
+                    self.scratch.clear();
+                    for s in 0..self.queues.len() {
+                        if self.heads[s].is_some_and(|(ht, _)| ht == t) {
+                            n += self.queues[s].drain_time(t, s as u32, &mut self.scratch);
+                            self.heads[s] = self.queues[s].peek();
+                            remaining -= 1;
+                            if remaining == 0 {
+                                break;
+                            }
+                        }
+                    }
+                    // Per-shard runs are stamp-sorted; a single-shard batch
+                    // (the common case) is already in global order.
+                    if due > 1 {
+                        self.scratch.sort_unstable_by_key(|&(stamp, _, _)| stamp);
+                    }
+                    out.extend(self.scratch.drain(..).map(|(_, s, p)| (s, p)));
+                    self.now = t;
+                    self.stats.delivered += n as u64;
+                    self.stats.batches += 1;
+                    return Some(t);
+                }
+            } else if self.direct {
+                return None;
+            }
+            if !self.barrier_advance() {
+                return None;
+            }
+        }
+    }
+
+    /// Declares the shard whose event the caller is about to execute, so
+    /// [`ShardSet::route`] can classify follow-ups as local or cross-shard.
+    /// Required between the events of a [`ShardSet::next_batch`] batch;
+    /// [`ShardSet::next_event`] maintains it automatically.
+    #[inline]
+    pub fn set_current(&mut self, shard: usize) {
+        self.current = Some(shard);
     }
 
     /// Drive counters; see [`ShardStats`].
@@ -580,6 +858,219 @@ mod tests {
         set.route(0, 0, 1u32);
         assert_eq!(set.stats().cross, 0);
         assert_eq!(set.next_event().map(|(t, p, _)| (t, p)), Some((0, 1u32)));
+    }
+
+    #[test]
+    fn drain_run_respects_the_bound() {
+        let mut q = ShardQueue::new();
+        q.push(10, 1, "a");
+        q.push(10, 3, "b");
+        q.push(10, 8, "c");
+        q.push(12, 9, "d");
+        let mut out = Vec::new();
+        // Bound at (10, 5): only stamps below 5 may leave.
+        assert_eq!(q.drain_run(Some((10, 5)), &mut out), Some((10, 2)));
+        assert_eq!(out, vec!["a", "b"]);
+        out.clear();
+        // Bound at a later time: the rest of the bucket, but never t=12.
+        assert_eq!(q.drain_run(Some((11, 0)), &mut out), Some((10, 1)));
+        assert_eq!(out, vec!["c"]);
+        out.clear();
+        assert_eq!(q.drain_run(None, &mut out), Some((12, 1)));
+        assert_eq!(out, vec!["d"]);
+        assert!(q.is_empty());
+        assert_eq!(q.drain_run(None, &mut out), None);
+    }
+
+    #[test]
+    fn drain_run_refuses_a_bound_before_the_head() {
+        let mut q = ShardQueue::new();
+        q.push(10, 7, "head");
+        let mut out = Vec::new();
+        assert_eq!(q.drain_run(Some((10, 7)), &mut out), None);
+        assert_eq!(q.drain_run(Some((9, 0)), &mut out), None);
+        assert!(out.is_empty());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((10, 7, "head")));
+    }
+
+    #[test]
+    fn drain_run_pulls_same_time_overflow_siblings() {
+        let mut q = ShardQueue::new();
+        let far = HORIZON as Cycle * 2 + 11;
+        q.push(far, 1, "x");
+        q.push(far, 2, "y");
+        q.push(far + 3, 3, "z");
+        let mut out = Vec::new();
+        assert_eq!(q.drain_run(None, &mut out), Some((far, 2)));
+        assert_eq!(out, vec!["x", "y"]);
+        out.clear();
+        assert_eq!(q.drain_run(None, &mut out), Some((far + 3, 1)));
+        assert_eq!(out, vec!["z"]);
+    }
+
+    #[test]
+    fn next_batch_matches_next_event_on_a_random_trace() {
+        // The same workload as `matches_event_queue_on_a_random_trace`,
+        // driven per event and per batch; delivery streams must agree, and
+        // the batched drive must route each event's follow-ups mid-batch.
+        const LOOKAHEAD: Cycle = 7;
+        let shard_of = |n: u32| (n % 3) as usize;
+        let step = |t: Cycle, n: u32| -> Vec<(Cycle, u32)> {
+            let h = (n as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ t;
+            let mut out = Vec::new();
+            if n < 200 {
+                for (k, child) in [(5u64, n * 2 + 1), (3, n * 2 + 2)] {
+                    if shard_of(child) == shard_of(n) {
+                        out.push((t + (h % k), child));
+                    } else {
+                        out.push((t + LOOKAHEAD + (h % k), child));
+                    }
+                }
+            }
+            out
+        };
+
+        let mut per_event = ShardSet::new(3, LOOKAHEAD);
+        per_event.route(shard_of(0), 0, 0u32);
+        let mut event_order = Vec::new();
+        while let Some((t, n, _)) = per_event.next_event() {
+            event_order.push((t, n));
+            for (ct, c) in step(t, n) {
+                per_event.route(shard_of(c), ct, c);
+            }
+        }
+        per_event.drain_check();
+
+        let mut batched = ShardSet::new(3, LOOKAHEAD);
+        batched.route(shard_of(0), 0, 0u32);
+        let mut batch_order = Vec::new();
+        let mut batch = Vec::new();
+        while let Some(t) = batched.next_batch(&mut batch) {
+            for (s, n) in batch.drain(..) {
+                batched.set_current(s as usize);
+                assert_eq!(s as usize, shard_of(n), "wrong shard tag");
+                batch_order.push((t, n));
+                for (ct, c) in step(t, n) {
+                    batched.route(shard_of(c), ct, c);
+                }
+            }
+        }
+        batched.drain_check();
+
+        assert_eq!(event_order, batch_order);
+        let (mut a, b) = (batched.stats(), per_event.stats());
+        assert!(a.batches > 0 && a.batches <= a.delivered);
+        a.batches = b.batches; // only the batched drive counts batches
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn direct_mode_matches_the_windowed_drive() {
+        // Same spawning workload as above, driven windowed and direct; the
+        // delivered streams must be identical and the direct drive must
+        // never touch a mailbox or barrier.
+        const LOOKAHEAD: Cycle = 7;
+        let shard_of = |n: u32| (n % 3) as usize;
+        let step = |t: Cycle, n: u32| -> Vec<(Cycle, u32)> {
+            let h = (n as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ t;
+            let mut out = Vec::new();
+            if n < 200 {
+                for (k, child) in [(5u64, n * 2 + 1), (3, n * 2 + 2)] {
+                    if shard_of(child) == shard_of(n) {
+                        out.push((t + (h % k), child));
+                    } else {
+                        out.push((t + LOOKAHEAD + (h % k), child));
+                    }
+                }
+            }
+            out
+        };
+
+        let mut orders: Vec<Vec<(Cycle, u32)>> = Vec::new();
+        let mut stats = Vec::new();
+        for set in [
+            ShardSet::new(3, LOOKAHEAD),
+            ShardSet::new_direct(3, LOOKAHEAD),
+        ] {
+            let mut set = set;
+            set.route(shard_of(0), 0, 0u32);
+            let mut order = Vec::new();
+            let mut batch = Vec::new();
+            while let Some(t) = set.next_batch(&mut batch) {
+                for (s, n) in batch.drain(..) {
+                    set.set_current(s as usize);
+                    order.push((t, n));
+                    for (ct, c) in step(t, n) {
+                        set.route(shard_of(c), ct, c);
+                    }
+                }
+            }
+            set.drain_check();
+            orders.push(order);
+            stats.push(set.stats());
+        }
+        assert_eq!(orders[0], orders[1]);
+        let (windowed, direct) = (stats[0], stats[1]);
+        assert_eq!(direct.windows, 0, "direct drive ran a barrier");
+        assert!(windowed.windows > 1);
+        assert_eq!(direct.delivered, windowed.delivered);
+        assert_eq!(direct.routed, windowed.routed);
+        assert_eq!(direct.cross, windowed.cross);
+    }
+
+    #[test]
+    #[should_panic(expected = "conservative lookahead violated")]
+    fn direct_mode_still_enforces_the_lookahead() {
+        let mut set = ShardSet::new_direct(2, 10);
+        set.route(0, 5, "seed");
+        let _ = set.next_event();
+        // Due less than one lookahead past the executing cycle (5): the
+        // mesh transit floor makes this arrival impossible.
+        set.route(1, 14, "too-soon");
+    }
+
+    #[test]
+    fn next_batch_merges_a_whole_timestamp_in_stamp_order() {
+        let mut set = ShardSet::new(2, 16);
+        set.route(0, 5, "a0"); // stamp 0
+        set.route(1, 5, "b1"); // stamp 1
+        set.route(0, 5, "a2"); // stamp 2
+        set.route(1, 9, "c3"); // stamp 3, later timestamp
+        let mut batch = Vec::new();
+        // One batch delivers everything due at t=5, interleaved across the
+        // two shards by global stamp — never the t=9 entry.
+        assert_eq!(set.next_batch(&mut batch), Some(5));
+        assert_eq!(batch, vec![(0, "a0"), (1, "b1"), (0, "a2")]);
+        batch.clear();
+        assert_eq!(set.next_batch(&mut batch), Some(9));
+        assert_eq!(batch, vec![(1, "c3")]);
+        batch.clear();
+        assert_eq!(set.next_batch(&mut batch), None);
+        assert_eq!(set.stats().batches, 2);
+        set.drain_check();
+    }
+
+    #[test]
+    fn same_time_followups_land_in_a_later_batch_at_the_same_time() {
+        // An event executed from a batch schedules a same-shard follow-up
+        // at the batch's own timestamp; it must be delivered by the next
+        // `next_batch` call at that same timestamp, after the whole batch —
+        // exactly where per-event delivery would place it (fresh stamp).
+        let mut set = ShardSet::new_direct(2, 16);
+        set.route(0, 5, 0u32);
+        set.route(1, 5, 1u32);
+        let mut batch = Vec::new();
+        assert_eq!(set.next_batch(&mut batch), Some(5));
+        assert_eq!(batch, vec![(0, 0u32), (1, 1u32)]);
+        set.set_current(0);
+        set.route(0, 5, 2u32); // same time, stamps after the batch
+        batch.clear();
+        assert_eq!(set.next_batch(&mut batch), Some(5));
+        assert_eq!(batch, vec![(0, 2u32)]);
+        batch.clear();
+        assert_eq!(set.next_batch(&mut batch), None);
+        set.drain_check();
     }
 
     #[test]

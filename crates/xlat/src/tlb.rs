@@ -56,19 +56,14 @@ impl TlbConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct TlbEntry {
-    vpn: Vpn,
-    pfn: Pfn,
-    valid: bool,
-    last_used: u64,
-    /// Marks entries installed by HDPAT's proactive delivery; lets the
-    /// simulator attribute hits to prefetching (Fig 16's "proactive"
-    /// category and the prefetch-accuracy statistic).
-    prefetched: bool,
-}
-
 /// A set-associative VPN→PFN cache with true-LRU replacement.
+///
+/// The entry store is struct-of-arrays (DESIGN.md §16): the VPN tags,
+/// PFNs and LRU stamps live in separate planes sized from the config at
+/// construction, and validity / prefetched-ness are one bitmask word per
+/// set. The hot set-probe loop therefore walks a handful of contiguous
+/// tag words (eight ways per cache line) guided by the set's valid mask,
+/// instead of striding over five-field entry structs.
 ///
 /// # Example
 ///
@@ -83,7 +78,20 @@ struct TlbEntry {
 #[derive(Debug, Clone)]
 pub struct Tlb {
     cfg: TlbConfig,
-    entries: Vec<TlbEntry>,
+    /// VPN tag plane, indexed `set * ways + way`.
+    vpns: Vec<Vpn>,
+    /// PFN plane, same indexing as `vpns`.
+    pfns: Vec<Pfn>,
+    /// LRU stamp plane, same indexing (higher = more recently used;
+    /// speculative LRU-position fills use stamp 0, below every live demand
+    /// stamp).
+    stamps: Vec<u64>,
+    /// One validity bitmask per set, bit `way`.
+    valid: Vec<u64>,
+    /// One prefetched-tag bitmask per set, bit `way` (HDPAT proactive
+    /// delivery attribution — Fig 16's "proactive" category and the
+    /// prefetch-accuracy statistic).
+    prefetched: Vec<u64>,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -107,22 +115,20 @@ impl Tlb {
     ///
     /// # Panics
     ///
-    /// Panics if `sets` is not a power of two or `ways` is zero.
+    /// Panics if `sets` is not a power of two, `ways` is zero, or `ways`
+    /// exceeds 64 (the per-set valid/prefetched planes are one `u64` mask
+    /// each; Table I tops out at 32 ways).
     pub fn new(cfg: TlbConfig) -> Self {
         assert!(cfg.sets.is_power_of_two(), "sets must be a power of two");
         assert!(cfg.ways > 0, "associativity must be positive");
+        assert!(cfg.ways <= 64, "at most 64 ways (one mask word per set)");
         Self {
             cfg,
-            entries: vec![
-                TlbEntry {
-                    vpn: Vpn(0),
-                    pfn: Pfn(0),
-                    valid: false,
-                    last_used: 0,
-                    prefetched: false,
-                };
-                cfg.entries()
-            ],
+            vpns: vec![Vpn(0); cfg.entries()],
+            pfns: vec![Pfn(0); cfg.entries()],
+            stamps: vec![0; cfg.entries()],
+            valid: vec![0; cfg.sets],
+            prefetched: vec![0; cfg.sets],
             tick: 0,
             hits: 0,
             misses: 0,
@@ -223,9 +229,21 @@ impl Tlb {
         (vpn.0 as usize) & (self.cfg.sets - 1)
     }
 
-    fn set_slice(&mut self, set: usize) -> &mut [TlbEntry] {
+    /// Index of the first (lowest-numbered) valid way in `set` whose tag
+    /// matches `vpn` — the way-order scan over the contiguous tag plane,
+    /// visiting only valid ways via the set's mask word.
+    #[inline]
+    fn find_way(&self, set: usize, vpn: Vpn) -> Option<usize> {
         let start = set * self.cfg.ways;
-        &mut self.entries[start..start + self.cfg.ways]
+        let mut mask = self.valid[set];
+        while mask != 0 {
+            let way = mask.trailing_zeros() as usize;
+            if self.vpns[start + way] == vpn {
+                return Some(way);
+            }
+            mask &= mask - 1;
+        }
+        None
     }
 
     /// Looks up `vpn`, updating LRU and statistics. Returns the PFN on hit.
@@ -240,26 +258,20 @@ impl Tlb {
     /// entry so a prefetch is counted as *used* at most once.
     pub fn lookup_meta(&mut self, vpn: Vpn) -> Option<(Pfn, bool)> {
         self.tick += 1;
-        let tick = self.tick;
         let set = self.set_of(vpn);
-        let mut hit: Option<(Pfn, bool)> = None;
-        for e in self.set_slice(set) {
-            if e.valid && e.vpn == vpn {
-                e.last_used = tick;
-                hit = Some((e.pfn, e.prefetched));
-                e.prefetched = false;
-                break;
-            }
-        }
-        match hit {
-            Some((pfn, was_prefetched)) => {
+        match self.find_way(set, vpn) {
+            Some(way) => {
+                let idx = set * self.cfg.ways + way;
+                self.stamps[idx] = self.tick;
+                let was_prefetched = self.prefetched[set] & (1 << way) != 0;
+                self.prefetched[set] &= !(1 << way);
                 self.hits += 1;
                 if was_prefetched {
                     self.prefetched_hits += 1;
                 }
                 #[cfg(feature = "trace")]
                 self.trace_lookup("tlb.hit", vpn);
-                Some((pfn, was_prefetched))
+                Some((self.pfns[idx], was_prefetched))
             }
             None => {
                 self.misses += 1;
@@ -273,11 +285,8 @@ impl Tlb {
     /// Checks presence without perturbing LRU or statistics.
     pub fn probe(&self, vpn: Vpn) -> Option<Pfn> {
         let set = self.set_of(vpn);
-        let start = set * self.cfg.ways;
-        self.entries[start..start + self.cfg.ways]
-            .iter()
-            .find(|e| e.valid && e.vpn == vpn)
-            .map(|e| e.pfn)
+        self.find_way(set, vpn)
+            .map(|way| self.pfns[set * self.cfg.ways + way])
     }
 
     /// Inserts a translation at the MRU position, evicting the set's LRU
@@ -295,6 +304,21 @@ impl Tlb {
         self.fill_at(vpn, pfn, true, true)
     }
 
+    /// Writes the planes of `(set, way)` for a (re)installed mapping.
+    #[inline]
+    fn write_entry(&mut self, set: usize, way: usize, vpn: Vpn, pfn: Pfn, stamp: u64, pf: bool) {
+        let idx = set * self.cfg.ways + way;
+        self.vpns[idx] = vpn;
+        self.pfns[idx] = pfn;
+        self.stamps[idx] = stamp;
+        self.valid[set] |= 1 << way;
+        if pf {
+            self.prefetched[set] |= 1 << way;
+        } else {
+            self.prefetched[set] &= !(1 << way);
+        }
+    }
+
     fn fill_at(
         &mut self,
         vpn: Vpn,
@@ -310,42 +334,45 @@ impl Tlb {
         // Update in place if present. A speculative refresh re-arms the
         // prefetched tag (a new delivery instance) but must not demote a
         // demand-hot entry to the LRU position; a demand refresh clears it.
-        for e in self.set_slice(set) {
-            if e.valid && e.vpn == vpn {
-                e.pfn = pfn;
-                if !lru_insert {
-                    e.last_used = tick;
-                }
-                e.prefetched = prefetched;
-                return None;
+        if let Some(way) = self.find_way(set, vpn) {
+            let idx = set * self.cfg.ways + way;
+            self.pfns[idx] = pfn;
+            if !lru_insert {
+                self.stamps[idx] = tick;
             }
+            if prefetched {
+                self.prefetched[set] |= 1 << way;
+            } else {
+                self.prefetched[set] &= !(1 << way);
+            }
+            return None;
         }
-        if let Some(e) = self.set_slice(set).iter_mut().find(|e| !e.valid) {
-            *e = TlbEntry {
-                vpn,
-                pfn,
-                valid: true,
-                last_used: tick,
-                prefetched,
-            };
+        // First invalid way, in way order.
+        let ways_mask = if self.cfg.ways == 64 {
+            !0u64
+        } else {
+            (1u64 << self.cfg.ways) - 1
+        };
+        let free = !self.valid[set] & ways_mask;
+        if free != 0 {
+            let way = free.trailing_zeros() as usize;
+            self.write_entry(set, way, vpn, pfn, tick, prefetched);
             #[cfg(feature = "audit")]
             self.audit_fill();
             return None;
         }
-        // Every way is valid: replace the set's LRU entry. `ways > 0` is a
-        // constructor invariant, so the set slice is non-empty.
-        let victim = match self.set_slice(set).iter_mut().min_by_key(|e| e.last_used) {
-            Some(v) => v,
-            None => unreachable!("ways > 0"),
-        };
-        let evicted = (victim.vpn, victim.pfn);
-        *victim = TlbEntry {
-            vpn,
-            pfn,
-            valid: true,
-            last_used: tick,
-            prefetched,
-        };
+        // Every way is valid: replace the set's LRU entry — the first way
+        // (in way order) carrying the minimal stamp, scanned over the
+        // contiguous stamp plane. `ways > 0` is a constructor invariant.
+        let start = set * self.cfg.ways;
+        let mut victim = 0;
+        for way in 1..self.cfg.ways {
+            if self.stamps[start + way] < self.stamps[start + victim] {
+                victim = way;
+            }
+        }
+        let evicted = (self.vpns[start + victim], self.pfns[start + victim]);
+        self.write_entry(set, victim, vpn, pfn, tick, prefetched);
         #[cfg(feature = "audit")]
         {
             self.audit_evict(self.occupancy() - 1);
@@ -357,14 +384,13 @@ impl Tlb {
     /// Invalidates `vpn`; returns whether it was present.
     pub fn invalidate(&mut self, vpn: Vpn) -> bool {
         let set = self.set_of(vpn);
-        let mut hit = false;
-        for e in self.set_slice(set) {
-            if e.valid && e.vpn == vpn {
-                e.valid = false;
-                hit = true;
-                break;
+        let hit = match self.find_way(set, vpn) {
+            Some(way) => {
+                self.valid[set] &= !(1 << way);
+                true
             }
-        }
+            None => false,
+        };
         #[cfg(feature = "audit")]
         if hit {
             self.audit_evict(self.occupancy());
@@ -374,7 +400,7 @@ impl Tlb {
 
     /// Number of valid entries.
     pub fn occupancy(&self) -> usize {
-        self.entries.iter().filter(|e| e.valid).count()
+        self.valid.iter().map(|m| m.count_ones() as usize).sum()
     }
 
     /// Lifetime hits.

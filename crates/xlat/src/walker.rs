@@ -47,6 +47,9 @@ pub struct WalkerPool<T> {
     busy: usize,
     queue: VecDeque<T>,
     queue_capacity: usize,
+    /// Reused survivor buffer for [`WalkerPool::drain_matching_into`] —
+    /// pre-sized with the queue so the PW-queue revisit never allocates.
+    kept: VecDeque<T>,
     started: u64,
     queued: u64,
     rejected: u64,
@@ -74,11 +77,16 @@ impl<T> WalkerPool<T> {
     /// Panics if `walkers` is zero.
     pub fn new(walkers: usize, queue_capacity: usize) -> Self {
         assert!(walkers > 0, "need at least one walker");
+        // Pre-size both ring buffers from the config (clamped in case a
+        // sweep passes an effectively-unbounded capacity) so the steady
+        // state never reallocates.
+        let presize = queue_capacity.min(1 << 16);
         Self {
             walkers,
             busy: 0,
-            queue: VecDeque::new(),
+            queue: VecDeque::with_capacity(presize),
             queue_capacity,
+            kept: VecDeque::with_capacity(presize),
             started: 0,
             queued: 0,
             rejected: 0,
@@ -235,25 +243,39 @@ impl<T> WalkerPool<T> {
     /// when a walker resolves VPN N it also completes all identical pending
     /// requests without extra walks. Returns the removed requests in FIFO
     /// order.
-    pub fn drain_matching(&mut self, mut pred: impl FnMut(&T) -> bool) -> Vec<T> {
-        let mut kept = VecDeque::with_capacity(self.queue.len());
+    pub fn drain_matching(&mut self, pred: impl FnMut(&T) -> bool) -> Vec<T> {
         let mut drained = Vec::new();
+        self.drain_matching_into(pred, &mut drained);
+        drained
+    }
+
+    /// [`WalkerPool::drain_matching`] into a caller-owned buffer: appends
+    /// the removed requests to `out` in FIFO order and returns the count.
+    /// Survivors shuffle through the pool's pre-sized `kept` ring, so the
+    /// revisit allocates nothing once `out` has warmed up.
+    pub fn drain_matching_into(
+        &mut self,
+        mut pred: impl FnMut(&T) -> bool,
+        out: &mut Vec<T>,
+    ) -> usize {
+        let start = out.len();
         while let Some(item) = self.queue.pop_front() {
             if pred(&item) {
-                drained.push(item);
+                out.push(item);
             } else {
-                kept.push_back(item);
+                self.kept.push_back(item);
             }
         }
-        self.queue = kept;
-        self.coalesced += drained.len() as u64;
+        std::mem::swap(&mut self.queue, &mut self.kept);
+        let n = out.len() - start;
+        self.coalesced += n as u64;
         #[cfg(feature = "audit")]
-        for i in 0..drained.len() {
+        for i in 0..n {
             // One evict per drained request, with the intermediate occupancy
             // each removal would have left.
-            self.audit_queue_evict(self.queue.len() + drained.len() - 1 - i);
+            self.audit_queue_evict(self.queue.len() + n - 1 - i);
         }
-        drained
+        n
     }
 
     /// Number of walks currently in flight.

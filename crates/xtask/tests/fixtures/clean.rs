@@ -27,6 +27,43 @@ pub fn head(values: &[u64]) -> Option<u64> {
     values.first().copied()
 }
 
+/// Struct-of-arrays hot state (DESIGN.md §16): parallel planes plus a
+/// per-set bitmask, probed by trailing-zeros scan — every rule must pass
+/// without a single allow.
+pub struct SoaPlanes {
+    pub tags: Vec<u64>,
+    pub stamps: Vec<Cycle>,
+    pub valid: u64,
+}
+
+pub fn probe(planes: &SoaPlanes, tag: u64) -> Option<usize> {
+    let mut mask = planes.valid;
+    while mask != 0 {
+        let way = mask.trailing_zeros() as usize;
+        if planes.tags[way] == tag {
+            return Some(way);
+        }
+        mask &= mask - 1;
+    }
+    None
+}
+
+/// Batch drain into a caller-owned buffer — the allocation-free delivery
+/// shape of the batched dispatch loop.
+pub fn drain_due(planes: &mut SoaPlanes, now: Cycle, out: &mut Vec<u64>) -> usize {
+    let start = out.len();
+    let mut mask = planes.valid;
+    while mask != 0 {
+        let way = mask.trailing_zeros() as usize;
+        if planes.stamps[way] <= now {
+            planes.valid &= !(1 << way);
+            out.push(planes.tags[way]);
+        }
+        mask &= mask - 1;
+    }
+    out.len() - start
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

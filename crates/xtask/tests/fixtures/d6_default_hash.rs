@@ -24,6 +24,19 @@ pub fn sanctioned_index_mention() -> &'static str {
     "route hot-path state through wsg_sim::HashIndex instead"
 }
 
+/// The struct-of-arrays replacement shape (DESIGN.md §16) must pass with no
+/// allow at all: parallel planes over plain vectors, membership by linear
+/// tag scan — slot order is allocation order, fully deterministic.
+pub struct SoaMissFile {
+    pub tags: Vec<u64>,
+    pub live: Vec<bool>,
+    pub waiters: Vec<Vec<u32>>,
+}
+
+pub fn soa_find(file: &SoaMissFile, block: u64) -> Option<usize> {
+    (0..file.tags.len()).find(|&i| file.live[i] && file.tags[i] == block)
+}
+
 pub fn escape_hatch() -> usize {
     let m: std::collections::HashMap<u64, u64> = Default::default(); // lint:allow(default-hash): escape-hatch exercise for this fixture.
     m.len()

@@ -1,7 +1,8 @@
 //! Lint fixture: rule d7 — shared interior mutability in simulator code.
-//! Each pattern class must fire exactly once: `Rc<RefCell<..>>`, a bare
-//! `Rc`, a bare `Cell`, `static mut`, and `thread_local!`. Prose mentions,
-//! string literals, allow-annotated sites, and test code must all pass.
+//! Every seeded pattern must fire: `Rc<RefCell<..>>` (bare and inside a
+//! handle slab), a bare `Rc`, a bare `Cell`, `static mut`, and
+//! `thread_local!`. Prose mentions, string literals, allow-annotated
+//! sites, index-based slabs, and test code must all pass.
 
 /// The canonical hazard: one heap cell mutable from every holder.
 pub struct SharedScoreboard {
@@ -16,6 +17,23 @@ pub fn pin(board: &std::rc::Rc<Vec<u64>>) -> usize {
 /// Interior mutability without the Rc is still cross-shard poison.
 pub struct Credits {
     pub available: std::cell::Cell<u32>,
+}
+
+/// Handle-based component dispatch — the layout the PR-9 rework removed
+/// from the engine's hot path — is a d7 hit even when dressed as a slab.
+pub struct HandleSlab {
+    pub comps: Vec<std::rc::Rc<std::cell::RefCell<u64>>>,
+}
+
+/// The index-based replacement must pass with no allow: a plain pre-sized
+/// slab addressed by `usize`, mutation through ordinary borrows.
+pub struct IndexSlab {
+    pub comps: Vec<u64>,
+}
+
+pub fn bump(slab: &mut IndexSlab, idx: usize) -> u64 {
+    slab.comps[idx] += 1;
+    slab.comps[idx]
 }
 
 pub static mut GLOBAL_EPOCH: u64 = 0;

@@ -168,6 +168,7 @@ fn d7_fixture_reports_each_seeded_violation() {
             line_of(&src, "pub slots:"),
             line_of(&src, "pub fn pin"),
             line_of(&src, "pub available:"),
+            line_of(&src, "pub comps: Vec<std::rc::Rc"),
             line_of(&src, "pub static mut GLOBAL_EPOCH"),
             line_of(&src, "thread_local! {"),
         ],
