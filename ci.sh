@@ -11,7 +11,9 @@
 # lane (DESIGN.md §14: batch and socket replays of the fig14 request mix must
 # digest byte-identically, with the warm pass answered entirely from the
 # persistent run cache, plus cross-process cache reuse by `figure fig14`),
-# and the perf-trajectory gate (DESIGN.md §11/§16): fig14 must stay
+# the ops lane (a daemon with --ops-log/--metrics-out must produce a
+# byte-identical replay digest, a reconciling metrics snapshot, and a
+# complete request-lifecycle log), and the perf-trajectory gate (DESIGN.md §11/§16): fig14 must stay
 # byte-identical to the pre-PR-4 golden run, and its measured serial events/s
 # must stay within 10% of the committed BENCH_PR9.json trajectory point.
 # `./ci.sh pgo` runs the opt-in profile-guided-optimization lane instead
@@ -85,8 +87,11 @@ cargo clippy -p hdpat-wafer --all-targets --features trace -q -- -D warnings
 echo "== cargo clippy (telemetry feature, -D warnings)"
 cargo clippy -p hdpat-wafer --all-targets --features telemetry -q -- -D warnings
 
-echo "== cargo clippy (audit+trace+telemetry combined, -D warnings)"
-cargo clippy -p hdpat-wafer --all-targets --features audit,trace,telemetry -q -- -D warnings
+echo "== cargo clippy (selfprof feature, -D warnings)"
+cargo clippy -p hdpat-wafer --all-targets --features selfprof -q -- -D warnings
+
+echo "== cargo clippy (audit+trace+telemetry+selfprof combined, -D warnings)"
+cargo clippy -p hdpat-wafer --all-targets --features audit,trace,telemetry,selfprof -q -- -D warnings
 
 echo "== determinism/shard-safety lint (cargo run -p xtask -- lint --json)"
 mkdir -p target/ci
@@ -130,7 +135,14 @@ cargo build --release -q --features trace -p wsg-bench
 ./target/release/hdpat-sim run KM hdpat --scale unit --seed 7 > target/ci/run_traced.txt
 cmp target/ci/run_plain.txt target/ci/run_traced.txt
 
+echo "== selfprof on/off run parity (hdpat-sim run output byte-identical)"
+cargo build --release -q --features selfprof -p wsg-bench
+./target/release/hdpat-sim run KM hdpat --scale unit --seed 7 > target/ci/run_selfprof.txt
+cmp target/ci/run_plain.txt target/ci/run_selfprof.txt
+
 echo "== telemetry on/off run parity (hdpat-sim run output byte-identical)"
+# Last parity build on purpose: the artifact lane below drives this binary's
+# timeline/heatmap subcommands, which need the telemetry feature compiled in.
 cargo build --release -q --features telemetry -p wsg-bench
 ./target/release/hdpat-sim run KM hdpat --scale unit --seed 7 > target/ci/run_telemetry.txt
 cmp target/ci/run_plain.txt target/ci/run_telemetry.txt
@@ -194,6 +206,39 @@ echo "== cross-process run-cache reuse (figure fig14 from the daemon's store)"
     > target/ci/fig14_unit_cached.txt 2> target/ci/fig14_unit_cached.log
 cmp target/ci/fig14_unit_ref.txt target/ci/fig14_unit_cached.txt
 grep -q '0 simulation(s) executed, 0 cache hit(s), 70 disk hit(s)' target/ci/fig14_unit_cached.log
+
+echo "== ops lane: observability on, replay digest byte-identical (ops log + metrics)"
+rm -f target/ci/hdpat-ops.sock target/ci/ops.jsonl target/ci/metrics.json
+./target/release/hdpat-sim serve --socket target/ci/hdpat-ops.sock --jobs 4 \
+    --cache-dir target/ci/servecache \
+    --ops-log target/ci/ops.jsonl --metrics-out target/ci/metrics.json \
+    2> target/ci/serve_ops.log &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -S target/ci/hdpat-ops.sock ] && break; sleep 0.1; done
+./target/release/hdpat-sim replay target/ci/fig14_mix.ndjson \
+    --socket target/ci/hdpat-ops.sock --shutdown \
+    --out target/ci/replay_ops.txt --stats-out target/ci/replay_ops_stats.json
+wait "$SERVE_PID"
+# Observability must not change a byte of the deterministic digest...
+cmp target/ci/replay_batch.txt target/ci/replay_ops.txt
+# ...the warm run still answers entirely from the persistent store...
+grep -q '"disk": 70' target/ci/replay_ops_stats.json
+# ...the final metrics snapshot is schema-tagged and reconciles: every
+# submit accounted for, all of them attributed to the disk tier...
+grep -q '"type":"metrics"' target/ci/metrics.json
+grep -q '"schema":1' target/ci/metrics.json
+grep -q '"submitted":70' target/ci/metrics.json
+grep -q '"completed":70' target/ci/metrics.json
+grep -q '"disk":{"count":70' target/ci/metrics.json
+# ...and the ops log carries one enqueue/schedule/complete per request.
+test "$(grep -c '"ev":"enqueue"' target/ci/ops.jsonl)" -eq 70
+test "$(grep -c '"ev":"schedule"' target/ci/ops.jsonl)" -eq 70
+test "$(grep -c '"ev":"complete"' target/ci/ops.jsonl)" -eq 70
+
+echo "== metrics wire op (stdio daemon)"
+printf '{"op":"metrics"}\n' | ./target/release/hdpat-sim serve --stdio --jobs 1 \
+    --cache-dir target/ci/servecache 2> /dev/null > target/ci/metrics_op.json
+grep -q '"type":"metrics"' target/ci/metrics_op.json
 
 echo "== perf-trajectory gate (fig14 vs pre-PR-4 golden, -10% events/s floor)"
 ./target/release/hdpat-sim figure fig14 --scale bench --no-cache \

@@ -65,7 +65,7 @@ fn parse_scale(s: &str) -> Option<Scale> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  hdpat-sim list\n  hdpat-sim run <BENCH> <POLICY> [--scale unit|bench|full] [--seed N] [--shards N]\n  hdpat-sim compare <BENCH> [--scale ...] [--jobs N] [--shards N] [--no-cache] [--progress]\n  hdpat-sim figure <figNN|tabN|all> [--scale ...] [--jobs N] [--shards N] [--no-cache] [--progress] [--perf-out FILE]\n  hdpat-sim trace <BENCH> [--scale ...] [--seed N] [--out FILE] [--policy P]\n  hdpat-sim timeline <BENCH> --out FILE [--interval N] [--format csv|json|perfetto] [--policy P] [--scale ...] [--seed N]\n  hdpat-sim heatmap <BENCH> --out FILE [--interval N] [--policy P] [--scale ...] [--seed N]\n  hdpat-sim regen-experiments [--scale ...] [--jobs N] [--check] [--path FILE]\n  hdpat-sim serve (--socket PATH | --stdio) [--jobs N] [--cache-dir DIR] [--cache-budget BYTES]\n  hdpat-sim replay <MIX> [--socket PATH] [--shutdown] [--out FILE] [--stats-out FILE] [--jobs N] [--cache-dir DIR] [--cache-budget BYTES]\n  hdpat-sim emit-mix fig14 [--scale ...] [--seed N] [--out FILE]\n  hdpat-sim regen-protocol [--check] [--path FILE]\n\nsweep commands also accept --cache-dir DIR [--cache-budget BYTES] for the\npersistent cross-process run cache (DESIGN.md \u{a7}14)."
+        "usage:\n  hdpat-sim list\n  hdpat-sim run <BENCH> <POLICY> [--scale unit|bench|full] [--seed N] [--shards N]\n  hdpat-sim compare <BENCH> [--scale ...] [--jobs N] [--shards N] [--no-cache] [--progress]\n  hdpat-sim figure <figNN|tabN|all> [--scale ...] [--jobs N] [--shards N] [--no-cache] [--progress] [--perf-out FILE]\n  hdpat-sim trace <BENCH> [--scale ...] [--seed N] [--out FILE] [--policy P]\n  hdpat-sim timeline <BENCH> --out FILE [--interval N] [--format csv|json|perfetto] [--policy P] [--scale ...] [--seed N]\n  hdpat-sim heatmap <BENCH> --out FILE [--interval N] [--policy P] [--scale ...] [--seed N]\n  hdpat-sim regen-experiments [--scale ...] [--jobs N] [--check] [--path FILE]\n  hdpat-sim serve (--socket PATH | --stdio) [--jobs N] [--cache-dir DIR] [--cache-budget BYTES] [--ops-log FILE] [--metrics-out FILE] [--metrics-interval SECS]\n  hdpat-sim replay <MIX> [--socket PATH] [--shutdown] [--out FILE] [--stats-out FILE] [--jobs N] [--cache-dir DIR] [--cache-budget BYTES]\n  hdpat-sim emit-mix fig14 [--scale ...] [--seed N] [--out FILE]\n  hdpat-sim regen-protocol [--check] [--path FILE]\n\nsweep commands also accept --cache-dir DIR [--cache-budget BYTES] for the\npersistent cross-process run cache (DESIGN.md \u{a7}14)."
     );
     std::process::exit(2);
 }
@@ -213,6 +213,10 @@ fn main() {
                 jobs,
                 cache_dir,
                 cache_budget,
+                ops_log: flag(&args, "--ops-log").map(PathBuf::from),
+                metrics_out: flag(&args, "--metrics-out").map(PathBuf::from),
+                metrics_interval: flag(&args, "--metrics-interval")
+                    .map(|s| s.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| usage())),
             };
             let socket = flag(&args, "--socket");
             let stdio = args.iter().any(|a| a == "--stdio");
@@ -227,6 +231,7 @@ fn main() {
                 jobs,
                 cache_dir,
                 cache_budget,
+                ..DaemonConfig::default()
             };
             cmd_replay(
                 mix_path,
@@ -739,18 +744,19 @@ fn cmd_replay(
     // lint:allow(wallclock): host-side latency measurement for the
     // `--stats-out` artifact; the deterministic digest never depends on it.
     let wall_start = std::time::Instant::now();
-    let lines = match socket {
+    let timed = match socket {
         Some(path) => replay_over_socket(&mix, path, shutdown),
-        None => serving::replay_batch(&mix, config),
+        None => serving::replay_batch_timed(&mix, config),
     };
-    let lines = match lines {
-        Ok(lines) => lines,
+    let timed = match timed {
+        Ok(timed) => timed,
         Err(e) => {
             eprintln!("replay: {e}");
             std::process::exit(2);
         }
     };
     let wall_seconds = wall_start.elapsed().as_secs_f64();
+    let lines: Vec<String> = timed.iter().map(|(line, _)| line.clone()).collect();
     let (artifact, stats) = serving::digest(&lines);
     match out {
         Some(path) => {
@@ -771,15 +777,27 @@ fn cmd_replay(
         "[replay] {} result(s) in {:.2}s: {} simulated, {} memory, {} disk; {} error(s)",
         stats.results, wall_seconds, stats.simulated, stats.memory, stats.disk, stats.errors
     );
+    // Client-observed latency table (diagnostic, stderr only — the digest
+    // above is the deterministic artifact). Socket replays stamp each
+    // response on arrival; batch replays attribute the total drain time.
+    eprint!("{}", serving::latency_report(&timed));
 }
 
 #[cfg(unix)]
-fn replay_over_socket(mix: &str, path: &str, shutdown: bool) -> std::io::Result<Vec<String>> {
-    serving::replay_socket(mix, Path::new(path), shutdown)
+fn replay_over_socket(
+    mix: &str,
+    path: &str,
+    shutdown: bool,
+) -> std::io::Result<Vec<serving::TimedLine>> {
+    serving::replay_socket_timed(mix, Path::new(path), shutdown)
 }
 
 #[cfg(not(unix))]
-fn replay_over_socket(_mix: &str, _path: &str, _shutdown: bool) -> std::io::Result<Vec<String>> {
+fn replay_over_socket(
+    _mix: &str,
+    _path: &str,
+    _shutdown: bool,
+) -> std::io::Result<Vec<serving::TimedLine>> {
     Err(std::io::Error::new(
         std::io::ErrorKind::Unsupported,
         "replay --socket needs Unix domain sockets; use batch mode",

@@ -105,14 +105,45 @@ impl std::io::Write for CollectWriter {
     }
 }
 
+/// A response line plus its client-observed arrival time in microseconds
+/// since the replay started. Replays submit the whole mix up front, so the
+/// arrival offset *is* the end-to-end latency the client saw for that
+/// response. Feeds [`latency_report`]; never the deterministic [`digest`].
+pub type TimedLine = (String, u64);
+
 /// Batch replay: boots an in-process daemon with `config`, streams the mix
 /// through one connection, drains it, and returns the response lines.
 pub fn replay_batch(mix: &str, config: DaemonConfig) -> std::io::Result<Vec<String>> {
+    Ok(replay_batch_timed(mix, config)?
+        .into_iter()
+        .map(|(line, _)| line)
+        .collect())
+}
+
+/// [`replay_batch`], with each response line stamped with its arrival
+/// offset for [`latency_report`].
+pub fn replay_batch_timed(mix: &str, config: DaemonConfig) -> std::io::Result<Vec<TimedLine>> {
+    // lint:allow(wallclock): client-side latency observation of a replay;
+    // feeds the stderr latency table only, never a deterministic artifact.
+    let started = std::time::Instant::now();
     let daemon = Daemon::new(config)?;
     let out = CollectWriter::default();
     daemon.serve_connection(Cursor::new(mix.to_string()), out.clone());
     daemon.join();
-    Ok(out.contents().lines().map(str::to_string).collect())
+    // Batch mode drains the connection before returning, so per-line stamps
+    // are unavailable; attribute every line to the total drain time. The
+    // table still shows the end-to-end picture; socket replay gives true
+    // per-response arrivals.
+    let total = elapsed_us(started);
+    Ok(out
+        .contents()
+        .lines()
+        .map(|l| (l.to_string(), total))
+        .collect())
+}
+
+fn elapsed_us(started: std::time::Instant) -> u64 {
+    u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
 /// Socket replay: connects to a running daemon, sends the whole mix, and
@@ -129,8 +160,25 @@ pub fn replay_socket(
     socket: &std::path::Path,
     shutdown: bool,
 ) -> std::io::Result<Vec<String>> {
+    Ok(replay_socket_timed(mix, socket, shutdown)?
+        .into_iter()
+        .map(|(line, _)| line)
+        .collect())
+}
+
+/// [`replay_socket`], with each response line stamped with its arrival
+/// offset for [`latency_report`].
+#[cfg(unix)]
+pub fn replay_socket_timed(
+    mix: &str,
+    socket: &std::path::Path,
+    shutdown: bool,
+) -> std::io::Result<Vec<TimedLine>> {
     use std::io::{BufRead, BufReader, Write};
     use std::os::unix::net::UnixStream;
+    // lint:allow(wallclock): client-side latency observation of a replay;
+    // feeds the stderr latency table only, never a deterministic artifact.
+    let started = std::time::Instant::now();
     let stream = UnixStream::connect(socket)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
@@ -158,7 +206,7 @@ pub fn replay_socket(
         if matches!(response_type(trimmed).as_deref(), Some("result" | "error")) {
             answered += 1;
         }
-        lines.push(trimmed.to_string());
+        lines.push((trimmed.to_string(), elapsed_us(started)));
     }
     if shutdown {
         writer.write_all(b"{\"op\":\"shutdown\"}\n")?;
@@ -175,7 +223,7 @@ pub fn replay_socket(
             if trimmed.is_empty() {
                 continue;
             }
-            lines.push(trimmed.to_string());
+            lines.push((trimmed.to_string(), elapsed_us(started)));
             if response_type(trimmed).as_deref() == Some("shutdown-ack") {
                 break;
             }
@@ -271,11 +319,52 @@ pub fn digest(lines: &[String]) -> (String, ReplayStats) {
                 artifact.push_str(&format!("=== {id} error {code}\n"));
             }
             // Timing/attribution side-band: stats only.
-            "progress" | "shutdown-ack" | "status" | "cache-stats" | "cancelled" => {}
+            "progress" | "shutdown-ack" | "status" | "cache-stats" | "cancelled" | "metrics" => {}
             other => {
                 artifact.push_str(&format!("=== {id} unexpected {other}\n"));
             }
         }
     }
     (artifact, stats)
+}
+
+/// Renders a client-observed latency table from timed replay lines: one row
+/// per result source (simulated / memory / disk) plus an `all` total, with
+/// count, mean, p50, p95, and max in microseconds. Quantiles are log-bucket
+/// upper bounds from [`wsg_sim::stats::LogHistogram`]. Diagnostic output
+/// for stderr — never part of the deterministic replay digest.
+pub fn latency_report(timed: &[TimedLine]) -> String {
+    use wsg_sim::stats::LogHistogram;
+    let mut by_source: Vec<(&str, LogHistogram)> = ["simulated", "memory", "disk", "all"]
+        .into_iter()
+        .map(|s| (s, LogHistogram::new()))
+        .collect();
+    for (line, us) in timed {
+        let Ok(v) = Json::parse(line) else { continue };
+        if v.get("type").and_then(Json::as_str) != Some("result") {
+            continue;
+        }
+        let source = v.get("source").and_then(Json::as_str).unwrap_or("?");
+        for (name, hist) in &mut by_source {
+            if *name == source || *name == "all" {
+                hist.record(*us);
+            }
+        }
+    }
+    let mut out =
+        String::from("source      count      mean_us       p50_us       p95_us       max_us\n");
+    for (name, hist) in &by_source {
+        let count = hist.count();
+        if count == 0 && *name != "all" {
+            continue;
+        }
+        let mean = hist.mean().round() as u64;
+        out.push_str(&format!(
+            "{name:<10} {count:>6} {mean:>12} {:>12} {:>12} {:>12}\n",
+            hist.quantile_upper_bound(0.50),
+            hist.quantile_upper_bound(0.95),
+            hist.max(),
+        ));
+    }
+    out
 }

@@ -69,7 +69,7 @@ fn replay_twice_hits_disk_and_digests_identically() {
     let config = DaemonConfig {
         jobs: default_jobs().min(4),
         cache_dir: Some(dir.clone()),
-        cache_budget: None,
+        ..DaemonConfig::default()
     };
     let first = serving::replay_batch(&mix, config.clone()).unwrap();
     let (digest1, stats1) = serving::digest(&first);

@@ -168,6 +168,13 @@ impl DiskCache {
         self.entries().len()
     }
 
+    /// Total bytes of entry files currently on disk — the quantity the
+    /// `--cache-budget` evictor compares against its budget. Scans the
+    /// directory, so call it on demand (status/metrics paths), not per hit.
+    pub fn resident_bytes(&self) -> u64 {
+        self.entries().iter().map(|(_, size, _)| *size).sum()
+    }
+
     /// True when no entries are stored.
     pub fn is_empty(&self) -> bool {
         self.len() == 0

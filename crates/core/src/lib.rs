@@ -46,6 +46,7 @@ pub mod experiments;
 pub mod layers;
 pub mod metrics;
 pub mod migration;
+pub mod ops;
 pub mod policy;
 pub mod serve;
 pub mod sim;

@@ -33,11 +33,14 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::io::{BufRead, Write};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
 
 use wsg_sim::pool::{Task, TaskPool};
 
+use super::json::Json;
 use super::proto::{self, codes, Request, Source, Submit};
 use crate::experiments::{run, DiskCache, RunCache};
+use crate::ops::{DiskGauges, GaugeSample, OpsLog, OpsRegistry, Tier};
 
 /// Daemon construction parameters.
 #[derive(Debug, Clone, Default)]
@@ -49,6 +52,16 @@ pub struct DaemonConfig {
     /// Disk-cache size budget in bytes (`None` = unbounded); ignored
     /// without `cache_dir`.
     pub cache_budget: Option<u64>,
+    /// Structured JSONL ops log (`--ops-log`): one event per request state
+    /// transition. `None` disables it.
+    pub ops_log: Option<PathBuf>,
+    /// Metrics snapshot dump file (`--metrics-out`): Prometheus text for
+    /// `.prom`/`.txt` paths, canonical JSON otherwise. Written at shutdown,
+    /// and periodically when `metrics_interval` is set.
+    pub metrics_out: Option<PathBuf>,
+    /// Seconds between periodic `metrics_out` rewrites; `None` writes only
+    /// the final shutdown snapshot.
+    pub metrics_interval: Option<u64>,
 }
 
 /// A writer shared between the connection thread (control responses,
@@ -62,6 +75,12 @@ struct Job {
     /// releases in.
     seq: u64,
     submit: Submit,
+    /// When the submit entered the queue (request-lifecycle timing; feeds
+    /// only the ops layer, never simulation state).
+    enqueued: Instant,
+    /// When [`SchedState::pick`] handed the job to a worker; `None` while
+    /// queued (and forever, for cancelled/dropped jobs).
+    scheduled: Option<Instant>,
 }
 
 /// Per-connection state.
@@ -154,10 +173,13 @@ impl SchedState {
         };
         client.last_scheduled = tick;
         client.inflight += 1;
-        let job = match client.queue.pop_front() {
+        let mut job = match client.queue.pop_front() {
             Some(j) => j,
             None => unreachable!("picked client's queue emptied under the lock"),
         };
+        // lint:allow(wallclock): schedule stamp for queue-wait latency; ops
+        // observability only, never reaches simulation state.
+        job.scheduled = Some(Instant::now());
         Some((best, job))
     }
 
@@ -224,6 +246,19 @@ struct Shared {
     drained: Condvar,
     mem: RunCache,
     disk: Option<DiskCache>,
+    /// Request-lifecycle metrics for this daemon instance ([`crate::ops`]).
+    ops: OpsRegistry,
+    /// Structured JSONL ops log, when configured.
+    ops_log: Option<OpsLog>,
+    /// Pool worker count (the `workers` gauge).
+    workers: u64,
+    /// Daemon start, for the uptime gauge.
+    started: Instant,
+}
+
+/// Whole microseconds from `a` to `b`, zero when `b` is not after `a`.
+fn micros_between(a: Instant, b: Instant) -> u64 {
+    u64::try_from(b.saturating_duration_since(a).as_micros()).unwrap_or(u64::MAX)
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
@@ -236,6 +271,132 @@ fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
 impl Shared {
     fn is_shutting_down(&self) -> bool {
         lock(&self.state).shutting_down
+    }
+
+    /// Appends one ops-log event, when the log is configured.
+    fn log_event(&self, ev: &str, fields: &[(&str, Json)]) {
+        if let Some(log) = &self.ops_log {
+            log.event(ev, fields);
+        }
+    }
+
+    /// Records a request's terminal transition in the registry and the ops
+    /// log: `ev` is the transition (`complete` / `cancel` / `client-gone`),
+    /// `tier` the outcome attribution. `scheduled` is `None` for jobs that
+    /// never reached a worker (their whole life was queue wait).
+    fn record_terminal(
+        &self,
+        ev: &str,
+        tier: Tier,
+        cid: u64,
+        id: &str,
+        enqueued: Instant,
+        scheduled: Option<Instant>,
+    ) {
+        // lint:allow(wallclock): request-lifecycle completion stamp; feeds
+        // only the ops registry and ops log, never simulation state or any
+        // deterministic artifact.
+        let now = Instant::now();
+        let queue_wait_us = micros_between(enqueued, scheduled.unwrap_or(now));
+        let service_us = scheduled.map_or(0, |s| micros_between(s, now));
+        let total_us = micros_between(enqueued, now);
+        self.ops
+            .record_outcome(tier, queue_wait_us, service_us, total_us);
+        self.log_event(
+            ev,
+            &[
+                ("client", Json::U64(cid)),
+                ("id", Json::Str(id.to_string())),
+                ("tier", Json::Str(tier.token().to_string())),
+                ("queue_wait_us", Json::U64(queue_wait_us)),
+                ("service_us", Json::U64(service_us)),
+                ("total_us", Json::U64(total_us)),
+            ],
+        );
+    }
+
+    /// Samples the serving gauges: scheduler state under the lock, then the
+    /// cache views (the disk occupancy scan happens outside the lock).
+    fn gauge_sample(&self) -> GaugeSample {
+        let (clients, queued, queue_depth_per_client, inflight, reorder_buffered) = {
+            let st = lock(&self.state);
+            let mut depth = Vec::with_capacity(st.clients.len());
+            let mut reorder = 0u64;
+            for (&cid, c) in &st.clients {
+                depth.push((cid, c.queue.len() as u64));
+                reorder += c.ready.len() as u64;
+            }
+            (
+                st.clients.len() as u64,
+                st.queued(),
+                depth,
+                st.running,
+                reorder,
+            )
+        };
+        let disk = self.disk.as_ref().map(|d| DiskGauges {
+            entries: d.len() as u64,
+            resident_bytes: d.resident_bytes(),
+            budget: d.budget(),
+            stats: d.stats(),
+        });
+        GaugeSample {
+            clients,
+            queued,
+            queue_depth_per_client,
+            inflight,
+            workers: self.workers,
+            workers_busy: inflight,
+            reorder_buffered,
+            uptime_seconds: self.started.elapsed().as_secs(),
+            memory_entries: self.mem.len() as u64,
+            disk,
+        }
+    }
+
+    /// The extended `status` reply members.
+    fn status_report(&self) -> proto::StatusReport {
+        let st = lock(&self.state);
+        let mut queue_depth = Vec::with_capacity(st.clients.len());
+        let mut reorder_buffered = 0u64;
+        for (&cid, c) in &st.clients {
+            queue_depth.push((cid, c.queue.len() as u64));
+            reorder_buffered += c.ready.len() as u64;
+        }
+        proto::StatusReport {
+            queued: st.queued(),
+            running: st.running,
+            completed: st.completed,
+            clients: st.clients.len() as u64,
+            queue_depth,
+            workers: self.workers,
+            reorder_buffered,
+            uptime_seconds: self.started.elapsed().as_secs(),
+        }
+    }
+
+    /// Writes the metrics snapshot to `path` (atomically, via a sibling
+    /// temp file): Prometheus text for `.prom`/`.txt`, canonical JSON
+    /// otherwise. Failures are swallowed — observability must never take
+    /// the serving path down.
+    fn write_metrics_out(&self, path: &Path) {
+        let gauges = self.gauge_sample();
+        let prom = matches!(
+            path.extension().and_then(|e| e.to_str()),
+            Some("prom") | Some("txt")
+        );
+        let text = if prom {
+            self.ops.snapshot_prometheus(&gauges)
+        } else {
+            let mut line = self.ops.snapshot_json(&gauges).to_line();
+            line.push('\n');
+            line
+        };
+        let tmp = path.with_extension("tmp-metrics");
+        if std::fs::write(&tmp, &text).is_ok() && std::fs::rename(&tmp, path).is_ok() {
+            return;
+        }
+        let _ = std::fs::write(path, &text);
     }
 
     /// Writes one line immediately (control responses, progress events).
@@ -294,7 +455,23 @@ impl Shared {
     /// Executes one job on a pool worker: resolve from the caches or
     /// simulate, then release the result through the reorder buffer.
     fn execute(self: &Arc<Self>, cid: u64, job: Job) {
-        let submit = job.submit;
+        let Job {
+            seq,
+            submit,
+            enqueued,
+            scheduled,
+        } = job;
+        if self.ops_log.is_some() {
+            let queue_wait_us = scheduled.map_or(0, |s| micros_between(enqueued, s));
+            self.log_event(
+                "schedule",
+                &[
+                    ("client", Json::U64(cid)),
+                    ("id", Json::Str(submit.id.clone())),
+                    ("queue_wait_us", Json::U64(queue_wait_us)),
+                ],
+            );
+        }
         let cfg = submit.run_config();
         let key = cfg.fingerprint();
         let resolved = if let Some(m) = self.mem.get(&key) {
@@ -344,13 +521,19 @@ impl Shared {
             }
         };
         let line = proto::result_line(&submit.id, source, &key, &metrics);
+        let tier = match source {
+            Source::Memory => Tier::Memory,
+            Source::Disk => Tier::Disk,
+            Source::Simulated => Tier::Simulated,
+        };
+        self.record_terminal("complete", tier, cid, &submit.id, enqueued, scheduled);
         {
             let mut st = lock(&self.state);
             st.running -= 1;
             if st.shutting_down {
                 st.drained_runs += 1;
             }
-            st.finish_run(cid, job.seq, &submit.id, line);
+            st.finish_run(cid, seq, &submit.id, line);
         }
         self.drained.notify_all();
         self.flush_client(cid);
@@ -428,21 +611,34 @@ impl Shared {
     /// entry itself is reaped — immediately if idle, otherwise by
     /// [`SchedState::finish_run`] when the last in-flight job completes.
     fn abandon(&self, cid: u64) {
-        {
+        let dropped = {
             let mut st = lock(&self.state);
             let Some(c) = st.clients.get_mut(&cid) else {
                 return;
             };
             c.gone = true;
-            c.queue.clear();
+            let dropped = std::mem::take(&mut c.queue);
             c.ready.clear();
             c.outbox.clear();
             c.live.clear();
             st.reap(cid);
-        }
+            dropped
+        };
         // A shutdown drain may be blocked on this client's queued jobs or
         // unflushed outbox, both of which just vanished.
         self.drained.notify_all();
+        // Dropped-at-disconnect jobs terminate in the client-gone tier
+        // (in-flight ones still finish and count under their real source).
+        for job in dropped {
+            self.record_terminal(
+                "client-gone",
+                Tier::ClientGone,
+                cid,
+                &job.submit.id,
+                job.enqueued,
+                job.scheduled,
+            );
+        }
     }
 
     /// Handles one request line from client `cid`.
@@ -459,27 +655,30 @@ impl Shared {
         match request {
             Request::Submit(submit) => self.handle_submit(cid, submit),
             Request::Status => {
-                let (queued, running, completed, clients) = {
-                    let st = lock(&self.state);
-                    (
-                        st.queued(),
-                        st.running,
-                        st.completed,
-                        st.clients.len() as u64,
-                    )
-                };
+                let line = proto::status_line(&self.status_report());
                 if let Some(w) = self.writer_of(cid) {
-                    Self::write_now(&w, &proto::status_line(queued, running, completed, clients));
+                    Self::write_now(&w, &line);
                 }
                 Flow::Continue
             }
             Request::CacheStats => {
                 let line = proto::cache_stats_line(
                     self.mem.len() as u64,
-                    self.disk
-                        .as_ref()
-                        .map(|d| (d.dir(), d.len() as u64, d.stats())),
+                    self.disk.as_ref().map(|d| proto::DiskReport {
+                        dir: d.dir(),
+                        entries: d.len() as u64,
+                        resident_bytes: d.resident_bytes(),
+                        budget: d.budget(),
+                        stats: d.stats(),
+                    }),
                 );
+                if let Some(w) = self.writer_of(cid) {
+                    Self::write_now(&w, &line);
+                }
+                Flow::Continue
+            }
+            Request::Metrics => {
+                let line = self.ops.snapshot_json(&self.gauge_sample()).to_line();
                 if let Some(w) = self.writer_of(cid) {
                     Self::write_now(&w, &line);
                 }
@@ -497,10 +696,13 @@ impl Shared {
     }
 
     fn handle_submit(&self, cid: u64, submit: Submit) -> Flow {
-        let rejection = {
+        // lint:allow(wallclock): enqueue stamp for queue-wait latency; ops
+        // observability only, never reaches simulation state.
+        let enqueued = Instant::now();
+        let accepted = {
             let mut st = lock(&self.state);
             if st.shutting_down {
-                Some(proto::error_line(
+                Err(proto::error_line(
                     Some(&submit.id),
                     codes::SHUTTING_DOWN,
                     "daemon is draining; resubmit to the next instance",
@@ -510,7 +712,7 @@ impl Shared {
                     return Flow::Stop;
                 };
                 if c.live.contains(&submit.id) {
-                    Some(proto::error_line(
+                    Err(proto::error_line(
                         Some(&submit.id),
                         codes::DUPLICATE_ID,
                         &format!("id `{}` is still in flight on this connection", submit.id),
@@ -519,18 +721,35 @@ impl Shared {
                     c.live.insert(submit.id.clone());
                     let seq = c.next_seq;
                     c.next_seq += 1;
-                    c.queue.push_back(Job { seq, submit });
-                    None
+                    let id = submit.id.clone();
+                    c.queue.push_back(Job {
+                        seq,
+                        submit,
+                        enqueued,
+                        scheduled: None,
+                    });
+                    Ok((seq, id))
                 }
             }
         };
-        match rejection {
-            Some(line) => {
+        match accepted {
+            Err(line) => {
                 if let Some(w) = self.writer_of(cid) {
                     Self::write_now(&w, &line);
                 }
             }
-            None => self.work.notify_all(),
+            Ok((seq, id)) => {
+                self.ops.record_submit();
+                self.log_event(
+                    "enqueue",
+                    &[
+                        ("client", Json::U64(cid)),
+                        ("id", Json::Str(id)),
+                        ("seq", Json::U64(seq)),
+                    ],
+                );
+                self.work.notify_all();
+            }
         }
         Flow::Continue
     }
@@ -547,10 +766,11 @@ impl Shared {
                         Some(j) => j,
                         None => unreachable!("position() index out of queue range"),
                     };
+                    let enqueued = job.enqueued;
                     st.finish(cid, job.seq, id, proto::cancelled_line(id));
-                    None
+                    Ok(enqueued)
                 }
-                None => Some(proto::error_line(
+                None => Err(proto::error_line(
                     Some(id),
                     codes::NOT_FOUND,
                     &format!("id `{id}` is not queued here"),
@@ -558,12 +778,15 @@ impl Shared {
             }
         };
         match outcome {
-            Some(line) => {
+            Err(line) => {
                 if let Some(w) = self.writer_of(cid) {
                     Self::write_now(&w, &line);
                 }
             }
-            None => self.flush_client(cid),
+            Ok(enqueued) => {
+                self.record_terminal("cancel", Tier::Cancelled, cid, id, enqueued, None);
+                self.flush_client(cid);
+            }
         }
     }
 
@@ -594,6 +817,7 @@ impl Shared {
                 };
             }
         };
+        self.log_event("shutdown", &[("drained", Json::U64(drained))]);
         if let Some(w) = self.writer_of(cid) {
             Self::write_now(&w, &proto::shutdown_ack_line(drained));
         }
@@ -672,11 +896,17 @@ enum Flow {
 pub struct Daemon {
     shared: Arc<Shared>,
     pool: Option<TaskPool>,
+    /// Periodic metrics dump destination, re-written one final time at
+    /// [`Daemon::join`] so the file always ends on post-drain totals.
+    metrics_out: Option<PathBuf>,
+    /// The periodic `--metrics-interval` dump thread, if configured.
+    dump: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Daemon {
-    /// Builds the daemon: opens the disk cache (when configured) and spawns
-    /// the simulation worker pool.
+    /// Builds the daemon: opens the disk cache (when configured), opens the
+    /// ops log / metrics dump (when configured), and spawns the simulation
+    /// worker pool.
     pub fn new(config: DaemonConfig) -> std::io::Result<Self> {
         let disk = match &config.cache_dir {
             Some(dir) => Some(DiskCache::open(dir, config.cache_budget)?),
@@ -686,6 +916,10 @@ impl Daemon {
             wsg_sim::pool::default_jobs()
         } else {
             config.jobs
+        };
+        let ops_log = match &config.ops_log {
+            Some(path) => Some(OpsLog::create(path)?),
+            None => None,
         };
         let shared = Arc::new(Shared {
             state: Mutex::new(SchedState {
@@ -701,12 +935,59 @@ impl Daemon {
             drained: Condvar::new(),
             mem: RunCache::new(),
             disk,
+            ops: OpsRegistry::new(),
+            ops_log,
+            workers: jobs as u64,
+            // lint:allow(wallclock): daemon start stamp for the uptime gauge;
+            // ops observability only, never reaches simulation state.
+            started: Instant::now(),
         });
+        shared.log_event(
+            "start",
+            &[
+                ("jobs", Json::U64(jobs as u64)),
+                (
+                    "cache_dir",
+                    match &config.cache_dir {
+                        Some(d) => Json::Str(d.display().to_string()),
+                        None => Json::Null,
+                    },
+                ),
+            ],
+        );
         let for_pool = Arc::clone(&shared);
         let pool = TaskPool::new(jobs, move || for_pool.fetch());
+        let dump = match (&config.metrics_out, config.metrics_interval) {
+            (Some(path), Some(secs)) => {
+                let path = path.clone();
+                let shared = Arc::clone(&shared);
+                Some(wsg_sim::pool::spawn_detached("hdpat-metrics-dump", {
+                    move || {
+                        let period = std::time::Duration::from_secs(secs.max(1));
+                        'dump: loop {
+                            // Sleep in small steps so shutdown is noticed
+                            // promptly instead of after a full interval.
+                            let mut slept = std::time::Duration::ZERO;
+                            while slept < period {
+                                if shared.is_shutting_down() {
+                                    break 'dump;
+                                }
+                                let step = std::time::Duration::from_millis(50);
+                                std::thread::sleep(step);
+                                slept += step;
+                            }
+                            shared.write_metrics_out(&path);
+                        }
+                    }
+                }))
+            }
+            _ => None,
+        };
         Ok(Self {
             shared,
             pool: Some(pool),
+            metrics_out: config.metrics_out.clone(),
+            dump,
         })
     }
 
@@ -797,6 +1078,15 @@ impl Daemon {
         if let Some(pool) = self.pool.take() {
             pool.join();
         }
+        if let Some(dump) = self.dump.take() {
+            let _ = dump.join();
+        }
+        // Final dump after the pool drained, so the file on disk always ends
+        // on totals that include every completed request.
+        if let Some(path) = &self.metrics_out {
+            self.shared.write_metrics_out(path);
+        }
+        self.shared.log_event("stop", &[]);
     }
 
     /// Cache statistics snapshot: `(memory entries, disk stats)`.
@@ -805,6 +1095,12 @@ impl Daemon {
             self.shared.mem.len(),
             self.shared.disk.as_ref().map(DiskCache::stats),
         )
+    }
+
+    /// Current operational metrics snapshot — the same canonical JSON object
+    /// the `metrics` wire op returns. See [`crate::ops`] for the schema.
+    pub fn metrics_snapshot(&self) -> Json {
+        self.shared.ops.snapshot_json(&self.shared.gauge_sample())
     }
 }
 
@@ -1185,7 +1481,7 @@ mod tests {
         let config = DaemonConfig {
             jobs: 1,
             cache_dir: Some(dir.clone()),
-            cache_budget: None,
+            ..DaemonConfig::default()
         };
         let submit =
             r#"{"op":"submit","id":"d1","benchmark":"RELU","policy":"naive","scale":"unit"}"#;
@@ -1209,6 +1505,142 @@ mod tests {
         assert_eq!(member(&lines[0], "metrics"), member(&lines2[0], "metrics"));
         assert_eq!(mem_entries, 1, "disk hit promotes into memory");
         assert_eq!(disk_stats.map(|s| s.hits), Some(1));
+        std::fs::remove_dir_all(&dir).expect("test dir removable");
+    }
+
+    #[test]
+    fn metrics_op_returns_a_reconciling_snapshot() {
+        let d = daemon(2);
+        let out = SharedBuf::default();
+        let mix = [
+            r#"{"op":"submit","id":"m1","benchmark":"RELU","policy":"naive","scale":"unit"}"#,
+            // Same point again: a memory hit once m1 has simulated.
+            r#"{"op":"submit","id":"m2","benchmark":"RELU","policy":"naive","scale":"unit"}"#,
+            r#"{"op":"metrics"}"#,
+        ]
+        .join("\n");
+        d.serve_connection(Cursor::new(mix), out.clone());
+        let lines = out.lines();
+        let snap = lines
+            .iter()
+            .find(|l| member(l, "type") == Json::Str("metrics".into()))
+            .unwrap_or_else(|| panic!("no metrics response in {lines:?}"));
+        let v = Json::parse(snap).expect("metrics snapshot parses");
+        // Canonical: the emitted line round-trips byte-identically.
+        assert_eq!(v.to_line(), *snap);
+        let requests = v.get("requests").expect("requests member");
+        assert_eq!(requests.get("submitted").and_then(Json::as_u64), Some(2));
+        // The metrics op answers in-line (not through the reorder buffer),
+        // so it may observe m2 still in flight; at quiescence — which the
+        // Daemon accessor samples after serve_connection returned — every
+        // submit is attributed to exactly one tier.
+        let quiesced = d.metrics_snapshot();
+        let requests = quiesced.get("requests").expect("requests member");
+        assert_eq!(requests.get("completed").and_then(Json::as_u64), Some(2));
+        let tiers = requests.get("tiers").expect("tiers member");
+        let count = |tier: &str| {
+            tiers
+                .get(tier)
+                .and_then(|t| t.get("count"))
+                .and_then(Json::as_u64)
+                .unwrap_or_else(|| panic!("tier {tier} missing in {quiesced:?}"))
+        };
+        assert_eq!(
+            count("simulated") + count("memory") + count("disk"),
+            2,
+            "{quiesced:?}"
+        );
+        assert_eq!(count("cancelled") + count("client-gone"), 0);
+        // Gauges reflect the drained pool.
+        let gauges = quiesced.get("gauges").expect("gauges member");
+        assert_eq!(gauges.get("queued").and_then(Json::as_u64), Some(0));
+        assert_eq!(gauges.get("inflight").and_then(Json::as_u64), Some(0));
+        assert_eq!(gauges.get("workers").and_then(Json::as_u64), Some(2));
+        d.join();
+    }
+
+    #[test]
+    fn status_reports_ops_members_and_cancel_counts_into_the_registry() {
+        let d = daemon(1);
+        let out = SharedBuf::default();
+        let mix = [
+            r#"{"op":"submit","id":"c1","benchmark":"MM","policy":"naive","scale":"unit"}"#,
+            r#"{"op":"submit","id":"c2","benchmark":"AES","policy":"naive","scale":"unit"}"#,
+            r#"{"op":"cancel","id":"c2"}"#,
+            r#"{"op":"status"}"#,
+        ]
+        .join("\n");
+        d.serve_connection(Cursor::new(mix), out.clone());
+        let lines = out.lines();
+        let status = lines
+            .iter()
+            .find(|l| member(l, "type") == Json::Str("status".into()))
+            .unwrap_or_else(|| panic!("no status in {lines:?}"));
+        let v = Json::parse(status).expect("status parses");
+        assert_eq!(v.get("workers").and_then(Json::as_u64), Some(1));
+        assert!(v.get("uptime_seconds").and_then(Json::as_u64).is_some());
+        assert!(v.get("reorder_buffered").and_then(Json::as_u64).is_some());
+        assert!(
+            matches!(v.get("queue_depth"), Some(Json::Arr(_))),
+            "{status}"
+        );
+        // Whichever way the worker/cancel race went, both submits terminate
+        // in exactly one tier each.
+        let quiesced = d.metrics_snapshot();
+        let requests = quiesced.get("requests").expect("requests member");
+        assert_eq!(requests.get("submitted").and_then(Json::as_u64), Some(2));
+        assert_eq!(requests.get("completed").and_then(Json::as_u64), Some(2));
+        d.join();
+    }
+
+    #[test]
+    fn ops_log_records_the_request_lifecycle() {
+        let dir = std::env::temp_dir().join(format!("hdpat-ops-log-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("test dir creatable");
+        let log_path = dir.join("ops.jsonl");
+        let d = Daemon::new(DaemonConfig {
+            jobs: 1,
+            ops_log: Some(log_path.clone()),
+            ..DaemonConfig::default()
+        })
+        .expect("daemon boots with an ops log");
+        let out = SharedBuf::default();
+        let submit =
+            r#"{"op":"submit","id":"log1","benchmark":"RELU","policy":"naive","scale":"unit"}"#;
+        d.serve_connection(Cursor::new(submit), out.clone());
+        d.join();
+        let log = std::fs::read_to_string(&log_path).expect("ops log written");
+        let events: Vec<String> = log
+            .lines()
+            .map(|l| {
+                Json::parse(l)
+                    .unwrap_or_else(|e| panic!("ops log line `{l}` is not JSON: {e}"))
+                    .get("ev")
+                    .and_then(Json::as_str)
+                    .unwrap_or_else(|| panic!("ops log line `{l}` has no ev"))
+                    .to_string()
+            })
+            .collect();
+        assert_eq!(events.first().map(String::as_str), Some("start"), "{log}");
+        assert_eq!(events.last().map(String::as_str), Some("stop"), "{log}");
+        for required in ["enqueue", "schedule", "complete"] {
+            assert_eq!(events.iter().filter(|e| *e == required).count(), 1, "{log}");
+        }
+        // Lifecycle events carry the latency decomposition.
+        let complete = log
+            .lines()
+            .find(|l| l.contains("\"ev\":\"complete\""))
+            .expect("complete event");
+        let v = Json::parse(complete).expect("complete event parses");
+        assert_eq!(v.get("id").and_then(Json::as_str), Some("log1"));
+        assert_eq!(v.get("tier").and_then(Json::as_str), Some("simulated"));
+        for field in ["queue_wait_us", "service_us", "total_us", "t_ms"] {
+            assert!(
+                v.get(field).and_then(Json::as_u64).is_some(),
+                "missing {field}: {complete}"
+            );
+        }
         std::fs::remove_dir_all(&dir).expect("test dir removable");
     }
 

@@ -10,8 +10,12 @@
 //! * [`json`] — the minimal hand-rolled JSON value type underneath (this
 //!   reproduction vendors no serde).
 //!
+//! Operational visibility (the `metrics` op, `--metrics-out` dumps, the
+//! `--ops-log` lifecycle log) is built on [`crate::ops`]; it observes the
+//! serving path without changing a byte of any response payload.
+//!
 //! See PROTOCOL.md for the client-facing specification and OPERATIONS.md
-//! for running the daemon.
+//! for running and monitoring the daemon.
 
 pub mod daemon;
 pub mod json;

@@ -111,6 +111,10 @@ pub enum Request {
     },
     /// Report run-cache and disk-cache statistics.
     CacheStats,
+    /// Report the full operational metrics snapshot ([`crate::ops`]):
+    /// request-lifecycle latency histograms per outcome tier, serving
+    /// gauges, cache counters, and engine-side drive counters.
+    Metrics,
     /// Stop accepting work, drain, and exit.
     Shutdown,
 }
@@ -200,6 +204,7 @@ impl Request {
                 Ok(Request::Cancel { id })
             }
             "cache-stats" => Ok(Request::CacheStats),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(ProtoError::new(
                 codes::UNKNOWN_OP,
@@ -375,36 +380,98 @@ pub fn error_line(id: Option<&str>, code: &str, message: &str) -> String {
     .to_line()
 }
 
+/// Everything a `{"type":"status"}` reply reports. The original four
+/// members (`queued`/`running`/`completed`/`clients`) are scheduling state;
+/// the rest are the serving gauges an operator needs at a glance.
+#[derive(Debug, Clone, Default)]
+pub struct StatusReport {
+    /// Jobs waiting in per-client queues (total queue depth).
+    pub queued: u64,
+    /// Jobs executing on pool workers (in-flight).
+    pub running: u64,
+    /// Runs completed since start.
+    pub completed: u64,
+    /// Connected clients.
+    pub clients: u64,
+    /// `(client id, queued jobs)` per connected client, ascending by id.
+    pub queue_depth: Vec<(u64, u64)>,
+    /// Pool worker threads (`workers - running` are idle).
+    pub workers: u64,
+    /// Completed results parked in per-client reorder buffers.
+    pub reorder_buffered: u64,
+    /// Whole seconds since the daemon started.
+    pub uptime_seconds: u64,
+}
+
 /// The `{"type":"status"}` line answering a status request.
-pub fn status_line(queued: u64, running: u64, completed: u64, clients: u64) -> String {
+pub fn status_line(report: &StatusReport) -> String {
+    let depth = report
+        .queue_depth
+        .iter()
+        .map(|&(client, depth)| {
+            Json::Obj(vec![
+                ("client".into(), Json::U64(client)),
+                ("depth".into(), Json::U64(depth)),
+            ])
+        })
+        .collect();
     Json::Obj(vec![
         ("type".into(), Json::Str("status".into())),
-        ("queued".into(), Json::U64(queued)),
-        ("running".into(), Json::U64(running)),
-        ("completed".into(), Json::U64(completed)),
-        ("clients".into(), Json::U64(clients)),
+        ("queued".into(), Json::U64(report.queued)),
+        ("running".into(), Json::U64(report.running)),
+        ("completed".into(), Json::U64(report.completed)),
+        ("clients".into(), Json::U64(report.clients)),
+        ("queue_depth".into(), Json::Arr(depth)),
+        ("workers".into(), Json::U64(report.workers)),
+        (
+            "reorder_buffered".into(),
+            Json::U64(report.reorder_buffered),
+        ),
+        ("uptime_seconds".into(), Json::U64(report.uptime_seconds)),
     ])
     .to_line()
 }
 
+/// Disk-store state reported by [`cache_stats_line`].
+#[derive(Debug, Clone)]
+pub struct DiskReport<'a> {
+    /// Cache directory.
+    pub dir: &'a std::path::Path,
+    /// Entries currently on disk.
+    pub entries: u64,
+    /// Bytes of entry files currently on disk.
+    pub resident_bytes: u64,
+    /// Configured `--cache-budget`, if any.
+    pub budget: Option<u64>,
+    /// Lifetime hit/miss/write/eviction counters.
+    pub stats: crate::experiments::DiskCacheStats,
+}
+
 /// The `{"type":"cache-stats"}` line: in-memory entry count plus the disk
-/// store's counters (all zero, with `"disk":false`, when the daemon runs
-/// without a cache directory).
-pub fn cache_stats_line(
-    memory_entries: u64,
-    disk: Option<(&std::path::Path, u64, crate::experiments::DiskCacheStats)>,
-) -> String {
+/// store's counters and occupancy — resident bytes and the configured
+/// budget expose `--cache-budget` pressure, not just hit rates. All disk
+/// members are zero/null, with `"disk":false`, when the daemon runs
+/// without a cache directory.
+pub fn cache_stats_line(memory_entries: u64, disk: Option<DiskReport<'_>>) -> String {
     let mut members = vec![
         ("type".into(), Json::Str("cache-stats".into())),
         ("memory_entries".into(), Json::U64(memory_entries)),
         ("disk".into(), Json::Bool(disk.is_some())),
     ];
-    let (dir, entries, stats) = match disk {
-        Some((dir, entries, stats)) => (Json::Str(dir.display().to_string()), entries, stats),
-        None => (Json::Null, 0, Default::default()),
+    let (dir, entries, resident, budget, stats) = match disk {
+        Some(d) => (
+            Json::Str(d.dir.display().to_string()),
+            d.entries,
+            d.resident_bytes,
+            d.budget.map_or(Json::Null, Json::U64),
+            d.stats,
+        ),
+        None => (Json::Null, 0, 0, Json::Null, Default::default()),
     };
     members.push(("disk_dir".into(), dir));
     members.push(("disk_entries".into(), Json::U64(entries)));
+    members.push(("disk_resident_bytes".into(), Json::U64(resident)));
+    members.push(("disk_budget_bytes".into(), budget));
     members.push(("disk_hits".into(), Json::U64(stats.hits)));
     members.push(("disk_misses".into(), Json::U64(stats.misses)));
     members.push(("disk_writes".into(), Json::U64(stats.writes)));
@@ -512,10 +579,22 @@ pub fn protocol_examples() -> String {
     );
     section(
         "status",
-        "Queue and worker occupancy at the instant the request is handled.",
+        "Queue and worker occupancy at the instant the request is handled: \
+         total and per-client queue depth, in-flight runs (`running`, out \
+         of `workers` pool threads), reorder-buffered results awaiting \
+         in-order release, and daemon uptime.",
         &[
             Json::Obj(vec![("op".into(), Json::Str("status".into()))]).to_line(),
-            status_line(3, 2, 17, 2),
+            status_line(&StatusReport {
+                queued: 3,
+                running: 2,
+                completed: 17,
+                clients: 2,
+                queue_depth: vec![(1, 2), (2, 1)],
+                workers: 4,
+                reorder_buffered: 1,
+                uptime_seconds: 86,
+            }),
         ],
     );
     section(
@@ -541,24 +620,41 @@ pub fn protocol_examples() -> String {
     section(
         "cache-stats",
         "In-memory run-cache occupancy plus the persistent store's \
-         counters. `disk` is `false` (and the disk members zero/null) when \
+         counters and occupancy: `disk_resident_bytes` against \
+         `disk_budget_bytes` (null when unbudgeted) shows `--cache-budget` \
+         pressure. `disk` is `false` (and the disk members zero/null) when \
          the daemon runs without `--cache-dir`.",
         &[
             Json::Obj(vec![("op".into(), Json::Str("cache-stats".into()))]).to_line(),
             cache_stats_line(
                 12,
-                Some((
-                    std::path::Path::new("/var/cache/hdpat"),
-                    70,
-                    crate::experiments::DiskCacheStats {
+                Some(DiskReport {
+                    dir: std::path::Path::new("/var/cache/hdpat"),
+                    entries: 70,
+                    resident_bytes: 191_362,
+                    budget: Some(1_048_576),
+                    stats: crate::experiments::DiskCacheStats {
                         hits: 58,
                         misses: 12,
                         writes: 12,
                         evictions: 0,
                         discarded: 0,
                     },
-                )),
+                }),
             ),
+        ],
+    );
+    section(
+        "metrics",
+        "The full operational snapshot: per-tier request-lifecycle latency \
+         histograms (log-scaled microseconds, `[lower_bound, count]` \
+         buckets), serving gauges, cache state, and engine drive counters. \
+         The same snapshot backs `hdpat-sim serve --metrics-out`; \
+         `selfprof` is null unless the daemon was built with `--features \
+         selfprof`. At quiescence the tier counts sum to `submitted`.",
+        &[
+            Json::Obj(vec![("op".into(), Json::Str("metrics".into()))]).to_line(),
+            example_metrics_line(),
         ],
     );
     section(
@@ -596,6 +692,53 @@ pub fn protocol_examples() -> String {
         ],
     );
     s
+}
+
+/// A deterministic `metrics` reply for PROTOCOL.md, built through the real
+/// snapshot path: 70 submits resolving to 58 disk hits and 12 simulations,
+/// with plausible fixed latencies. Engine counters read the process-global
+/// sink, which is untouched (all zero) in a `regen-protocol` invocation.
+fn example_metrics_line() -> String {
+    use crate::ops::{DiskGauges, GaugeSample, OpsRegistry, Tier};
+    let reg = OpsRegistry::new();
+    for _ in 0..70 {
+        reg.record_submit();
+    }
+    for i in 0..58u64 {
+        reg.record_outcome(Tier::Disk, 40 + i, 350, 390 + i);
+    }
+    for i in 0..12u64 {
+        reg.record_outcome(
+            Tier::Simulated,
+            55,
+            180_000 + 4_000 * i,
+            180_055 + 4_000 * i,
+        );
+    }
+    let gauges = GaugeSample {
+        clients: 2,
+        queued: 3,
+        queue_depth_per_client: vec![(1, 2), (2, 1)],
+        inflight: 2,
+        workers: 4,
+        workers_busy: 2,
+        reorder_buffered: 1,
+        uptime_seconds: 86,
+        memory_entries: 12,
+        disk: Some(DiskGauges {
+            entries: 70,
+            resident_bytes: 191_362,
+            budget: Some(1_048_576),
+            stats: crate::experiments::DiskCacheStats {
+                hits: 58,
+                misses: 12,
+                writes: 12,
+                evictions: 0,
+                discarded: 0,
+            },
+        }),
+    };
+    reg.snapshot_json(&gauges).to_line()
 }
 
 #[cfg(test)]
@@ -647,6 +790,10 @@ mod tests {
         assert!(matches!(
             Request::parse(r#"{"op":"cache-stats"}"#).unwrap(),
             Request::CacheStats
+        ));
+        assert!(matches!(
+            Request::parse(r#"{"op":"metrics"}"#).unwrap(),
+            Request::Metrics
         ));
         assert!(matches!(
             Request::parse(r#"{"op":"shutdown"}"#).unwrap(),
@@ -714,14 +861,87 @@ mod tests {
             result_line("q1", Source::Disk, "hdpat-rc-v2|...", &m),
             progress_line("q1", "started"),
             error_line(None, codes::BAD_REQUEST, "x"),
-            status_line(1, 2, 3, 4),
+            status_line(&StatusReport {
+                queued: 1,
+                running: 2,
+                completed: 3,
+                clients: 4,
+                queue_depth: vec![(1, 1)],
+                workers: 2,
+                reorder_buffered: 0,
+                uptime_seconds: 5,
+            }),
             cache_stats_line(0, None),
             cancelled_line("q1"),
             shutdown_ack_line(0),
+            example_metrics_line(),
         ] {
             assert!(!line.contains('\n'), "{line}");
             Json::parse(&line).unwrap();
         }
+    }
+
+    #[test]
+    fn status_and_cache_stats_carry_ops_members() {
+        let status = Json::parse(&status_line(&StatusReport {
+            queued: 3,
+            running: 2,
+            completed: 17,
+            clients: 2,
+            queue_depth: vec![(1, 2), (2, 1)],
+            workers: 4,
+            reorder_buffered: 1,
+            uptime_seconds: 9,
+        }))
+        .unwrap();
+        assert_eq!(status.get("workers").and_then(Json::as_u64), Some(4));
+        assert_eq!(status.get("uptime_seconds").and_then(Json::as_u64), Some(9));
+        assert_eq!(
+            status.get("reorder_buffered").and_then(Json::as_u64),
+            Some(1)
+        );
+        match status.get("queue_depth") {
+            Some(Json::Arr(rows)) => {
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[0].get("client").and_then(Json::as_u64), Some(1));
+                assert_eq!(rows[0].get("depth").and_then(Json::as_u64), Some(2));
+            }
+            other => unreachable!("queue_depth must be an array, got {other:?}"),
+        }
+
+        let cs = Json::parse(&cache_stats_line(
+            1,
+            Some(DiskReport {
+                dir: std::path::Path::new("/tmp/c"),
+                entries: 3,
+                resident_bytes: 9000,
+                budget: Some(10_000),
+                stats: crate::experiments::DiskCacheStats {
+                    hits: 1,
+                    misses: 2,
+                    writes: 2,
+                    evictions: 4,
+                    discarded: 0,
+                },
+            }),
+        ))
+        .unwrap();
+        assert_eq!(
+            cs.get("disk_resident_bytes").and_then(Json::as_u64),
+            Some(9000)
+        );
+        assert_eq!(
+            cs.get("disk_budget_bytes").and_then(Json::as_u64),
+            Some(10_000)
+        );
+        assert_eq!(cs.get("disk_evictions").and_then(Json::as_u64), Some(4));
+        // Without a disk store the occupancy members are zero/null.
+        let bare = Json::parse(&cache_stats_line(0, None)).unwrap();
+        assert_eq!(
+            bare.get("disk_resident_bytes").and_then(Json::as_u64),
+            Some(0)
+        );
+        assert_eq!(bare.get("disk_budget_bytes"), Some(&Json::Null));
     }
 
     #[test]
@@ -739,7 +959,14 @@ mod tests {
     #[test]
     fn examples_build_and_mention_every_op_and_code() {
         let doc = protocol_examples();
-        for op in ["submit", "status", "cancel", "cache-stats", "shutdown"] {
+        for op in [
+            "submit",
+            "status",
+            "cancel",
+            "cache-stats",
+            "metrics",
+            "shutdown",
+        ] {
             assert!(doc.contains(&format!("\"op\":\"{op}\"")), "missing op {op}");
         }
         for code in [

@@ -672,16 +672,37 @@ impl Simulation {
         // work at `t` see it arrive in a later batch, just as later pops
         // would have delivered it.
         let mut batch: Vec<Event> = Vec::new();
+        #[cfg(feature = "selfprof")]
+        let (mut prof_dispatch, mut prof_handler) = (0u64, 0u64);
         loop {
-            if self.queue.drain_bucket(&mut batch) == 0 {
+            #[cfg(feature = "selfprof")]
+            // selfprof phase timer; host-time buckets land in `ops::engine()`
+            // only, never in simulation state.
+            let d0 = std::time::Instant::now(); // lint:allow(wallclock): selfprof phase timer, ops registry only
+            let drained = self.queue.drain_bucket(&mut batch);
+            #[cfg(feature = "selfprof")]
+            {
+                prof_dispatch += d0.elapsed().as_nanos() as u64;
+            }
+            if drained == 0 {
                 break;
             }
             let t = self.queue.now();
+            #[cfg(feature = "selfprof")]
+            let h0 = std::time::Instant::now(); // lint:allow(wallclock): selfprof phase timer, ops registry only
             for ev in batch.drain(..) {
                 self.dispatch(t, ev);
             }
+            #[cfg(feature = "selfprof")]
+            {
+                prof_handler += h0.elapsed().as_nanos() as u64;
+            }
             debug_assert!(self.queue.total_popped() < EVENT_CAP, "event explosion");
         }
+        // The serial drive has no barrier-merge phase and one logical shard:
+        // handler time lands in bucket 0, merge stays zero.
+        #[cfg(feature = "selfprof")]
+        crate::ops::engine().record_selfprof(prof_dispatch, 0, &[prof_handler]);
         let events = self.queue.total_popped();
         self.finish(wall_start, events)
     }

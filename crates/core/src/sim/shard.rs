@@ -126,6 +126,8 @@ impl Simulation {
         let wall_start = std::time::Instant::now();
         let lookahead = self.mesh.min_transit_cycles();
         let map = ShardMap::new(&self, shards);
+        #[cfg(feature = "selfprof")]
+        let map_shards = map.shards();
         // Direct drive: this coordinator is single-threaded, so cross-shard
         // routes can insert straight into the owning queue — same delivered
         // stream as the windowed protocol (see `ShardSet::new_direct`), no
@@ -151,12 +153,23 @@ impl Simulation {
         // follow-ups; mid-batch routing is sound because every follow-up
         // stamps after the whole batch (see `ShardSet::next_batch`).
         let mut batch: Vec<(u32, Event)> = Vec::new();
+        #[cfg(feature = "selfprof")]
+        let mut prof_merge = 0u64;
+        #[cfg(feature = "selfprof")]
+        let mut prof_handler = vec![0u64; map_shards];
         loop {
             let route = match &mut self.shard_route {
                 Some(r) => r,
                 None => unreachable!("sharded drive state installed above"),
             };
-            let Some(t) = route.set.next_batch(&mut batch) else {
+            #[cfg(feature = "selfprof")]
+            let m0 = std::time::Instant::now(); // lint:allow(wallclock): selfprof phase timer, ops registry only
+            let next = route.set.next_batch(&mut batch);
+            #[cfg(feature = "selfprof")]
+            {
+                prof_merge += m0.elapsed().as_nanos() as u64;
+            }
+            let Some(t) = next else {
                 break;
             };
             self.queue.set_now(t);
@@ -165,7 +178,13 @@ impl Simulation {
                     Some(r) => r.set.set_current(shard as usize),
                     None => unreachable!("sharded drive state installed above"),
                 }
+                #[cfg(feature = "selfprof")]
+                let h0 = std::time::Instant::now(); // lint:allow(wallclock): selfprof phase timer, ops registry only
                 self.dispatch(t, ev);
+                #[cfg(feature = "selfprof")]
+                {
+                    prof_handler[shard as usize] += h0.elapsed().as_nanos() as u64;
+                }
             }
             debug_assert!(
                 self.shard_route
@@ -174,6 +193,8 @@ impl Simulation {
                 "event explosion"
             );
         }
+        #[cfg(feature = "selfprof")]
+        crate::ops::engine().record_selfprof(0, prof_merge, &prof_handler);
         let route = match self.shard_route.take() {
             Some(r) => r,
             None => unreachable!("sharded drive state installed above"),
@@ -181,11 +202,27 @@ impl Simulation {
         // Window-protocol conservation, on top of the usual engine checks
         // in `finish()`.
         route.set.drain_check();
-        // Opt-in drive diagnostics on stderr (deterministic counters —
-        // windows, delivered, cross, batches — never host state); stdout
-        // and every artifact byte are unaffected.
+        // Drive diagnostics flow into the process-wide ops registry
+        // (deterministic counters — windows, delivered, cross, batches —
+        // never host state); stdout and every artifact byte are unaffected.
+        // The serving daemon surfaces the accumulated totals through its
+        // `metrics` op; `WSG_SHARD_STATS` remains as a convenience that
+        // prints the cumulative registry snapshot to stderr after each run.
+        {
+            let s = route.set.stats();
+            crate::ops::engine().record_shard_run(
+                s.windows,
+                s.delivered,
+                s.routed,
+                s.cross,
+                s.batches,
+            );
+        }
         if std::env::var_os("WSG_SHARD_STATS").is_some() {
-            eprintln!("[shard-stats] {:?}", route.set.stats());
+            eprintln!(
+                "[shard-stats] {}",
+                crate::ops::engine().shard_counters().to_line()
+            );
         }
         let events = route.set.stats().delivered;
         self.finish(wall_start, events)

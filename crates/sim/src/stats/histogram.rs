@@ -46,16 +46,42 @@ impl Histogram {
         }
     }
 
-    /// Records one sample.
+    /// Records one sample. Counters saturate instead of wrapping so a
+    /// long-lived accumulator (e.g. a daemon latency histogram) can never
+    /// panic or corrupt itself, only pin at `u64::MAX`.
     pub fn record(&mut self, value: u64) {
-        self.count += 1;
-        self.sum += value as u128;
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(value as u128);
         self.max = self.max.max(value);
         let idx = (value / self.bucket_width) as usize;
         match self.buckets.get_mut(idx) {
-            Some(b) => *b += 1,
-            None => self.overflow += 1,
+            Some(b) => *b = b.saturating_add(1),
+            None => self.overflow = self.overflow.saturating_add(1),
         }
+    }
+
+    /// Adds every sample of `other` into `self` (bucket-wise, saturating).
+    /// Used to combine per-worker or per-shard histograms into one view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket widths differ — merging histograms with
+    /// different granularity would silently misbucket.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bucket_width, other.bucket_width,
+            "cannot merge histograms with different bucket widths"
+        );
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, &o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(o);
+        }
+        self.overflow = self.overflow.saturating_add(other.overflow);
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
     }
 
     /// Total number of recorded samples.
@@ -196,16 +222,60 @@ impl LogHistogram {
         }
     }
 
-    /// Records one sample.
+    /// Records one sample. Counters saturate instead of wrapping so a
+    /// long-lived accumulator (e.g. a daemon latency histogram) can never
+    /// panic or corrupt itself, only pin at `u64::MAX`.
     pub fn record(&mut self, value: u64) {
-        self.count += 1;
-        self.sum += value as u128;
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(value as u128);
         self.max = self.max.max(value);
         let idx = self.bucket_for(value);
         if idx >= self.buckets.len() {
             self.buckets.resize(idx + 1, 0);
         }
-        self.buckets[idx] += 1;
+        self.buckets[idx] = self.buckets[idx].saturating_add(1);
+    }
+
+    /// Adds every sample of `other` into `self` (bucket-wise, saturating).
+    /// Log buckets always align, so histograms over disjoint value ranges
+    /// merge exactly: the shorter bucket vector grows to cover the longer.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, &o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(o);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Bucketed upper bound for the `q`-quantile (`0.0 ..= 1.0`): the
+    /// inclusive upper edge of the first bucket whose cumulative count
+    /// reaches `q * count`, clamped to the recorded maximum. Returns 0 for
+    /// an empty histogram. Resolution is one power of two — adequate for
+    /// ops dashboards, not for exact percentiles.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let want = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let want = want.max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= want {
+                // Bucket i covers [2^i, 2^(i+1)) (bucket 0 covers {0, 1}).
+                let edge = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return edge.min(self.max);
+            }
+        }
+        self.max
     }
 
     /// Total number of recorded samples.
@@ -406,5 +476,103 @@ mod tests {
         let h = LogHistogram::new();
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.fraction_above_one(), 0.0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile_upper_bound(0.5), 0);
+        assert!(h.raw_buckets().is_empty());
+    }
+
+    #[test]
+    fn log_single_sample() {
+        let mut h = LogHistogram::new();
+        h.record(37);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 37);
+        assert_eq!(h.mean(), 37.0);
+        // One sample: every quantile lands in its bucket, clamped to max.
+        assert_eq!(h.quantile_upper_bound(0.0), 37);
+        assert_eq!(h.quantile_upper_bound(0.5), 37);
+        assert_eq!(h.quantile_upper_bound(1.0), 37);
+        assert_eq!(h.iter().collect::<Vec<_>>(), vec![(32, 1)]);
+    }
+
+    #[test]
+    fn log_counts_saturate_instead_of_wrapping() {
+        let mut h = LogHistogram::from_parts(vec![u64::MAX], u64::MAX, u128::MAX, 1);
+        h.record(1); // would wrap count, bucket 0, and sum without saturation
+        assert_eq!(h.count(), u64::MAX);
+        assert_eq!(h.raw_buckets()[0], u64::MAX);
+        assert_eq!(h.raw_sum(), u128::MAX);
+        let other = LogHistogram::from_parts(vec![3], 3, 3, 1);
+        h.merge(&other); // merging into a pinned histogram stays pinned
+        assert_eq!(h.count(), u64::MAX);
+        assert_eq!(h.raw_buckets()[0], u64::MAX);
+    }
+
+    #[test]
+    fn linear_counts_saturate_instead_of_wrapping() {
+        let mut h = Histogram::from_parts(2, vec![u64::MAX], u64::MAX, u64::MAX, u128::MAX, 9);
+        h.record(0); // bucket 0 and count pinned
+        h.record(1_000); // overflow pinned
+        assert_eq!(h.count(), u64::MAX);
+        assert_eq!(h.raw_buckets()[0], u64::MAX);
+        assert_eq!(h.overflow(), u64::MAX);
+    }
+
+    #[test]
+    fn log_merge_disjoint_ranges() {
+        // Low histogram: samples only in tiny buckets; high histogram:
+        // samples only far above — no shared bucket between them.
+        let mut low = LogHistogram::new();
+        low.record(1);
+        low.record(3);
+        let mut high = LogHistogram::new();
+        high.record(1 << 20);
+        high.record((1 << 20) + 5);
+        let mut merged = low.clone();
+        merged.merge(&high);
+        assert_eq!(merged.count(), 4);
+        assert_eq!(merged.max(), (1 << 20) + 5);
+        assert_eq!(merged.raw_sum(), low.raw_sum() + high.raw_sum());
+        assert_eq!(
+            merged.iter().collect::<Vec<_>>(),
+            vec![(0, 1), (2, 1), (1 << 20, 2)]
+        );
+        // Merging the other direction gives the same distribution.
+        let mut flipped = high.clone();
+        flipped.merge(&low);
+        assert_eq!(flipped.raw_buckets(), merged.raw_buckets());
+        assert_eq!(flipped.count(), merged.count());
+    }
+
+    #[test]
+    fn linear_merge_disjoint_ranges_and_width_mismatch_panics() {
+        let mut a = Histogram::new(10, 2);
+        a.record(5);
+        let mut b = Histogram::new(10, 8);
+        b.record(75);
+        a.merge(&b); // a's bucket vector grows to cover b's range
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.bucket_count(5), 1);
+        assert_eq!(a.bucket_count(75), 1);
+        assert_eq!(a.overflow(), 0);
+        assert_eq!(a.max(), 75);
+        let w = Histogram::new(3, 2);
+        let r = std::panic::catch_unwind(move || {
+            let mut a = Histogram::new(10, 2);
+            a.merge(&w);
+        });
+        assert!(r.is_err(), "mismatched widths must refuse to merge");
+    }
+
+    #[test]
+    fn log_quantile_upper_bound_tracks_cdf() {
+        let mut h = LogHistogram::new();
+        for v in [1, 1, 1, 1, 1, 1, 1, 1, 1, 500] {
+            h.record(v);
+        }
+        // 90% of samples are <= 1 (bucket 0, edge 1).
+        assert_eq!(h.quantile_upper_bound(0.9), 1);
+        // The tail sample lives in [256, 512); edge 511 clamps to max 500.
+        assert_eq!(h.quantile_upper_bound(1.0), 500);
     }
 }

@@ -649,9 +649,23 @@ fn check_shared_mut(path: &str, lineno: usize, code: &str, diags: &mut Vec<Diagn
 }
 
 /// Field names banned from the deterministic contract string (d10): anything
-/// host-side or wall-clock derived.
+/// host-side or wall-clock derived. Besides the engine's own host-side
+/// fields, this covers the `hdpat::ops` serving-observability vocabulary —
+/// request-lifecycle latencies (`*_us`), self-profiler phase buckets
+/// (`*_nanos`, `selfprof*`), queue-wait accumulators, and traced stage
+/// latencies — none of which may ever leak into the deterministic
+/// serialization. Deliberately *not* banned: substrings like `latency` or an
+/// `ops_` prefix, which legitimate simulated-time fields (`iommu_latency`,
+/// `ops_completed`) already use.
 fn det_string_banned(field: &str) -> bool {
-    field == "sim_events" || field.starts_with("host_") || field.contains("wall")
+    field == "sim_events"
+        || field.starts_with("host_")
+        || field.contains("wall")
+        || field.ends_with("_nanos")
+        || field.ends_with("_us")
+        || field == "stage_latency"
+        || field.contains("queue_wait")
+        || field.contains("selfprof")
 }
 
 /// d10: inside `to_deterministic_string`, no `self.<host-side field>` reads.
@@ -1273,6 +1287,40 @@ mod tests {
         // The same read outside the contract fn is fine.
         let ok = "impl Metrics {\n    pub fn host_summary(&self) -> u64 {\n        self.host_wall_nanos\n    }\n}\n";
         assert!(lint_source("t.rs", ok, all).is_empty());
+    }
+
+    #[test]
+    fn det_string_bans_the_ops_observability_vocabulary() {
+        let all = RuleSet::all();
+        // Every member of the `hdpat::ops` wall-clock vocabulary is caught
+        // inside the contract fn...
+        for field in [
+            "queue_wait_us",
+            "service_us",
+            "total_us",
+            "dispatch_nanos",
+            "merge_nanos",
+            "selfprof",
+            "stage_latency",
+        ] {
+            let src = format!(
+                "impl Metrics {{\n    pub fn to_deterministic_string(&self) -> String {{\n        format!(\"{{}}\", self.{field})\n    }}\n}}\n"
+            );
+            let diags = lint_source("t.rs", &src, all);
+            assert_eq!(diags.len(), 1, "field {field} not flagged: {diags:#?}");
+            assert_eq!(diags[0].rule, Rule::DetString);
+        }
+        // ...while legitimate simulated-time fields that merely *sound*
+        // latency-ish stay usable.
+        for field in ["iommu_latency", "ops_completed", "total_cycles"] {
+            let src = format!(
+                "impl Metrics {{\n    pub fn to_deterministic_string(&self) -> String {{\n        format!(\"{{}}\", self.{field})\n    }}\n}}\n"
+            );
+            assert!(
+                lint_source("t.rs", &src, all).is_empty(),
+                "false positive on {field}"
+            );
+        }
     }
 
     #[test]
